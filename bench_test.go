@@ -1,0 +1,385 @@
+// Package repro's top-level benchmarks regenerate every evaluation
+// artifact of "Database Recovery Using Redundant Disk Arrays" (ICDE
+// 1992) on the live engine, one benchmark per paper figure, plus
+// ablation benchmarks for the design choices DESIGN.md calls out.
+//
+// Figures 9–12 sweep throughput against the communality C for the four
+// algorithm families with and without RDA recovery; Figure 13 sweeps the
+// RDA benefit against the transaction size s.  Each benchmark runs the
+// paper's workload on the real engine for a fixed budget of page
+// transfers (the model's availability interval, scaled down) and reports
+//
+//	tx/interval — committed transactions per interval (the paper's r_t)
+//	logxfer/tx  — log transfers per committed transaction
+//
+// Absolute numbers differ from the paper's analytical values (the
+// interval here is 10⁵ transfers, not 5·10⁶, and the substrate is a
+// simulator); the orderings and relative gains are the reproduction
+// target.  EXPERIMENTS.md records the comparison.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/rda"
+	"repro/rda/model"
+)
+
+const benchInterval = 100000 // page transfers per measured interval
+
+// benchConfig builds the engine configuration for one algorithm family.
+func benchConfig(logging rda.LoggingMode, eot rda.EOTDiscipline, useRDA bool) rda.Config {
+	cfg := rda.DefaultConfig() // paper geometry: N=10, S=5000, B=300
+	cfg.PageSize = 256         // transfers are size independent; keep memory modest
+	cfg.Logging = logging
+	cfg.EOT = eot
+	cfg.RDA = useRDA
+	cfg.RecordSize = 32
+	// The paper's record logging analysis packs log entries into shared
+	// l_p-byte log pages (Section 5.3); charge the log the same way so
+	// the record-mode figures compare on the model's terms.
+	cfg.PackedLog = logging == rda.RecordLogging
+	return cfg
+}
+
+// benchWorkload builds the paper's workload for one environment.
+func benchWorkload(highUpdate bool, c float64) sim.Workload {
+	if highUpdate {
+		return sim.Workload{
+			Concurrency: 6, PagesPerTx: 10,
+			UpdateFraction: 0.8, UpdateProb: 0.9, AbortProb: 0.01,
+			Communality: c, Seed: 17,
+		}
+	}
+	return sim.Workload{
+		Concurrency: 6, PagesPerTx: 40,
+		UpdateFraction: 0.1, UpdateProb: 0.3, AbortProb: 0.01,
+		Communality: c, Seed: 17,
+	}
+}
+
+// runFigureBench measures one (algorithm, environment, C, RDA) point.
+func runFigureBench(b *testing.B, logging rda.LoggingMode, eot rda.EOTDiscipline, useRDA, highUpdate bool, c float64) {
+	b.Helper()
+	opts := sim.Options{Transfers: benchInterval, CrashAtEnd: true}
+	if eot == rda.NoForce {
+		opts.CheckpointInterval = benchInterval / 4
+	}
+	var committed, logXfer int64
+	for i := 0; i < b.N; i++ {
+		db, err := rda.Open(benchConfig(logging, eot, useRDA))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(db, benchWorkload(highUpdate, c), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += res.Committed
+		logXfer += res.Stats.LogWriteTransfers
+	}
+	b.ReportMetric(float64(committed)/float64(b.N), "tx/interval")
+	if committed > 0 {
+		b.ReportMetric(float64(logXfer)/float64(committed), "logxfer/tx")
+	}
+}
+
+// figureBench runs the standard sub-benchmark grid of Figures 9–12.
+func figureBench(b *testing.B, logging rda.LoggingMode, eot rda.EOTDiscipline) {
+	for _, env := range []struct {
+		name       string
+		highUpdate bool
+	}{{"high-update", true}, {"high-retrieval", false}} {
+		for _, c := range []float64{0.0, 0.5, 0.9} {
+			for _, useRDA := range []bool{false, true} {
+				name := fmt.Sprintf("%s/C=%.1f/rda=%v", env.name, c, useRDA)
+				b.Run(name, func(b *testing.B) {
+					runFigureBench(b, logging, eot, useRDA, env.highUpdate, c)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9: page logging, FORCE/TOC.
+func BenchmarkFigure9(b *testing.B) { figureBench(b, rda.PageLogging, rda.Force) }
+
+// BenchmarkFigure10 regenerates Figure 10: page logging, ¬FORCE/ACC.
+func BenchmarkFigure10(b *testing.B) { figureBench(b, rda.PageLogging, rda.NoForce) }
+
+// BenchmarkFigure11 regenerates Figure 11: record logging, FORCE/TOC.
+func BenchmarkFigure11(b *testing.B) { figureBench(b, rda.RecordLogging, rda.Force) }
+
+// BenchmarkFigure12 regenerates Figure 12: record logging, ¬FORCE/ACC.
+func BenchmarkFigure12(b *testing.B) { figureBench(b, rda.RecordLogging, rda.NoForce) }
+
+// BenchmarkFigure13 regenerates Figure 13: the RDA benefit as a function
+// of transaction size s (record logging, ¬FORCE/ACC, high update,
+// C=0.9).  Gains appear via the tx/interval metric of the rda=true vs
+// rda=false pairs at each s.
+func BenchmarkFigure13(b *testing.B) {
+	for _, s := range []int{5, 15, 30, 45} {
+		for _, useRDA := range []bool{false, true} {
+			b.Run(fmt.Sprintf("s=%d/rda=%v", s, useRDA), func(b *testing.B) {
+				opts := sim.Options{Transfers: benchInterval, CrashAtEnd: true, CheckpointInterval: benchInterval / 4}
+				w := benchWorkload(true, 0.9)
+				w.PagesPerTx = s
+				var committed int64
+				for i := 0; i < b.N; i++ {
+					db, err := rda.Open(benchConfig(rda.RecordLogging, rda.NoForce, useRDA))
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := sim.Run(db, w, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					committed += res.Committed
+				}
+				b.ReportMetric(float64(committed)/float64(b.N), "tx/interval")
+			})
+		}
+	}
+}
+
+// BenchmarkModelFigures evaluates the analytical model itself — the
+// paper's actual evaluation method — for every figure.  This is cheap
+// and exact; the series values land in EXPERIMENTS.md.
+func BenchmarkModelFigures(b *testing.B) {
+	figs := []struct {
+		name string
+		f    func()
+	}{
+		{"Figure9", func() { model.Figure9(model.DefaultCommunalities) }},
+		{"Figure10", func() { model.Figure10(model.DefaultCommunalities) }},
+		{"Figure11", func() { model.Figure11(model.DefaultCommunalities) }},
+		{"Figure12", func() { model.Figure12(model.DefaultCommunalities) }},
+		{"Figure13", func() { model.Figure13(model.DefaultSizes) }},
+	}
+	for _, fig := range figs {
+		b.Run(fig.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fig.f()
+			}
+		})
+	}
+}
+
+// --- Ablation benchmarks ---------------------------------------------------
+
+// BenchmarkAblationStealPath isolates the paper's central mechanism: the
+// cost of stealing one modified page with the RDA no-logging write
+// versus classic UNDO logging.  The no-log path should cost ~3-4 disk
+// transfers and no log traffic; the logged path adds the before-image.
+func BenchmarkAblationStealPath(b *testing.B) {
+	for _, useRDA := range []bool{false, true} {
+		b.Run(fmt.Sprintf("rda=%v", useRDA), func(b *testing.B) {
+			cfg := benchConfig(rda.PageLogging, rda.Force, useRDA)
+			cfg.BufferFrames = 2 // every write is immediately stolen
+			db, err := rda.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			img := make([]byte, cfg.PageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := db.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := rda.PageID(uint32(i*11) % uint32(db.NumPages()))
+				if err := tx.WritePage(p, img); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.WritePage((p+uint32(db.Config().DataDisks))%rda.PageID(db.NumPages()), img); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := db.Stats()
+			b.ReportMetric(float64(st.TotalTransfers())/float64(b.N), "transfers/tx")
+			b.ReportMetric(float64(st.LogWriteTransfers)/float64(b.N), "logxfer/tx")
+		})
+	}
+}
+
+// BenchmarkAblationCrashRecovery measures restart cost with losers of
+// each kind: parity-undoable pages versus logged pages.
+func BenchmarkAblationCrashRecovery(b *testing.B) {
+	for _, useRDA := range []bool{false, true} {
+		b.Run(fmt.Sprintf("rda=%v", useRDA), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := benchConfig(rda.PageLogging, rda.Force, useRDA)
+				cfg.BufferFrames = 8
+				db, err := rda.Open(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				img := make([]byte, cfg.PageSize)
+				tx, err := db.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for p := rda.PageID(0); p < 40; p++ {
+					if err := tx.WritePage(p*7%rda.PageID(db.NumPages()), img); err != nil {
+						b.Fatal(err)
+					}
+				}
+				db.Crash()
+				b.StartTimer()
+				if _, err := db.Recover(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMediaRecovery measures one full online disk rebuild
+// for both array organizations.
+func BenchmarkAblationMediaRecovery(b *testing.B) {
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		b.Run(layout.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := benchConfig(rda.PageLogging, rda.Force, true)
+				cfg.Layout = layout
+				cfg.NumPages = 1000
+				db, err := rda.Open(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := db.FailDisk(i % db.NumDisks()); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := db.RepairDisk(i % db.NumDisks()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLayouts compares data striping and parity striping
+// under the same workload — the paper treats them as interchangeable for
+// random page traffic, and the transfer counts should confirm it.
+func BenchmarkAblationLayouts(b *testing.B) {
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		b.Run(layout.String(), func(b *testing.B) {
+			var committed int64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(rda.PageLogging, rda.Force, true)
+				cfg.Layout = layout
+				db, err := rda.Open(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(db, benchWorkload(true, 0.5), sim.Options{Transfers: benchInterval / 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				committed += res.Committed
+			}
+			b.ReportMetric(float64(committed)/float64(b.N), "tx/interval")
+		})
+	}
+}
+
+// BenchmarkAblationGroupWidth sweeps the parity group width N on the
+// live engine: N=1 is a mirrored pair (twin-page storage when RDA is
+// on), the paper's N=10 is the design point, and wide groups trade gain
+// for storage (see the model's SweepN).  tx/interval at rda=true vs
+// rda=false per width shows the live tradeoff.
+func BenchmarkAblationGroupWidth(b *testing.B) {
+	for _, n := range []int{1, 2, 5, 10, 20} {
+		for _, useRDA := range []bool{false, true} {
+			b.Run(fmt.Sprintf("N=%d/rda=%v", n, useRDA), func(b *testing.B) {
+				var committed int64
+				for i := 0; i < b.N; i++ {
+					cfg := benchConfig(rda.PageLogging, rda.Force, useRDA)
+					cfg.DataDisks = n
+					db, err := rda.Open(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := sim.Run(db, benchWorkload(true, 0.9), sim.Options{Transfers: benchInterval / 2})
+					if err != nil {
+						b.Fatal(err)
+					}
+					committed += res.Committed
+				}
+				b.ReportMetric(float64(committed)/float64(b.N), "tx/interval")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBulkLoad compares loading a database with full-stripe
+// writes versus transactional small writes.
+func BenchmarkAblationBulkLoad(b *testing.B) {
+	for _, bulk := range []bool{false, true} {
+		name := "smallwrites"
+		if bulk {
+			name = "fullstripe"
+		}
+		b.Run(name, func(b *testing.B) {
+			var transfers int64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(rda.PageLogging, rda.Force, true)
+				cfg.NumPages = 1000
+				db, err := rda.Open(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages := make([][]byte, 1000)
+				for j := range pages {
+					pages[j] = make([]byte, cfg.PageSize)
+				}
+				db.ResetStats()
+				if bulk {
+					if _, err := db.BulkLoad(0, pages); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					tx, err := db.Begin()
+					if err != nil {
+						b.Fatal(err)
+					}
+					for j := range pages {
+						if err := tx.WritePage(rda.PageID(j), pages[j]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				transfers += db.Stats().TotalTransfers()
+			}
+			b.ReportMetric(float64(transfers)/float64(b.N)/1000, "transfers/page")
+		})
+	}
+}
+
+// BenchmarkAblationScrub measures a full verification scrub of a clean
+// database.
+func BenchmarkAblationScrub(b *testing.B) {
+	cfg := benchConfig(rda.PageLogging, rda.Force, true)
+	cfg.NumPages = 2000
+	db, err := rda.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Scrub(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

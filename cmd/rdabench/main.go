@@ -1,0 +1,163 @@
+// Command rdabench regenerates every evaluation artifact of the paper —
+// Figures 9 through 13 — from the analytical model, and optionally
+// cross-checks the ordering on the live engine with a measured
+// simulation.
+//
+// Usage:
+//
+//	rdabench [-fig 9|10|11|12|13|overhead|nsweep|reliability|all] [-live] [-budget N]
+//
+// The output is a table per figure with one row per x value (communality
+// C, or transaction size s for Figure 13), giving the throughput without
+// and with RDA recovery and the percentage gain — the same series the
+// paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/rda"
+	"repro/rda/model"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 9, 10, 11, 12, 13, overhead, nsweep, reliability or all")
+	live := flag.Bool("live", false, "also measure the live engine (slower)")
+	budget := flag.Int64("budget", 150000, "transfer budget per live measurement point")
+	flag.Parse()
+
+	switch *fig {
+	case "9":
+		printFigure("Figure 9: page logging, FORCE/TOC", model.Figure9(model.DefaultCommunalities))
+	case "10":
+		printFigure("Figure 10: page logging, NOFORCE/ACC", model.Figure10(model.DefaultCommunalities))
+	case "11":
+		printFigure("Figure 11: record logging, FORCE/TOC", model.Figure11(model.DefaultCommunalities))
+	case "12":
+		printFigure("Figure 12: record logging, NOFORCE/ACC", model.Figure12(model.DefaultCommunalities))
+	case "13":
+		printFigure13()
+	case "overhead":
+		printOverhead()
+	case "nsweep":
+		printNSweep()
+	case "reliability":
+		printReliability()
+	case "all":
+		printFigure("Figure 9: page logging, FORCE/TOC", model.Figure9(model.DefaultCommunalities))
+		printFigure("Figure 10: page logging, NOFORCE/ACC", model.Figure10(model.DefaultCommunalities))
+		printFigure("Figure 11: record logging, FORCE/TOC", model.Figure11(model.DefaultCommunalities))
+		printFigure("Figure 12: record logging, NOFORCE/ACC", model.Figure12(model.DefaultCommunalities))
+		printFigure13()
+		printOverhead()
+		printNSweep()
+		printReliability()
+	default:
+		fmt.Fprintf(os.Stderr, "rdabench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	if *live {
+		if err := liveCrossCheck(*budget); err != nil {
+			fmt.Fprintf(os.Stderr, "rdabench: live measurement: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printFigure(title string, series []model.Series) {
+	fmt.Printf("== %s ==\n", title)
+	for _, s := range series {
+		fmt.Printf("-- %s environment --\n", s.Label)
+		fmt.Printf("%6s %12s %12s %8s\n", "C", "no-RDA", "RDA", "gain")
+		for _, pt := range s.Points {
+			fmt.Printf("%6.2f %12.0f %12.0f %7.1f%%\n", pt.X, pt.NoRDA, pt.RDA, pt.GainPct)
+		}
+	}
+	fmt.Println()
+}
+
+func printFigure13() {
+	s := model.Figure13(model.DefaultSizes)
+	fmt.Println("== Figure 13: RDA benefit vs transaction size (record logging, NOFORCE/ACC, high update, C=0.9) ==")
+	fmt.Printf("%6s %12s %12s %8s\n", "s", "no-RDA", "RDA", "gain")
+	for _, pt := range s.Points {
+		fmt.Printf("%6.0f %12.0f %12.0f %7.1f%%\n", pt.X, pt.NoRDA, pt.RDA, pt.GainPct)
+	}
+	fmt.Println()
+}
+
+func printOverhead() {
+	fmt.Println("== Storage overhead (Section 6: about (100/N)% per parity copy) ==")
+	fmt.Printf("%4s %14s %14s\n", "N", "single parity", "twin parity")
+	for _, n := range []int{5, 10, 20, 40} {
+		// Overhead relative to the data: (100/N)% per parity copy.
+		fmt.Printf("%4d %13.1f%% %13.1f%%\n", n, 100.0/float64(n), 200.0/float64(n))
+	}
+	fmt.Println()
+}
+
+func printNSweep() {
+	fmt.Println("== Ablation: RDA gain vs parity group width N (page logging, FORCE/TOC, high update, C=0.9) ==")
+	fmt.Printf("%5s %10s %14s %10s\n", "N", "gain", "twin overhead", "p_l")
+	for _, pt := range model.SweepN(model.DefaultWidths, 0.9) {
+		fmt.Printf("%5d %9.1f%% %13.1f%% %10.4f\n", pt.N, pt.GainPct, pt.OverheadPct, pt.Pl)
+	}
+	fmt.Println()
+}
+
+func printReliability() {
+	fmt.Println("== Reliability (introduction; 30,000 h disk MTTF, 24 h repair, 50 data disks) ==")
+	cmp := model.CompareReliability(model.PaperDiskMTTFHours, 24, 50, 10)
+	days := func(h float64) float64 { return h / model.HoursPerDay }
+	fmt.Printf("  unprotected farm     : MTTF %8.1f days (the paper's \"less than 25 days\")\n", days(cmp.Unprotected))
+	fmt.Printf("  mirrored (100%% extra): MTTDL %7.0f days\n", days(cmp.Mirrored))
+	fmt.Printf("  RDA single (N=10, %2.0f%%): MTTDL %6.0f days\n", cmp.RDASingleOverheadPct, days(cmp.RDASingle))
+	fmt.Printf("  RDA twin   (N=10, %2.0f%%): MTTDL %6.0f days\n", cmp.RDATwinOverheadPct, days(cmp.RDATwin))
+	fmt.Println()
+}
+
+// liveCrossCheck measures the paper's headline comparison — page logging
+// FORCE/TOC with and without RDA — on the real engine over a sweep of C.
+func liveCrossCheck(budget int64) error {
+	fmt.Println("== Live engine cross-check: page logging FORCE/TOC (cf. Figure 9) ==")
+	fmt.Printf("%6s %12s %12s %8s %16s\n", "C", "no-RDA tx", "RDA tx", "gain", "log transfers Δ")
+	for _, c := range []float64{0.0, 0.3, 0.6, 0.9} {
+		run := func(useRDA bool) (sim.Result, error) {
+			cfg := rda.DefaultConfig()
+			cfg.Logging = rda.PageLogging
+			cfg.EOT = rda.Force
+			cfg.RDA = useRDA
+			cfg.PageSize = 256 // keep memory modest; transfers are size independent
+			db, err := rda.Open(cfg)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return sim.Run(db, sim.Workload{
+				Concurrency:    6,
+				PagesPerTx:     10,
+				UpdateFraction: 0.8,
+				UpdateProb:     0.9,
+				AbortProb:      0.01,
+				Communality:    c,
+				Seed:           42,
+			}, sim.Options{Transfers: budget, CrashAtEnd: true})
+		}
+		no, err := run(false)
+		if err != nil {
+			return err
+		}
+		yes, err := run(true)
+		if err != nil {
+			return err
+		}
+		gain := 100 * (float64(yes.Committed) - float64(no.Committed)) / float64(no.Committed)
+		fmt.Printf("%6.2f %12d %12d %7.1f%% %16d\n",
+			c, no.Committed, yes.Committed, gain,
+			no.Stats.LogWriteTransfers-yes.Stats.LogWriteTransfers)
+	}
+	return nil
+}

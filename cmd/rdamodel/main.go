@@ -1,0 +1,74 @@
+// Command rdamodel evaluates the paper's analytical performance model
+// (Section 5) for one algorithm family and environment, printing the
+// full cost breakdown: per-transaction cost, logging, rollback,
+// checkpoint and crash recovery costs, the derived probabilities
+// (p_l, p_m, p_s) and the resulting throughput.
+//
+// Usage:
+//
+//	rdamodel [-algo page-force|page-noforce|record-force|record-noforce]
+//	         [-env high-update|high-retrieval] [-c communality] [-rda]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/rda/model"
+)
+
+func main() {
+	algoName := flag.String("algo", "page-force", "algorithm: page-force, page-noforce, record-force, record-noforce")
+	envName := flag.String("env", "high-update", "environment: high-update or high-retrieval")
+	c := flag.Float64("c", 0.5, "communality C in [0,1)")
+	useRDA := flag.Bool("rda", false, "enable RDA recovery")
+	flag.Parse()
+
+	var algo model.Algorithm
+	switch *algoName {
+	case "page-force":
+		algo = model.AlgoPageForceTOC
+	case "page-noforce":
+		algo = model.AlgoPageNoForceACC
+	case "record-force":
+		algo = model.AlgoRecordForceTOC
+	case "record-noforce":
+		algo = model.AlgoRecordNoForceACC
+	default:
+		fmt.Fprintf(os.Stderr, "rdamodel: unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+	var p model.Params
+	switch *envName {
+	case "high-update":
+		p = model.HighUpdate()
+	case "high-retrieval":
+		p = model.HighRetrieval()
+	default:
+		fmt.Fprintf(os.Stderr, "rdamodel: unknown environment %q\n", *envName)
+		os.Exit(2)
+	}
+	if *c < 0 || *c >= 1 {
+		fmt.Fprintln(os.Stderr, "rdamodel: communality must be in [0,1)")
+		os.Exit(2)
+	}
+	res := model.Evaluate(algo, p.WithCommunality(*c), *useRDA)
+
+	fmt.Printf("%s, %s environment, C=%.2f, RDA=%v\n", algo, *envName, *c, *useRDA)
+	fmt.Printf("  throughput r_t : %12.0f transactions per interval (T=%.0f transfers)\n", res.Throughput, p.T)
+	fmt.Printf("  c_t  (per txn) : %12.2f transfers\n", res.CT)
+	fmt.Printf("  c_r / c_u      : %12.2f / %.2f\n", res.CR, res.CU)
+	fmt.Printf("  c_l  (logging) : %12.2f\n", res.CL)
+	fmt.Printf("  c_b  (rollback): %12.2f\n", res.CB)
+	fmt.Printf("  c_s  (restart) : %12.2f\n", res.CS)
+	if res.CC > 0 {
+		fmt.Printf("  c_c  (ckpt)    : %12.2f  optimal interval I = %.0f\n", res.CC, res.Interval)
+	}
+	if *useRDA {
+		fmt.Printf("  p_l (Eq 5)     : %12.5f\n", res.Pl)
+	}
+	if res.Pm > 0 || res.Ps > 0 {
+		fmt.Printf("  p_m / p_s      : %12.5f / %.5f\n", res.Pm, res.Ps)
+	}
+}

@@ -1,0 +1,106 @@
+// Quickstart: open a database on a twin-parity redundant disk array,
+// run transactions, abort one, crash the system and recover — then look
+// at how much UNDO logging the RDA scheme avoided.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/rda"
+)
+
+func main() {
+	// A small database: N=4 data pages per parity group, RAID-5-style
+	// data striping with twin parity pages, page logging, FORCE at EOT,
+	// and the paper's RDA recovery enabled.
+	cfg := rda.Config{
+		DataDisks:    4,
+		NumPages:     256,
+		PageSize:     512,
+		BufferFrames: 16,
+		Layout:       rda.DataStriping,
+		Logging:      rda.PageLogging,
+		EOT:          rda.Force,
+		RDA:          true,
+	}
+	db, err := rda.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("opened: %d pages on %d disks (%d-wide parity groups, twin parity)\n",
+		db.NumPages(), db.NumDisks(), cfg.DataDisks)
+
+	// 1. A transaction that commits.
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hello := make([]byte, cfg.PageSize)
+	copy(hello, "hello, redundant disk arrays")
+	if err := tx.WritePage(0, hello); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("txn 1: wrote page 0 and committed")
+
+	// 2. A transaction that writes and then aborts: the twin-parity undo
+	// restores page 0 without ever having logged a before-image.
+	tx2, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	scribble := make([]byte, cfg.PageSize)
+	copy(scribble, "uncommitted scribble")
+	if err := tx2.WritePage(0, scribble); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("txn 2: scribbled on page 0 and aborted")
+
+	// 3. A transaction that is interrupted by a system crash.
+	tx3, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tx3.WritePage(1, scribble); err != nil {
+		log.Fatal(err)
+	}
+	db.Crash()
+	rep, err := db.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crash: recovery rolled back %d loser(s), %d page(s) restored from twin parity, %d from the log\n",
+		rep.Losers, rep.UndoneViaParity, rep.UndoneViaLog)
+
+	// Page 0 still holds txn 1's committed contents.
+	check, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := check.ReadPage(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, hello) {
+		log.Fatal("page 0 lost its committed contents!")
+	}
+	if err := check.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("page 0 intact after abort and crash")
+
+	st := db.Stats()
+	fmt.Printf("stats: %d disk reads, %d disk writes, %d log records, %d/%d transactions committed/aborted\n",
+		st.DiskReads, st.DiskWrites, st.LogRecords, st.TxCommitted, st.TxAborted)
+	if err := db.VerifyParity(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parity invariant: OK")
+}

@@ -1,0 +1,340 @@
+// Package buffer implements the database buffer manager.
+//
+// The paper's algorithms all assume a STEAL policy (Section 4: "A STEAL
+// policy is used"): a page modified by an uncommitted transaction may be
+// written back to the database when the replacement policy selects it.
+// The pool therefore never refuses to evict a dirty frame — instead it
+// hands the frame to a WriteBack callback supplied by the engine, and it
+// is that callback which decides between classic UNDO logging and the
+// paper's RDA no-logging write (Section 4.1).
+//
+// Each dirty frame optionally retains its *disk version*: a copy of the
+// page as currently stored on the array.  Keeping it corresponds to the
+// paper's a=3 small-write cost (the old data needed for the parity
+// read-modify-write is already in memory); dropping it forces the steal
+// path to re-read the old page from the array, the paper's a=4 case used
+// in the ¬FORCE analysis (Section 5.2.2).
+//
+// The pool uses LRU replacement.  It is not internally synchronized; the
+// engine serializes access (page-level consistency is the lock manager's
+// job, and all cost accounting is deterministic under a single mutex).
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// Frame is one buffer slot.  Fields are exported for the engine's steal
+// policy and for tests; outside packages must treat them as read-only
+// except through the pool's methods.
+type Frame struct {
+	Page page.PageID
+	// Data is the current (possibly uncommitted) page contents.
+	Data page.Buf
+	// DiskVersion is a copy of the page as it exists on the array, or nil
+	// if unknown.  See the package comment for the a=3/a=4 connection.
+	DiskVersion page.Buf
+	// Dirty reports whether Data differs from the array contents.
+	Dirty bool
+	// Modifiers is the set of transactions that modified the frame since
+	// it was last written back.  Under page locking it has at most one
+	// member; under record locking several transactions may share a page
+	// (the paper's s_u analysis, Appendix).
+	Modifiers map[page.TxID]struct{}
+	// Residue marks a frame that still carries committed-but-unflushed
+	// changes (¬FORCE: a modifier committed while the frame was dirty).
+	// A frame with residue must not take the RDA no-UNDO-logging steal
+	// path, because the twin-parity undo would roll the whole page back
+	// past the committed changes; the engine routes such steals through
+	// classic logging instead.
+	Residue bool
+
+	pins int
+	elem *list.Element
+}
+
+// Pinned reports whether the frame is currently pinned.
+func (f *Frame) Pinned() bool { return f.pins > 0 }
+
+// ModifierList returns the frame's modifiers as a slice (unspecified
+// order).
+func (f *Frame) ModifierList() []page.TxID {
+	out := make([]page.TxID, 0, len(f.Modifiers))
+	for tx := range f.Modifiers {
+		out = append(out, tx)
+	}
+	return out
+}
+
+// WriteBack is the engine's steal policy: persist the frame to the array,
+// performing whatever logging or parity work its recovery scheme
+// requires.  On success the pool marks the frame clean and refreshes its
+// DiskVersion.
+type WriteBack func(f *Frame) error
+
+// Fetch loads a page image from the array on a buffer miss.
+type Fetch func(p page.PageID) (page.Buf, error)
+
+// Stats counts buffer activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64 // frames evicted (clean or dirty)
+	Steals    int64 // dirty frames written back by replacement
+}
+
+// Errors returned by the pool.
+var (
+	ErrNoFrames = errors.New("buffer: all frames pinned")
+	ErrNotHeld  = errors.New("buffer: page not resident")
+)
+
+// Pool is the buffer pool.
+type Pool struct {
+	capacity int
+	pageSize int
+	// KeepDiskVersions controls whether clean fetches retain a disk
+	// version copy alongside Data (see package comment).
+	KeepDiskVersions bool
+
+	frames map[page.PageID]*Frame
+	lru    *list.List // front = most recently used; values are *Frame
+
+	writeBack WriteBack
+	fetch     Fetch
+	stats     Stats
+}
+
+// New creates a pool of `capacity` frames (the paper's B) over pages of
+// the given size.
+func New(capacity, pageSize int, fetch Fetch, writeBack WriteBack) *Pool {
+	if capacity < 1 {
+		panic("buffer: capacity must be positive")
+	}
+	return &Pool{
+		capacity:         capacity,
+		pageSize:         pageSize,
+		KeepDiskVersions: true,
+		frames:           make(map[page.PageID]*Frame, capacity),
+		lru:              list.New(),
+		fetch:            fetch,
+		writeBack:        writeBack,
+	}
+}
+
+// Capacity returns B, the number of frames.
+func (bp *Pool) Capacity() int { return bp.capacity }
+
+// Len returns the number of resident pages.
+func (bp *Pool) Len() int { return len(bp.frames) }
+
+// Stats returns a snapshot of the activity counters.
+func (bp *Pool) Stats() Stats { return bp.stats }
+
+// ResetStats zeroes the activity counters.
+func (bp *Pool) ResetStats() { bp.stats = Stats{} }
+
+// Contains reports whether page p is resident.
+func (bp *Pool) Contains(p page.PageID) bool {
+	_, ok := bp.frames[p]
+	return ok
+}
+
+// Frame returns the resident frame for p, or nil.
+func (bp *Pool) Frame(p page.PageID) *Frame { return bp.frames[p] }
+
+// Resident returns the resident page ids in LRU order (most recent
+// first).  The workload generator uses it to realize the paper's
+// communality parameter C by re-referencing buffer-resident pages.
+func (bp *Pool) Resident() []page.PageID {
+	out := make([]page.PageID, 0, len(bp.frames))
+	for e := bp.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*Frame).Page)
+	}
+	return out
+}
+
+// DirtyPages returns the ids of all dirty resident pages.
+func (bp *Pool) DirtyPages() []page.PageID {
+	var out []page.PageID
+	for p, f := range bp.frames {
+		if f.Dirty {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Get pins page p, fetching it on a miss (evicting the LRU unpinned frame
+// if the pool is full).  Callers must Unpin when done.
+func (bp *Pool) Get(p page.PageID) (*Frame, error) {
+	if f, ok := bp.frames[p]; ok {
+		bp.stats.Hits++
+		bp.lru.MoveToFront(f.elem)
+		f.pins++
+		return f, nil
+	}
+	bp.stats.Misses++
+	if err := bp.makeRoom(); err != nil {
+		return nil, err
+	}
+	data, err := bp.fetch(p)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: fetch page %d: %w", p, err)
+	}
+	f := &Frame{
+		Page:      p,
+		Data:      data,
+		Modifiers: make(map[page.TxID]struct{}),
+		pins:      1,
+	}
+	if bp.KeepDiskVersions {
+		f.DiskVersion = data.Clone()
+	}
+	f.elem = bp.lru.PushFront(f)
+	bp.frames[p] = f
+	return f, nil
+}
+
+// Unpin releases one pin on page p.
+func (bp *Pool) Unpin(p page.PageID) {
+	f, ok := bp.frames[p]
+	if !ok || f.pins == 0 {
+		panic(fmt.Sprintf("buffer: unpin of page %d not pinned", p))
+	}
+	f.pins--
+}
+
+// MarkDirty records that tx modified the (pinned) frame of page p.  The
+// first modification snapshots the disk version if the pool keeps them
+// and none is held yet.
+func (bp *Pool) MarkDirty(p page.PageID, tx page.TxID) {
+	f, ok := bp.frames[p]
+	if !ok {
+		panic(fmt.Sprintf("buffer: MarkDirty of non-resident page %d", p))
+	}
+	f.Dirty = true
+	f.Modifiers[tx] = struct{}{}
+}
+
+// makeRoom evicts the least recently used unpinned frame if the pool is
+// full, stealing it (via WriteBack) when dirty.
+func (bp *Pool) makeRoom() error {
+	if len(bp.frames) < bp.capacity {
+		return nil
+	}
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*Frame)
+		if f.Pinned() {
+			continue
+		}
+		if f.Dirty {
+			bp.stats.Steals++
+			if err := bp.writeBack(f); err != nil {
+				return fmt.Errorf("buffer: steal page %d: %w", f.Page, err)
+			}
+			bp.markClean(f)
+		}
+		bp.remove(f)
+		bp.stats.Evictions++
+		return nil
+	}
+	return ErrNoFrames
+}
+
+// markClean resets the frame's dirty bookkeeping after a successful write
+// back and refreshes the disk version.
+func (bp *Pool) markClean(f *Frame) {
+	f.Dirty = false
+	f.Residue = false
+	f.Modifiers = make(map[page.TxID]struct{})
+	if bp.KeepDiskVersions {
+		f.DiskVersion = f.Data.Clone()
+	} else {
+		f.DiskVersion = nil
+	}
+}
+
+func (bp *Pool) remove(f *Frame) {
+	bp.lru.Remove(f.elem)
+	delete(bp.frames, f.Page)
+}
+
+// FlushPage writes page p back if resident and dirty, leaving it resident
+// and clean.  Used by FORCE at EOT and by checkpointing.
+func (bp *Pool) FlushPage(p page.PageID) error {
+	f, ok := bp.frames[p]
+	if !ok {
+		return nil
+	}
+	if !f.Dirty {
+		return nil
+	}
+	if err := bp.writeBack(f); err != nil {
+		return fmt.Errorf("buffer: flush page %d: %w", p, err)
+	}
+	bp.markClean(f)
+	return nil
+}
+
+// FlushAll writes back every dirty frame accepted by filter (nil = all).
+func (bp *Pool) FlushAll(filter func(*Frame) bool) error {
+	for _, p := range bp.DirtyPages() {
+		f := bp.frames[p]
+		if f == nil || !f.Dirty {
+			continue
+		}
+		if filter != nil && !filter(f) {
+			continue
+		}
+		if err := bp.FlushPage(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Discard drops page p from the pool without writing it back.  Used when
+// an abort invalidates a never-stolen modified page.
+func (bp *Pool) Discard(p page.PageID) {
+	if f, ok := bp.frames[p]; ok {
+		bp.remove(f)
+	}
+}
+
+// RestoreDiskVersion rewinds the frame of page p to its disk version and
+// marks it clean.  It returns true if the frame was resident and had a
+// disk version to restore.  Used by abort for modified-but-never-stolen
+// pages when the disk version is retained.
+func (bp *Pool) RestoreDiskVersion(p page.PageID) bool {
+	f, ok := bp.frames[p]
+	if !ok || f.DiskVersion == nil {
+		return false
+	}
+	f.Data = f.DiskVersion.Clone()
+	f.Dirty = false
+	f.Residue = false
+	f.Modifiers = make(map[page.TxID]struct{})
+	return true
+}
+
+// DropAll empties the pool without writing anything — the buffer is
+// volatile and this is what a system crash does to it.
+func (bp *Pool) DropAll() {
+	bp.frames = make(map[page.PageID]*Frame, bp.capacity)
+	bp.lru.Init()
+}
+
+// DropDiskVersions forgets every frame's disk version (entering the
+// paper's a=4 regime, e.g. at EOT under ¬FORCE).
+func (bp *Pool) DropDiskVersions(pages []page.PageID) {
+	for _, p := range pages {
+		if f, ok := bp.frames[p]; ok && !f.Dirty {
+			f.DiskVersion = nil
+		}
+	}
+}

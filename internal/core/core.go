@@ -1,0 +1,483 @@
+// Package core implements the paper's primary contribution: RDA-based
+// transaction recovery (Section 4), together with the traditional
+// single-parity write path it is compared against.
+//
+// The Store owns every mutation of array state and encodes the paper's
+// write-back policy:
+//
+//   - StealNoLog — the RDA fast path (Section 4.1): a page modified by a
+//     single active transaction is written in place with NO UNDO logging;
+//     the new parity goes to the group's obsolete twin in the working
+//     state (Figure 8) and the group is entered into the Dirty_Set
+//     (Figure 3).  Undo material is the pair of twin parity pages:
+//     D_old = (P ⊕ P′) ⊕ D_new (Figure 6).
+//   - WriteLogged — the classic STEAL path: the caller has put the
+//     before-image(s) on the log; the page is written in place and the
+//     parity is maintained by read-modify-write.  When the target group
+//     is dirty, BOTH twins must be updated so each keeps describing its
+//     view of the group — the paper's 2·p_l extra transfers
+//     (Section 5.2.1).
+//   - WriteCommitted — write-back of a page with no active modifiers
+//     (FORCE at EOT, checkpoint flushes of committed data, REDO).
+//
+// plus the corresponding undo and commit primitives.  Buffer, lock and
+// transaction orchestration live in the public engine package; crash and
+// media recovery drivers live in internal/recovery.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dirtyset"
+	"repro/internal/disk"
+	"repro/internal/diskarray"
+	"repro/internal/page"
+	"repro/internal/twinpage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+	"repro/internal/xorparity"
+)
+
+// Store mediates all disk-array state changes for one database.
+type Store struct {
+	Arr *diskarray.Array
+	// Twins is non-nil exactly when the array is twinned.
+	Twins *twinpage.Manager
+	// Dirty is the Dirty_Set; non-nil exactly when RDA recovery is on.
+	Dirty *dirtyset.Table
+	Log   *wal.Log
+	TM    *txn.Manager
+}
+
+// NewStore wires a store over the given array.  RDA recovery is enabled
+// iff the array is twinned (the engine validates the combination).
+func NewStore(arr *diskarray.Array, log *wal.Log, tm *txn.Manager) *Store {
+	s := &Store{Arr: arr, Log: log, TM: tm}
+	if arr.Twinned() {
+		s.Twins = twinpage.New(arr)
+		s.Dirty = dirtyset.New()
+	}
+	return s
+}
+
+// RDA reports whether RDA recovery is active.
+func (s *Store) RDA() bool { return s.Twins != nil }
+
+// ReadPage reads a data page, charging one transfer.
+func (s *Store) ReadPage(p page.PageID) (page.Buf, error) {
+	b, _, err := s.Arr.ReadData(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: read page %d: %w", p, err)
+	}
+	return b, nil
+}
+
+// oldOnDisk returns the page's current on-disk contents, using the
+// caller-provided copy when available (the paper's a=3 case) and reading
+// from the array otherwise (a=4).
+func (s *Store) oldOnDisk(p page.PageID, cached page.Buf) (page.Buf, error) {
+	if cached != nil {
+		return cached, nil
+	}
+	b, _, err := s.Arr.ReadData(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: read old contents of page %d: %w", p, err)
+	}
+	return b, nil
+}
+
+// currentTwin returns the index of the current parity twin for group g
+// (always 0 on single-parity arrays).
+func (s *Store) currentTwin(g page.GroupID) int {
+	if s.Twins == nil {
+		return 0
+	}
+	return s.Twins.Current(g)
+}
+
+// WriteCommitted writes a data page that carries no uncommitted state:
+// EOT forcing, checkpoint flushes of committed pages, and REDO.
+//
+// On a clean group of a twinned array the new parity is written to the
+// obsolete twin in the committed state with a fresh timestamp and the
+// bitmap flips — the same crash-atomic two-version discipline the
+// working path uses.  On a dirty group both twins are XOR-updated in
+// place so that the undo identity P ⊕ P′ = D_old ⊕ D_new for the dirty
+// page is preserved.  Single-parity arrays do the classic
+// read-modify-write.
+func (s *Store) WriteCommitted(p page.PageID, data, cachedOld page.Buf) error {
+	g := s.Arr.GroupOf(p)
+	if s.Dirty != nil && s.Dirty.IsDirty(g) {
+		oldData, err := s.oldOnDisk(p, cachedOld)
+		if err != nil {
+			return err
+		}
+		if err := s.updateBothTwins(g, oldData, data); err != nil {
+			return err
+		}
+		return s.writeData(p, data, disk.Meta{})
+	}
+	if s.Twins == nil {
+		oldData, err := s.oldForSmallWrite(p, cachedOld)
+		if err != nil {
+			return err
+		}
+		return s.singleParityWrite(p, g, data, oldData, disk.Meta{})
+	}
+	newParity, err := s.smallWriteParity(g, s.currentTwin(g), p, cachedOld, data)
+	if err != nil {
+		return err
+	}
+	obsolete := s.Twins.Obsolete(g)
+	meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+	if err := s.Arr.WriteParity(g, obsolete, newParity, meta); err != nil {
+		return fmt.Errorf("core: write committed parity of group %d: %w", g, err)
+	}
+	s.Twins.Promote(g, obsolete)
+	return s.writeData(p, data, disk.Meta{})
+}
+
+// oldForSmallWrite fetches the page's on-disk contents when the
+// small-write protocol needs them; width-1 (mirrored) groups never do.
+func (s *Store) oldForSmallWrite(p page.PageID, cachedOld page.Buf) (page.Buf, error) {
+	if s.Arr.GroupWidth() == 1 {
+		return nil, nil
+	}
+	return s.oldOnDisk(p, cachedOld)
+}
+
+// smallWriteParity computes the parity image for writing `data` over
+// page p on the given twin: P_new = P ⊕ D_old ⊕ D_new, or simply a copy
+// of the data on width-1 (mirrored) groups, where no reads are needed.
+func (s *Store) smallWriteParity(g page.GroupID, twin int, p page.PageID, cachedOld, data page.Buf) (page.Buf, error) {
+	if s.Arr.GroupWidth() == 1 {
+		return data.Clone(), nil
+	}
+	oldData, err := s.oldOnDisk(p, cachedOld)
+	if err != nil {
+		return nil, err
+	}
+	cur, _, err := s.Arr.ReadParity(g, twin)
+	if err != nil {
+		return nil, fmt.Errorf("core: read parity of group %d: %w", g, err)
+	}
+	return page.Buf(xorparity.SmallWrite(cur, oldData, data)), nil
+}
+
+// ErrMustLog reports a StealNoLog attempt that the Dirty_Set forbids;
+// callers fall back to the logging path.
+var ErrMustLog = errors.New("core: parity group requires UNDO logging")
+
+// CanStealNoLog reports whether (p, tx) may take the RDA fast path.
+func (s *Store) CanStealNoLog(p page.PageID, tx page.TxID) bool {
+	if s.Dirty == nil {
+		return false
+	}
+	return s.Dirty.CanStealWithoutLogging(s.Arr.GroupOf(p), p, tx)
+}
+
+// StealNoLog writes page p, modified by active transaction tx, without
+// UNDO logging (Section 4.1).  The data page header records the writing
+// transaction and the log-chain pointer to tx's previously chained page
+// (Section 4.3); the working parity header records tx, a fresh timestamp
+// and the covered page.
+func (s *Store) StealNoLog(p page.PageID, data, cachedOld page.Buf, t *txn.Txn) error {
+	if s.Dirty == nil {
+		return fmt.Errorf("core: StealNoLog without RDA recovery")
+	}
+	g := s.Arr.GroupOf(p)
+	if !s.Dirty.CanStealWithoutLogging(g, p, t.ID) {
+		return fmt.Errorf("%w: group %d page %d txn %d", ErrMustLog, g, p, t.ID)
+	}
+	ts := s.TM.NextTimestamp()
+	entry, dirty := s.Dirty.Lookup(g)
+	var twin int
+	if dirty {
+		// Re-steal of the same page by the same transaction: refresh the
+		// working twin in place.  The committed twin is untouched, so
+		// P ⊕ P′ keeps equalling D_committed ⊕ D_current.
+		twin = entry.WorkingTwin
+		newParity, err := s.smallWriteParity(g, twin, p, cachedOld, data)
+		if err != nil {
+			return err
+		}
+		if err := s.Twins.RewriteWorking(g, twin, newParity, t.ID, ts, p); err != nil {
+			return err
+		}
+	} else {
+		newParity, err := s.smallWriteParity(g, s.Twins.Current(g), p, cachedOld, data)
+		if err != nil {
+			return err
+		}
+		twin, err = s.Twins.WriteWorking(g, newParity, t.ID, ts, p)
+		if err != nil {
+			return err
+		}
+	}
+	meta := disk.Meta{Txn: t.ID, ChainPrev: t.ChainHead(), ChainSet: true}
+	if err := s.writeData(p, data, meta); err != nil {
+		return err
+	}
+	s.Dirty.MarkDirty(g, p, t.ID, twin)
+	if !t.InChain(p) {
+		t.StolenNoLog = append(t.StolenNoLog, p)
+	}
+	return nil
+}
+
+// WriteLogged writes a page whose UNDO material is already on the log.
+// On a dirty group of a twinned array both parity twins are updated (the
+// paper's 2·p_l extra transfers); otherwise the current parity is
+// read-modify-written in place.
+func (s *Store) WriteLogged(p page.PageID, data, cachedOld page.Buf) error {
+	g := s.Arr.GroupOf(p)
+	if s.Dirty != nil && s.Dirty.IsDirty(g) {
+		oldData, err := s.oldOnDisk(p, cachedOld)
+		if err != nil {
+			return err
+		}
+		if err := s.updateBothTwins(g, oldData, data); err != nil {
+			return err
+		}
+		return s.writeData(p, data, disk.Meta{})
+	}
+	oldData, err := s.oldForSmallWrite(p, cachedOld)
+	if err != nil {
+		return err
+	}
+	return s.singleParityWrite(p, g, data, oldData, disk.Meta{})
+}
+
+// singleParityWrite performs the classic small-write protocol against the
+// group's current parity twin, in place.
+//
+// On width-1 groups — mirrored pairs — the "parity" of the single data
+// page is the page itself, so the read-modify-write degenerates to
+// writing both copies: two transfers, the mirroring cost of Bitton &
+// Gray [1] that the paper's introduction compares against.
+func (s *Store) singleParityWrite(p page.PageID, g page.GroupID, data, oldData page.Buf, meta disk.Meta) error {
+	twin := s.currentTwin(g)
+	if s.Arr.GroupWidth() == 1 {
+		pMeta, err := s.Arr.PeekParityMeta(g, twin)
+		if err != nil {
+			return fmt.Errorf("core: mirror of group %d: %w", g, err)
+		}
+		if err := s.Arr.WriteParity(g, twin, data.Clone(), pMeta); err != nil {
+			return fmt.Errorf("core: write mirror of group %d: %w", g, err)
+		}
+		return s.writeData(p, data, meta)
+	}
+	parity, pMeta, err := s.Arr.ReadParity(g, twin)
+	if err != nil {
+		return fmt.Errorf("core: read parity of group %d: %w", g, err)
+	}
+	newParity := xorparity.SmallWrite(parity, oldData, data)
+	if err := s.Arr.WriteParity(g, twin, newParity, pMeta); err != nil {
+		return fmt.Errorf("core: write parity of group %d: %w", g, err)
+	}
+	return s.writeData(p, data, meta)
+}
+
+// updateBothTwins applies the delta of one data page write to both parity
+// twins of a dirty group, preserving each twin's view.
+func (s *Store) updateBothTwins(g page.GroupID, oldData, data page.Buf) error {
+	delta := xorparity.Xor(oldData, data)
+	for twin := 0; twin < 2; twin++ {
+		parity, meta, err := s.Arr.ReadParity(g, twin)
+		if err != nil {
+			return fmt.Errorf("core: read twin %d parity of group %d: %w", twin, g, err)
+		}
+		xorparity.XorInto(parity, delta)
+		if err := s.Arr.WriteParity(g, twin, parity, meta); err != nil {
+			return fmt.Errorf("core: write twin %d parity of group %d: %w", twin, g, err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) writeData(p page.PageID, data page.Buf, meta disk.Meta) error {
+	if err := s.Arr.WriteData(p, data, meta); err != nil {
+		return fmt.Errorf("core: write page %d: %w", p, err)
+	}
+	return nil
+}
+
+// --- Commit ---------------------------------------------------------------
+
+// CommitGroups makes tx's working parities current (Figure 8: working →
+// committed) and cleans its Dirty_Set entries.  Pure bookkeeping — the
+// EOT log record is the commit point and the on-disk parity headers catch
+// up lazily.
+func (s *Store) CommitGroups(t *txn.Txn) {
+	if s.Dirty == nil {
+		return
+	}
+	for _, g := range s.Dirty.GroupsOf(t.ID) {
+		e, ok := s.Dirty.Lookup(g)
+		if !ok {
+			continue
+		}
+		s.Twins.Promote(g, e.WorkingTwin)
+		s.Dirty.Clean(g)
+	}
+	t.StolenNoLog = nil
+}
+
+// --- Undo -----------------------------------------------------------------
+
+// UndoGroupViaParity restores the dirty page of group g from its twin
+// parity pages — D_old = (P ⊕ P′) ⊕ D_new (Figure 6) — writes it back,
+// invalidates the working twin, and cleans the group.  It returns the
+// restored page and its contents.
+//
+// The write order makes a crash mid-undo safe: the data page is restored
+// (with its header's transaction tag cleared) before the working twin is
+// invalidated, and the crash scan skips groups whose tagged page no
+// longer carries the writer's tag.
+func (s *Store) UndoGroupViaParity(g page.GroupID) (page.PageID, page.Buf, error) {
+	if s.Dirty == nil {
+		return 0, nil, fmt.Errorf("core: parity undo without RDA recovery")
+	}
+	e, ok := s.Dirty.Lookup(g)
+	if !ok {
+		return 0, nil, fmt.Errorf("core: group %d is not dirty", g)
+	}
+	restored, err := s.undoViaTwins(g, e.Page, e.WorkingTwin)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.Dirty.Clean(g)
+	return e.Page, restored, nil
+}
+
+// undoViaTwins is the raw Figure 6 undo used by both the abort path
+// (through UndoGroupViaParity) and crash recovery (which has no
+// Dirty_Set and supplies the page and twin from the header scan).
+func (s *Store) undoViaTwins(g page.GroupID, p page.PageID, workingTwin int) (page.Buf, error) {
+	p0, _, err := s.Arr.ReadParity(g, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: read twin 0 of group %d: %w", g, err)
+	}
+	p1, _, err := s.Arr.ReadParity(g, 1)
+	if err != nil {
+		return nil, fmt.Errorf("core: read twin 1 of group %d: %w", g, err)
+	}
+	dNew, _, err := s.Arr.ReadData(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: read page %d: %w", p, err)
+	}
+	dOld := page.Buf(xorparity.UndoTwin(p0, p1, dNew))
+	if err := s.writeData(p, dOld, disk.Meta{}); err != nil {
+		return nil, err
+	}
+	if err := s.Twins.Invalidate(g, workingTwin); err != nil {
+		return nil, err
+	}
+	return dOld, nil
+}
+
+// WorkingTwinInfo describes a working parity twin found by the crash-time
+// header scan.
+type WorkingTwinInfo struct {
+	Group     page.GroupID
+	Twin      int
+	Txn       page.TxID
+	Page      page.PageID // the covered data page (header's DirtyPage)
+	Timestamp page.Timestamp
+}
+
+// ScanWorkingTwins reads every group's twin parity headers (two charged
+// transfers per group — the paper's background bitmap scan, Section 4.2)
+// and returns the twins found in the working state, sorted by group.
+func (s *Store) ScanWorkingTwins() ([]WorkingTwinInfo, error) {
+	if s.Twins == nil {
+		return nil, nil
+	}
+	var out []WorkingTwinInfo
+	for g := 0; g < s.Arr.NumGroups(); g++ {
+		gid := page.GroupID(g)
+		for twin := 0; twin < 2; twin++ {
+			meta, err := s.Arr.ReadParityMeta(gid, twin)
+			if err != nil {
+				return nil, fmt.Errorf("core: scan group %d twin %d: %w", g, twin, err)
+			}
+			if meta.State == disk.StateWorking {
+				out = append(out, WorkingTwinInfo{
+					Group: gid, Twin: twin, Txn: meta.Txn,
+					Page: meta.DirtyPage, Timestamp: meta.Timestamp,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out, nil
+}
+
+// CrashUndoWorkingTwin undoes one working twin found by the crash scan,
+// when its writer is a loser.  It is idempotent across repeated crashes:
+// if the covered data page no longer carries the loser's transaction tag,
+// the data restore already happened and only the twin invalidation is
+// (re)applied.
+func (s *Store) CrashUndoWorkingTwin(w WorkingTwinInfo) error {
+	_, meta, err := s.Arr.ReadData(w.Page)
+	if err != nil {
+		return fmt.Errorf("core: read tagged page %d: %w", w.Page, err)
+	}
+	if meta.Txn != w.Txn {
+		// Already restored by a previous, interrupted recovery.
+		return s.Twins.Invalidate(w.Group, w.Twin)
+	}
+	_, err = s.undoViaTwins(w.Group, w.Page, w.Twin)
+	return err
+}
+
+// RebuildAfterCrash reconstructs the volatile twin bitmap using the
+// Current_Parity scan (Figure 7), resolving working headers through the
+// supplied outcome function.  Call after all loser working twins have
+// been invalidated.
+func (s *Store) RebuildAfterCrash(committed func(page.TxID) bool) error {
+	if s.Twins == nil {
+		return nil
+	}
+	return s.Twins.RebuildBitmap(committed)
+}
+
+// ResetVolatile drops the store's main-memory state (Dirty_Set, twin
+// bitmap) — the system crash.
+func (s *Store) ResetVolatile() {
+	if s.Dirty != nil {
+		s.Dirty.Reset()
+	}
+	if s.Twins != nil {
+		s.Twins.Reset()
+	}
+}
+
+// VerifyParityInvariant checks, for every group, that the current twin's
+// parity equals the XOR of the group's on-disk data pages (clean groups),
+// or that the working twin does (dirty groups).  Free (Peek) I/O;
+// verification aid for tests.
+func (s *Store) VerifyParityInvariant() error {
+	for g := 0; g < s.Arr.NumGroups(); g++ {
+		gid := page.GroupID(g)
+		twin := 0
+		if s.Twins != nil {
+			twin = s.Twins.Current(gid)
+			if s.Dirty != nil {
+				if e, dirty := s.Dirty.Lookup(gid); dirty {
+					twin = e.WorkingTwin
+				}
+			}
+		}
+		ok, err := s.Arr.VerifyGroup(gid, twin)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("core: group %d parity invariant violated (twin %d)", g, twin)
+		}
+	}
+	return nil
+}

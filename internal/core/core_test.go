@@ -1,0 +1,422 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/diskarray"
+	"repro/internal/page"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+func newStore(t *testing.T, kind diskarray.Kind) *Store {
+	t.Helper()
+	arr, err := diskarray.New(diskarray.Config{
+		Kind: kind, DataDisks: 4, NumPages: 48, PageSize: page.MinSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStore(arr, wal.New(wal.DefaultConfig()), txn.NewManager())
+}
+
+func pattern(size int, seed byte) page.Buf {
+	b := page.NewBuf(size)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestWriteCommittedMaintainsParity(t *testing.T) {
+	for _, kind := range []diskarray.Kind{diskarray.RAID5, diskarray.RAID5Twin, diskarray.ParityStripe, diskarray.ParityStripeTwin} {
+		s := newStore(t, kind)
+		for i := 0; i < 10; i++ {
+			p := page.PageID(i * 3 % s.Arr.NumPages())
+			if err := s.WriteCommitted(p, pattern(page.MinSize, byte(i)), nil); err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+		}
+		if err := s.VerifyParityInvariant(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestStealNoLogAndAbortUndo(t *testing.T) {
+	s := newStore(t, diskarray.RAID5Twin)
+	p := page.PageID(7)
+	committed := pattern(page.MinSize, 0x10)
+	if err := s.WriteCommitted(p, committed, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := s.TM.Begin()
+	uncommitted := pattern(page.MinSize, 0x80)
+	if !s.CanStealNoLog(p, tx.ID) {
+		t.Fatalf("clean group must allow the no-log steal")
+	}
+	if err := s.StealNoLog(p, uncommitted, committed, tx); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Arr.GroupOf(p)
+	if !s.Dirty.IsDirty(g) {
+		t.Fatalf("group must be dirty after StealNoLog")
+	}
+	// On-disk contents are the uncommitted version.
+	got, err := s.ReadPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(uncommitted) {
+		t.Fatalf("steal did not write the new version")
+	}
+	// The working twin tracks the on-disk state (the invariant checker
+	// consults the Dirty_Set for that).
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abort: parity undo must restore the committed version.
+	pid, restored, err := s.UndoGroupViaParity(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid != p || !restored.Equal(committed) {
+		t.Fatalf("undo restored page %d with wrong contents", pid)
+	}
+	if s.Dirty.IsDirty(g) {
+		t.Fatalf("group must be clean after undo")
+	}
+	got, err = s.ReadPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(committed) {
+		t.Fatalf("on-disk contents not restored")
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResteaUndoRestoresOriginal(t *testing.T) {
+	// Steal, re-reference, steal again (Figure 3's self loop): undo must
+	// restore the version before the FIRST steal.
+	s := newStore(t, diskarray.RAID5Twin)
+	p := page.PageID(12)
+	committed := pattern(page.MinSize, 0x01)
+	if err := s.WriteCommitted(p, committed, nil); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.TM.Begin()
+	v1 := pattern(page.MinSize, 0x40)
+	v2 := pattern(page.MinSize, 0xC0)
+	if err := s.StealNoLog(p, v1, committed, tx); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CanStealNoLog(p, tx.ID) {
+		t.Fatalf("re-steal of same page/txn must be allowed")
+	}
+	if err := s.StealNoLog(p, v2, v1, tx); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Arr.GroupOf(p)
+	_, restored, err := s.UndoGroupViaParity(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Equal(committed) {
+		t.Fatalf("undo after re-steal must restore the original committed version")
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitGroupsPromotesWorkingTwin(t *testing.T) {
+	s := newStore(t, diskarray.RAID5Twin)
+	p := page.PageID(3)
+	g := s.Arr.GroupOf(p)
+	tx := s.TM.Begin()
+	v := pattern(page.MinSize, 0x22)
+	if err := s.StealNoLog(p, v, nil, tx); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := s.Dirty.Lookup(g)
+	before := s.Twins.Current(g)
+	s.CommitGroups(tx)
+	if s.Dirty.IsDirty(g) {
+		t.Fatalf("commit must clean the group")
+	}
+	if s.Twins.Current(g) != e.WorkingTwin || s.Twins.Current(g) == before {
+		t.Fatalf("commit must promote the working twin")
+	}
+	if len(tx.StolenNoLog) != 0 {
+		t.Fatalf("chain must be cleared at commit")
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteLoggedToDirtyGroupUpdatesBothTwins(t *testing.T) {
+	s := newStore(t, diskarray.RAID5Twin)
+	g := page.GroupID(2)
+	pages := s.Arr.GroupPages(g)
+	p1, p2 := pages[0], pages[1]
+	base1 := pattern(page.MinSize, 0x05)
+	base2 := pattern(page.MinSize, 0x06)
+	if err := s.WriteCommitted(p1, base1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCommitted(p2, base2, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Txn A dirties the group via p1 (no logging).
+	txA := s.TM.Begin()
+	v1 := pattern(page.MinSize, 0x55)
+	if err := s.StealNoLog(p1, v1, base1, txA); err != nil {
+		t.Fatal(err)
+	}
+	// Txn B writes p2; the Dirty_Set forbids the fast path.
+	txB := s.TM.Begin()
+	if s.CanStealNoLog(p2, txB.ID) {
+		t.Fatalf("second page of a dirty group must not take the fast path")
+	}
+	if err := s.StealNoLog(p2, base2, base2, txB); !errors.Is(err, ErrMustLog) {
+		t.Fatalf("err = %v, want ErrMustLog", err)
+	}
+	v2 := pattern(page.MinSize, 0x66)
+	if err := s.WriteLogged(p2, v2, base2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The undo identity for p1 must still hold after p2's logged write.
+	gOut, restored, err := s.UndoGroupViaParity(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gOut != p1 || !restored.Equal(base1) {
+		t.Fatalf("p1 undo corrupted by the logged write of p2")
+	}
+	// p2 keeps its logged new version.
+	got, err := s.ReadPage(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v2) {
+		t.Fatalf("p2 lost its logged write")
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanWorkingTwinsAndCrashUndo(t *testing.T) {
+	s := newStore(t, diskarray.ParityStripeTwin)
+	committedData := make(map[page.PageID]page.Buf)
+	// Three transactions dirty three different groups, then the system
+	// crashes (volatile state lost).
+	var txns []*txn.Txn
+	groupsUsed := make(map[page.GroupID]bool)
+	for i := 0; i < 3; i++ {
+		tx := s.TM.Begin()
+		txns = append(txns, tx)
+		// Pick a page in a group not yet used.
+		var p page.PageID
+		for q := 0; q < s.Arr.NumPages(); q++ {
+			if !groupsUsed[s.Arr.GroupOf(page.PageID(q))] {
+				p = page.PageID(q)
+				break
+			}
+		}
+		groupsUsed[s.Arr.GroupOf(p)] = true
+		base := pattern(page.MinSize, byte(i))
+		if err := s.WriteCommitted(p, base, nil); err != nil {
+			t.Fatal(err)
+		}
+		committedData[p] = base
+		if err := s.StealNoLog(p, pattern(page.MinSize, byte(0xA0+i)), base, tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Txn 0 commits before the crash.
+	s.CommitGroups(txns[0])
+
+	s.ResetVolatile() // crash
+
+	found, err := s.ScanWorkingTwins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 3 {
+		t.Fatalf("scan found %d working twins, want 3 (one lazily committed)", len(found))
+	}
+	committed := func(id page.TxID) bool { return id == txns[0].ID }
+	for _, w := range found {
+		if committed(w.Txn) {
+			continue // winner: leave it, RebuildAfterCrash resolves it
+		}
+		if err := s.CrashUndoWorkingTwin(w); err != nil {
+			t.Fatal(err)
+		}
+		// Idempotency: a second application (crash during recovery) must
+		// not damage the restored page.
+		if err := s.CrashUndoWorkingTwin(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RebuildAfterCrash(committed); err != nil {
+		t.Fatal(err)
+	}
+	// Losers' pages are back to committed contents; winner's page keeps
+	// its new contents.
+	for p, want := range committedData {
+		got, err := s.ReadPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isWinner := false
+		for _, f := range found {
+			if f.Page == p && committed(f.Txn) {
+				isWinner = true
+			}
+		}
+		if isWinner {
+			if got.Equal(want) {
+				t.Fatalf("winner page %d lost its committed update", p)
+			}
+		} else if !got.Equal(want) {
+			t.Fatalf("loser page %d not restored", p)
+		}
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedParityInvariant(t *testing.T) {
+	// Randomized soak: interleave no-log steals, logged writes, commits
+	// and aborts across many groups; the parity invariant and the undo
+	// guarantee must hold throughout.
+	s := newStore(t, diskarray.RAID5Twin)
+	r := rand.New(rand.NewSource(42))
+	n := s.Arr.NumPages()
+
+	// Oracle of committed contents.
+	oracle := make([]page.Buf, n)
+	for i := range oracle {
+		oracle[i] = page.NewBuf(page.MinSize)
+	}
+
+	type pending struct {
+		tx    *txn.Txn
+		pages map[page.PageID]page.Buf // new values written via StealNoLog
+	}
+	var open []*pending
+
+	for step := 0; step < 300; step++ {
+		switch {
+		case len(open) > 0 && r.Intn(4) == 0: // resolve a transaction
+			i := r.Intn(len(open))
+			pd := open[i]
+			open = append(open[:i], open[i+1:]...)
+			if r.Intn(2) == 0 { // commit
+				s.CommitGroups(pd.tx)
+				for p, v := range pd.pages {
+					oracle[p] = v
+				}
+			} else { // abort
+				for _, g := range s.Dirty.GroupsOf(pd.tx.ID) {
+					if _, _, err := s.UndoGroupViaParity(g); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+		default:
+			p := page.PageID(r.Intn(n))
+			v := page.NewBuf(page.MinSize)
+			r.Read(v)
+			tx := s.TM.Begin()
+			if s.CanStealNoLog(p, tx.ID) {
+				if err := s.StealNoLog(p, v, nil, tx); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				open = append(open, &pending{tx: tx, pages: map[page.PageID]page.Buf{p: v}})
+			} else {
+				// Commit it immediately through the committed path if the
+				// group is dirty by someone else's page... only when the
+				// page itself is not the dirty one.
+				g := s.Arr.GroupOf(p)
+				if e, dirty := s.Dirty.Lookup(g); dirty && e.Page == p {
+					continue // page locked by the dirtying txn, skip
+				}
+				if err := s.WriteCommitted(p, v, nil); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				oracle[p] = v
+			}
+		}
+		if err := s.VerifyParityInvariant(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	// Resolve everything by aborting; the array must equal the oracle.
+	for _, pd := range open {
+		for _, g := range s.Dirty.GroupsOf(pd.tx.ID) {
+			if _, _, err := s.UndoGroupViaParity(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range oracle {
+		got, err := s.Arr.PeekData(page.PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(oracle[i]) {
+			t.Fatalf("page %d diverged from oracle", i)
+		}
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainHeadersLinkStolenPages(t *testing.T) {
+	// Section 4.3: pages stolen without UNDO logging are threaded through
+	// their headers.
+	s := newStore(t, diskarray.RAID5Twin)
+	tx := s.TM.Begin()
+	var stolen []page.PageID
+	for g := 0; g < 3; g++ {
+		p := s.Arr.GroupPages(page.GroupID(g))[0]
+		if err := s.StealNoLog(p, pattern(page.MinSize, byte(g)), nil, tx); err != nil {
+			t.Fatal(err)
+		}
+		stolen = append(stolen, p)
+	}
+	// Walk the chain from the head.
+	cur := tx.ChainHead()
+	for i := len(stolen) - 1; i >= 0; i-- {
+		if cur != stolen[i] {
+			t.Fatalf("chain position %d = page %d, want %d", i, cur, stolen[i])
+		}
+		loc := s.Arr.DataLoc(cur)
+		meta, err := s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !meta.ChainSet || meta.Txn != tx.ID {
+			t.Fatalf("page %d header lost its chain info: %+v", cur, meta)
+		}
+		cur = meta.ChainPrev
+	}
+	if cur != page.InvalidPage {
+		t.Fatalf("chain does not terminate: tail points at %d", cur)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/xorparity"
+)
+
+// RebuildDataPage reconstructs one data page from its group's
+// redundancy — the valid parity view plus the other members — writes it
+// back, and returns the contents.  For a dirty group the working twin is
+// the parity of the on-disk data; for a clean group the current twin is.
+// The dirty page's crash-undo transaction tag is restored in its header.
+func (s *Store) RebuildDataPage(p page.PageID) (page.Buf, error) {
+	g := s.Arr.GroupOf(p)
+	twin := 0
+	meta := disk.Meta{}
+	if s.Twins != nil {
+		twin = s.Twins.Current(g)
+		if s.Dirty != nil {
+			if e, dirty := s.Dirty.Lookup(g); dirty {
+				twin = e.WorkingTwin
+				if e.Page == p {
+					meta.Txn = e.Txn
+				}
+			}
+		}
+	}
+	parity, _, err := s.Arr.ReadParity(g, twin)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild page %d: read parity: %w", p, err)
+	}
+	survivors := [][]byte{parity}
+	for _, q := range s.Arr.GroupPages(g) {
+		if q == p {
+			continue
+		}
+		b, _, err := s.Arr.ReadData(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: rebuild page %d: read survivor %d: %w", p, q, err)
+		}
+		survivors = append(survivors, b)
+	}
+	rebuilt := page.Buf(xorparity.Reconstruct(s.Arr.PageSize(), survivors...))
+	if err := s.Arr.WriteData(p, rebuilt, meta); err != nil {
+		return nil, fmt.Errorf("core: rebuild page %d: write: %w", p, err)
+	}
+	return rebuilt, nil
+}
+
+// ReadPageRepair reads a data page, transparently repairing a latent
+// sector error (checksum mismatch) from the group's redundancy — the
+// inline counterpart of the Scrub pass, so a single bad sector never
+// surfaces as an application error on a redundant array.
+func (s *Store) ReadPageRepair(p page.PageID) (page.Buf, error) {
+	b, _, err := s.Arr.ReadData(p)
+	if err == nil {
+		return b, nil
+	}
+	if !errors.Is(err, disk.ErrChecksum) {
+		return nil, fmt.Errorf("core: read page %d: %w", p, err)
+	}
+	rebuilt, rerr := s.RebuildDataPage(p)
+	if rerr != nil {
+		return nil, fmt.Errorf("core: read repair of page %d failed: %w (original: %v)", p, rerr, err)
+	}
+	return rebuilt, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/xorparity"
+)
+
+// ScrubReport summarizes a parity scrub pass.
+type ScrubReport struct {
+	// GroupsScanned is the number of parity groups examined.
+	GroupsScanned int
+	// LatentErrors is the number of blocks whose stored checksum no
+	// longer matched their contents (latent sector errors).
+	LatentErrors int
+	// Repaired is the number of blocks rebuilt from group redundancy.
+	Repaired int
+	// ParityRewritten counts parity pages recomputed because they no
+	// longer matched their group's data.
+	ParityRewritten int
+}
+
+// Scrub walks every parity group, verifying that each valid parity page
+// equals the XOR of its data pages and that every block still passes its
+// checksum.  Latent sector errors — the silent corruption that
+// motivates periodic scrubbing of redundant arrays — are repaired from
+// the group's surviving redundancy; mismatched parity is recomputed.
+//
+// Scrub must run on a quiesced store: no parity group may be dirty
+// (scrubbing would not know which twin view to repair toward).  It is
+// the paper's "background process that runs during the idle periods of
+// the system" (Section 4.2) extended from bitmap reconstruction to full
+// redundancy verification.
+func (s *Store) Scrub() (*ScrubReport, error) {
+	if s.Dirty != nil && s.Dirty.Len() > 0 {
+		return nil, fmt.Errorf("core: scrub requires a quiesced store (%d dirty groups)", s.Dirty.Len())
+	}
+	rep := &ScrubReport{}
+	for g := 0; g < s.Arr.NumGroups(); g++ {
+		gid := page.GroupID(g)
+		if err := s.scrubGroup(gid, rep); err != nil {
+			return rep, err
+		}
+		rep.GroupsScanned++
+	}
+	return rep, nil
+}
+
+// scrubGroup verifies and repairs one group.
+func (s *Store) scrubGroup(g page.GroupID, rep *ScrubReport) error {
+	pages := s.Arr.GroupPages(g)
+	data := make([]page.Buf, len(pages))
+	metas := make([]disk.Meta, len(pages))
+	bad := -1
+	for i, p := range pages {
+		b, m, err := s.Arr.ReadData(p)
+		switch {
+		case err == nil:
+			data[i], metas[i] = b, m
+		case errors.Is(err, disk.ErrChecksum):
+			rep.LatentErrors++
+			if bad >= 0 {
+				return fmt.Errorf("core: group %d has two latent errors; unrecoverable", g)
+			}
+			bad = i
+		default:
+			return fmt.Errorf("core: scrub group %d: %w", g, err)
+		}
+	}
+
+	twin := s.currentTwin(g)
+	parity, pMeta, perr := s.Arr.ReadParity(g, twin)
+	if perr != nil && !errors.Is(perr, disk.ErrChecksum) {
+		return fmt.Errorf("core: scrub group %d parity: %w", g, perr)
+	}
+
+	switch {
+	case bad >= 0 && perr != nil:
+		return fmt.Errorf("core: group %d lost both a data block and its parity; unrecoverable", g)
+	case bad >= 0:
+		// Rebuild the corrupt data block from parity + survivors.
+		survivors := [][]byte{parity}
+		for i, b := range data {
+			if i != bad {
+				survivors = append(survivors, b)
+			}
+		}
+		rebuilt := xorparity.Reconstruct(s.Arr.PageSize(), survivors...)
+		if err := s.Arr.WriteData(pages[bad], rebuilt, disk.Meta{}); err != nil {
+			return fmt.Errorf("core: scrub repair page %d: %w", pages[bad], err)
+		}
+		rep.Repaired++
+		data[bad] = rebuilt
+	case perr != nil:
+		// Rebuild the corrupt parity page from the data.
+		rep.LatentErrors++
+		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		if err := s.recomputeParityFrom(g, twin, data, meta); err != nil {
+			return err
+		}
+		rep.Repaired++
+		return nil
+	}
+
+	// Verify parity correctness and rewrite if stale.
+	raw := make([][]byte, len(data))
+	for i, b := range data {
+		raw[i] = b
+	}
+	if !xorparity.Verify(parity, raw...) {
+		if err := s.recomputeParityFrom(g, twin, data, pMeta); err != nil {
+			return err
+		}
+		rep.ParityRewritten++
+	}
+
+	// The obsolete twin of a twinned array is also checked for latent
+	// errors; its contents are free to rewrite (it is obsolete).
+	if s.Twins != nil {
+		other := 1 - twin
+		if _, _, err := s.Arr.ReadParity(g, other); errors.Is(err, disk.ErrChecksum) {
+			rep.LatentErrors++
+			meta := disk.Meta{State: disk.StateObsolete, Timestamp: 0}
+			if err := s.recomputeParityFrom(g, other, data, meta); err != nil {
+				return err
+			}
+			rep.Repaired++
+		}
+	}
+	return nil
+}
+
+func (s *Store) recomputeParityFrom(g page.GroupID, twin int, data []page.Buf, meta disk.Meta) error {
+	raw := make([][]byte, len(data))
+	for i, b := range data {
+		raw[i] = b
+	}
+	parity := xorparity.Compute(s.Arr.PageSize(), raw...)
+	if err := s.Arr.WriteParity(g, twin, parity, meta); err != nil {
+		return fmt.Errorf("core: scrub rewrite parity of group %d: %w", g, err)
+	}
+	return nil
+}

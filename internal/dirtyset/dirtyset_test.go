@@ -1,0 +1,160 @@
+package dirtyset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/page"
+)
+
+// TestDirtySetStateDiagramFigure3 walks the exact transitions of the
+// paper's Figure 3 state diagram for a page parity group.
+func TestDirtySetStateDiagramFigure3(t *testing.T) {
+	tbl := New()
+	const (
+		g  = page.GroupID(4)
+		di = page.PageID(42) // the paper's D_i
+		dj = page.PageID(43) // another page of the same group
+		tx = page.TxID(1)    // the paper's transaction T
+		t2 = page.TxID(2)
+	)
+
+	// Clean state: any steal may skip UNDO logging.
+	if !tbl.CanStealWithoutLogging(g, di, tx) {
+		t.Fatalf("clean group must allow a no-logging steal")
+	}
+
+	// "Transaction T modifies page D_i and D_i is written back to the
+	// database before EOT" — clean → dirty.
+	tbl.MarkDirty(g, di, tx, 1)
+	if !tbl.IsDirty(g) {
+		t.Fatalf("group must be dirty after the first no-logging steal")
+	}
+	e, _ := tbl.Lookup(g)
+	if e.Page != di || e.Txn != tx || e.WorkingTwin != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+
+	// "T rereferences D_i, modifies it and D_i is written back to the
+	// database before EOT" — dirty → dirty (self loop, still no logging).
+	if !tbl.CanStealWithoutLogging(g, di, tx) {
+		t.Fatalf("re-steal of the same page by the same transaction must stay log-free")
+	}
+	tbl.MarkDirty(g, di, tx, 1)
+
+	// A different page of the dirty group, or the same page on behalf of
+	// a different transaction, must be UNDO logged.
+	if tbl.CanStealWithoutLogging(g, dj, tx) {
+		t.Fatalf("second page of a dirty group must require logging")
+	}
+	if tbl.CanStealWithoutLogging(g, di, t2) {
+		t.Fatalf("same page under a different transaction must require logging")
+	}
+
+	// "Transaction T commits" — dirty → clean.
+	tbl.Clean(g)
+	if tbl.IsDirty(g) {
+		t.Fatalf("group must be clean after commit")
+	}
+	if !tbl.CanStealWithoutLogging(g, dj, t2) {
+		t.Fatalf("clean group must allow any no-logging steal again")
+	}
+}
+
+func TestMarkDirtyConflictPanics(t *testing.T) {
+	tbl := New()
+	tbl.MarkDirty(1, 10, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MarkDirty under a different owner must panic")
+		}
+	}()
+	tbl.MarkDirty(1, 11, 1, 0)
+}
+
+func TestGroupsOfAndCleanAllOf(t *testing.T) {
+	tbl := New()
+	tbl.MarkDirty(3, 30, 7, 0)
+	tbl.MarkDirty(1, 10, 7, 1)
+	tbl.MarkDirty(2, 20, 8, 0)
+	got := tbl.GroupsOf(7)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("GroupsOf(7) = %v, want [1 3] sorted", got)
+	}
+	tbl.CleanAllOf(7)
+	if len(tbl.GroupsOf(7)) != 0 {
+		t.Fatalf("txn 7 still owns groups after CleanAllOf")
+	}
+	if !tbl.IsDirty(2) {
+		t.Fatalf("txn 8's group must survive txn 7's commit")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestResetModelsCrash(t *testing.T) {
+	tbl := New()
+	tbl.MarkDirty(1, 10, 1, 0)
+	tbl.MarkDirty(2, 20, 2, 1)
+	tbl.Reset()
+	if tbl.Len() != 0 {
+		t.Fatalf("Reset must empty the table")
+	}
+	if len(tbl.GroupsOf(1)) != 0 {
+		t.Fatalf("per-txn index must be dropped too")
+	}
+}
+
+func TestQuickAtMostOneDirtyPagePerGroup(t *testing.T) {
+	// Property: however ops interleave (always consulting
+	// CanStealWithoutLogging first, as the engine does), every dirty
+	// group has exactly one owning (page, txn) pair, and cleaning is
+	// idempotent.
+	type op struct {
+		G     uint8
+		P     uint8
+		T     uint8
+		Clean bool
+	}
+	f := func(ops []op) bool {
+		tbl := New()
+		for _, o := range ops {
+			g := page.GroupID(o.G % 8)
+			p := page.PageID(o.P % 64)
+			tx := page.TxID(o.T%4 + 1)
+			if o.Clean {
+				tbl.Clean(g)
+				tbl.Clean(g) // idempotent
+				if tbl.IsDirty(g) {
+					return false
+				}
+				continue
+			}
+			if tbl.CanStealWithoutLogging(g, p, tx) {
+				tbl.MarkDirty(g, p, tx, int(o.T%2))
+				e, ok := tbl.Lookup(g)
+				if !ok || e.Page != p || e.Txn != tx {
+					return false
+				}
+			} else if e, ok := tbl.Lookup(g); !ok || (e.Page == p && e.Txn == tx) {
+				return false // CanSteal lied
+			}
+		}
+		// Cross-check the per-txn index against the main map.
+		total := 0
+		for tx := page.TxID(1); tx <= 4; tx++ {
+			for _, g := range tbl.GroupsOf(tx) {
+				e, ok := tbl.Lookup(g)
+				if !ok || e.Txn != tx {
+					return false
+				}
+				total++
+			}
+		}
+		return total == tbl.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

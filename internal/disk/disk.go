@@ -1,0 +1,313 @@
+// Package disk simulates the individual drives of a redundant disk array.
+//
+// Each simulated disk is an array of fixed-size blocks.  A block carries a
+// small out-of-band header (Meta) in addition to its data payload,
+// modelling the per-sector header area that storage systems of the paper's
+// era used for exactly the bookkeeping the paper requires: the twin parity
+// pages store a timestamp and a state in their header (Section 4.2), and
+// pages written back without UNDO logging carry a log-chain pointer in
+// their header (Section 4.3, after TWIST [13]).  Keeping the header out of
+// band keeps the XOR parity algebra over the data payload exact.
+//
+// The disk counts every block read and write.  The paper's performance
+// model measures all costs in units of page transfers, so these counters
+// are the ground truth for every measured experiment in the repository.
+//
+// Disks support fail-stop failure injection (Fail/Repair) for the media
+// recovery experiments, plus optional corruption injection for checksum
+// tests.  Writes of a single block are atomic, matching the standard
+// assumption of the recovery literature the paper builds on.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/page"
+)
+
+// Common error values returned by the simulated disk.
+var (
+	// ErrFailed reports an I/O against a disk that has suffered a
+	// fail-stop failure.
+	ErrFailed = errors.New("disk: drive has failed")
+	// ErrOutOfRange reports a block number beyond the end of the disk.
+	ErrOutOfRange = errors.New("disk: block number out of range")
+	// ErrChecksum reports that a block's stored checksum does not match
+	// its contents (injected corruption).
+	ErrChecksum = errors.New("disk: block checksum mismatch")
+)
+
+// ParityState is the lifecycle state of a twin parity page, stored in the
+// block header (Figure 8 of the paper).  Data blocks leave it at
+// StateNone.
+type ParityState uint8
+
+// Parity page states from Figure 8, plus StateNone for data blocks.
+const (
+	StateNone      ParityState = iota // not a parity page
+	StateCommitted                    // holds the last committed parity
+	StateObsolete                     // holds out-of-date parity
+	StateWorking                      // updated by a still-active transaction
+	StateInvalid                      // updated by a transaction that aborted
+)
+
+// String implements fmt.Stringer.
+func (s ParityState) String() string {
+	switch s {
+	case StateNone:
+		return "none"
+	case StateCommitted:
+		return "committed"
+	case StateObsolete:
+		return "obsolete"
+	case StateWorking:
+		return "working"
+	case StateInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("ParityState(%d)", uint8(s))
+	}
+}
+
+// Meta is the out-of-band block header.
+//
+// For twin parity blocks it stores the Figure 8 state, the timestamp that
+// the Current_Parity algorithm (Figure 7) compares, and the transaction
+// that last wrote the block.  For data blocks written back without UNDO
+// logging it stores the log-chain pointer: the previous page stolen by the
+// same transaction (Section 4.3).
+type Meta struct {
+	// State is the twin parity lifecycle state; StateNone on data blocks.
+	State ParityState
+	// Timestamp orders parity versions (Figure 7).  Zero means "never
+	// written" and always loses the Current_Parity comparison.
+	Timestamp page.Timestamp
+	// Txn is the transaction that last wrote this block.
+	Txn page.TxID
+	// ChainPrev is the page previously stolen without UNDO logging by the
+	// same transaction, or page.InvalidPage at the head of the chain.
+	ChainPrev page.PageID
+	// ChainSet marks whether this block currently participates in a log
+	// chain.
+	ChainSet bool
+	// DirtyPage, on a working parity page, is the data page whose
+	// no-UNDO-logging write the working parity covers.  The paper keeps
+	// this "log N bits" page number in the main-memory Dirty_Set
+	// (Section 4.1); mirroring it into the parity header — written in the
+	// same transfer anyway — lets crash recovery locate the page to undo
+	// with the same header scan that rebuilds the current-parity bitmap.
+	DirtyPage page.PageID
+}
+
+// Stats counts the I/O traffic a disk has served.
+type Stats struct {
+	Reads  int64 // block reads
+	Writes int64 // block writes
+}
+
+// Transfers returns total page transfers (reads + writes), the unit of
+// the paper's cost model.
+func (s Stats) Transfers() int64 { return s.Reads + s.Writes }
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+}
+
+type block struct {
+	data []byte
+	meta Meta
+	sum  uint32
+	bad  bool // corruption injected
+}
+
+// Disk is one simulated drive.  It is safe for concurrent use.
+type Disk struct {
+	mu        sync.Mutex
+	id        int
+	blockSize int
+	blocks    []block
+	failed    bool
+	stats     Stats
+}
+
+// New creates a disk with the given identifier, number of blocks and block
+// size.  All blocks start zeroed with empty metadata.
+func New(id, numBlocks, blockSize int) *Disk {
+	if numBlocks <= 0 || blockSize <= 0 {
+		panic("disk: non-positive geometry")
+	}
+	d := &Disk{id: id, blockSize: blockSize, blocks: make([]block, numBlocks)}
+	for i := range d.blocks {
+		d.blocks[i].data = make([]byte, blockSize)
+		d.blocks[i].sum = page.Buf(d.blocks[i].data).Checksum()
+	}
+	return d
+}
+
+// ID returns the disk's identifier within its array.
+func (d *Disk) ID() int { return d.id }
+
+// NumBlocks returns the number of blocks on the disk.
+func (d *Disk) NumBlocks() int { return len(d.blocks) }
+
+// BlockSize returns the size in bytes of each block.
+func (d *Disk) BlockSize() int { return d.blockSize }
+
+// Read returns a copy of the block's data and its metadata, charging one
+// page transfer.
+func (d *Disk) Read(blockNum int) (page.Buf, Meta, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return nil, Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
+	}
+	if blockNum < 0 || blockNum >= len(d.blocks) {
+		return nil, Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	d.stats.Reads++
+	b := &d.blocks[blockNum]
+	if b.bad || page.Buf(b.data).Checksum() != b.sum {
+		return nil, Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrChecksum)
+	}
+	return page.Buf(b.data).Clone(), b.meta, nil
+}
+
+// Write atomically replaces the block's data and metadata, charging one
+// page transfer.
+func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
+	}
+	if blockNum < 0 || blockNum >= len(d.blocks) {
+		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	if len(data) != d.blockSize {
+		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, page.ErrBadSize)
+	}
+	d.stats.Writes++
+	b := &d.blocks[blockNum]
+	copy(b.data, data)
+	b.meta = meta
+	b.sum = page.Buf(b.data).Checksum()
+	b.bad = false
+	return nil
+}
+
+// ReadMeta reads only the block's out-of-band metadata, charging one page
+// transfer (on the paper's hardware the header travels with the sector,
+// so a header read costs a full rotation just like a block read).
+func (d *Disk) ReadMeta(blockNum int) (Meta, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
+	}
+	if blockNum < 0 || blockNum >= len(d.blocks) {
+		return Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	d.stats.Reads++
+	return d.blocks[blockNum].meta, nil
+}
+
+// WriteMeta rewrites only the block's out-of-band metadata (used to commit
+// or invalidate a twin parity page without rewriting its payload).  It
+// still charges one page transfer: on the paper's hardware the header
+// travels with the sector.
+func (d *Disk) WriteMeta(blockNum int, meta Meta) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
+	}
+	if blockNum < 0 || blockNum >= len(d.blocks) {
+		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	d.stats.Writes++
+	d.blocks[blockNum].meta = meta
+	return nil
+}
+
+// Fail injects a fail-stop failure: every subsequent I/O returns ErrFailed
+// and, as on a real head crash, the stored contents become unavailable.
+func (d *Disk) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+}
+
+// Repair replaces the failed drive with a fresh, zeroed one (contents are
+// NOT restored; that is the array's media recovery job).
+func (d *Disk) Repair() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.blocks {
+		d.blocks[i].data = make([]byte, d.blockSize)
+		d.blocks[i].meta = Meta{}
+		d.blocks[i].sum = page.Buf(d.blocks[i].data).Checksum()
+		d.blocks[i].bad = false
+	}
+	d.failed = false
+}
+
+// Failed reports whether the disk is currently failed.
+func (d *Disk) Failed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}
+
+// Corrupt flips a bit in the stored block without updating its checksum,
+// modelling a latent sector error for checksum-path tests.
+func (d *Disk) Corrupt(blockNum int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if blockNum < 0 || blockNum >= len(d.blocks) {
+		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	d.blocks[blockNum].data[0] ^= 0x80
+	d.blocks[blockNum].bad = true
+	return nil
+}
+
+// Stats returns a snapshot of the disk's I/O counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the I/O counters (used between measurement phases).
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// PeekMeta returns the block metadata without charging a transfer.  It is
+// a debugging/verification aid for tests and the array-layout dumper and
+// must not be used on any measured code path.
+func (d *Disk) PeekMeta(blockNum int) (Meta, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if blockNum < 0 || blockNum >= len(d.blocks) {
+		return Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	return d.blocks[blockNum].meta, nil
+}
+
+// PeekData returns a copy of the block payload without charging a
+// transfer.  Verification aid only, as PeekMeta.
+func (d *Disk) PeekData(blockNum int) (page.Buf, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if blockNum < 0 || blockNum >= len(d.blocks) {
+		return nil, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	return page.Buf(d.blocks[blockNum].data).Clone(), nil
+}

@@ -1,0 +1,644 @@
+// Package diskarray implements the redundant disk array organizations the
+// paper builds on (Section 3):
+//
+//   - RAID5: block-interleaved data striping with rotated parity
+//     (Patterson et al. [3], paper Figure 1).
+//   - ParityStripe: Gray's parity striping (Gray, Horst & Walker [2],
+//     paper Figure 2) — data written sequentially per disk, with parity
+//     gathered into a reserved parity area on each disk.
+//   - RAID5Twin and ParityStripeTwin: the same organizations with the
+//     paper's twin parity pages (Figures 4 and 5): every parity group has
+//     two parity pages placed on two different disks, which is what makes
+//     RDA transaction recovery possible (Section 4).
+//
+// The array maps logical page and parity addresses to (disk, block)
+// locations and performs raw block I/O.  Parity *maintenance* — the
+// read-modify-write small-write protocol, the twin-page state machine and
+// the dirty-group bookkeeping — deliberately lives above this package (in
+// internal/core and the engine), because that policy is exactly what the
+// paper varies between its recovery schemes.
+package diskarray
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/xorparity"
+)
+
+// Kind selects the array organization.
+type Kind int
+
+// The four organizations of Figures 1, 2, 4 and 5.
+const (
+	// RAID5 is data striping with a single rotated parity page per group
+	// (Figure 1).
+	RAID5 Kind = iota
+	// RAID5Twin is data striping with twin rotated parity pages
+	// (Figure 4).
+	RAID5Twin
+	// ParityStripe is Gray's parity striping with a single parity page
+	// per group (Figure 2).
+	ParityStripe
+	// ParityStripeTwin is parity striping with twin parity pages
+	// (Figure 5).
+	ParityStripeTwin
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case RAID5:
+		return "raid5"
+	case RAID5Twin:
+		return "raid5twin"
+	case ParityStripe:
+		return "paritystripe"
+	case ParityStripeTwin:
+		return "paritystripetwin"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Twinned reports whether the organization keeps twin parity pages.
+func (k Kind) Twinned() bool { return k == RAID5Twin || k == ParityStripeTwin }
+
+// Striped reports whether the organization interleaves data across disks
+// (data striping) as opposed to parity striping's sequential placement.
+func (k Kind) Striped() bool { return k == RAID5 || k == RAID5Twin }
+
+// Config describes an array to build.
+type Config struct {
+	Kind Kind
+	// DataDisks is N: the number of data pages per parity group.  The
+	// array uses N+1 disks (single parity) or N+2 disks (twin parity).
+	DataDisks int
+	// NumPages is S: the number of logical data pages requested.  The
+	// array may round capacity up to fill whole groups/areas.
+	NumPages int
+	// PageSize is the size of each page/block in bytes.
+	PageSize int
+}
+
+// Errors returned by the array.
+var (
+	ErrBadConfig = errors.New("diskarray: invalid configuration")
+	ErrNoTwin    = errors.New("diskarray: organization has no twin parity page")
+	ErrBadTwin   = errors.New("diskarray: twin index out of range")
+)
+
+// Loc is a physical block address.
+type Loc struct {
+	Disk  int
+	Block int
+}
+
+// Array is a redundant disk array.  It is safe for concurrent use (each
+// underlying disk serializes its own I/O; the address maps are immutable
+// after construction).
+type Array struct {
+	cfg       Config
+	disks     []*disk.Disk
+	numGroups int
+	parities  int // parity pages per group: 1 or 2
+
+	// Parity striping geometry (unused for RAID5 kinds).
+	areas    int // areas per disk = disks
+	areaSize int // blocks per area
+}
+
+// New builds and formats an array.  Formatting establishes the all-zero
+// consistent state (zero data, zero parity) and, for twinned kinds, marks
+// twin 0 of every group as the committed parity; formatting I/O is not
+// charged to the statistics.
+//
+// DataDisks may be 1: a single-parity
+// group of width 1 is a mirrored pair (the parity of one page is the
+// page itself), and a twinned group of width 1 is the twin-page storage
+// scheme of Wu & Fuchs [12] that the paper builds on.
+func New(cfg Config) (*Array, error) {
+	if cfg.DataDisks < 1 {
+		return nil, fmt.Errorf("%w: need at least 1 data disk, got %d", ErrBadConfig, cfg.DataDisks)
+	}
+	if cfg.NumPages < 1 {
+		return nil, fmt.Errorf("%w: need at least 1 page", ErrBadConfig)
+	}
+	if cfg.PageSize < page.MinSize {
+		return nil, fmt.Errorf("%w: page size %d below minimum %d", ErrBadConfig, cfg.PageSize, page.MinSize)
+	}
+	a := &Array{cfg: cfg}
+	n := cfg.DataDisks
+	switch cfg.Kind {
+	case RAID5, ParityStripe:
+		a.parities = 1
+	case RAID5Twin, ParityStripeTwin:
+		a.parities = 2
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadConfig, int(cfg.Kind))
+	}
+	numDisks := n + a.parities
+	groups := (cfg.NumPages + n - 1) / n
+
+	var blocksPerDisk int
+	switch cfg.Kind {
+	case RAID5, RAID5Twin:
+		// One block per disk per stripe.
+		blocksPerDisk = groups
+	case ParityStripe, ParityStripeTwin:
+		// Each disk is divided into `numDisks` areas; `parities` of them
+		// hold parity, the rest data (Section 3.2).  Round the group
+		// count up so that areas tile exactly.
+		a.areas = numDisks
+		a.areaSize = (groups + a.areas - 1) / a.areas
+		if a.areaSize == 0 {
+			a.areaSize = 1
+		}
+		groups = a.areas * a.areaSize
+		blocksPerDisk = a.areas * a.areaSize
+	}
+	a.numGroups = groups
+	a.disks = make([]*disk.Disk, numDisks)
+	for d := range a.disks {
+		a.disks[d] = disk.New(d, blocksPerDisk, cfg.PageSize)
+	}
+	a.format()
+	return a, nil
+}
+
+// format marks twin 0 of every group committed.  A fresh array is
+// all-zero, so zero parity is already correct for every group; only the
+// twin metadata needs initializing.  Statistics are reset afterwards so
+// formatting is free, like factory formatting.
+func (a *Array) format() {
+	if a.parities == 2 {
+		for g := 0; g < a.numGroups; g++ {
+			loc := a.ParityLoc(page.GroupID(g), 0)
+			meta := disk.Meta{State: disk.StateCommitted, Timestamp: 0}
+			if err := a.disks[loc.Disk].WriteMeta(loc.Block, meta); err != nil {
+				panic(fmt.Sprintf("diskarray: format: %v", err))
+			}
+			loc = a.ParityLoc(page.GroupID(g), 1)
+			meta = disk.Meta{State: disk.StateObsolete, Timestamp: 0}
+			if err := a.disks[loc.Disk].WriteMeta(loc.Block, meta); err != nil {
+				panic(fmt.Sprintf("diskarray: format: %v", err))
+			}
+		}
+	} else {
+		for g := 0; g < a.numGroups; g++ {
+			loc := a.ParityLoc(page.GroupID(g), 0)
+			meta := disk.Meta{State: disk.StateCommitted, Timestamp: 0}
+			if err := a.disks[loc.Disk].WriteMeta(loc.Block, meta); err != nil {
+				panic(fmt.Sprintf("diskarray: format: %v", err))
+			}
+		}
+	}
+	a.ResetStats()
+}
+
+// Kind returns the array organization.
+func (a *Array) Kind() Kind { return a.cfg.Kind }
+
+// PageSize returns the block size in bytes.
+func (a *Array) PageSize() int { return a.cfg.PageSize }
+
+// NumDisks returns the number of physical disks.
+func (a *Array) NumDisks() int { return len(a.disks) }
+
+// NumGroups returns the number of parity groups (after capacity
+// rounding).
+func (a *Array) NumGroups() int { return a.numGroups }
+
+// GroupWidth returns N, the number of data pages per parity group.
+func (a *Array) GroupWidth() int { return a.cfg.DataDisks }
+
+// NumPages returns the addressable logical page count (numGroups × N,
+// which is at least the requested capacity).
+func (a *Array) NumPages() int { return a.numGroups * a.cfg.DataDisks }
+
+// ParityPages returns the number of parity pages per group (1 or 2).
+func (a *Array) ParityPages() int { return a.parities }
+
+// Twinned reports whether the array keeps twin parity pages.
+func (a *Array) Twinned() bool { return a.parities == 2 }
+
+// StorageOverhead returns the fraction of raw capacity spent on parity:
+// 1/(N+1) for single parity, 2/(N+2) for twin parity.  The paper quotes
+// the overhead relative to the database size as about (100/N)% per parity
+// copy (Section 6).
+func (a *Array) StorageOverhead() float64 {
+	return float64(a.parities) / float64(a.cfg.DataDisks+a.parities)
+}
+
+// --- Address mapping -----------------------------------------------------
+//
+// Data striping (RAID5/RAID5Twin, Figures 1 and 4): parity group g is the
+// stripe of N consecutive logical pages [g·N, g·N+N); every disk
+// contributes one block per stripe at block offset g; the parity page of
+// stripe g lives on disk g mod numDisks (rotated parity), its twin on the
+// next disk, and the data pages occupy the remaining disks in increasing
+// order.
+//
+// Parity striping (ParityStripe/ParityStripeTwin, Figures 2 and 5): each
+// disk is divided into numDisks equal areas.  Disk d reserves area d for
+// parity (and, in the twin organization, also area (d-1) mod numDisks for
+// the twin copies); its other N areas hold data written *sequentially*,
+// which is the whole point of Gray's organization.  Logical pages fill
+// disk 0's data areas first, then disk 1's, and so on.  The parity group
+// is the set of N data blocks found at the same (area, offset) coordinate
+// across the N disks for which that area is a data area; its parity lives
+// at the same coordinate on disk a (and the twin on disk (a+1) mod
+// numDisks), mirroring the paper's P_x / P_x' placement.  Group members
+// are therefore *not* consecutive logical pages — they are pages at the
+// same relative position of different disks — so all group navigation
+// must go through GroupOf/GroupPages rather than arithmetic on page ids.
+
+// parityDisks returns the disks holding the group's parity page(s).
+func (a *Array) parityDisks(g int) [2]int {
+	nd := len(a.disks)
+	switch a.cfg.Kind {
+	case RAID5, RAID5Twin:
+		p0 := g % nd
+		return [2]int{p0, (p0 + 1) % nd}
+	case ParityStripe, ParityStripeTwin:
+		area := g / a.areaSize
+		return [2]int{area, (area + 1) % nd}
+	}
+	panic("diskarray: unknown kind")
+}
+
+// isParityArea reports whether area a of disk d is reserved for parity.
+func (a *Array) isParityArea(d, area int) bool {
+	if area == d {
+		return true
+	}
+	if a.parities == 2 {
+		nd := len(a.disks)
+		return area == (d+nd-1)%nd
+	}
+	return false
+}
+
+// nthDataArea returns disk d's i-th data area (0-based, in increasing
+// area order, skipping the disk's parity area(s)).
+func (a *Array) nthDataArea(d, i int) int {
+	count := 0
+	for area := 0; area < a.areas; area++ {
+		if a.isParityArea(d, area) {
+			continue
+		}
+		if count == i {
+			return area
+		}
+		count++
+	}
+	panic("diskarray: data area index out of range")
+}
+
+// dataAreaRank returns the 0-based rank of data area `area` among disk
+// d's data areas.
+func (a *Array) dataAreaRank(d, area int) int {
+	rank := 0
+	for x := 0; x < area; x++ {
+		if !a.isParityArea(d, x) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// stripeDataDisk returns the disk holding the i-th data page of stripe g
+// in the data striping organizations: the i-th disk, in increasing order,
+// that does not hold one of the stripe's parity pages.
+func (a *Array) stripeDataDisk(g, i int) int {
+	pd := a.parityDisks(g)
+	skip0, skip1 := pd[0], -1
+	if a.parities == 2 {
+		skip1 = pd[1]
+	}
+	count := 0
+	for d := 0; d < len(a.disks); d++ {
+		if d == skip0 || d == skip1 {
+			continue
+		}
+		if count == i {
+			return d
+		}
+		count++
+	}
+	panic("diskarray: data disk index out of range")
+}
+
+// DataLoc returns the physical location of logical data page p.
+func (a *Array) DataLoc(p page.PageID) Loc {
+	n := a.cfg.DataDisks
+	switch a.cfg.Kind {
+	case RAID5, RAID5Twin:
+		g := int(p) / n
+		i := int(p) % n
+		return Loc{Disk: a.stripeDataDisk(g, i), Block: g}
+	case ParityStripe, ParityStripeTwin:
+		perDisk := n * a.areaSize
+		d := int(p) / perDisk
+		r := int(p) % perDisk
+		area := a.nthDataArea(d, r/a.areaSize)
+		return Loc{Disk: d, Block: area*a.areaSize + r%a.areaSize}
+	}
+	panic("diskarray: unknown kind")
+}
+
+// GroupOf returns the parity group of logical page p.
+func (a *Array) GroupOf(p page.PageID) page.GroupID {
+	switch a.cfg.Kind {
+	case RAID5, RAID5Twin:
+		return page.GroupOf(p, a.cfg.DataDisks)
+	case ParityStripe, ParityStripeTwin:
+		loc := a.DataLoc(p)
+		area := loc.Block / a.areaSize
+		offset := loc.Block % a.areaSize
+		return page.GroupID(area*a.areaSize + offset)
+	}
+	panic("diskarray: unknown kind")
+}
+
+// GroupPages returns the logical pages of group g in data-index order.
+func (a *Array) GroupPages(g page.GroupID) []page.PageID {
+	n := a.cfg.DataDisks
+	out := make([]page.PageID, 0, n)
+	switch a.cfg.Kind {
+	case RAID5, RAID5Twin:
+		first := page.FirstInGroup(g, n)
+		for i := 0; i < n; i++ {
+			out = append(out, first+page.PageID(i))
+		}
+	case ParityStripe, ParityStripeTwin:
+		area := int(g) / a.areaSize
+		offset := int(g) % a.areaSize
+		perDisk := n * a.areaSize
+		for d := 0; d < len(a.disks); d++ {
+			if a.isParityArea(d, area) {
+				continue
+			}
+			p := d*perDisk + a.dataAreaRank(d, area)*a.areaSize + offset
+			out = append(out, page.PageID(p))
+		}
+	default:
+		panic("diskarray: unknown kind")
+	}
+	return out
+}
+
+// ParityLoc returns the physical location of the group's parity page.
+// twin must be 0 for single-parity kinds and 0 or 1 for twinned kinds.
+func (a *Array) ParityLoc(g page.GroupID, twin int) Loc {
+	if twin < 0 || twin >= a.parities {
+		panic(fmt.Sprintf("diskarray: twin %d out of range for %s", twin, a.cfg.Kind))
+	}
+	pd := a.parityDisks(int(g))
+	d := pd[twin]
+	switch a.cfg.Kind {
+	case RAID5, RAID5Twin:
+		return Loc{Disk: d, Block: int(g)}
+	case ParityStripe, ParityStripeTwin:
+		// A group's coordinate (area, offset) addresses the same block
+		// number on every disk that participates in it, including the
+		// parity disks: block = area·areaSize + offset.
+		return Loc{Disk: d, Block: int(g)}
+	}
+	panic("diskarray: unknown kind")
+}
+
+// --- Raw I/O ---------------------------------------------------------------
+
+// ReadData reads logical data page p, charging one transfer.
+func (a *Array) ReadData(p page.PageID) (page.Buf, disk.Meta, error) {
+	loc := a.DataLoc(p)
+	return a.disks[loc.Disk].Read(loc.Block)
+}
+
+// WriteData writes logical data page p, charging one transfer.
+func (a *Array) WriteData(p page.PageID, b page.Buf, meta disk.Meta) error {
+	loc := a.DataLoc(p)
+	return a.disks[loc.Disk].Write(loc.Block, b, meta)
+}
+
+// ReadParity reads the group's parity page, charging one transfer.
+func (a *Array) ReadParity(g page.GroupID, twin int) (page.Buf, disk.Meta, error) {
+	loc := a.ParityLoc(g, twin)
+	return a.disks[loc.Disk].Read(loc.Block)
+}
+
+// WriteParity writes the group's parity page, charging one transfer.
+func (a *Array) WriteParity(g page.GroupID, twin int, b page.Buf, meta disk.Meta) error {
+	loc := a.ParityLoc(g, twin)
+	return a.disks[loc.Disk].Write(loc.Block, b, meta)
+}
+
+// WriteParityMeta rewrites only the parity page's header (state,
+// timestamp), charging one transfer.
+func (a *Array) WriteParityMeta(g page.GroupID, twin int, meta disk.Meta) error {
+	loc := a.ParityLoc(g, twin)
+	return a.disks[loc.Disk].WriteMeta(loc.Block, meta)
+}
+
+// ReadParityMeta reads only the parity page's header (state, timestamp),
+// charging one transfer.  The bitmap-rebuild scan after a crash uses it.
+func (a *Array) ReadParityMeta(g page.GroupID, twin int) (disk.Meta, error) {
+	loc := a.ParityLoc(g, twin)
+	return a.disks[loc.Disk].ReadMeta(loc.Block)
+}
+
+// PeekParityMeta returns parity metadata without charging a transfer
+// (verification aid).
+func (a *Array) PeekParityMeta(g page.GroupID, twin int) (disk.Meta, error) {
+	loc := a.ParityLoc(g, twin)
+	return a.disks[loc.Disk].PeekMeta(loc.Block)
+}
+
+// PeekData returns a copy of a data page without charging a transfer
+// (verification aid).
+func (a *Array) PeekData(p page.PageID) (page.Buf, error) {
+	loc := a.DataLoc(p)
+	return a.disks[loc.Disk].PeekData(loc.Block)
+}
+
+// PeekParity returns a copy of a parity page without charging a transfer
+// (verification aid).
+func (a *Array) PeekParity(g page.GroupID, twin int) (page.Buf, error) {
+	loc := a.ParityLoc(g, twin)
+	return a.disks[loc.Disk].PeekData(loc.Block)
+}
+
+// --- Failure handling ------------------------------------------------------
+
+// FailDisk injects a fail-stop failure on disk d.
+func (a *Array) FailDisk(d int) error {
+	if d < 0 || d >= len(a.disks) {
+		return fmt.Errorf("diskarray: no disk %d", d)
+	}
+	a.disks[d].Fail()
+	return nil
+}
+
+// DiskFailed reports whether disk d has failed.
+func (a *Array) DiskFailed(d int) bool { return a.disks[d].Failed() }
+
+// RepairDisk swaps in a fresh zeroed drive for disk d without
+// reconstructing its contents (media recovery does that).
+func (a *Array) RepairDisk(d int) error {
+	if d < 0 || d >= len(a.disks) {
+		return fmt.Errorf("diskarray: no disk %d", d)
+	}
+	a.disks[d].Repair()
+	return nil
+}
+
+// Disk exposes the underlying drive (for tests and the layout dumper).
+func (a *Array) Disk(d int) *disk.Disk { return a.disks[d] }
+
+// Stats returns the aggregate I/O counters across all disks.
+func (a *Array) Stats() disk.Stats {
+	var s disk.Stats
+	for _, d := range a.disks {
+		s.Add(d.Stats())
+	}
+	return s
+}
+
+// DiskStats returns per-disk I/O counters, indexed by disk number.
+func (a *Array) DiskStats() []disk.Stats {
+	out := make([]disk.Stats, len(a.disks))
+	for i, d := range a.disks {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// ResetStats zeroes all disks' I/O counters.
+func (a *Array) ResetStats() {
+	for _, d := range a.disks {
+		d.ResetStats()
+	}
+}
+
+// --- Whole-group operations -------------------------------------------------
+
+// ReadGroup reads all N data pages of group g.
+func (a *Array) ReadGroup(g page.GroupID) ([]page.Buf, error) {
+	pages := a.GroupPages(g)
+	out := make([]page.Buf, len(pages))
+	for i, p := range pages {
+		b, _, err := a.ReadData(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// RecomputeParity reads the whole group and rewrites the given twin with
+// the freshly computed parity and the supplied metadata.  It is the
+// full-stripe fallback used by scrubbing, formatting of non-zero state
+// and media recovery of parity blocks.
+func (a *Array) RecomputeParity(g page.GroupID, twin int, meta disk.Meta) error {
+	blocks, err := a.ReadGroup(g)
+	if err != nil {
+		return err
+	}
+	raw := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		raw[i] = b
+	}
+	parity := xorparity.Compute(a.cfg.PageSize, raw...)
+	return a.WriteParity(g, twin, parity, meta)
+}
+
+// VerifyGroup reports whether the given twin's parity equals the XOR of
+// the group's data pages.  Uses Peek I/O so it is free; verification aid.
+func (a *Array) VerifyGroup(g page.GroupID, twin int) (bool, error) {
+	pages := a.GroupPages(g)
+	raw := make([][]byte, len(pages))
+	for i, p := range pages {
+		b, err := a.PeekData(p)
+		if err != nil {
+			return false, err
+		}
+		raw[i] = b
+	}
+	parity, err := a.PeekParity(g, twin)
+	if err != nil {
+		return false, err
+	}
+	return xorparity.Verify(parity, raw...), nil
+}
+
+// ReconstructDisk rebuilds every block of a failed-and-replaced disk from
+// the surviving members of each affected parity group, using validTwin to
+// pick the authoritative parity page per group (pass nil to always use
+// twin 0, which is correct for single-parity arrays and for twinned
+// arrays in a fully committed state where the caller has ensured twin 0
+// is current).
+//
+// Data blocks are reconstructed as XOR(valid parity, other data pages).
+// Parity blocks are recomputed as XOR(all data pages); the metadata for a
+// rebuilt parity block is taken from metaFor (or a committed header with
+// timestamp 0 if metaFor is nil).
+func (a *Array) ReconstructDisk(d int, validTwin func(page.GroupID) int, metaFor func(page.GroupID, int) disk.Meta) error {
+	if d < 0 || d >= len(a.disks) {
+		return fmt.Errorf("diskarray: no disk %d", d)
+	}
+	if a.disks[d].Failed() {
+		return fmt.Errorf("diskarray: disk %d must be repaired (replaced) before reconstruction", d)
+	}
+	for g := 0; g < a.numGroups; g++ {
+		gid := page.GroupID(g)
+		// Rebuild parity blocks that lived on d.
+		for twin := 0; twin < a.parities; twin++ {
+			loc := a.ParityLoc(gid, twin)
+			if loc.Disk != d {
+				continue
+			}
+			meta := disk.Meta{State: disk.StateCommitted, Timestamp: 0}
+			if metaFor != nil {
+				meta = metaFor(gid, twin)
+			}
+			if err := a.RecomputeParity(gid, twin, meta); err != nil {
+				return fmt.Errorf("diskarray: rebuild parity of group %d: %w", g, err)
+			}
+		}
+		// Rebuild the data block of g that lived on d, if any.
+		for _, p := range a.GroupPages(gid) {
+			loc := a.DataLoc(p)
+			if loc.Disk != d {
+				continue
+			}
+			twin := 0
+			if validTwin != nil {
+				twin = validTwin(gid)
+			}
+			parity, _, err := a.ReadParity(gid, twin)
+			if err != nil {
+				return fmt.Errorf("diskarray: read parity of group %d: %w", g, err)
+			}
+			survivors := [][]byte{parity}
+			for _, q := range a.GroupPages(gid) {
+				if q == p {
+					continue
+				}
+				b, _, err := a.ReadData(q)
+				if err != nil {
+					return fmt.Errorf("diskarray: read survivor %d: %w", q, err)
+				}
+				survivors = append(survivors, b)
+			}
+			rebuilt := xorparity.Reconstruct(a.cfg.PageSize, survivors...)
+			if err := a.WriteData(p, rebuilt, disk.Meta{}); err != nil {
+				return fmt.Errorf("diskarray: write rebuilt page %d: %w", p, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package lock implements a strict two-phase locking manager with shared
+// and exclusive modes, page or record granularity, lock upgrades and
+// waits-for deadlock detection.
+//
+// The paper assumes conventional locking underneath both granularities it
+// analyzes — page locking for the page logging algorithms (Section 5.2,
+// footnote 9: "the use of page locking along with UNDO logging implies
+// that the sets of pages modified by concurrent transactions are
+// disjoint") and record locking for the record logging algorithms
+// (Section 5.3, where concurrent transactions may share pages, the
+// appendix's s_u analysis).  RDA recovery itself "does not affect the
+// degree of concurrency or interfere with the locking policy used in the
+// system" (Section 4.1), which this package preserves: it knows nothing
+// about parity groups.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/page"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Resource names a lockable object: a whole page (Slot == PageGranule) or
+// one record within a page.
+type Resource struct {
+	Page page.PageID
+	Slot int32
+}
+
+// PageGranule is the Slot value that addresses the whole page.
+const PageGranule int32 = -1
+
+// PageResource returns the page-granularity resource for p.
+func PageResource(p page.PageID) Resource { return Resource{Page: p, Slot: PageGranule} }
+
+// RecordResource returns the record-granularity resource for (p, slot).
+func RecordResource(p page.PageID, slot int) Resource {
+	return Resource{Page: p, Slot: int32(slot)}
+}
+
+// String implements fmt.Stringer.
+func (r Resource) String() string {
+	if r.Slot == PageGranule {
+		return fmt.Sprintf("page %d", r.Page)
+	}
+	return fmt.Sprintf("record %d.%d", r.Page, r.Slot)
+}
+
+// ErrDeadlock is returned to a requester chosen as deadlock victim.  The
+// engine reacts by aborting the transaction, which the paper's model
+// folds into the abort probability p_b.
+var ErrDeadlock = errors.New("lock: deadlock detected")
+
+// ErrClosed is returned when the manager has been shut down (system
+// crash); waiters must abandon their requests.
+var ErrClosed = errors.New("lock: manager closed")
+
+type lockState struct {
+	holders map[page.TxID]Mode
+	// waiters in FIFO order.
+	queue []*waiter
+}
+
+type waiter struct {
+	tx   page.TxID
+	mode Mode
+	// granted or aborted is signalled through ch.
+	ch chan error
+}
+
+// Manager is the lock manager.  It is safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[Resource]*lockState
+	// waitsFor[a] = set of transactions a is waiting on.
+	waitsFor map[page.TxID]map[page.TxID]struct{}
+	closed   bool
+}
+
+// New creates an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		locks:    make(map[Resource]*lockState),
+		waitsFor: make(map[page.TxID]map[page.TxID]struct{}),
+	}
+}
+
+// compatible reports whether a new request of mode m by tx can be granted
+// given the current holders.
+func compatible(st *lockState, tx page.TxID, m Mode) bool {
+	for holder, hm := range st.holders {
+		if holder == tx {
+			continue // own lock: upgrade handled by caller
+		}
+		if m == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire blocks until tx holds res in at least the requested mode.  A
+// Shared request by a transaction already holding Exclusive is a no-op; a
+// request for a mode already held is a no-op; Exclusive over an own
+// Shared lock is an upgrade.  Returns ErrDeadlock if granting would be
+// deadlock-prone and tx is chosen as the victim, or ErrClosed if the
+// manager shuts down while waiting.
+func (m *Manager) Acquire(tx page.TxID, res Resource, mode Mode) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	st := m.locks[res]
+	if st == nil {
+		st = &lockState{holders: make(map[page.TxID]Mode)}
+		m.locks[res] = st
+	}
+	if held, ok := st.holders[tx]; ok && (held == Exclusive || held == mode) {
+		m.mu.Unlock()
+		return nil
+	}
+	// Grant immediately when compatible and no earlier waiter would be
+	// starved by a conflicting grant (upgrades jump the queue, as usual).
+	_, upgrading := st.holders[tx]
+	if compatible(st, tx, mode) && (upgrading || len(st.queue) == 0) {
+		st.holders[tx] = mode
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait: record the waits-for edges and check for a cycle.
+	w := &waiter{tx: tx, mode: mode, ch: make(chan error, 1)}
+	blockers := make(map[page.TxID]struct{})
+	for holder := range st.holders {
+		if holder != tx {
+			blockers[holder] = struct{}{}
+		}
+	}
+	for _, qw := range st.queue {
+		if qw.tx != tx {
+			blockers[qw.tx] = struct{}{}
+		}
+	}
+	m.waitsFor[tx] = blockers
+	if m.cycleFrom(tx) {
+		delete(m.waitsFor, tx)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: txn %d on %s", ErrDeadlock, tx, res)
+	}
+	st.queue = append(st.queue, w)
+	m.mu.Unlock()
+
+	err := <-w.ch
+	return err
+}
+
+// cycleFrom reports whether the waits-for graph contains a cycle
+// reachable from start.
+func (m *Manager) cycleFrom(start page.TxID) bool {
+	seen := make(map[page.TxID]bool)
+	var visit func(tx page.TxID) bool
+	visit = func(tx page.TxID) bool {
+		if tx == start && len(seen) > 0 {
+			return true
+		}
+		if seen[tx] {
+			return false
+		}
+		seen[tx] = true
+		for next := range m.waitsFor[tx] {
+			if visit(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for next := range m.waitsFor[start] {
+		seen[start] = true
+		if visit(next) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseAll releases every lock held or requested by tx and wakes any
+// waiters that become grantable.  Strict 2PL: the engine calls this only
+// at EOT (commit or completed abort).
+func (m *Manager) ReleaseAll(tx page.TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.waitsFor, tx)
+	for res, st := range m.locks {
+		delete(st.holders, tx)
+		for i := 0; i < len(st.queue); {
+			if st.queue[i].tx == tx {
+				w := st.queue[i]
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				w.ch <- ErrClosed // cancelled; the txn is going away anyway
+				continue
+			}
+			i++
+		}
+		m.wake(res, st)
+		if len(st.holders) == 0 && len(st.queue) == 0 {
+			delete(m.locks, res)
+		}
+	}
+}
+
+// wake grants queued requests in FIFO order while they remain compatible.
+func (m *Manager) wake(res Resource, st *lockState) {
+	for len(st.queue) > 0 {
+		w := st.queue[0]
+		if !compatible(st, w.tx, w.mode) {
+			return
+		}
+		st.queue = st.queue[1:]
+		st.holders[w.tx] = w.mode
+		// The waiter no longer waits on anyone.
+		delete(m.waitsFor, w.tx)
+		// Other waiters' blocker sets may reference w.tx as a waiter; the
+		// sets are rebuilt lazily on each Acquire, and cycle checks only
+		// ever over-approximate briefly, which is safe (spurious victim
+		// at worst).
+		w.ch <- nil
+	}
+}
+
+// Close shuts the manager down (system crash): all waiters receive
+// ErrClosed and all state is dropped.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	for _, st := range m.locks {
+		for _, w := range st.queue {
+			w.ch <- ErrClosed
+		}
+		st.queue = nil
+	}
+	m.locks = make(map[Resource]*lockState)
+	m.waitsFor = make(map[page.TxID]map[page.TxID]struct{})
+}
+
+// Holds reports whether tx currently holds res in at least the given
+// mode.
+func (m *Manager) Holds(tx page.TxID, res Resource, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.locks[res]
+	if st == nil {
+		return false
+	}
+	held, ok := st.holders[tx]
+	if !ok {
+		return false
+	}
+	return held == Exclusive || held == mode
+}
+
+// HeldResources returns every resource tx holds (unspecified order);
+// testing and debugging aid.
+func (m *Manager) HeldResources(tx page.TxID) []Resource {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Resource
+	for res, st := range m.locks {
+		if _, ok := st.holders[tx]; ok {
+			out = append(out, res)
+		}
+	}
+	return out
+}

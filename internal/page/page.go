@@ -1,0 +1,144 @@
+// Package page defines the fundamental identifiers and fixed-size page
+// buffers shared by every storage layer in the repository.
+//
+// The paper ("Database Recovery Using Redundant Disk Arrays", Mourad,
+// Fuchs & Saab, ICDE 1992) assumes communication between main memory and
+// the I/O subsystem is performed in fixed size pages.  A logical database
+// page is addressed by a PageID; N consecutive logical pages form a parity
+// group addressed by a GroupID; transactions are identified by a TxID and
+// ordered by a monotonically increasing Timestamp (the paper stores such a
+// timestamp in the header of each twin parity page, Section 4.2).
+package page
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageID identifies a logical database page.  Logical pages are numbered
+// densely from 0 to S-1 where S is the total number of data pages in the
+// database (the paper's parameter S).
+type PageID uint32
+
+// InvalidPage is a sentinel PageID used to terminate log chains and to
+// mark empty table slots.
+const InvalidPage PageID = ^PageID(0)
+
+// GroupID identifies a parity group: the set of N data pages that share a
+// parity page (Section 4.1: "we will use the term parity group to denote a
+// page parity group").
+type GroupID uint32
+
+// InvalidGroup is a sentinel GroupID.
+const InvalidGroup GroupID = ^GroupID(0)
+
+// TxID identifies a transaction.  TxIDs are allocated monotonically by the
+// transaction manager and are never reused within the lifetime of a
+// database, which lets them double as the paper's parity page timestamps.
+type TxID uint64
+
+// InvalidTx is a sentinel TxID meaning "no transaction".
+const InvalidTx TxID = 0
+
+// Timestamp orders parity page versions.  The paper's Current_Parity
+// algorithm (Figure 7) selects the twin with the larger timestamp; we use
+// a global monotonic counter drawn by the engine so that later parity
+// writes always carry strictly larger timestamps.
+type Timestamp uint64
+
+// RecordID addresses a record within a page when record-granularity
+// logging and locking are in use (Section 5.3).
+type RecordID struct {
+	Page PageID
+	Slot int
+}
+
+// String implements fmt.Stringer.
+func (r RecordID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// DefaultSize is the default page size in bytes.  The paper's record
+// logging analysis uses l_p = 2020 bytes; we round to a power of two for
+// the default and let callers configure the exact value.
+const DefaultSize = 2048
+
+// MinSize is the smallest page size the storage layers accept.  It leaves
+// room for the slotted-record directory used by record logging.
+const MinSize = 64
+
+// ErrBadSize reports a page buffer whose length does not match the
+// configured page size.
+var ErrBadSize = errors.New("page: buffer size does not match page size")
+
+// Buf is a fixed-size page image.  All storage layers copy Buf contents on
+// the way in and out, so callers may reuse their buffers freely.
+type Buf []byte
+
+// NewBuf allocates a zeroed page image of the given size.
+func NewBuf(size int) Buf { return make(Buf, size) }
+
+// Clone returns an independent copy of b.
+func (b Buf) Clone() Buf {
+	c := make(Buf, len(b))
+	copy(c, b)
+	return c
+}
+
+// Equal reports whether two page images have identical contents.
+func (b Buf) Equal(o Buf) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero clears the page image in place.
+func (b Buf) Zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// IsZero reports whether every byte of the page image is zero.
+func (b Buf) IsZero() bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Checksum returns a CRC-32C checksum of the page image.  The simulated
+// disks store checksums out of band and verify them on read, modelling the
+// sector CRCs real drives maintain.
+func (b Buf) Checksum() uint32 {
+	return crc32.Checksum(b, castagnoli)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// GroupOf returns the parity group that holds page p when groups are N
+// pages wide.  Both array organizations in the paper (data striping,
+// Figure 4, and parity striping, Figure 5) group N consecutive logical
+// pages; only the physical placement differs.
+func GroupOf(p PageID, n int) GroupID {
+	return GroupID(uint32(p) / uint32(n))
+}
+
+// IndexInGroup returns the position (0..N-1) of page p within its parity
+// group.
+func IndexInGroup(p PageID, n int) int {
+	return int(uint32(p) % uint32(n))
+}
+
+// FirstInGroup returns the first logical page of group g when groups are N
+// pages wide.
+func FirstInGroup(g GroupID, n int) PageID {
+	return PageID(uint32(g) * uint32(n))
+}

@@ -1,0 +1,103 @@
+package page
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupMapping(t *testing.T) {
+	tests := []struct {
+		p     PageID
+		n     int
+		group GroupID
+		index int
+	}{
+		{0, 10, 0, 0},
+		{9, 10, 0, 9},
+		{10, 10, 1, 0},
+		{25, 10, 2, 5},
+		{0, 1, 0, 0},
+		{7, 1, 7, 0},
+		{4999, 10, 499, 9},
+	}
+	for _, tt := range tests {
+		if g := GroupOf(tt.p, tt.n); g != tt.group {
+			t.Errorf("GroupOf(%d,%d) = %d, want %d", tt.p, tt.n, g, tt.group)
+		}
+		if i := IndexInGroup(tt.p, tt.n); i != tt.index {
+			t.Errorf("IndexInGroup(%d,%d) = %d, want %d", tt.p, tt.n, i, tt.index)
+		}
+	}
+}
+
+func TestFirstInGroupRoundTrip(t *testing.T) {
+	f := func(p uint32, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		pid := PageID(p % (1 << 20))
+		g := GroupOf(pid, n)
+		first := FirstInGroup(g, n)
+		// The page must lie inside [first, first+n).
+		return pid >= first && int(pid-first) < n &&
+			int(pid-first) == IndexInGroup(pid, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufCloneIndependence(t *testing.T) {
+	b := NewBuf(64)
+	b[0] = 0xAA
+	c := b.Clone()
+	c[0] = 0x55
+	if b[0] != 0xAA {
+		t.Fatalf("Clone aliases the original buffer")
+	}
+	if b.Equal(c) {
+		t.Fatalf("buffers should differ after mutation")
+	}
+	c[0] = 0xAA
+	if !b.Equal(c) {
+		t.Fatalf("buffers should be equal again")
+	}
+}
+
+func TestBufZero(t *testing.T) {
+	b := NewBuf(32)
+	if !b.IsZero() {
+		t.Fatalf("fresh buffer must be zero")
+	}
+	b[31] = 1
+	if b.IsZero() {
+		t.Fatalf("buffer with a set byte is not zero")
+	}
+	b.Zero()
+	if !b.IsZero() {
+		t.Fatalf("Zero must clear the buffer")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	b := NewBuf(128)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	sum := b.Checksum()
+	b[100] ^= 0x01
+	if b.Checksum() == sum {
+		t.Fatalf("single-bit flip not detected by checksum")
+	}
+}
+
+func TestChecksumStable(t *testing.T) {
+	b := NewBuf(16)
+	if b.Checksum() != b.Clone().Checksum() {
+		t.Fatalf("checksum must be a pure function of contents")
+	}
+}
+
+func TestEqualLengthMismatch(t *testing.T) {
+	if NewBuf(8).Equal(NewBuf(9)) {
+		t.Fatalf("buffers of different length must not compare equal")
+	}
+}

@@ -1,0 +1,226 @@
+// Package record implements the fixed-slot record layout inside pages,
+// used by the record-granularity algorithms of Section 5.3.
+//
+// The paper's record logging analysis assumes records of average length r
+// (100 bytes) packed into pages of length l_p (2020 bytes), with record
+// locking underneath so that concurrent transactions may update different
+// records of the same page.  This package provides a deterministic page
+// layout for that model: a small header followed by a presence bitmap and
+// fixed-size slots.
+//
+// Layout (little endian):
+//
+//	[0:2)  uint16 record size
+//	[2:4)  uint16 slot count
+//	[4:4+ceil(slots/8)) presence bitmap
+//	slots  slot i at base + i*recordSize
+//
+// Pages are self-describing, so crash recovery can reapply record images
+// to a page without external schema knowledge.
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// Errors returned by the layout.
+var (
+	ErrNotFormatted = errors.New("record: page is not record-formatted")
+	ErrBadSlot      = errors.New("record: slot out of range")
+	ErrEmptySlot    = errors.New("record: slot is empty")
+	ErrFull         = errors.New("record: page is full")
+	ErrBadLength    = errors.New("record: record length does not match slot size")
+)
+
+const headerSize = 4
+
+// Capacity returns how many records of the given size fit in a page of
+// the given size, accounting for the header and presence bitmap.
+func Capacity(pageSize, recordSize int) int {
+	if recordSize <= 0 || pageSize <= headerSize {
+		return 0
+	}
+	// Solve slots*(recordSize) + ceil(slots/8) + headerSize <= pageSize.
+	slots := (pageSize - headerSize) / recordSize
+	for slots > 0 && headerSize+(slots+7)/8+slots*recordSize > pageSize {
+		slots--
+	}
+	return slots
+}
+
+// Format initializes buf as an empty record page with fixed-size slots.
+func Format(buf page.Buf, recordSize int) error {
+	slots := Capacity(len(buf), recordSize)
+	if slots < 1 {
+		return fmt.Errorf("record: page of %d bytes cannot hold %d-byte records", len(buf), recordSize)
+	}
+	buf.Zero()
+	binary.LittleEndian.PutUint16(buf[0:], uint16(recordSize))
+	binary.LittleEndian.PutUint16(buf[2:], uint16(slots))
+	return nil
+}
+
+// Page is a view over a record-formatted page image.  It aliases the
+// underlying buffer: mutations write through.
+type Page struct {
+	buf        page.Buf
+	recordSize int
+	slots      int
+}
+
+// View interprets buf as a record page.
+func View(buf page.Buf) (*Page, error) {
+	if len(buf) < headerSize {
+		return nil, ErrNotFormatted
+	}
+	rs := int(binary.LittleEndian.Uint16(buf[0:]))
+	slots := int(binary.LittleEndian.Uint16(buf[2:]))
+	if rs == 0 || slots == 0 || slots != Capacity(len(buf), rs) {
+		return nil, ErrNotFormatted
+	}
+	return &Page{buf: buf, recordSize: rs, slots: slots}, nil
+}
+
+// RecordSize returns the fixed record size.
+func (p *Page) RecordSize() int { return p.recordSize }
+
+// Slots returns the slot count.
+func (p *Page) Slots() int { return p.slots }
+
+func (p *Page) bitmap() page.Buf { return p.buf[headerSize : headerSize+(p.slots+7)/8] }
+
+func (p *Page) slotBase(i int) int {
+	return headerSize + (p.slots+7)/8 + i*p.recordSize
+}
+
+// Used reports whether slot i holds a record.
+func (p *Page) Used(i int) bool {
+	if i < 0 || i >= p.slots {
+		return false
+	}
+	return p.bitmap()[i/8]&(1<<(i%8)) != 0
+}
+
+// Count returns the number of occupied slots.
+func (p *Page) Count() int {
+	n := 0
+	for i := 0; i < p.slots; i++ {
+		if p.Used(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Read returns a copy of the record in slot i.
+func (p *Page) Read(i int) ([]byte, error) {
+	if i < 0 || i >= p.slots {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.slots)
+	}
+	if !p.Used(i) {
+		return nil, fmt.Errorf("%w: %d", ErrEmptySlot, i)
+	}
+	base := p.slotBase(i)
+	out := make([]byte, p.recordSize)
+	copy(out, p.buf[base:base+p.recordSize])
+	return out, nil
+}
+
+// Write stores rec into slot i (insert or overwrite).  rec must be at
+// most the slot size; shorter records are zero padded.
+func (p *Page) Write(i int, rec []byte) error {
+	if i < 0 || i >= p.slots {
+		return fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.slots)
+	}
+	if len(rec) > p.recordSize {
+		return fmt.Errorf("%w: %d > %d", ErrBadLength, len(rec), p.recordSize)
+	}
+	base := p.slotBase(i)
+	copy(p.buf[base:base+p.recordSize], rec)
+	for j := base + len(rec); j < base+p.recordSize; j++ {
+		p.buf[j] = 0
+	}
+	p.bitmap()[i/8] |= 1 << (i % 8)
+	return nil
+}
+
+// Delete clears slot i.
+func (p *Page) Delete(i int) error {
+	if i < 0 || i >= p.slots {
+		return fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.slots)
+	}
+	base := p.slotBase(i)
+	for j := base; j < base+p.recordSize; j++ {
+		p.buf[j] = 0
+	}
+	p.bitmap()[i/8] &^= 1 << (i % 8)
+	return nil
+}
+
+// Insert stores rec in the first free slot and returns its index.
+func (p *Page) Insert(rec []byte) (int, error) {
+	for i := 0; i < p.slots; i++ {
+		if !p.Used(i) {
+			return i, p.Write(i, rec)
+		}
+	}
+	return 0, ErrFull
+}
+
+// Image is a record-granularity image for logging: slot plus a presence
+// flag so that UNDO can restore a deleted record's absence and vice
+// versa.
+type Image struct {
+	Present bool
+	Data    []byte
+}
+
+// Snapshot captures slot i's image for the log (before- or after-image).
+func (p *Page) Snapshot(i int) (Image, error) {
+	if i < 0 || i >= p.slots {
+		return Image{}, fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.slots)
+	}
+	if !p.Used(i) {
+		return Image{Present: false}, nil
+	}
+	data, err := p.Read(i)
+	if err != nil {
+		return Image{}, err
+	}
+	return Image{Present: true, Data: data}, nil
+}
+
+// Apply restores slot i from a logged image (the record-level UNDO/REDO
+// primitive).
+func (p *Page) Apply(i int, img Image) error {
+	if !img.Present {
+		return p.Delete(i)
+	}
+	return p.Write(i, img.Data)
+}
+
+// EncodeImage serializes an image for a log record payload.
+func EncodeImage(img Image) []byte {
+	out := make([]byte, 1+len(img.Data))
+	if img.Present {
+		out[0] = 1
+	}
+	copy(out[1:], img.Data)
+	return out
+}
+
+// DecodeImage parses a payload produced by EncodeImage.
+func DecodeImage(b []byte) (Image, error) {
+	if len(b) < 1 {
+		return Image{}, errors.New("record: empty image payload")
+	}
+	img := Image{Present: b[0] == 1}
+	if img.Present {
+		img.Data = append([]byte(nil), b[1:]...)
+	}
+	return img, nil
+}

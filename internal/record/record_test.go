@@ -1,0 +1,198 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/page"
+)
+
+func formatted(t *testing.T, pageSize, recSize int) (*Page, page.Buf) {
+	t.Helper()
+	buf := page.NewBuf(pageSize)
+	if err := Format(buf, recSize); err != nil {
+		t.Fatal(err)
+	}
+	p, err := View(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, buf
+}
+
+func TestCapacityPaperParameters(t *testing.T) {
+	// The paper's record logging analysis: l_p = 2020, r = 100.
+	got := Capacity(2020, 100)
+	if got < 19 || got > 20 {
+		t.Fatalf("Capacity(2020,100) = %d, want ~20 records per page", got)
+	}
+	if Capacity(64, 1000) != 0 {
+		t.Fatalf("oversized records must yield zero capacity")
+	}
+}
+
+func TestFormatViewRoundTrip(t *testing.T) {
+	p, _ := formatted(t, 512, 100)
+	if p.RecordSize() != 100 {
+		t.Fatalf("record size = %d", p.RecordSize())
+	}
+	if p.Slots() != Capacity(512, 100) {
+		t.Fatalf("slots = %d", p.Slots())
+	}
+	if p.Count() != 0 {
+		t.Fatalf("fresh page not empty")
+	}
+}
+
+func TestViewRejectsUnformatted(t *testing.T) {
+	if _, err := View(page.NewBuf(128)); !errors.Is(err, ErrNotFormatted) {
+		t.Fatalf("err = %v, want ErrNotFormatted", err)
+	}
+	if _, err := View(page.NewBuf(2)); !errors.Is(err, ErrNotFormatted) {
+		t.Fatalf("short buffer: err = %v, want ErrNotFormatted", err)
+	}
+}
+
+func TestWriteReadDelete(t *testing.T) {
+	p, _ := formatted(t, 512, 64)
+	rec := bytes.Repeat([]byte{0x5A}, 40) // shorter than slot: zero padded
+	if err := p.Write(2, rec); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Used(2) || p.Count() != 1 {
+		t.Fatalf("slot 2 should be used")
+	}
+	got, err := p.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:40], rec) || !bytes.Equal(got[40:], make([]byte, 24)) {
+		t.Fatalf("read back mismatch")
+	}
+	if _, err := p.Read(3); !errors.Is(err, ErrEmptySlot) {
+		t.Fatalf("err = %v, want ErrEmptySlot", err)
+	}
+	if err := p.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used(2) || p.Count() != 0 {
+		t.Fatalf("slot 2 should be free after delete")
+	}
+}
+
+func TestInsertFindsFreeSlots(t *testing.T) {
+	p, _ := formatted(t, 256, 64)
+	slots := p.Slots()
+	for i := 0; i < slots; i++ {
+		got, err := p.Insert([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != i {
+			t.Fatalf("insert %d landed in slot %d", i, got)
+		}
+	}
+	if _, err := p.Insert([]byte{0xFF}); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if err := p.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := p.Insert([]byte{0xAA}); err != nil || got != 1 {
+		t.Fatalf("insert after delete: slot %d err %v, want slot 1", got, err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	p, _ := formatted(t, 256, 64)
+	if err := p.Write(-1, nil); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("err = %v, want ErrBadSlot", err)
+	}
+	if err := p.Write(p.Slots(), nil); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("err = %v, want ErrBadSlot", err)
+	}
+	if err := p.Write(0, make([]byte, 65)); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("err = %v, want ErrBadLength", err)
+	}
+}
+
+func TestSnapshotApplyUndoRedo(t *testing.T) {
+	p, _ := formatted(t, 512, 32)
+	// UNDO of an update: snapshot before, overwrite, apply the snapshot.
+	if err := p.Write(0, []byte("old-value")); err != nil {
+		t.Fatal(err)
+	}
+	before, err := p.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(0, []byte("new-value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply(0, before); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Read(0)
+	if !bytes.Equal(got[:9], []byte("old-value")) {
+		t.Fatalf("undo did not restore the record")
+	}
+	// UNDO of an insert: the before-image of an empty slot deletes it.
+	empty, err := p.Snapshot(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(5, []byte("inserted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply(5, empty); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used(5) {
+		t.Fatalf("undo of insert must delete the record")
+	}
+}
+
+func TestImageCodecRoundTrip(t *testing.T) {
+	f := func(present bool, data []byte) bool {
+		img := Image{Present: present}
+		if present {
+			img.Data = data
+		}
+		got, err := DecodeImage(EncodeImage(img))
+		if err != nil {
+			return false
+		}
+		if got.Present != img.Present {
+			return false
+		}
+		return bytes.Equal(got.Data, img.Data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeImage(nil); err == nil {
+		t.Fatalf("empty payload must fail to decode")
+	}
+}
+
+func TestWriteThroughAliasing(t *testing.T) {
+	// A Page view writes through to the underlying buffer, so buffer
+	// copies (e.g. into the WAL) see record updates.
+	p, buf := formatted(t, 256, 64)
+	if err := p.Write(0, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := View(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xEE {
+		t.Fatalf("view does not alias the buffer")
+	}
+}

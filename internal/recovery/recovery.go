@@ -1,0 +1,553 @@
+// Package recovery implements the restart (system crash) and media
+// (disk failure) recovery drivers over the core store.
+//
+// # Crash recovery (Section 4.3)
+//
+// After a crash all main-memory state is gone: the buffer, the lock
+// table, the Dirty_Set and the current-parity bitmap.  Restart proceeds
+// in the following passes, each idempotent so that a crash during
+// recovery simply restarts it:
+//
+//  1. Analysis — one charged scan of the log determines every
+//     transaction's outcome.  Losers are transactions with a BOT but
+//     neither EOT nor abort record.
+//  2. Parity undo — the twin parity header scan (the same scan the paper
+//     uses to rebuild the current-parity bitmap) locates every group
+//     whose working twin belongs to a loser; the covered data page is
+//     restored as D_old = (P ⊕ P′) ⊕ D_new and the twin invalidated.
+//  3. Bitmap rebuild — Current_Parity (Figure 7) with log outcomes; twins
+//     left in the working state by transactions that actually committed
+//     are laundered to the committed state on disk.
+//  4. Logged undo — losers' logged before-images (pages or records) are
+//     written back through the store, newest first.
+//  5. Abort records are appended for every loser.
+//  6. REDO (¬FORCE algorithms) — winners' after-images logged after the
+//     last checkpoint are replayed in log order.
+//
+// # Media recovery
+//
+// A failed disk is replaced and every affected parity group rebuilt from
+// its surviving members.  For clean groups this is the classic RAID
+// reconstruction against the current parity.  For groups that are dirty
+// at the time of the failure the driver distinguishes which block was
+// lost: the data page and the working twin rebuild from each other, and a
+// lost committed twin is recomputed from the on-disk data plus the
+// before-image of the dirty page that the engine retains in memory while
+// the owning transaction is active.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dirtyset"
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/record"
+	"repro/internal/wal"
+	"repro/internal/xorparity"
+)
+
+// Outcome classifies a transaction from the log.
+type Outcome int
+
+// Transaction outcomes discovered by analysis.
+const (
+	// OutcomeUnknown means the transaction never appeared in the log.
+	OutcomeUnknown Outcome = iota
+	// OutcomeLoser means active at the crash: BOT without EOT/abort.
+	OutcomeLoser
+	// OutcomeCommitted means an EOT record exists.
+	OutcomeCommitted
+	// OutcomeAborted means a completed rollback's abort record exists.
+	OutcomeAborted
+)
+
+// Analysis is the result of the log analysis pass.
+type Analysis struct {
+	Outcomes      map[page.TxID]Outcome
+	Losers        []page.TxID // sorted
+	CheckpointLSN wal.LSN     // 0 when the log has no checkpoint
+	// LoserImages holds each loser's before-image records in log order.
+	LoserImages map[page.TxID][]wal.Record
+	// RedoImages holds winners' after-image records with LSN after the
+	// last checkpoint, in log order.
+	RedoImages []wal.Record
+	// Records is the total number of log records scanned.
+	Records int
+}
+
+// Committed returns an outcome predicate suitable for
+// core.Store.RebuildAfterCrash.
+//
+// A transaction UNKNOWN to the log is treated as committed.  This is
+// what makes log truncation safe: a working parity twin can outlive its
+// writer's EOT record (commits flip the bitmap and launder the on-disk
+// header lazily), but it can never outlive its writer's BOT while the
+// writer is undecided — truncation keeps everything from the oldest
+// active BOT — and a completed abort invalidates its twins on disk
+// before its abort record is written.  So an un-invalidated working twin
+// whose writer the log no longer knows can only belong to a committed
+// transaction.
+func (a *Analysis) Committed(tx page.TxID) bool {
+	o := a.Outcomes[tx]
+	return o == OutcomeCommitted || o == OutcomeUnknown
+}
+
+// Analyze performs the (charged) analysis scan.
+func Analyze(log *wal.Log) (*Analysis, error) {
+	a := &Analysis{
+		Outcomes:    make(map[page.TxID]Outcome),
+		LoserImages: make(map[page.TxID][]wal.Record),
+	}
+	var all []wal.Record
+	if err := log.Scan(1, func(r wal.Record) bool {
+		all = append(all, r)
+		return true
+	}); err != nil {
+		return nil, fmt.Errorf("recovery: analysis scan: %w", err)
+	}
+	a.Records = len(all)
+	if len(all) > 0 {
+		log.ChargeScan(1, all[len(all)-1].LSN)
+	}
+	for _, r := range all {
+		switch r.Type {
+		case wal.TypeBOT:
+			if a.Outcomes[r.Txn] == OutcomeUnknown {
+				a.Outcomes[r.Txn] = OutcomeLoser
+			}
+		case wal.TypeEOT:
+			a.Outcomes[r.Txn] = OutcomeCommitted
+		case wal.TypeAbort:
+			a.Outcomes[r.Txn] = OutcomeAborted
+		case wal.TypeCheckpoint:
+			a.CheckpointLSN = r.LSN
+		}
+	}
+	for tx, o := range a.Outcomes {
+		if o == OutcomeLoser {
+			a.Losers = append(a.Losers, tx)
+		}
+	}
+	sort.Slice(a.Losers, func(i, j int) bool { return a.Losers[i] < a.Losers[j] })
+	for _, r := range all {
+		switch r.Type {
+		case wal.TypeBeforeImage:
+			if a.Outcomes[r.Txn] == OutcomeLoser {
+				a.LoserImages[r.Txn] = append(a.LoserImages[r.Txn], r)
+			}
+		case wal.TypeAfterImage:
+			if a.Outcomes[r.Txn] == OutcomeCommitted && r.LSN > a.CheckpointLSN {
+				a.RedoImages = append(a.RedoImages, r)
+			}
+		}
+	}
+	return a, nil
+}
+
+// Report summarizes a completed restart.
+type Report struct {
+	Losers          []page.TxID
+	UndoneViaParity int // data pages restored from twin parity
+	UndoneViaLog    int // before-images written back
+	Redone          int // after-images replayed
+	LaunderedTwins  int // winner working twins promoted on disk
+}
+
+// CrashRecover runs the full restart sequence described in the package
+// comment.  redo selects whether the REDO pass runs (¬FORCE algorithms);
+// FORCE algorithms have nothing to redo.
+func CrashRecover(s *core.Store, redo bool) (*Report, error) {
+	a, err := Analyze(s.Log)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Losers: a.Losers}
+	loser := func(tx page.TxID) bool { return a.Outcomes[tx] == OutcomeLoser }
+
+	// Pass 2: parity undo via the twin header scan.
+	if s.RDA() {
+		working, err := s.ScanWorkingTwins()
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range working {
+			if !loser(w.Txn) {
+				continue
+			}
+			if err := s.CrashUndoWorkingTwin(w); err != nil {
+				return nil, fmt.Errorf("recovery: parity undo of group %d: %w", w.Group, err)
+			}
+			rep.UndoneViaParity++
+		}
+		// Pass 3: rebuild the bitmap and launder winners' working twins.
+		if err := s.RebuildAfterCrash(a.Committed); err != nil {
+			return nil, err
+		}
+		for _, w := range working {
+			if !a.Committed(w.Txn) {
+				continue
+			}
+			meta := disk.Meta{State: disk.StateCommitted, Timestamp: w.Timestamp, Txn: w.Txn}
+			if err := s.Arr.WriteParityMeta(w.Group, w.Twin, meta); err != nil {
+				return nil, fmt.Errorf("recovery: launder twin of group %d: %w", w.Group, err)
+			}
+			rep.LaunderedTwins++
+		}
+	}
+
+	// Pass 4: logged undo, newest first per loser.
+	for _, tx := range a.Losers {
+		images := a.LoserImages[tx]
+		for i := len(images) - 1; i >= 0; i-- {
+			if err := applyImage(s, images[i], false); err != nil {
+				return nil, fmt.Errorf("recovery: undo txn %d page %d: %w", tx, images[i].Page, err)
+			}
+			rep.UndoneViaLog++
+		}
+	}
+
+	// Pass 5: close out the losers on the log.
+	for _, tx := range a.Losers {
+		s.Log.Append(wal.Record{Type: wal.TypeAbort, Txn: tx, Slot: wal.NoSlot})
+	}
+
+	// Pass 6: REDO.
+	if redo {
+		for _, r := range a.RedoImages {
+			if err := applyImage(s, r, true); err != nil {
+				return nil, fmt.Errorf("recovery: redo txn %d page %d: %w", r.Txn, r.Page, err)
+			}
+			rep.Redone++
+		}
+	}
+	return rep, nil
+}
+
+// applyImage writes a logged page or record image back to the database.
+// committedWrite selects the committed write path (REDO) versus the
+// logged-undo path.
+func applyImage(s *core.Store, r wal.Record, committedWrite bool) error {
+	var data page.Buf
+	if r.Slot == wal.NoSlot {
+		data = page.Buf(r.Image).Clone()
+		if len(data) != s.Arr.PageSize() {
+			return fmt.Errorf("recovery: page image of %d bytes for %d-byte pages", len(data), s.Arr.PageSize())
+		}
+	} else {
+		img, err := record.DecodeImage(r.Image)
+		if err != nil {
+			return err
+		}
+		cur, err := s.ReadPage(r.Page)
+		if err != nil {
+			return err
+		}
+		view, err := record.View(cur)
+		if err != nil {
+			return fmt.Errorf("recovery: page %d: %w", r.Page, err)
+		}
+		if err := view.Apply(int(r.Slot), img); err != nil {
+			return err
+		}
+		data = cur
+	}
+	if committedWrite {
+		return s.WriteCommitted(r.Page, data, nil)
+	}
+	return s.WriteLogged(r.Page, data, nil)
+}
+
+// BeforeImageFunc supplies the in-memory before-image of the page that
+// dirtied a group, for the media-recovery case where the group's
+// committed parity twin is lost while the owning transaction is still
+// active.  Returning nil means the image is unavailable.
+type BeforeImageFunc func(g page.GroupID, e dirtyset.Entry) page.Buf
+
+// RecoverMedia replaces failed disk d and reconstructs every lost block.
+// The store's volatile state (Dirty_Set, bitmap) must be intact — media
+// recovery is an online operation, unlike crash recovery.
+func RecoverMedia(s *core.Store, d int, before BeforeImageFunc) error {
+	lost, err := RecoverMediaMulti(s, []int{d}, before)
+	if err != nil {
+		return err
+	}
+	if len(lost) > 0 {
+		// A single-disk failure never exceeds single-failure redundancy.
+		return fmt.Errorf("recovery: single-disk rebuild reported lost groups %v", lost)
+	}
+	return nil
+}
+
+// RecoverMediaMulti replaces several simultaneously failed disks and
+// reconstructs every lost block, exploiting the extra redundancy of twin
+// parity where it helps.  A group that lost one block recovers as usual.
+// A group that lost two blocks recovers when the survivors determine its
+// state:
+//
+//   - both parity twins lost — recomputed from the data pages (the
+//     committed twin of a dirty group additionally needs the dirty
+//     page's retained before-image);
+//   - a data page plus the twin that does NOT describe the on-disk data
+//     (the obsolete twin of a clean group; the committed twin of a dirty
+//     group, via the before-image) — the data page rebuilds from the
+//     surviving twin, then the lost twin is recomputed.
+//
+// Combinations that genuinely exceed the redundancy (two data pages; a
+// data page plus the only twin describing the on-disk state) cannot be
+// rebuilt: those groups' lost data pages stay zeroed, their parity is
+// recomputed so the array is internally consistent again, and the group
+// is reported in the returned slice — the data-loss event a DBA would
+// answer with an archive restore.  With a single failed disk the slice
+// is always empty.
+func RecoverMediaMulti(s *core.Store, ds []int, before BeforeImageFunc) ([]page.GroupID, error) {
+	failed := make(map[int]bool, len(ds))
+	for _, d := range ds {
+		if err := s.Arr.RepairDisk(d); err != nil {
+			return nil, err
+		}
+		failed[d] = true
+	}
+	var lost []page.GroupID
+	for g := 0; g < s.Arr.NumGroups(); g++ {
+		gid := page.GroupID(g)
+		var lostData []page.PageID
+		for _, p := range s.Arr.GroupPages(gid) {
+			if failed[s.Arr.DataLoc(p).Disk] {
+				lostData = append(lostData, p)
+			}
+		}
+		var lostTwins []int
+		for twin := 0; twin < s.Arr.ParityPages(); twin++ {
+			if failed[s.Arr.ParityLoc(gid, twin).Disk] {
+				lostTwins = append(lostTwins, twin)
+			}
+		}
+		ok, err := rebuildGroup(s, gid, lostData, lostTwins, before)
+		if err != nil {
+			return lost, err
+		}
+		if !ok {
+			lost = append(lost, gid)
+			if err := resetLostGroupParity(s, gid); err != nil {
+				return lost, err
+			}
+		}
+	}
+	return lost, nil
+}
+
+// resetLostGroupParity recomputes a data-loss group's parity over its
+// (partially zeroed) data so that subsequent operation and verification
+// see a consistent, if lossy, group.
+func resetLostGroupParity(s *core.Store, g page.GroupID) error {
+	for twin := 0; twin < s.Arr.ParityPages(); twin++ {
+		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		if twin != 0 {
+			meta = disk.Meta{State: disk.StateObsolete}
+		}
+		if err := s.Arr.RecomputeParity(g, twin, meta); err != nil {
+			return fmt.Errorf("recovery: reset lost group %d: %w", g, err)
+		}
+	}
+	if s.Twins != nil {
+		s.Twins.Promote(g, 0)
+	}
+	if s.Dirty != nil {
+		s.Dirty.Clean(g)
+	}
+	return nil
+}
+
+// rebuildGroup reconstructs one group's lost blocks.  It returns false
+// when the loss exceeds the group's redundancy.
+func rebuildGroup(s *core.Store, g page.GroupID, lostData []page.PageID, lostTwins []int, before BeforeImageFunc) (bool, error) {
+	if len(lostData) == 0 && len(lostTwins) == 0 {
+		return true, nil
+	}
+	if len(lostData) > 1 {
+		return false, nil
+	}
+	var e dirtyset.Entry
+	dirty := false
+	if s.Dirty != nil {
+		e, dirty = s.Dirty.Lookup(g)
+	}
+
+	if len(lostData) == 1 {
+		p := lostData[0]
+		// The twin that tracks the *on-disk* data is the working twin of
+		// a dirty group, the current twin otherwise.
+		onDiskTwin := 0
+		if s.Twins != nil {
+			if dirty {
+				onDiskTwin = e.WorkingTwin
+			} else {
+				onDiskTwin = s.Twins.Current(g)
+			}
+		}
+		lostOnDisk := false
+		for _, t := range lostTwins {
+			if t == onDiskTwin {
+				lostOnDisk = true
+			}
+		}
+		switch {
+		case !lostOnDisk:
+			if err := rebuildDataFromTwin(s, g, p, onDiskTwin, dirty, e); err != nil {
+				return false, err
+			}
+		case dirty && p != e.Page && before != nil && before(g, e) != nil:
+			// The on-disk-view twin is gone, but the committed twin plus
+			// the dirty page's before-image still determine p:
+			// p = committed ⊕ Σ(other data, dirty page at its before-image).
+			if err := rebuildDataFromCommitted(s, g, p, 1-onDiskTwin, e, before); err != nil {
+				return false, err
+			}
+		default:
+			// The lost page's covering parity is gone too.
+			return false, nil
+		}
+	}
+
+	// With the data whole again, recompute every lost twin.  For a dirty
+	// group the working twin goes first: the committed twin's rebuild
+	// reads the working twin's timestamp to order below it (Figure 7).
+	sort.Slice(lostTwins, func(i, j int) bool {
+		return dirty && lostTwins[i] == e.WorkingTwin && lostTwins[j] != e.WorkingTwin
+	})
+	for _, twin := range lostTwins {
+		if err := rebuildParityTwin(s, g, twin, dirty, e, before); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// rebuildDataFromTwin reconstructs data page p from the given twin (which
+// describes the on-disk data) and the surviving members.
+func rebuildDataFromTwin(s *core.Store, g page.GroupID, p page.PageID, twin int, dirty bool, e dirtyset.Entry) error {
+	parity, _, err := s.Arr.ReadParity(g, twin)
+	if err != nil {
+		return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+	}
+	survivors := [][]byte{parity}
+	for _, q := range s.Arr.GroupPages(g) {
+		if q == p {
+			continue
+		}
+		b, _, err := s.Arr.ReadData(q)
+		if err != nil {
+			return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+		}
+		survivors = append(survivors, b)
+	}
+	rebuilt := xorparity.Reconstruct(s.Arr.PageSize(), survivors...)
+	meta := disk.Meta{}
+	if dirty && p == e.Page {
+		// Restore the crash-undo tag on the dirty page.
+		meta.Txn = e.Txn
+	}
+	if err := s.Arr.WriteData(p, rebuilt, meta); err != nil {
+		return fmt.Errorf("recovery: media rebuild page %d: %w", p, err)
+	}
+	return nil
+}
+
+// rebuildDataFromCommitted reconstructs a non-dirty data page of a dirty
+// group from the committed twin, substituting the dirty page's retained
+// before-image for its on-disk contents.
+func rebuildDataFromCommitted(s *core.Store, g page.GroupID, p page.PageID, committedTwin int, e dirtyset.Entry, before BeforeImageFunc) error {
+	img := before(g, e)
+	if img == nil {
+		return fmt.Errorf("recovery: group %d: need the dirty page's before-image to rebuild page %d; unavailable", g, p)
+	}
+	parity, _, err := s.Arr.ReadParity(g, committedTwin)
+	if err != nil {
+		return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+	}
+	survivors := [][]byte{parity}
+	for _, q := range s.Arr.GroupPages(g) {
+		if q == p {
+			continue
+		}
+		if q == e.Page {
+			survivors = append(survivors, img)
+			continue
+		}
+		b, _, err := s.Arr.ReadData(q)
+		if err != nil {
+			return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+		}
+		survivors = append(survivors, b)
+	}
+	rebuilt := xorparity.Reconstruct(s.Arr.PageSize(), survivors...)
+	if err := s.Arr.WriteData(p, rebuilt, disk.Meta{}); err != nil {
+		return fmt.Errorf("recovery: media rebuild page %d: %w", p, err)
+	}
+	return nil
+}
+
+// rebuildParityTwin recomputes one lost parity twin of group g.
+func rebuildParityTwin(s *core.Store, g page.GroupID, twin int, dirty bool, e dirtyset.Entry, before BeforeImageFunc) error {
+	ps := s.Arr.PageSize()
+	blocks, err := s.Arr.ReadGroup(g)
+	if err != nil {
+		return fmt.Errorf("recovery: media rebuild parity of group %d: %w", g, err)
+	}
+	raw := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		raw[i] = b
+	}
+	onDiskParity := xorparity.Compute(ps, raw...)
+
+	// Single-parity array, or any twin of a clean group: parity of the
+	// on-disk data.
+	if s.Twins == nil {
+		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		return s.Arr.WriteParity(g, twin, onDiskParity, meta)
+	}
+	if !dirty {
+		var meta disk.Meta
+		if twin == s.Twins.Current(g) {
+			meta = disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		} else {
+			meta = disk.Meta{State: disk.StateObsolete, Timestamp: 0}
+		}
+		return s.Arr.WriteParity(g, twin, onDiskParity, meta)
+	}
+
+	if twin == e.WorkingTwin {
+		// The working twin is by definition the parity of the on-disk
+		// data of a dirty group.
+		meta := disk.Meta{State: disk.StateWorking, Timestamp: s.TM.NextTimestamp(), Txn: e.Txn, DirtyPage: e.Page}
+		return s.Arr.WriteParity(g, twin, onDiskParity, meta)
+	}
+
+	// The committed twin of a dirty group: parity of the on-disk data
+	// with the dirty page at its before-image.
+	img := before(g, e)
+	if img == nil {
+		return fmt.Errorf("recovery: group %d: committed parity twin lost while dirty and no before-image available", g)
+	}
+	dNew, _, err := s.Arr.ReadData(e.Page)
+	if err != nil {
+		return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+	}
+	committedParity := xorparity.Xor(onDiskParity, dNew)
+	xorparity.XorInto(committedParity, img)
+	// Keep the Figure 7 ordering: the rebuilt committed twin must compare
+	// BELOW the surviving working twin.
+	wMeta, err := s.Arr.ReadParityMeta(g, e.WorkingTwin)
+	if err != nil {
+		return err
+	}
+	ts := wMeta.Timestamp
+	if ts > 0 {
+		ts--
+	}
+	meta := disk.Meta{State: disk.StateCommitted, Timestamp: ts}
+	return s.Arr.WriteParity(g, twin, committedParity, meta)
+}

@@ -1,0 +1,361 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dirtyset"
+	"repro/internal/diskarray"
+	"repro/internal/page"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+func newStore(t *testing.T, kind diskarray.Kind) *core.Store {
+	t.Helper()
+	arr, err := diskarray.New(diskarray.Config{
+		Kind: kind, DataDisks: 4, NumPages: 48, PageSize: page.MinSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewStore(arr, wal.New(wal.Config{LogPageSize: 256, WriteCost: 4}), txn.NewManager())
+}
+
+func TestAnalyzeOutcomes(t *testing.T) {
+	log := wal.New(wal.DefaultConfig())
+	log.Append(wal.Record{Type: wal.TypeBOT, Txn: 1, Slot: wal.NoSlot})
+	log.Append(wal.Record{Type: wal.TypeBOT, Txn: 2, Slot: wal.NoSlot})
+	log.Append(wal.Record{Type: wal.TypeEOT, Txn: 1, Slot: wal.NoSlot})
+	log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot, Active: []page.TxID{2}})
+	log.Append(wal.Record{Type: wal.TypeBOT, Txn: 3, Slot: wal.NoSlot})
+	log.Append(wal.Record{Type: wal.TypeBeforeImage, Txn: 3, Page: 9, Slot: wal.NoSlot, Image: []byte{1}})
+	log.Append(wal.Record{Type: wal.TypeBOT, Txn: 4, Slot: wal.NoSlot})
+	log.Append(wal.Record{Type: wal.TypeAbort, Txn: 4, Slot: wal.NoSlot})
+	log.Append(wal.Record{Type: wal.TypeAfterImage, Txn: 2, Page: 5, Slot: wal.NoSlot, Image: []byte{2}})
+	log.Append(wal.Record{Type: wal.TypeEOT, Txn: 2, Slot: wal.NoSlot})
+
+	a, err := Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[page.TxID]Outcome{
+		1: OutcomeCommitted, 2: OutcomeCommitted, 3: OutcomeLoser, 4: OutcomeAborted,
+	}
+	for tx, o := range want {
+		if a.Outcomes[tx] != o {
+			t.Errorf("txn %d outcome = %v, want %v", tx, a.Outcomes[tx], o)
+		}
+	}
+	if len(a.Losers) != 1 || a.Losers[0] != 3 {
+		t.Errorf("losers = %v, want [3]", a.Losers)
+	}
+	if a.CheckpointLSN != 4 {
+		t.Errorf("checkpoint LSN = %d, want 4", a.CheckpointLSN)
+	}
+	if len(a.LoserImages[3]) != 1 || a.LoserImages[3][0].Page != 9 {
+		t.Errorf("loser images = %+v", a.LoserImages)
+	}
+	// Txn 2's after-image is after the checkpoint → needs replay; txn 1
+	// committed before any after-images were written.
+	if len(a.RedoImages) != 1 || a.RedoImages[0].Txn != 2 {
+		t.Errorf("redo images = %+v", a.RedoImages)
+	}
+	if !a.Committed(1) || a.Committed(3) {
+		t.Errorf("Committed predicate wrong")
+	}
+	// The analysis scan must charge log reads.
+	if log.Stats().ReadTransfers == 0 {
+		t.Errorf("analysis must charge log read transfers")
+	}
+}
+
+func TestCrashRecoverEmptyLog(t *testing.T) {
+	s := newStore(t, diskarray.RAID5Twin)
+	rep, err := CrashRecover(s, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Losers) != 0 || rep.Redone != 0 || rep.UndoneViaLog != 0 || rep.UndoneViaParity != 0 {
+		t.Fatalf("empty-log recovery did work: %+v", rep)
+	}
+}
+
+func TestCrashRecoverBadPageImage(t *testing.T) {
+	s := newStore(t, diskarray.RAID5)
+	s.Log.Append(wal.Record{Type: wal.TypeBOT, Txn: 1, Slot: wal.NoSlot})
+	s.Log.Append(wal.Record{Type: wal.TypeBeforeImage, Txn: 1, Page: 0, Slot: wal.NoSlot, Image: []byte{1, 2}}) // wrong size
+	if _, err := CrashRecover(s, false); err == nil || !strings.Contains(err.Error(), "image") {
+		t.Fatalf("err = %v, want image-size error", err)
+	}
+}
+
+func TestCrashRecoverLaundersWinnerTwins(t *testing.T) {
+	s := newStore(t, diskarray.RAID5Twin)
+	tm := s.TM
+	tx := tm.Begin()
+	data := page.NewBuf(page.MinSize)
+	data[0] = 0xAA
+	s.Log.Append(wal.Record{Type: wal.TypeBOT, Txn: tx.ID, Slot: wal.NoSlot})
+	if err := s.StealNoLog(3, data, nil, tx); err != nil {
+		t.Fatal(err)
+	}
+	s.Log.Append(wal.Record{Type: wal.TypeEOT, Txn: tx.ID, Slot: wal.NoSlot})
+	// Crash before the lazily-updated twin header is touched again.
+	s.ResetVolatile()
+	rep, err := CrashRecover(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LaunderedTwins != 1 {
+		t.Fatalf("laundered = %d, want 1", rep.LaunderedTwins)
+	}
+	// After recovery no working twins remain and the data survives.
+	working, err := s.ScanWorkingTwins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(working) != 0 {
+		t.Fatalf("working twins remain after recovery: %+v", working)
+	}
+	got, err := s.ReadPage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAA {
+		t.Fatalf("winner's page lost")
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverMediaRejectsMissingBeforeImage(t *testing.T) {
+	s := newStore(t, diskarray.RAID5Twin)
+	tx := s.TM.Begin()
+	data := page.NewBuf(page.MinSize)
+	data[0] = 1
+	if err := s.StealNoLog(0, data, nil, tx); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the disk holding the group's COMMITTED twin while the group
+	// is dirty; without a before-image the rebuild must refuse.
+	g := s.Arr.GroupOf(0)
+	e, _ := s.Dirty.Lookup(g)
+	committedTwin := 1 - e.WorkingTwin
+	d := s.Arr.ParityLoc(g, committedTwin).Disk
+	if err := s.Arr.FailDisk(d); err != nil {
+		t.Fatal(err)
+	}
+	err := RecoverMedia(s, d, func(page.GroupID, dirtyset.Entry) page.Buf { return nil })
+	if err == nil || !strings.Contains(err.Error(), "before-image") {
+		t.Fatalf("err = %v, want missing before-image error", err)
+	}
+}
+
+func TestRecoverMediaWithBeforeImage(t *testing.T) {
+	s := newStore(t, diskarray.RAID5Twin)
+	// Commit a baseline so the before-image is non-trivial.
+	base := page.NewBuf(page.MinSize)
+	base[0] = 0x11
+	if err := s.WriteCommitted(0, base, nil); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.TM.Begin()
+	newData := page.NewBuf(page.MinSize)
+	newData[0] = 0x22
+	if err := s.StealNoLog(0, newData, base, tx); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Arr.GroupOf(0)
+	e, _ := s.Dirty.Lookup(g)
+	committedTwin := 1 - e.WorkingTwin
+	d := s.Arr.ParityLoc(g, committedTwin).Disk
+	if err := s.Arr.FailDisk(d); err != nil {
+		t.Fatal(err)
+	}
+	err := RecoverMedia(s, d, func(gg page.GroupID, ee dirtyset.Entry) page.Buf {
+		if gg == g && ee.Page == 0 {
+			return base
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt committed twin must still support the Figure 6 undo.
+	p, restored, err := s.UndoGroupViaParity(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 || !restored.Equal(base) {
+		t.Fatalf("undo after committed-twin rebuild failed")
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverMediaSingleParity(t *testing.T) {
+	s := newStore(t, diskarray.RAID5)
+	data := page.NewBuf(page.MinSize)
+	data[0] = 0x77
+	if err := s.WriteCommitted(7, data, nil); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < s.Arr.NumDisks(); d++ {
+		if err := s.Arr.FailDisk(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := RecoverMedia(s, d, nil); err != nil {
+			t.Fatalf("disk %d: %v", d, err)
+		}
+		got, err := s.ReadPage(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0x77 {
+			t.Fatalf("disk %d: page lost", d)
+		}
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverMediaMultiBothTwins(t *testing.T) {
+	s := newStore(t, diskarray.RAID5Twin)
+	want := page.NewBuf(page.MinSize)
+	want[0] = 0x66
+	if err := s.WriteCommitted(0, want, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Arr.GroupOf(0)
+	d0 := s.Arr.ParityLoc(g, 0).Disk
+	d1 := s.Arr.ParityLoc(g, 1).Disk
+	if err := s.Arr.FailDisk(d0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Arr.FailDisk(d1); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := RecoverMediaMulti(s, []int{d0, d1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lg := range lost {
+		if lg == g {
+			t.Fatalf("group %d lost only twins; must be recoverable", g)
+		}
+	}
+	got, err := s.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("page 0 corrupted")
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverMediaMultiDirtyCommittedPlusData(t *testing.T) {
+	// A dirty group loses its committed twin AND a non-dirty data page;
+	// the before-image lets both rebuild.
+	s := newStore(t, diskarray.RAID5Twin)
+	g := page.GroupID(0)
+	pages := s.Arr.GroupPages(g)
+	base := make(map[page.PageID]page.Buf)
+	for i, p := range pages {
+		b := pattern(page.MinSize, byte(0x10+i))
+		if err := s.WriteCommitted(p, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		base[p] = b
+	}
+	tx := s.TM.Begin()
+	dirtyPage := pages[0]
+	newData := pattern(page.MinSize, 0xC7)
+	if err := s.StealNoLog(dirtyPage, newData, base[dirtyPage], tx); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := s.Dirty.Lookup(g)
+	committedTwin := 1 - e.WorkingTwin
+	victim := pages[1]
+	dA := s.Arr.ParityLoc(g, committedTwin).Disk
+	dB := s.Arr.DataLoc(victim).Disk
+	if err := s.Arr.FailDisk(dA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Arr.FailDisk(dB); err != nil {
+		t.Fatal(err)
+	}
+	before := func(gg page.GroupID, ee dirtyset.Entry) page.Buf {
+		if gg == g && ee.Page == dirtyPage {
+			return base[dirtyPage]
+		}
+		return nil
+	}
+	lost, err := RecoverMediaMulti(s, []int{dA, dB}, before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lg := range lost {
+		if lg == g {
+			t.Fatalf("group %d should rebuild via the before-image", g)
+		}
+	}
+	got, err := s.ReadPage(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(base[victim]) {
+		t.Fatalf("victim page not rebuilt correctly")
+	}
+	// The twin-parity undo must still work for the dirty page.
+	p, restored, err := s.UndoGroupViaParity(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != dirtyPage || !restored.Equal(base[dirtyPage]) {
+		t.Fatalf("undo after double-failure rebuild broken")
+	}
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverMediaMultiReportsLoss(t *testing.T) {
+	s := newStore(t, diskarray.RAID5)
+	if err := s.WriteCommitted(0, pattern(page.MinSize, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Arr.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Arr.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := RecoverMediaMulti(s, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) == 0 {
+		t.Fatalf("single parity cannot survive a double failure; loss must be reported")
+	}
+	// The array is internally consistent again even where data was lost.
+	if err := s.VerifyParityInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pattern fills a buffer with a deterministic byte sequence.
+func pattern(size int, seed byte) page.Buf {
+	b := page.NewBuf(size)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/rda"
+)
+
+// TestParityRotationBalancesDisks checks the point of rotated parity
+// (Section 3.1: "the parity is rotated over the set of disks in order to
+// avoid contention on the parity disk"): under a random update workload
+// no disk serves wildly more transfers than the average, for both array
+// organizations.
+func TestParityRotationBalancesDisks(t *testing.T) {
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		cfg := rda.Config{
+			DataDisks:    5,
+			NumPages:     500,
+			PageSize:     128,
+			BufferFrames: 30,
+			Layout:       layout,
+			Logging:      rda.PageLogging,
+			EOT:          rda.Force,
+			RDA:          true,
+		}
+		db, err := rda.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Run(db, Workload{
+			Concurrency:    4,
+			PagesPerTx:     6,
+			UpdateFraction: 1.0,
+			UpdateProb:     1.0,
+			AbortProb:      0,
+			Communality:    0.1,
+			Seed:           3,
+		}, Options{Transfers: 30000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := db.DiskTransfers()
+		var total, max int64
+		for _, x := range per {
+			total += x
+			if x > max {
+				max = x
+			}
+		}
+		mean := float64(total) / float64(len(per))
+		if float64(max) > 1.6*mean {
+			t.Fatalf("%v: hottest disk served %d transfers vs mean %.0f — parity not balanced: %v",
+				layout, max, mean, per)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package sim drives the live engine with the synthetic workload of the
+// paper's performance model (Section 5) and measures throughput in the
+// model's own unit: transactions completed per availability interval of
+// T page transfers.
+//
+// The workload is the model's: P concurrent transactions, each making s
+// page requests; a fraction f_u are update transactions which modify
+// each requested page with probability p_u; a request finds its page in
+// the buffer with probability C (the communality, realized by actually
+// re-referencing a buffer-resident page); a transaction aborts with
+// probability p_b.  Optionally, action-consistent checkpoints are taken
+// every CheckpointInterval transfers, and a system crash is injected at
+// the end of the run so that recovery cost is part of the measured
+// interval, exactly as the model's c_s term is.
+//
+// The driver is single-threaded and interleaves the P transactions round
+// robin, which realizes the model's concurrency (page steals of
+// uncommitted data, shared pages under record locking) without lock
+// waits: a request that would block on another in-flight transaction is
+// re-drawn, matching the model's assumption that the P transactions'
+// working sets are effectively independent.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/record"
+	"repro/rda"
+)
+
+// Workload mirrors the model's workload parameters.
+type Workload struct {
+	// Concurrency is P.
+	Concurrency int
+	// PagesPerTx is s.
+	PagesPerTx int
+	// UpdateFraction is f_u.
+	UpdateFraction float64
+	// UpdateProb is p_u.
+	UpdateProb float64
+	// AbortProb is p_b.
+	AbortProb float64
+	// Communality is C.
+	Communality float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Options controls a measurement run.
+type Options struct {
+	// Transfers is the availability interval T: the run processes
+	// transactions until this many page transfers have been consumed.
+	Transfers int64
+	// CheckpointInterval, when positive, takes an ACC checkpoint every
+	// so many transfers (¬FORCE algorithms).
+	CheckpointInterval int64
+	// CrashAtEnd injects a crash when the budget is exhausted and runs
+	// recovery, charging its transfers to the interval (the model's c_s).
+	CrashAtEnd bool
+}
+
+// Result is a measurement.
+type Result struct {
+	// Committed is the number of transactions that committed within the
+	// interval.
+	Committed int64
+	// Aborted counts aborted transactions (p_b rolls plus deadlocks).
+	Aborted int64
+	// Transfers is the page transfers consumed, including checkpoints
+	// and, when requested, crash recovery.
+	Transfers int64
+	// RecoveryTransfers is the crash recovery share of Transfers.
+	RecoveryTransfers int64
+	// Throughput is Committed normalized to transactions per Transfers
+	// of budget (directly comparable with the model's r_t when the run
+	// used T transfers).
+	Throughput float64
+	// Stats is the engine's counter snapshot at the end of the run.
+	Stats rda.Stats
+}
+
+// slot is one of the P concurrent transaction streams.
+type slot struct {
+	tx       *rda.Tx
+	isUpdate bool
+	refs     int // page requests made so far
+	pages    map[rda.PageID]bool
+}
+
+// Run drives the workload until the transfer budget is exhausted.
+func Run(db *rda.DB, w Workload, opts Options) (Result, error) {
+	if w.Concurrency < 1 || w.PagesPerTx < 1 {
+		return Result{}, fmt.Errorf("sim: bad workload %+v", w)
+	}
+	if opts.Transfers <= 0 {
+		return Result{}, fmt.Errorf("sim: transfer budget must be positive")
+	}
+	r := rand.New(rand.NewSource(w.Seed))
+	db.ResetStats()
+
+	slots := make([]*slot, w.Concurrency)
+	// inUse tracks pages referenced by open transactions so the single
+	// threaded driver never blocks on a lock.
+	inUse := make(map[rda.PageID]int)
+	var res Result
+	var lastCkpt int64
+
+	transfers := func() int64 {
+		s := db.Stats()
+		return s.TotalTransfers()
+	}
+
+	newTx := func(s *slot) error {
+		tx, err := db.Begin()
+		if err != nil {
+			return err
+		}
+		s.tx = tx
+		s.isUpdate = r.Float64() < w.UpdateFraction
+		s.refs = 0
+		s.pages = make(map[rda.PageID]bool)
+		return nil
+	}
+
+	releaseSlot := func(s *slot) {
+		for p := range s.pages {
+			if inUse[p] > 0 {
+				inUse[p]--
+				if inUse[p] == 0 {
+					delete(inUse, p)
+				}
+			}
+		}
+		s.tx = nil
+	}
+
+	pickPage := func(s *slot) (rda.PageID, bool) {
+		// With probability C re-reference a buffer resident page; the
+		// paper's communality is exactly the buffer hit probability.
+		for attempt := 0; attempt < 32; attempt++ {
+			var p rda.PageID
+			if r.Float64() < w.Communality {
+				resident := db.ResidentPages()
+				if len(resident) == 0 {
+					p = rda.PageID(r.Intn(db.NumPages()))
+				} else {
+					p = resident[r.Intn(len(resident))]
+				}
+			} else {
+				p = rda.PageID(r.Intn(db.NumPages()))
+			}
+			if inUse[p] == 0 || s.pages[p] {
+				return p, true
+			}
+		}
+		return 0, false // everything contended; skip this step
+	}
+
+	for i := range slots {
+		slots[i] = &slot{}
+		if err := newTx(slots[i]); err != nil {
+			return res, err
+		}
+	}
+
+	buf := make([]byte, db.PageSize())
+	recBuf := make([]byte, db.Config().RecordSize)
+	recordMode := db.Config().Logging == rda.RecordLogging
+	slotsPerPage := db.RecordsPerPage()
+
+	for transfers() < opts.Transfers {
+		if opts.CheckpointInterval > 0 && transfers()-lastCkpt >= opts.CheckpointInterval {
+			if err := db.Checkpoint(); err != nil {
+				return res, err
+			}
+			lastCkpt = transfers()
+		}
+		s := slots[r.Intn(len(slots))]
+		if s.refs >= w.PagesPerTx {
+			// EOT: abort with probability p_b, else commit.
+			var err error
+			if s.isUpdate && r.Float64() < w.AbortProb {
+				err = s.tx.Abort()
+				res.Aborted++
+			} else {
+				err = s.tx.Commit()
+				res.Committed++
+			}
+			releaseSlot(s)
+			if err != nil {
+				return res, err
+			}
+			if err := newTx(s); err != nil {
+				return res, err
+			}
+			continue
+		}
+		p, ok := pickPage(s)
+		if !ok {
+			continue
+		}
+		if !s.pages[p] {
+			s.pages[p] = true
+			inUse[p]++
+		}
+		s.refs++
+		update := s.isUpdate && r.Float64() < w.UpdateProb
+		var err error
+		if recordMode {
+			slotIdx := r.Intn(slotsPerPage)
+			if update {
+				r.Read(recBuf)
+				err = s.tx.WriteRecord(p, slotIdx, recBuf)
+			} else {
+				_, err = s.tx.ReadRecord(p, slotIdx)
+				if err != nil && isEmptySlotErr(err) {
+					err = nil
+				}
+			}
+		} else {
+			if update {
+				r.Read(buf)
+				err = s.tx.WritePage(p, buf)
+			} else {
+				_, err = s.tx.ReadPage(p)
+			}
+		}
+		if err != nil {
+			return res, fmt.Errorf("sim: txn step: %w", err)
+		}
+	}
+
+	// Close out the interval: abort nothing explicitly — a crash (if
+	// requested) turns the open transactions into losers, exactly like
+	// the model's interrupted transactions.
+	if opts.CrashAtEnd {
+		// The crash discards the buffer pool (and its counters); keep the
+		// pre-crash buffer statistics for the report.
+		preCrash := db.Stats()
+		before := transfers()
+		db.Crash()
+		if _, err := db.Recover(); err != nil {
+			return res, err
+		}
+		res.RecoveryTransfers = transfers() - before
+		res.Stats = db.Stats()
+		res.Stats.BufferHits = preCrash.BufferHits
+		res.Stats.BufferMisses = preCrash.BufferMisses
+		res.Stats.Steals = preCrash.Steals
+		res.Transfers = transfers()
+		res.Throughput = float64(res.Committed) * float64(opts.Transfers) / float64(res.Transfers)
+		return res, nil
+	} else {
+		for _, s := range slots {
+			if s.tx != nil {
+				if err := s.tx.Abort(); err != nil {
+					return res, err
+				}
+				releaseSlot(s)
+			}
+		}
+	}
+
+	res.Transfers = transfers()
+	res.Stats = db.Stats()
+	res.Throughput = float64(res.Committed) * float64(opts.Transfers) / float64(res.Transfers)
+	return res, nil
+}
+
+func isEmptySlotErr(err error) bool {
+	return errors.Is(err, record.ErrEmptySlot)
+}

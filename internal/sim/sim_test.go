@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/rda"
+)
+
+func simConfig(logging rda.LoggingMode, eot rda.EOTDiscipline, useRDA bool) rda.Config {
+	return rda.Config{
+		DataDisks:    5,
+		NumPages:     500,
+		PageSize:     128,
+		BufferFrames: 40,
+		Layout:       rda.DataStriping,
+		Logging:      logging,
+		EOT:          eot,
+		RDA:          useRDA,
+		RecordSize:   32,
+		LogPageSize:  512,
+		LogWriteCost: 4,
+	}
+}
+
+func defaultWorkload() Workload {
+	return Workload{
+		Concurrency:    4,
+		PagesPerTx:     6,
+		UpdateFraction: 0.8,
+		UpdateProb:     0.9,
+		AbortProb:      0.02,
+		Communality:    0.5,
+		Seed:           11,
+	}
+}
+
+func TestRunCompletesAndCounts(t *testing.T) {
+	for _, logging := range []rda.LoggingMode{rda.PageLogging, rda.RecordLogging} {
+		db, err := rda.Open(simConfig(logging, rda.Force, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(db, defaultWorkload(), Options{Transfers: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed == 0 {
+			t.Fatalf("%v: no transactions committed", logging)
+		}
+		if res.Transfers < 20000 {
+			t.Fatalf("%v: run stopped before the budget: %d", logging, res.Transfers)
+		}
+		if res.Throughput <= 0 {
+			t.Fatalf("%v: throughput %v", logging, res.Throughput)
+		}
+		if err := db.VerifyParity(); err != nil {
+			t.Fatalf("%v: %v", logging, err)
+		}
+	}
+}
+
+func TestRunWithCrashAtEnd(t *testing.T) {
+	db, err := rda.Open(simConfig(rda.PageLogging, rda.NoForce, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(db, defaultWorkload(), Options{
+		Transfers:          15000,
+		CheckpointInterval: 4000,
+		CrashAtEnd:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveryTransfers <= 0 {
+		t.Fatalf("crash recovery should cost transfers, got %d", res.RecoveryTransfers)
+	}
+	if res.Stats.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", res.Stats.Recoveries)
+	}
+	if err := db.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommunalityRealized checks that the C knob really controls the
+// buffer hit ratio: a high-C run must observe a much higher hit rate
+// than a low-C run.
+func TestCommunalityRealized(t *testing.T) {
+	hit := func(c float64) float64 {
+		db, err := rda.Open(simConfig(rda.PageLogging, rda.Force, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := defaultWorkload()
+		w.Communality = c
+		res, err := Run(db, w, Options{Transfers: 15000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := res.Stats.BufferHits + res.Stats.BufferMisses
+		return float64(res.Stats.BufferHits) / float64(total)
+	}
+	low, high := hit(0.05), hit(0.9)
+	if high < low+0.3 {
+		t.Fatalf("hit ratios: C=0.05 → %.2f, C=0.9 → %.2f; communality not realized", low, high)
+	}
+}
+
+// TestRDAReducesLogTrafficUnderLoad is the paper's headline effect on
+// the live engine: with page logging and FORCE/TOC, enabling RDA must
+// reduce log transfers and improve throughput for an identical workload.
+func TestRDAReducesLogTrafficUnderLoad(t *testing.T) {
+	run := func(useRDA bool) Result {
+		db, err := rda.Open(simConfig(rda.PageLogging, rda.Force, useRDA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := defaultWorkload()
+		w.AbortProb = 0 // isolate the logging effect
+		res, err := Run(db, w, Options{Transfers: 30000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with := run(true)
+	without := run(false)
+	if with.Stats.LogWriteTransfers >= without.Stats.LogWriteTransfers {
+		t.Fatalf("RDA log transfers %d, baseline %d: RDA must log less",
+			with.Stats.LogWriteTransfers, without.Stats.LogWriteTransfers)
+	}
+	if with.Committed <= without.Committed {
+		t.Fatalf("RDA committed %d, baseline %d: RDA must process more transactions per budget",
+			with.Committed, without.Committed)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	db, err := rda.Open(simConfig(rda.PageLogging, rda.Force, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(db, Workload{}, Options{Transfers: 100}); err == nil {
+		t.Fatalf("zero workload must be rejected")
+	}
+	if _, err := Run(db, defaultWorkload(), Options{}); err == nil {
+		t.Fatalf("zero budget must be rejected")
+	}
+}

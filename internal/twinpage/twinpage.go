@@ -1,0 +1,174 @@
+// Package twinpage manages the paper's twin parity pages (Section 4.2,
+// Figures 7 and 8).
+//
+// Every parity group of a twinned array has two parity pages on two
+// different disks.  At any moment one of them is the *current* (valid)
+// parity and the other is *obsolete*.  When a data page modified by an
+// active transaction is written back without UNDO logging, the new parity
+// is written over the obsolete twin with the transaction's timestamp in
+// its header, putting it in the *working* state; if the transaction
+// commits, that twin becomes the current parity (a pure bookkeeping flip:
+// no I/O), and if it aborts, the twin's timestamp is reset, putting it in
+// the *invalid* state while the other twin remains current.
+//
+// In normal operation the identity of the current twin for each group is
+// kept in a main-memory bitmap.  The bitmap is lost in a crash; it is
+// reconstructed by scanning the parity page headers — the Current_Parity
+// algorithm of Figure 7 picks the twin with the larger timestamp — with
+// the refinement crash recovery needs: a twin left in the working state
+// counts only if its writing transaction is known (from the log) to have
+// committed.
+package twinpage
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/diskarray"
+	"repro/internal/page"
+)
+
+// Manager tracks the current twin of every parity group.  The engine
+// serializes access to it along with the rest of its volatile state.
+type Manager struct {
+	arr *diskarray.Array
+	// current[g] is the index (0 or 1) of the current parity twin of
+	// group g.  Volatile: Reset models its loss in a crash.
+	current []uint8
+}
+
+// New creates a manager for a twinned array with twin 0 current for every
+// group (the formatted state).
+func New(arr *diskarray.Array) *Manager {
+	if !arr.Twinned() {
+		panic("twinpage: array has no twin parity pages")
+	}
+	return &Manager{arr: arr, current: make([]uint8, arr.NumGroups())}
+}
+
+// Current returns the current twin index for group g according to the
+// in-memory bitmap.
+func (m *Manager) Current(g page.GroupID) int { return int(m.current[g]) }
+
+// Obsolete returns the non-current twin index for group g.
+func (m *Manager) Obsolete(g page.GroupID) int { return 1 - int(m.current[g]) }
+
+// Promote flips the bitmap so that the given twin becomes current (the
+// commit transition of Figure 8: working → committed, and the old
+// current becomes obsolete).  No I/O is performed; the on-disk state
+// catches up lazily, which is safe because the log determines every
+// transaction's outcome after a crash.
+func (m *Manager) Promote(g page.GroupID, twin int) {
+	if twin != 0 && twin != 1 {
+		panic(fmt.Sprintf("twinpage: bad twin %d", twin))
+	}
+	m.current[g] = uint8(twin)
+}
+
+// WriteWorking writes the new parity image into group g's obsolete twin,
+// stamping it with the writing transaction, timestamp and the covered
+// data page (Figure 8's transition into the working state).  It returns
+// the twin index written.
+func (m *Manager) WriteWorking(g page.GroupID, parity page.Buf, tx page.TxID, ts page.Timestamp, dirtyPage page.PageID) (int, error) {
+	twin := m.Obsolete(g)
+	meta := disk.Meta{State: disk.StateWorking, Timestamp: ts, Txn: tx, DirtyPage: dirtyPage}
+	if err := m.arr.WriteParity(g, twin, parity, meta); err != nil {
+		return 0, fmt.Errorf("twinpage: write working parity of group %d: %w", g, err)
+	}
+	return twin, nil
+}
+
+// RewriteWorking overwrites an existing working twin in place (the
+// re-steal of the same page by the same transaction, Figure 3's dirty
+// self-loop) with a refreshed timestamp.
+func (m *Manager) RewriteWorking(g page.GroupID, twin int, parity page.Buf, tx page.TxID, ts page.Timestamp, dirtyPage page.PageID) error {
+	meta := disk.Meta{State: disk.StateWorking, Timestamp: ts, Txn: tx, DirtyPage: dirtyPage}
+	if err := m.arr.WriteParity(g, twin, parity, meta); err != nil {
+		return fmt.Errorf("twinpage: rewrite working parity of group %d: %w", g, err)
+	}
+	return nil
+}
+
+// Invalidate resets the given twin's timestamp and marks it invalid (the
+// abort transition of Figure 8).  The other twin remains current.
+func (m *Manager) Invalidate(g page.GroupID, twin int) error {
+	meta := disk.Meta{State: disk.StateInvalid, Timestamp: 0}
+	if err := m.arr.WriteParityMeta(g, twin, meta); err != nil {
+		return fmt.Errorf("twinpage: invalidate twin %d of group %d: %w", g, twin, err)
+	}
+	return nil
+}
+
+// CurrentParityFromDisk implements Figure 7 extended with transaction
+// outcomes: it reads both twins' headers (two charged transfers) and
+// returns the index of the valid parity page.
+//
+// A twin is a candidate when its header says committed, or when it says
+// working/invalid but committed(txn) reports that its writer committed
+// (the lazy on-disk state trailing a successful commit).  Among
+// candidates the one with the larger timestamp wins; ties favour twin 0,
+// matching the formatted state.
+func (m *Manager) CurrentParityFromDisk(g page.GroupID, committed func(page.TxID) bool) (int, error) {
+	m0, err := m.arr.ReadParityMeta(g, 0)
+	if err != nil {
+		return 0, fmt.Errorf("twinpage: read twin 0 header of group %d: %w", g, err)
+	}
+	m1, err := m.arr.ReadParityMeta(g, 1)
+	if err != nil {
+		return 0, fmt.Errorf("twinpage: read twin 1 header of group %d: %w", g, err)
+	}
+	valid := func(mm disk.Meta) bool {
+		switch mm.State {
+		case disk.StateCommitted, disk.StateObsolete:
+			// Obsolete pages hold old committed parity: still a valid
+			// basis, just expected to lose the timestamp comparison.
+			return true
+		case disk.StateWorking:
+			return committed != nil && committed(mm.Txn)
+		default:
+			return false
+		}
+	}
+	v0, v1 := valid(m0), valid(m1)
+	switch {
+	case v0 && v1:
+		if m1.Timestamp > m0.Timestamp {
+			return 1, nil
+		}
+		return 0, nil
+	case v0:
+		return 0, nil
+	case v1:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("twinpage: group %d has no valid parity twin (states %v/%v)", g, m0.State, m1.State)
+	}
+}
+
+// RebuildBitmap reconstructs the whole bitmap after a crash by scanning
+// every group's parity headers (the paper's background process,
+// Section 4.2).  committed resolves the outcome of transactions found in
+// working-state headers.
+func (m *Manager) RebuildBitmap(committed func(page.TxID) bool) error {
+	for g := range m.current {
+		twin, err := m.CurrentParityFromDisk(page.GroupID(g), committed)
+		if err != nil {
+			return err
+		}
+		m.current[g] = uint8(twin)
+	}
+	return nil
+}
+
+// Reset zeroes the bitmap to the formatted default (twin 0 current).
+// Used to model the loss of main memory in a crash *before* RebuildBitmap
+// runs; reads between the two would be wrong, which is exactly why the
+// paper rebuilds the bitmap before resuming normal processing.
+func (m *Manager) Reset() {
+	for i := range m.current {
+		m.current[i] = 0
+	}
+}
+
+// NumGroups returns the number of groups tracked.
+func (m *Manager) NumGroups() int { return len(m.current) }

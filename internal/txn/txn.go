@@ -1,0 +1,196 @@
+// Package txn implements transaction bookkeeping: identities, lifecycle
+// states, and the per-transaction page/record sets that the recovery
+// schemes consult at EOT, abort and crash recovery time.
+//
+// The manager also issues the global monotonic timestamps the twin parity
+// headers carry (Section 4.2): every transaction id doubles as an
+// ordering point, and additional timestamps can be drawn for individual
+// parity writes so that later writes always compare higher in the
+// Current_Parity algorithm (Figure 7).
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/page"
+)
+
+// Status is a transaction lifecycle state.
+type Status int
+
+// Transaction states.
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Txn is one transaction's volatile bookkeeping.
+type Txn struct {
+	ID     page.TxID
+	Status Status
+
+	// Modified is the set of pages this transaction has modified and the
+	// modification kind bookkeeping the engine needs at EOT:
+	// true = the page currently has uncommitted changes in the buffer or
+	// on disk attributable to this transaction.
+	Modified map[page.PageID]struct{}
+	// StolenNoLog lists pages written back without UNDO logging, in
+	// steal order; the last element is the current head of the log chain
+	// (Section 4.3).  A page may appear once — a re-steal does not extend
+	// the chain.
+	StolenNoLog []page.PageID
+	// LoggedUndo is the set of pages (page granularity) or the count of
+	// record images (record granularity) for which before-images were
+	// logged.
+	LoggedUndo map[page.PageID]struct{}
+	// ChainHeadLogged reports whether the transaction's chain-head log
+	// record has been written.
+	ChainHeadLogged bool
+	// ModifiedRecords tracks record-granularity before-images already
+	// logged, so each (page, slot) is logged at most once per
+	// transaction.
+	ModifiedRecords map[page.RecordID]struct{}
+}
+
+// InChain reports whether page p is already part of the transaction's
+// no-UNDO-logging chain.
+func (t *Txn) InChain(p page.PageID) bool {
+	for _, q := range t.StolenNoLog {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ChainHead returns the most recently chained page, or page.InvalidPage
+// if the chain is empty.
+func (t *Txn) ChainHead() page.PageID {
+	if len(t.StolenNoLog) == 0 {
+		return page.InvalidPage
+	}
+	return t.StolenNoLog[len(t.StolenNoLog)-1]
+}
+
+// Manager allocates transaction ids and timestamps and tracks active
+// transactions.  It is safe for concurrent use.
+type Manager struct {
+	mu     sync.Mutex
+	nextID page.TxID
+	nextTS page.Timestamp
+	active map[page.TxID]*Txn
+	// outcomes remembers finished transactions' outcomes for the
+	// lifetime of the process; crash recovery uses the log instead.
+	started   int64
+	committed int64
+	aborted   int64
+}
+
+// NewManager creates a manager.  IDs start at 1 (page.InvalidTx is 0).
+func NewManager() *Manager {
+	return &Manager{nextID: 1, nextTS: 1, active: make(map[page.TxID]*Txn)}
+}
+
+// Begin creates a new active transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Txn{
+		ID:              m.nextID,
+		Status:          Active,
+		Modified:        make(map[page.PageID]struct{}),
+		LoggedUndo:      make(map[page.PageID]struct{}),
+		ModifiedRecords: make(map[page.RecordID]struct{}),
+	}
+	m.nextID++
+	m.started++
+	m.active[t.ID] = t
+	return t
+}
+
+// NextTimestamp draws a fresh globally monotonic timestamp for a parity
+// page header.
+func (m *Manager) NextTimestamp() page.Timestamp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.nextTS
+	m.nextTS++
+	return ts
+}
+
+// Get returns the active transaction with the given id, or nil.
+func (m *Manager) Get(id page.TxID) *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active[id]
+}
+
+// Finish moves the transaction out of the active table with the given
+// terminal status.
+func (m *Manager) Finish(id page.TxID, status Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.active[id]
+	if !ok {
+		return
+	}
+	t.Status = status
+	delete(m.active, id)
+	if status == Committed {
+		m.committed++
+	} else {
+		m.aborted++
+	}
+}
+
+// Active returns the ids of all active transactions in ascending order.
+func (m *Manager) Active() []page.TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]page.TxID, 0, len(m.active))
+	for id := range m.active {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ActiveCount returns the number of active transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Counts returns (started, committed, aborted) totals since creation.
+func (m *Manager) Counts() (started, committed, aborted int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.started, m.committed, m.aborted
+}
+
+// Reset drops all volatile transaction state but preserves the id and
+// timestamp counters — after a crash, new transactions and parity writes
+// must still sort after every pre-crash one.
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.active = make(map[page.TxID]*Txn)
+}

@@ -1,0 +1,429 @@
+// Package wal implements the write-ahead log used by every recovery
+// scheme in the repository.
+//
+// The paper's algorithms log before-images for UNDO, after-images for
+// REDO (in the ¬FORCE case), BOT/EOT/abort transaction brackets,
+// checkpoint records, and — specific to RDA recovery — the *log chain
+// head* record that anchors the TWIST-style chain of pages a transaction
+// wrote back without UNDO logging (Section 4.3).  Record logging
+// (Section 5.3) additionally logs record-granularity images addressed by
+// (page, slot).
+//
+// The log models stable storage: its contents survive DB.Crash().  Every
+// append is forced, honouring the write-ahead rule at the granularity the
+// engine needs (a before-image is appended, and therefore durable, before
+// the corresponding page write reaches the array).
+//
+// Cost accounting follows the paper's model, which charges every log
+// write like a small write to the disk array (4 page transfers: read old
+// data, read old parity, write data, write parity).  Appending a record
+// charges WriteCost transfers for the forced tail page plus WriteCost for
+// each additional log page the record spills into.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/page"
+)
+
+// Type identifies a log record type.
+type Type uint8
+
+// Log record types.
+const (
+	// TypeBOT brackets the start of a transaction.  The paper requires a
+	// BOT record to be written before a transaction's first modified page
+	// can be stolen (Section 4.3).
+	TypeBOT Type = iota + 1
+	// TypeEOT marks a successful commit.
+	TypeEOT
+	// TypeAbort marks a completed rollback.
+	TypeAbort
+	// TypeBeforeImage carries a page (Slot < 0) or record (Slot >= 0)
+	// before-image for UNDO.
+	TypeBeforeImage
+	// TypeAfterImage carries a page or record after-image for REDO
+	// (¬FORCE algorithms).
+	TypeAfterImage
+	// TypeChainHead anchors a transaction's log chain: Page is the most
+	// recently stolen no-UNDO-logging page, from which recovery walks the
+	// chain of header pointers backwards (Section 4.3).
+	TypeChainHead
+	// TypeCheckpoint records a checkpoint; Active lists the transactions
+	// alive when it was taken.
+	TypeCheckpoint
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeBOT:
+		return "BOT"
+	case TypeEOT:
+		return "EOT"
+	case TypeAbort:
+		return "ABORT"
+	case TypeBeforeImage:
+		return "BEFORE"
+	case TypeAfterImage:
+		return "AFTER"
+	case TypeChainHead:
+		return "CHAIN"
+	case TypeCheckpoint:
+		return "CKPT"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// LSN is a log sequence number: the 1-based index of a record in the log.
+type LSN uint64
+
+// NoSlot marks a page-granularity image.
+const NoSlot int32 = -1
+
+// Record is one log record.
+type Record struct {
+	LSN    LSN       // assigned by Append
+	Type   Type      //
+	Txn    page.TxID // owning transaction (0 for checkpoints)
+	Page   page.PageID
+	Slot   int32       // record slot for record-granularity images, NoSlot otherwise
+	Image  []byte      // before/after image payload
+	Active []page.TxID // checkpoint only: active transactions
+}
+
+// Stats reports the log's I/O cost in the paper's units.
+type Stats struct {
+	Records   int64 // records appended
+	Bytes     int64 // payload bytes appended
+	LogPages  int64 // distinct log pages the encoded stream occupies
+	Transfers int64 // page transfers charged for writes (the model's cost unit)
+	// ReadTransfers counts page transfers charged for recovery-time log
+	// reads (ChargeScan); one transfer per log page read.
+	ReadTransfers int64
+}
+
+// TotalTransfers returns write plus read transfers.
+func (s Stats) TotalTransfers() int64 { return s.Transfers + s.ReadTransfers }
+
+// Config parameterizes the log.
+type Config struct {
+	// LogPageSize is l_p, the physical log page size in bytes
+	// (paper: 2020 for the record logging analysis).
+	LogPageSize int
+	// WriteCost is the page transfers charged per log page written; the
+	// paper's model uses 4 (a small array write).
+	WriteCost int
+	// Packed selects the buffered-log cost model the paper's analysis
+	// assumes (Section 5.3: log entries of length L pack into physical
+	// pages of length l_p): a log page is charged once, when the stream
+	// crosses into it, instead of re-charging the forced tail page on
+	// every append.  Contents are durable either way — this is purely a
+	// cost-accounting policy.
+	Packed bool
+}
+
+// DefaultConfig mirrors the paper's parameters.
+func DefaultConfig() Config { return Config{LogPageSize: 2020, WriteCost: 4} }
+
+// Log is an append-only, always-forced log on stable storage.  It is safe
+// for concurrent use.
+//
+// The log supports truncation: records before a safe point (bounded by
+// the oldest active transaction's BOT and the last checkpoint) can be
+// discarded to reclaim space.  LSNs are stable across truncation.
+type Log struct {
+	mu      sync.Mutex
+	cfg     Config
+	buf     []byte // encoded record frames, starting at firstLSN
+	offsets []int  // frame start offsets within buf, indexed by LSN-firstLSN
+	// firstLSN is the LSN of the oldest retained record (1 when nothing
+	// has been truncated).
+	firstLSN LSN
+	// baseOff is the absolute byte position of buf[0] in the log stream
+	// (bytes dropped by truncation so far).
+	baseOff int
+	stats   Stats
+}
+
+// New creates an empty log.
+func New(cfg Config) *Log {
+	if cfg.LogPageSize <= 0 {
+		cfg.LogPageSize = DefaultConfig().LogPageSize
+	}
+	if cfg.WriteCost <= 0 {
+		cfg.WriteCost = DefaultConfig().WriteCost
+	}
+	return &Log{cfg: cfg, firstLSN: 1}
+}
+
+// ErrCorrupt reports a malformed record frame during decoding.
+var ErrCorrupt = errors.New("wal: corrupt record frame")
+
+// encode appends the frame for r to dst and returns the result.
+func encode(dst []byte, r *Record) []byte {
+	// Frame: u32 payloadLen | u8 type | u64 txn | u32 page | i32 slot |
+	//        u32 imageLen | image | u32 activeLen | active txns.
+	var hdr [25]byte
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(0)) // placeholder
+	hdr[4] = byte(r.Type)
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(r.Txn))
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(r.Page))
+	binary.LittleEndian.PutUint32(hdr[17:], uint32(r.Slot))
+	binary.LittleEndian.PutUint32(hdr[21:], uint32(len(r.Image)))
+	payload := 21 + len(r.Image) + 4 + 8*len(r.Active)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(payload))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.Image...)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(r.Active)))
+	dst = append(dst, n[:]...)
+	for _, tx := range r.Active {
+		var t [8]byte
+		binary.LittleEndian.PutUint64(t[:], uint64(tx))
+		dst = append(dst, t[:]...)
+	}
+	return dst
+}
+
+// decode parses one frame starting at off, returning the record and the
+// offset of the next frame.
+func decode(buf []byte, off int) (Record, int, error) {
+	if off+4 > len(buf) {
+		return Record{}, 0, ErrCorrupt
+	}
+	payload := int(binary.LittleEndian.Uint32(buf[off:]))
+	start := off + 4
+	end := start + payload
+	if payload < 21 || end > len(buf) {
+		return Record{}, 0, ErrCorrupt
+	}
+	var r Record
+	r.Type = Type(buf[start])
+	r.Txn = page.TxID(binary.LittleEndian.Uint64(buf[start+1:]))
+	r.Page = page.PageID(binary.LittleEndian.Uint32(buf[start+9:]))
+	r.Slot = int32(binary.LittleEndian.Uint32(buf[start+13:]))
+	imgLen := int(binary.LittleEndian.Uint32(buf[start+17:]))
+	p := start + 21
+	if p+imgLen+4 > end {
+		return Record{}, 0, ErrCorrupt
+	}
+	if imgLen > 0 {
+		r.Image = append([]byte(nil), buf[p:p+imgLen]...)
+	}
+	p += imgLen
+	nActive := int(binary.LittleEndian.Uint32(buf[p:]))
+	p += 4
+	if p+8*nActive != end {
+		return Record{}, 0, ErrCorrupt
+	}
+	for i := 0; i < nActive; i++ {
+		r.Active = append(r.Active, page.TxID(binary.LittleEndian.Uint64(buf[p+8*i:])))
+	}
+	return r, end, nil
+}
+
+// Append writes r to stable storage, assigns its LSN, and charges page
+// transfers for the forced log page(s).
+func (l *Log) Append(r Record) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = l.firstLSN + LSN(len(l.offsets))
+	startOff := len(l.buf)
+	l.offsets = append(l.offsets, startOff)
+	l.buf = encode(l.buf, &r)
+
+	l.stats.Records++
+	l.stats.Bytes += int64(len(l.buf) - startOff)
+	// Charge the forced tail page plus every additional page the frame
+	// spilled into; page positions stay absolute across truncation.
+	// Under the Packed policy only newly entered pages are charged.
+	firstPage := (l.baseOff + startOff) / l.cfg.LogPageSize
+	lastPage := (l.baseOff + len(l.buf) - 1) / l.cfg.LogPageSize
+	pagesTouched := int64(lastPage - firstPage + 1)
+	if l.cfg.Packed {
+		pagesTouched = int64(lastPage - firstPage)
+	}
+	l.stats.Transfers += pagesTouched * int64(l.cfg.WriteCost)
+	l.stats.LogPages = int64(lastPage + 1)
+	return r.LSN
+}
+
+// Truncate discards every record with an LSN below keep, reclaiming
+// space.  LSNs are stable: surviving records keep their numbers, and the
+// next Append continues the sequence.  It returns the number of records
+// dropped.  Callers are responsible for choosing a safe keep point (no
+// earlier than the oldest active transaction's BOT and the last
+// checkpoint).
+func (l *Log) Truncate(keep LSN) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tail := l.firstLSN + LSN(len(l.offsets))
+	if keep <= l.firstLSN {
+		return 0
+	}
+	if keep > tail {
+		keep = tail
+	}
+	drop := int(keep - l.firstLSN)
+	var cut int
+	if drop < len(l.offsets) {
+		cut = l.offsets[drop]
+	} else {
+		cut = len(l.buf)
+	}
+	l.buf = append([]byte(nil), l.buf[cut:]...)
+	newOffsets := make([]int, len(l.offsets)-drop)
+	for i := range newOffsets {
+		newOffsets[i] = l.offsets[drop+i] - cut
+	}
+	l.offsets = newOffsets
+	l.baseOff += cut
+	l.firstLSN = keep
+	return drop
+}
+
+// FirstLSN returns the LSN of the oldest retained record (one past the
+// tail when the log is empty).
+func (l *Log) FirstLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstLSN
+}
+
+// Len returns the tail LSN: the number of records ever appended
+// (truncated records keep counting, since LSNs are stable).
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.firstLSN) - 1 + len(l.offsets)
+}
+
+// Read returns the record at the given LSN.
+func (l *Log) Read(n LSN) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readLocked(n)
+}
+
+func (l *Log) readLocked(n LSN) (Record, error) {
+	idx := int(n) - int(l.firstLSN)
+	if n < l.firstLSN || idx >= len(l.offsets) {
+		return Record{}, fmt.Errorf("wal: LSN %d out of range [%d,%d]", n, l.firstLSN, int(l.firstLSN)-1+len(l.offsets))
+	}
+	r, _, err := decode(l.buf, l.offsets[idx])
+	if err != nil {
+		return Record{}, err
+	}
+	r.LSN = n
+	return r, nil
+}
+
+// Scan calls fn for every record with LSN >= from, in LSN order, until fn
+// returns false or the log is exhausted.
+func (l *Log) Scan(from LSN, fn func(Record) bool) error {
+	l.mu.Lock()
+	if from < l.firstLSN {
+		from = l.firstLSN
+	}
+	l.mu.Unlock()
+	for n := from; ; n++ {
+		l.mu.Lock()
+		if int(n) > int(l.firstLSN)-1+len(l.offsets) {
+			l.mu.Unlock()
+			return nil
+		}
+		r, err := l.readLocked(n)
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if !fn(r) {
+			return nil
+		}
+	}
+}
+
+// ScanBackward calls fn for every record from the log tail down to (and
+// including) LSN 1, until fn returns false.
+func (l *Log) ScanBackward(fn func(Record) bool) error {
+	l.mu.Lock()
+	top := int(l.firstLSN) - 1 + len(l.offsets)
+	bottom := int(l.firstLSN)
+	l.mu.Unlock()
+	for n := top; n >= bottom; n-- {
+		l.mu.Lock()
+		r, err := l.readLocked(LSN(n))
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if !fn(r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// LastCheckpoint returns the most recent checkpoint record, or ok=false
+// if none exists.
+func (l *Log) LastCheckpoint() (Record, bool) {
+	var found Record
+	ok := false
+	_ = l.ScanBackward(func(r Record) bool {
+		if r.Type == TypeCheckpoint {
+			found, ok = r, true
+			return false
+		}
+		return true
+	})
+	return found, ok
+}
+
+// ChargeScan charges read transfers (one per log page) for scanning the
+// records in [from, to] and returns the number charged.  Recovery calls
+// it after its analysis and undo passes so that restart cost appears in
+// the measured page-transfer totals, as in the paper's c_s terms.
+func (l *Log) ChargeScan(from, to LSN) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tail := l.firstLSN + LSN(len(l.offsets)) - 1
+	if len(l.offsets) == 0 || from > to || to < l.firstLSN {
+		return 0
+	}
+	if from < l.firstLSN {
+		from = l.firstLSN
+	}
+	if to > tail {
+		to = tail
+	}
+	startOff := l.baseOff + l.offsets[from-l.firstLSN]
+	endOff := l.baseOff + len(l.buf)
+	if to < tail {
+		endOff = l.baseOff + l.offsets[to-l.firstLSN+1]
+	}
+	pages := int64((endOff-1)/l.cfg.LogPageSize - startOff/l.cfg.LogPageSize + 1)
+	l.stats.ReadTransfers += pages
+	return pages
+}
+
+// Stats returns the accumulated I/O cost counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// ResetStats zeroes the transfer counters (record/byte history is kept:
+// it is the log contents, not a statistic).
+func (l *Log) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Transfers = 0
+	l.stats.ReadTransfers = 0
+}

@@ -1,0 +1,138 @@
+package xorparity
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBlock(r *rand.Rand, size int) []byte {
+	b := make([]byte, size)
+	r.Read(b)
+	return b
+}
+
+func TestSmallWriteMatchesRecompute(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	const size, n = 256, 5
+	group := make([][]byte, n)
+	for i := range group {
+		group[i] = randBlock(r, size)
+	}
+	parity := Compute(size, group...)
+	for step := 0; step < 50; step++ {
+		i := r.Intn(n)
+		dataNew := randBlock(r, size)
+		parity = SmallWrite(parity, group[i], dataNew)
+		group[i] = dataNew
+		if !Verify(parity, group...) {
+			t.Fatalf("step %d: small-write parity diverged from full recompute", step)
+		}
+	}
+}
+
+func TestUndoTwinRecoversBeforeImage(t *testing.T) {
+	// Figure 6: P is the committed parity, P' the working parity after one
+	// data page changed.  UndoTwin must return the old contents of that page.
+	r := rand.New(rand.NewSource(2))
+	const size, n = 128, 4
+	group := make([][]byte, n)
+	for i := range group {
+		group[i] = randBlock(r, size)
+	}
+	committed := Compute(size, group...)
+	dOld := group[2]
+	dNew := randBlock(r, size)
+	working := SmallWrite(committed, dOld, dNew)
+	got := UndoTwin(committed, working, dNew)
+	if !bytes.Equal(got, dOld) {
+		t.Fatalf("UndoTwin did not recover the before-image")
+	}
+	// The operation is symmetric in the twin order.
+	got = UndoTwin(working, committed, dNew)
+	if !bytes.Equal(got, dOld) {
+		t.Fatalf("UndoTwin must be symmetric in its parity arguments")
+	}
+}
+
+func TestReconstructLostBlock(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const size, n = 64, 7
+	group := make([][]byte, n)
+	for i := range group {
+		group[i] = randBlock(r, size)
+	}
+	parity := Compute(size, group...)
+	for lost := 0; lost < n; lost++ {
+		survivors := [][]byte{parity}
+		for i, b := range group {
+			if i != lost {
+				survivors = append(survivors, b)
+			}
+		}
+		if got := Reconstruct(size, survivors...); !bytes.Equal(got, group[lost]) {
+			t.Fatalf("failed to reconstruct data block %d", lost)
+		}
+	}
+	// Reconstructing the parity block itself from all data blocks.
+	if got := Reconstruct(size, group...); !bytes.Equal(got, parity) {
+		t.Fatalf("failed to reconstruct the parity block")
+	}
+}
+
+func TestXorProperties(t *testing.T) {
+	type blocks struct{ A, B, C [32]byte }
+	// Associativity/commutativity/self-inverse over fixed-size arrays.
+	selfInverse := func(in blocks) bool {
+		x := Xor(in.A[:], in.B[:])
+		x = Xor(x, in.B[:])
+		return bytes.Equal(x, in.A[:])
+	}
+	commutative := func(in blocks) bool {
+		return bytes.Equal(Xor(in.A[:], in.B[:]), Xor(in.B[:], in.A[:]))
+	}
+	associative := func(in blocks) bool {
+		l := Xor(Xor(in.A[:], in.B[:]), in.C[:])
+		r := Xor(in.A[:], Xor(in.B[:], in.C[:]))
+		return bytes.Equal(l, r)
+	}
+	for name, f := range map[string]func(blocks) bool{
+		"selfInverse": selfInverse,
+		"commutative": commutative,
+		"associative": associative,
+	} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestQuickSmallWriteUndoRoundTrip(t *testing.T) {
+	// Property: for any group state and any overwrite, the twin undo
+	// identity (P ⊕ P') ⊕ D_new == D_old holds.
+	f := func(a, b, c, dOld, dNew [48]byte) bool {
+		committed := Compute(48, a[:], b[:], c[:], dOld[:])
+		working := SmallWrite(committed, dOld[:], dNew[:])
+		return bytes.Equal(UndoTwin(committed, working, dNew[:]), dOld[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorIntoPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on length mismatch")
+		}
+	}()
+	XorInto(make([]byte, 4), make([]byte, 5))
+}
+
+func TestComputeEmpty(t *testing.T) {
+	p := Compute(16)
+	if !bytes.Equal(p, make([]byte, 16)) {
+		t.Fatalf("parity of no blocks must be zero")
+	}
+}

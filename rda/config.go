@@ -1,0 +1,196 @@
+// Package rda is a database storage engine that reproduces "Database
+// Recovery Using Redundant Disk Arrays" (Mourad, Fuchs & Saab, ICDE
+// 1992): transaction recovery built on the redundancy already present in
+// a parity-protected disk array.
+//
+// The engine runs fixed-size-page transactions over a simulated
+// redundant disk array and supports every algorithm family the paper
+// analyzes:
+//
+//   - page logging or record logging (Sections 5.2 and 5.3), with page or
+//     record locking respectively;
+//   - FORCE EOT processing with transaction-oriented checkpoints (TOC) or
+//     ¬FORCE with action-consistent checkpoints (ACC);
+//   - classic log-only UNDO (the baseline) or RDA recovery (Section 4),
+//     in which a large fraction of the pages modified by active
+//     transactions is written back with no UNDO logging at all, undo
+//     material being the array's twin parity pages;
+//   - data striping (RAID-5 with rotated parity) or Gray's parity
+//     striping underneath either scheme.
+//
+// Every disk and log access is accounted in page transfers — the unit of
+// the paper's performance model — so benchmark harnesses can regenerate
+// the paper's figures from live executions.
+package rda
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Layout selects the array organization (Section 3).
+type Layout int
+
+// Array layouts.
+const (
+	// DataStriping is RAID-5 with rotated parity (Figures 1 and 4).
+	DataStriping Layout = iota
+	// ParityStriping is Gray's organization (Figures 2 and 5).
+	ParityStriping
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	if l == DataStriping {
+		return "data-striping"
+	}
+	return "parity-striping"
+}
+
+// LoggingMode selects the logging and locking granularity.
+type LoggingMode int
+
+// Logging modes.
+const (
+	// PageLogging logs whole-page images and locks pages (Section 5.2).
+	PageLogging LoggingMode = iota
+	// RecordLogging logs record images and locks records (Section 5.3).
+	RecordLogging
+)
+
+// String implements fmt.Stringer.
+func (m LoggingMode) String() string {
+	if m == PageLogging {
+		return "page-logging"
+	}
+	return "record-logging"
+}
+
+// EOTDiscipline selects end-of-transaction processing.
+type EOTDiscipline int
+
+// EOT disciplines.
+const (
+	// Force writes all of a transaction's modified pages to the database
+	// before EOT; checkpointing is transaction-oriented (TOC).
+	Force EOTDiscipline = iota
+	// NoForce leaves modified pages in the buffer at EOT; REDO recovery
+	// replays after-images after a crash, and checkpoints are
+	// action-consistent (ACC).
+	NoForce
+)
+
+// String implements fmt.Stringer.
+func (d EOTDiscipline) String() string {
+	if d == Force {
+		return "force-toc"
+	}
+	return "noforce-acc"
+}
+
+// Config describes a database.  The zero value is not valid; call
+// DefaultConfig or fill in at least the geometry fields.  Defaults mirror
+// the paper's model parameters where it states them.
+type Config struct {
+	// DataDisks is N, the data pages per parity group (paper: 10).  The
+	// array uses N+1 disks without RDA recovery and N+2 with it.
+	DataDisks int
+	// NumPages is S, the database size in pages (paper: 5000).
+	NumPages int
+	// PageSize is the page size in bytes (paper's l_p ≈ 2020; default
+	// 2048).
+	PageSize int
+	// BufferFrames is B, the buffer size in frames (paper: 300).
+	BufferFrames int
+	// Layout selects data striping or parity striping.
+	Layout Layout
+	// Logging selects page or record granularity (logging and locking).
+	Logging LoggingMode
+	// EOT selects FORCE/TOC or ¬FORCE/ACC.
+	EOT EOTDiscipline
+	// RDA enables the paper's recovery scheme (twin parity pages, the
+	// Dirty_Set, no-UNDO-logging steals).  When false the engine is the
+	// traditional log-only baseline on a single-parity array.
+	RDA bool
+	// RecordSize is r, the record length for RecordLogging (paper: 100).
+	RecordSize int
+	// LogPageSize is the physical log page size (paper: 2020).
+	LogPageSize int
+	// LogWriteCost is the page transfers charged per log page forced
+	// (paper's model: 4, a small array write).
+	LogWriteCost int
+	// PackedLog selects the buffered-log cost accounting of the paper's
+	// record logging analysis (entries pack into l_p-byte log pages that
+	// are charged once each) instead of charging every forced append.
+	// Durability is unaffected; see wal.Config.Packed.
+	PackedLog bool
+	// CheckpointEvery, when positive and EOT is NoForce, takes an
+	// action-consistent checkpoint automatically whenever this many page
+	// transfers have elapsed since the last one.  The optimal value for
+	// a workload is what the Section 5 model's interval optimization
+	// computes (model.Result.Interval).  Zero disables automatic
+	// checkpoints; Checkpoint can always be called manually.
+	CheckpointEvery int64
+}
+
+// DefaultConfig returns the paper's model parameters.
+func DefaultConfig() Config {
+	return Config{
+		DataDisks:    10,
+		NumPages:     5000,
+		PageSize:     2048,
+		BufferFrames: 300,
+		Layout:       DataStriping,
+		Logging:      PageLogging,
+		EOT:          Force,
+		RDA:          true,
+		RecordSize:   100,
+		LogPageSize:  2020,
+		LogWriteCost: 4,
+	}
+}
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("rda: invalid configuration")
+
+// validate fills defaults for zero fields and checks consistency.
+func (c Config) validate() (Config, error) {
+	def := DefaultConfig()
+	if c.DataDisks == 0 {
+		c.DataDisks = def.DataDisks
+	}
+	if c.NumPages == 0 {
+		c.NumPages = def.NumPages
+	}
+	if c.PageSize == 0 {
+		c.PageSize = def.PageSize
+	}
+	if c.BufferFrames == 0 {
+		c.BufferFrames = def.BufferFrames
+	}
+	if c.RecordSize == 0 {
+		c.RecordSize = def.RecordSize
+	}
+	if c.LogPageSize == 0 {
+		c.LogPageSize = def.LogPageSize
+	}
+	if c.LogWriteCost == 0 {
+		c.LogWriteCost = def.LogWriteCost
+	}
+	if c.DataDisks < 1 {
+		return c, fmt.Errorf("%w: DataDisks must be at least 1", ErrBadConfig)
+	}
+	if c.NumPages < c.DataDisks {
+		return c, fmt.Errorf("%w: NumPages must be at least one group", ErrBadConfig)
+	}
+	if c.BufferFrames < 2 {
+		return c, fmt.Errorf("%w: BufferFrames must be at least 2", ErrBadConfig)
+	}
+	if c.PageSize < 64 {
+		return c, fmt.Errorf("%w: PageSize must be at least 64", ErrBadConfig)
+	}
+	if c.Logging == RecordLogging && c.RecordSize >= c.PageSize {
+		return c, fmt.Errorf("%w: RecordSize must be smaller than PageSize", ErrBadConfig)
+	}
+	return c, nil
+}

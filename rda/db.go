@@ -1,0 +1,459 @@
+package rda
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/dirtyset"
+	"repro/internal/disk"
+	"repro/internal/diskarray"
+	"repro/internal/lock"
+	"repro/internal/page"
+	"repro/internal/record"
+	"repro/internal/recovery"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// PageID addresses a logical database page: 0 ≤ p < DB.NumPages().
+type PageID = uint32
+
+// Errors returned by the engine.
+var (
+	// ErrCrashed reports an operation against a crashed database; call
+	// Recover first.
+	ErrCrashed = errors.New("rda: database has crashed; run Recover")
+	// ErrTxDone reports use of a committed or aborted transaction handle.
+	ErrTxDone = errors.New("rda: transaction already finished")
+	// ErrDeadlock reports that the transaction was chosen as a deadlock
+	// victim and has been aborted; start a new transaction to retry.
+	ErrDeadlock = errors.New("rda: transaction aborted as deadlock victim")
+	// ErrBadPage reports a page id outside the database.
+	ErrBadPage = errors.New("rda: page id out of range")
+	// ErrWrongMode reports a page operation on a record-mode database or
+	// vice versa.
+	ErrWrongMode = errors.New("rda: operation not available in this logging mode")
+)
+
+// txState is the engine-side volatile state of one active transaction.
+type txState struct {
+	t *txn.Txn
+	// botLSN is the BOT record's LSN (0 until the lazy BOT is written).
+	botLSN wal.LSN
+	// beforePages holds first-modify page snapshots (page mode).
+	beforePages map[page.PageID]page.Buf
+	// beforeRecords holds first-modify record snapshots (record mode).
+	beforeRecords map[page.RecordID]record.Image
+	// loggedRecords marks record before-images already on the log.
+	loggedRecords map[page.RecordID]bool
+	// stolenBefore holds, per page stolen without UNDO logging, the
+	// on-disk contents just before the first steal — the before-image
+	// media recovery needs if the group's committed parity twin is lost
+	// while this transaction is active.
+	stolenBefore map[page.PageID]page.Buf
+	// stolenLogged marks pages written to disk through the logging steal
+	// path; abort must restore them on disk, not just in the buffer.
+	stolenLogged map[page.PageID]bool
+}
+
+// DB is a database instance.  It is safe for concurrent use by multiple
+// goroutines, each running its own transactions.
+type DB struct {
+	cfg Config
+
+	// mu serializes engine state.  Lock-manager waits happen outside mu.
+	mu      sync.Mutex
+	arr     *diskarray.Array
+	store   *core.Store
+	log     *wal.Log
+	tm      *txn.Manager
+	locks   *lock.Manager
+	pool    *buffer.Pool
+	states  map[page.TxID]*txState
+	crashed bool
+
+	// lastCkptTransfers is the transfer count at the last automatic
+	// checkpoint (see Config.CheckpointEvery); lastCkptLSN is the log
+	// position of the last checkpoint record, bounding log truncation.
+	lastCkptTransfers int64
+	lastCkptLSN       wal.LSN
+	recoveries        int64
+}
+
+// Open creates (and formats) a database.
+func Open(cfg Config) (*DB, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	var kind diskarray.Kind
+	switch {
+	case cfg.Layout == DataStriping && cfg.RDA:
+		kind = diskarray.RAID5Twin
+	case cfg.Layout == DataStriping:
+		kind = diskarray.RAID5
+	case cfg.RDA:
+		kind = diskarray.ParityStripeTwin
+	default:
+		kind = diskarray.ParityStripe
+	}
+	arr, err := diskarray.New(diskarray.Config{
+		Kind: kind, DataDisks: cfg.DataDisks, NumPages: cfg.NumPages, PageSize: cfg.PageSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rda: %w", err)
+	}
+	db := &DB{
+		cfg:    cfg,
+		arr:    arr,
+		log:    wal.New(wal.Config{LogPageSize: cfg.LogPageSize, WriteCost: cfg.LogWriteCost, Packed: cfg.PackedLog}),
+		tm:     txn.NewManager(),
+		locks:  lock.New(),
+		states: make(map[page.TxID]*txState),
+	}
+	db.store = core.NewStore(arr, db.log, db.tm)
+	db.pool = db.newPool()
+	if cfg.Logging == RecordLogging {
+		if err := db.formatRecordPages(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// newPool builds a buffer pool wired to the engine's fetch and steal
+// policies.  FORCE keeps disk versions in dirty frames (the paper's a=3
+// small writes); ¬FORCE does not (a=4; Section 5.2.2).
+func (db *DB) newPool() *buffer.Pool {
+	p := buffer.New(db.cfg.BufferFrames, db.cfg.PageSize, db.fetch, db.writeBack)
+	p.KeepDiskVersions = db.cfg.EOT == Force
+	return p
+}
+
+// formatRecordPages initializes every data page with the fixed-slot
+// record layout and recomputes parity.  Like array formatting this is
+// factory work: it is not charged to the statistics.
+func (db *DB) formatRecordPages() error {
+	buf := page.NewBuf(db.cfg.PageSize)
+	if err := record.Format(buf, db.cfg.RecordSize); err != nil {
+		return fmt.Errorf("rda: %w", err)
+	}
+	for p := 0; p < db.arr.NumPages(); p++ {
+		if err := db.arr.WriteData(page.PageID(p), buf, disk.Meta{}); err != nil {
+			return fmt.Errorf("rda: format page %d: %w", p, err)
+		}
+	}
+	for g := 0; g < db.arr.NumGroups(); g++ {
+		for twin := 0; twin < db.arr.ParityPages(); twin++ {
+			meta, err := db.arr.PeekParityMeta(page.GroupID(g), twin)
+			if err != nil {
+				return err
+			}
+			if err := db.arr.RecomputeParity(page.GroupID(g), twin, meta); err != nil {
+				return err
+			}
+		}
+	}
+	db.arr.ResetStats()
+	return nil
+}
+
+// Config returns the database's effective configuration (with defaults
+// applied).
+func (db *DB) Config() Config { return db.cfg }
+
+// NumPages returns the number of addressable data pages (at least the
+// configured NumPages; capacity rounds up to whole parity groups).
+func (db *DB) NumPages() int { return db.arr.NumPages() }
+
+// PageSize returns the page size in bytes.
+func (db *DB) PageSize() int { return db.cfg.PageSize }
+
+// RecordsPerPage returns the record capacity of each page in record
+// mode, and 0 in page mode.
+func (db *DB) RecordsPerPage() int {
+	if db.cfg.Logging != RecordLogging {
+		return 0
+	}
+	return record.Capacity(db.cfg.PageSize, db.cfg.RecordSize)
+}
+
+// NumDisks returns the number of physical disks in the array.
+func (db *DB) NumDisks() int { return db.arr.NumDisks() }
+
+// fetch loads a page from the array on a buffer miss, transparently
+// repairing latent sector errors from the group's redundancy.
+func (db *DB) fetch(p page.PageID) (page.Buf, error) {
+	return db.store.ReadPageRepair(p)
+}
+
+// writeBack is the STEAL policy (see DESIGN.md §5): it is invoked by the
+// buffer pool for every dirty frame leaving the pool (replacement, EOT
+// forcing, checkpoint flushing) and decides between the RDA no-logging
+// path, the classic logging path and the committed write path.
+func (db *DB) writeBack(f *buffer.Frame) error {
+	old := f.DiskVersion // nil under ¬FORCE: the store re-reads (a=4)
+
+	mods := f.ModifierList()
+	if len(mods) == 0 {
+		return db.store.WriteCommitted(f.Page, f.Data, old)
+	}
+
+	if db.cfg.RDA && len(mods) == 1 && !f.Residue {
+		st := db.states[mods[0]]
+		if st != nil && db.store.CanStealNoLog(f.Page, st.t.ID) {
+			db.ensureBOT(st)
+			oldOnDisk := old
+			if oldOnDisk == nil {
+				var err error
+				oldOnDisk, err = db.store.ReadPage(f.Page)
+				if err != nil {
+					return err
+				}
+			}
+			if _, ok := st.stolenBefore[f.Page]; !ok {
+				st.stolenBefore[f.Page] = oldOnDisk.Clone()
+			}
+			return db.store.StealNoLog(f.Page, f.Data, oldOnDisk, st.t)
+		}
+	}
+
+	// Logging path: make sure every active modifier's UNDO material for
+	// this page is on the log, then write in place.
+	for _, m := range mods {
+		st := db.states[m]
+		if st == nil {
+			continue
+		}
+		db.ensureBOT(st)
+		db.ensureUndoLogged(st, f.Page)
+		st.stolenLogged[f.Page] = true
+	}
+	return db.store.WriteLogged(f.Page, f.Data, old)
+}
+
+// ensureBOT lazily writes the transaction's BOT record; the paper
+// requires it on the log before any of the transaction's pages reaches
+// the database (Section 4.3), and writing it lazily keeps retrieval-only
+// transactions free of log traffic, as in the model.
+func (db *DB) ensureBOT(st *txState) {
+	if st.botLSN == 0 {
+		st.botLSN = db.log.Append(wal.Record{Type: wal.TypeBOT, Txn: st.t.ID, Slot: wal.NoSlot})
+	}
+}
+
+// ensureUndoLogged appends the retained before-image(s) for page p on
+// behalf of st, if not already logged.
+func (db *DB) ensureUndoLogged(st *txState, p page.PageID) {
+	if db.cfg.Logging == PageLogging {
+		if _, done := st.t.LoggedUndo[p]; done {
+			return
+		}
+		img, ok := st.beforePages[p]
+		if !ok {
+			return // the transaction never modified this page
+		}
+		db.log.Append(wal.Record{
+			Type: wal.TypeBeforeImage, Txn: st.t.ID, Page: p, Slot: wal.NoSlot,
+			Image: img.Clone(),
+		})
+		st.t.LoggedUndo[p] = struct{}{}
+		return
+	}
+	for rid, img := range st.beforeRecords {
+		if rid.Page != p || st.loggedRecords[rid] {
+			continue
+		}
+		db.log.Append(wal.Record{
+			Type: wal.TypeBeforeImage, Txn: st.t.ID, Page: rid.Page, Slot: int32(rid.Slot),
+			Image: record.EncodeImage(img),
+		})
+		st.loggedRecords[rid] = true
+	}
+	st.t.LoggedUndo[p] = struct{}{}
+}
+
+// demoteNoLogSteal converts a page's no-UNDO-logging steal into a logged
+// one (record mode only).  The owning transaction's retained record
+// before-images go to the log, the working parity twin — which already
+// describes the on-disk data — is committed on disk and promoted in the
+// bitmap, and the group returns to the clean state.  From here on the
+// page is shared and every recovery path for it is log-based.
+func (db *DB) demoteNoLogSteal(g page.GroupID, e dirtyset.Entry) error {
+	owner := db.states[e.Txn]
+	if owner == nil {
+		return fmt.Errorf("rda: dirty group %d owned by unknown txn %d", g, e.Txn)
+	}
+	db.ensureBOT(owner)
+	db.ensureUndoLogged(owner, e.Page)
+	owner.stolenLogged[e.Page] = true
+	meta := disk.Meta{State: disk.StateCommitted, Timestamp: db.tm.NextTimestamp()}
+	if err := db.arr.WriteParityMeta(g, e.WorkingTwin, meta); err != nil {
+		return fmt.Errorf("rda: demote group %d: %w", g, err)
+	}
+	db.store.Twins.Promote(g, e.WorkingTwin)
+	db.store.Dirty.Clean(g)
+	// The page leaves the owner's no-logging chain.
+	chain := owner.t.StolenNoLog[:0]
+	for _, q := range owner.t.StolenNoLog {
+		if q != e.Page {
+			chain = append(chain, q)
+		}
+	}
+	owner.t.StolenNoLog = chain
+	return nil
+}
+
+// Checkpoint takes a checkpoint.  Under ¬FORCE this is the paper's
+// action-consistent checkpoint (ACC): all dirty buffer pages are written
+// back (through the steal policy) and a checkpoint record listing the
+// active transactions is logged.  Under FORCE checkpoints are
+// transaction-oriented and implicit, so this simply flushes and logs a
+// marker, which is harmless.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return ErrCrashed
+	}
+	if err := db.pool.FlushAll(nil); err != nil {
+		return fmt.Errorf("rda: checkpoint flush: %w", err)
+	}
+	db.lastCkptLSN = db.log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot, Active: db.tm.Active()})
+	db.truncateLog()
+	return nil
+}
+
+// Crash simulates a system crash: every main-memory structure — buffer,
+// lock table, active transactions, Dirty_Set, current-parity bitmap — is
+// lost.  The disks and the log survive.  All outstanding transaction
+// handles become unusable.
+func (db *DB) Crash() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pool.DropAll()
+	db.store.ResetVolatile()
+	db.locks.Close()
+	db.tm.Reset()
+	db.states = make(map[page.TxID]*txState)
+	db.crashed = true
+}
+
+// RecoveryReport summarizes a restart.
+type RecoveryReport struct {
+	// Losers are the transactions rolled back.
+	Losers int
+	// UndoneViaParity counts pages restored from twin parity (RDA).
+	UndoneViaParity int
+	// UndoneViaLog counts before-images written back.
+	UndoneViaLog int
+	// Redone counts after-images replayed (¬FORCE).
+	Redone int
+}
+
+// Recover restarts a crashed database: log analysis, UNDO of losers
+// (twin-parity scan first, then logged before-images), current-parity
+// bitmap rebuild, and REDO of winners under ¬FORCE.  See
+// internal/recovery for the pass structure.
+func (db *DB) Recover() (*RecoveryReport, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.crashed {
+		return nil, errors.New("rda: Recover on a running database")
+	}
+	rep, err := recovery.CrashRecover(db.store, db.cfg.EOT == NoForce)
+	if err != nil {
+		return nil, fmt.Errorf("rda: recovery: %w", err)
+	}
+	if db.cfg.EOT == NoForce {
+		// A fresh empty checkpoint bounds the next restart's REDO pass.
+		db.lastCkptLSN = db.log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot})
+	}
+	db.locks = lock.New()
+	db.pool = db.newPool()
+	db.crashed = false
+	// Everything before the restart point is now dead weight.
+	db.truncateLog()
+	db.recoveries++
+	return &RecoveryReport{
+		Losers:          len(rep.Losers),
+		UndoneViaParity: rep.UndoneViaParity,
+		UndoneViaLog:    rep.UndoneViaLog,
+		Redone:          rep.Redone,
+	}, nil
+}
+
+// FailDisk injects a fail-stop failure on the given disk (0 ≤ d <
+// NumDisks).  Operations touching the disk will fail until RepairDisk.
+func (db *DB) FailDisk(d int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.arr.FailDisk(d)
+}
+
+// RepairDisk replaces the failed disk with a fresh one and reconstructs
+// its contents online from the surviving members of each parity group —
+// the media recovery the array's redundancy exists for.  Dirty groups
+// (pages of still-active transactions written without UNDO logging) are
+// handled per DESIGN.md: the working twin and the data page rebuild each
+// other, and a lost committed twin is recomputed with the before-image
+// the engine retains while the owning transaction is active.
+func (db *DB) RepairDisk(d int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return ErrCrashed
+	}
+	before := func(g page.GroupID, e dirtyset.Entry) page.Buf {
+		st := db.states[e.Txn]
+		if st == nil {
+			return nil
+		}
+		return st.stolenBefore[e.Page]
+	}
+	if err := recovery.RecoverMedia(db.store, d, before); err != nil {
+		return fmt.Errorf("rda: media recovery: %w", err)
+	}
+	return nil
+}
+
+// RepairDisks replaces several simultaneously failed disks and
+// reconstructs their contents together.  Twin parity lets some
+// two-disk-failure patterns recover that single parity cannot: a group
+// that lost both its parity twins, or a data page together with a twin
+// that does not describe the on-disk state, rebuilds from the survivors.
+// Groups whose loss genuinely exceeds the redundancy (two data pages; a
+// data page plus its covering parity) suffer data loss: their lost pages
+// come back zeroed, their parity is made consistent, and their group
+// numbers are returned so the caller can restore them from an archive.
+// A single-disk repair never loses data.
+func (db *DB) RepairDisks(ds ...int) ([]uint32, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return nil, ErrCrashed
+	}
+	before := func(g page.GroupID, e dirtyset.Entry) page.Buf {
+		st := db.states[e.Txn]
+		if st == nil {
+			return nil
+		}
+		return st.stolenBefore[e.Page]
+	}
+	lost, err := recovery.RecoverMediaMulti(db.store, ds, before)
+	if err != nil {
+		return nil, fmt.Errorf("rda: media recovery: %w", err)
+	}
+	out := make([]uint32, len(lost))
+	for i, g := range lost {
+		out[i] = uint32(g)
+		// Any buffered copies of a lost group's pages are stale.
+		for _, p := range db.arr.GroupPages(g) {
+			db.pool.Discard(p)
+		}
+	}
+	return out, nil
+}

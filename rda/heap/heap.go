@@ -1,0 +1,177 @@
+// Package heap provides an unordered record collection — a classic heap
+// file — on top of the rda engine's record-granularity transactions.
+//
+// It is the access layer a database built on the paper's storage engine
+// would actually expose: records are addressed by stable RIDs
+// (page, slot), inserts find free space automatically, and every
+// operation runs inside a caller-supplied transaction, so heap updates
+// inherit the engine's recovery guarantees — including the RDA
+// no-UNDO-logging fast path underneath.
+//
+// The heap spans a fixed range of the database's pages.  Insert
+// placement uses a rotating hint so that concurrent inserters spread
+// over the range instead of convoying on the first page with space.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/record"
+	"repro/rda"
+)
+
+// RID is a record identifier: the stable address of a record in the
+// heap.
+type RID struct {
+	Page rda.PageID
+	Slot int
+}
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// Errors returned by the heap.
+var (
+	// ErrHeapFull reports that no page in the heap's range has a free
+	// slot.
+	ErrHeapFull = errors.New("heap: no free slot in the heap's page range")
+	// ErrNotFound reports a Get/Update/Delete of an RID holding no
+	// record.
+	ErrNotFound = errors.New("heap: no record at this RID")
+	// ErrOutOfRange reports an RID outside the heap's page range.
+	ErrOutOfRange = errors.New("heap: RID outside the heap's page range")
+)
+
+// Heap is a heap file over a page range of a record-mode database.  It
+// is safe for concurrent use; all record state lives in the database,
+// the Heap itself holds only the placement hint.
+type Heap struct {
+	db    *rda.DB
+	first rda.PageID
+	pages int
+	hint  atomic.Uint32 // rotating insert start offset
+}
+
+// New creates a heap over pages [first, first+pages).  The database must
+// use RecordLogging.
+func New(db *rda.DB, first rda.PageID, pages int) (*Heap, error) {
+	if db.Config().Logging != rda.RecordLogging {
+		return nil, errors.New("heap: database must use RecordLogging")
+	}
+	if pages < 1 || int(first)+pages > db.NumPages() {
+		return nil, fmt.Errorf("heap: page range [%d,%d) outside database of %d pages",
+			first, int(first)+pages, db.NumPages())
+	}
+	return &Heap{db: db, first: first, pages: pages}, nil
+}
+
+// Pages returns the number of pages in the heap's range.
+func (h *Heap) Pages() int { return h.pages }
+
+// Capacity returns the maximum number of records the heap can hold.
+func (h *Heap) Capacity() int { return h.pages * h.db.RecordsPerPage() }
+
+// check validates an RID against the heap's range.
+func (h *Heap) check(rid RID) error {
+	if rid.Page < h.first || int(rid.Page-h.first) >= h.pages {
+		return fmt.Errorf("%w: %v", ErrOutOfRange, rid)
+	}
+	if rid.Slot < 0 || rid.Slot >= h.db.RecordsPerPage() {
+		return fmt.Errorf("%w: %v", ErrOutOfRange, rid)
+	}
+	return nil
+}
+
+// Insert stores rec in a free slot somewhere in the heap and returns its
+// RID.  Placement starts at a rotating hint and wraps around the range;
+// ErrHeapFull is returned when every page is full.
+func (h *Heap) Insert(tx *rda.Tx, rec []byte) (RID, error) {
+	start := int(h.hint.Add(1)) % h.pages
+	for i := 0; i < h.pages; i++ {
+		p := h.first + rda.PageID((start+i)%h.pages)
+		slot, err := tx.InsertRecord(p, rec)
+		switch {
+		case err == nil:
+			return RID{Page: p, Slot: slot}, nil
+		case errors.Is(err, record.ErrFull):
+			continue
+		default:
+			return RID{}, err
+		}
+	}
+	return RID{}, ErrHeapFull
+}
+
+// Get returns a copy of the record at rid, or ErrNotFound.
+func (h *Heap) Get(tx *rda.Tx, rid RID) ([]byte, error) {
+	if err := h.check(rid); err != nil {
+		return nil, err
+	}
+	rec, err := tx.ReadRecord(rid.Page, rid.Slot)
+	if errors.Is(err, record.ErrEmptySlot) {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	return rec, err
+}
+
+// Update overwrites the record at rid, which must exist.
+func (h *Heap) Update(tx *rda.Tx, rid RID, rec []byte) error {
+	if err := h.check(rid); err != nil {
+		return err
+	}
+	// Existence check under the record's lock (the read S-lock upgrades
+	// to X on the write).
+	if _, err := tx.ReadRecord(rid.Page, rid.Slot); err != nil {
+		if errors.Is(err, record.ErrEmptySlot) {
+			return fmt.Errorf("%w: %v", ErrNotFound, rid)
+		}
+		return err
+	}
+	return tx.WriteRecord(rid.Page, rid.Slot, rec)
+}
+
+// Delete removes the record at rid, which must exist.
+func (h *Heap) Delete(tx *rda.Tx, rid RID) error {
+	if err := h.check(rid); err != nil {
+		return err
+	}
+	if _, err := tx.ReadRecord(rid.Page, rid.Slot); err != nil {
+		if errors.Is(err, record.ErrEmptySlot) {
+			return fmt.Errorf("%w: %v", ErrNotFound, rid)
+		}
+		return err
+	}
+	return tx.DeleteRecord(rid.Page, rid.Slot)
+}
+
+// Scan calls fn for every record in the heap, in RID order, until fn
+// returns false.  The scan locks each visited record in shared mode
+// (repeatable read under strict 2PL).
+func (h *Heap) Scan(tx *rda.Tx, fn func(RID, []byte) bool) error {
+	slots := h.db.RecordsPerPage()
+	for i := 0; i < h.pages; i++ {
+		p := h.first + rda.PageID(i)
+		for slot := 0; slot < slots; slot++ {
+			rec, err := tx.ReadRecord(p, slot)
+			if errors.Is(err, record.ErrEmptySlot) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if !fn(RID{Page: p, Slot: slot}, rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records in the heap.
+func (h *Heap) Count(tx *rda.Tx) (int, error) {
+	n := 0
+	err := h.Scan(tx, func(RID, []byte) bool { n++; return true })
+	return n, err
+}

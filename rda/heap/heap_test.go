@@ -1,0 +1,330 @@
+package heap
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/rda"
+)
+
+func testDB(t *testing.T) *rda.DB {
+	t.Helper()
+	db, err := rda.Open(rda.Config{
+		DataDisks:    4,
+		NumPages:     48,
+		PageSize:     128,
+		BufferFrames: 8,
+		Logging:      rda.RecordLogging,
+		EOT:          rda.NoForce,
+		RDA:          true,
+		RecordSize:   24,
+		LogPageSize:  512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func testHeap(t *testing.T, db *rda.DB) *Heap {
+	t.Helper()
+	h, err := New(db, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func begin(t *testing.T, db *rda.DB) *rda.Tx {
+	t.Helper()
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	db := testDB(t)
+	h := testHeap(t, db)
+	tx := begin(t, db)
+	rid, err := h.Insert(tx, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(tx, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:5], []byte("hello")) {
+		t.Fatalf("got %q", got)
+	}
+	if err := h.Update(tx, rid, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = h.Get(tx, rid)
+	if !bytes.Equal(got[:5], []byte("world")) {
+		t.Fatalf("update lost: %q", got)
+	}
+	if err := h.Delete(tx, rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(tx, rid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if err := h.Update(tx, rid, []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if err := h.Delete(tx, rid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIDsStableAndScanOrdered(t *testing.T) {
+	db := testDB(t)
+	h := testHeap(t, db)
+	tx := begin(t, db)
+	want := map[RID][]byte{}
+	for i := 0; i < 20; i++ {
+		rec := []byte{byte(i), 0xAB}
+		rid, err := h.Insert(tx, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := want[rid]; dup {
+			t.Fatalf("duplicate RID %v", rid)
+		}
+		want[rid] = rec
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	scan := begin(t, db)
+	seen := 0
+	var lastPage rda.PageID
+	var lastSlot int
+	first := true
+	err := h.Scan(scan, func(rid RID, rec []byte) bool {
+		w, ok := want[rid]
+		if !ok {
+			t.Fatalf("scan found unexpected RID %v", rid)
+		}
+		if !bytes.Equal(rec[:2], w) {
+			t.Fatalf("RID %v holds wrong record", rid)
+		}
+		if !first && (rid.Page < lastPage || (rid.Page == lastPage && rid.Slot <= lastSlot)) {
+			t.Fatalf("scan out of order at %v", rid)
+		}
+		first = false
+		lastPage, lastSlot = rid.Page, rid.Slot
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(want) {
+		t.Fatalf("scan saw %d records, want %d", seen, len(want))
+	}
+	n, err := h.Count(scan)
+	if err != nil || n != len(want) {
+		t.Fatalf("Count = %d err %v", n, err)
+	}
+	if err := scan.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapFull(t *testing.T) {
+	db := testDB(t)
+	h, err := New(db, 0, 1) // one page only
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := begin(t, db)
+	for i := 0; i < h.Capacity(); i++ {
+		if _, err := h.Insert(tx, []byte{byte(i)}); err != nil {
+			t.Fatalf("insert %d of %d: %v", i, h.Capacity(), err)
+		}
+	}
+	if _, err := h.Insert(tx, []byte{0xFF}); !errors.Is(err, ErrHeapFull) {
+		t.Fatalf("err = %v, want ErrHeapFull", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortRollsBackHeapOps(t *testing.T) {
+	db := testDB(t)
+	h := testHeap(t, db)
+	setup := begin(t, db)
+	rid, err := h.Insert(setup, []byte("keep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx := begin(t, db)
+	if err := h.Update(tx, rid, []byte("clobber")); err != nil {
+		t.Fatal(err)
+	}
+	rid2, err := h.Insert(tx, []byte("phantom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	check := begin(t, db)
+	got, err := h.Get(check, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:4], []byte("keep")) {
+		t.Fatalf("aborted update leaked: %q", got)
+	}
+	if _, err := h.Get(check, rid2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("aborted insert leaked")
+	}
+	if err := check.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryPreservesHeap(t *testing.T) {
+	db := testDB(t)
+	h := testHeap(t, db)
+	tx := begin(t, db)
+	var rids []RID
+	for i := 0; i < 15; i++ {
+		rid, err := h.Insert(tx, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A loser inserts and deletes, then the system crashes.
+	loser := begin(t, db)
+	if _, err := h.Insert(loser, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(loser, rids[3]); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+	if _, err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	check := begin(t, db)
+	n, err := h.Count(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("heap has %d records after crash, want 15", n)
+	}
+	for i, rid := range rids {
+		got, err := h.Get(check, rid)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+	if err := check.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInsertersDisjointRIDs(t *testing.T) {
+	db := testDB(t)
+	h := testHeap(t, db)
+	var mu sync.Mutex
+	all := make(map[RID]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				tx, err := db.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rid, err := h.Insert(tx, []byte{byte(w), byte(i)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if all[rid] {
+					t.Errorf("RID %v assigned twice", rid)
+				}
+				all[rid] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	check := begin(t, db)
+	n, err := h.Count(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Fatalf("heap holds %d records, want 60", n)
+	}
+	if err := check.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejections(t *testing.T) {
+	db := testDB(t)
+	if _, err := New(db, 0, db.NumPages()+1); err == nil {
+		t.Fatalf("range past the database must be rejected")
+	}
+	if _, err := New(db, 0, 0); err == nil {
+		t.Fatalf("empty range must be rejected")
+	}
+	pageDB, err := rda.Open(rda.Config{
+		DataDisks: 4, NumPages: 48, PageSize: 128, BufferFrames: 8,
+		Logging: rda.PageLogging,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(pageDB, 0, 4); err == nil {
+		t.Fatalf("page-mode database must be rejected")
+	}
+	h := testHeap(t, db)
+	tx := begin(t, db)
+	if _, err := h.Get(tx, RID{Page: 40, Slot: 0}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := h.Get(tx, RID{Page: 0, Slot: 999}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package rda
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// ScrubReport summarizes a parity scrub (see Scrub).
+type ScrubReport struct {
+	// GroupsScanned is the number of parity groups examined.
+	GroupsScanned int
+	// LatentErrors is the number of blocks found with checksum damage.
+	LatentErrors int
+	// Repaired is the number of blocks rebuilt from redundancy.
+	Repaired int
+	// ParityRewritten counts stale parity pages recomputed.
+	ParityRewritten int
+}
+
+// ErrBusy reports a maintenance operation attempted while transactions
+// hold uncommitted on-disk state.
+var ErrBusy = errors.New("rda: operation requires a quiesced database")
+
+// Scrub verifies every parity group against its data and repairs latent
+// sector errors (silent corruption) from the array's redundancy — the
+// background verification pass that keeps "media recovery will actually
+// work" true on a long-lived array.  The database must be quiescent: no
+// active transaction may have pages on disk awaiting undo.
+func (db *DB) Scrub() (*ScrubReport, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return nil, ErrCrashed
+	}
+	// Flush so the scan verifies current contents, then require
+	// cleanliness.
+	if err := db.pool.FlushAll(nil); err != nil {
+		return nil, fmt.Errorf("rda: scrub flush: %w", err)
+	}
+	if db.store.Dirty != nil && db.store.Dirty.Len() > 0 {
+		return nil, fmt.Errorf("%w: %d parity groups dirty", ErrBusy, db.store.Dirty.Len())
+	}
+	rep, err := db.store.Scrub()
+	if err != nil {
+		return nil, fmt.Errorf("rda: scrub: %w", err)
+	}
+	// Any buffered copies may now be stale relative to repaired blocks;
+	// drop clean frames conservatively.
+	db.pool.DropAll()
+	return &ScrubReport{
+		GroupsScanned:   rep.GroupsScanned,
+		LatentErrors:    rep.LatentErrors,
+		Repaired:        rep.Repaired,
+		ParityRewritten: rep.ParityRewritten,
+	}, nil
+}
+
+// CorruptBlock flips bits in the stored copy of a data page without
+// updating its checksum — a latent sector error injection for exercising
+// Scrub.  Testing/fault-injection aid.
+func (db *DB) CorruptBlock(p PageID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	loc := db.arr.DataLoc(page.PageID(p))
+	return db.arr.Disk(loc.Disk).Corrupt(loc.Block)
+}
+
+// BulkLoad writes a run of consecutive pages as committed data, using
+// full-stripe writes (one parity write per fully covered parity group —
+// the "large accesses" of Section 3.1) instead of per-page small writes.
+// It requires a quiescent database and bypasses transactions; loaders
+// re-run after a crash.  It returns the number of full-stripe writes.
+func (db *DB) BulkLoad(start PageID, pages [][]byte) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return 0, ErrCrashed
+	}
+	if db.tm.ActiveCount() > 0 {
+		return 0, fmt.Errorf("%w: %d active transactions", ErrBusy, db.tm.ActiveCount())
+	}
+	if int(start)+len(pages) > db.NumPages() {
+		return 0, fmt.Errorf("%w: load of %d pages at %d exceeds %d", ErrBadPage, len(pages), start, db.NumPages())
+	}
+	bufs := make([]page.Buf, len(pages))
+	for i, b := range pages {
+		bufs[i] = page.Buf(b)
+	}
+	// Loaded pages supersede any buffered copies.
+	for i := range pages {
+		db.pool.Discard(page.PageID(start) + page.PageID(i))
+	}
+	n, err := db.store.BulkLoad(page.PageID(start), bufs)
+	if err != nil {
+		return n, fmt.Errorf("rda: bulk load: %w", err)
+	}
+	// The load bypassed the log; a checkpoint record fences it off so a
+	// later crash's REDO pass cannot replay pre-load after-images over
+	// the loaded pages (and the now-dead log prefix is reclaimed).
+	db.lastCkptLSN = db.log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot})
+	db.truncateLog()
+	return n, nil
+}
+
+// maybeAutoCheckpoint takes an ACC checkpoint when the configured
+// transfer interval has elapsed.  Called with db.mu held at EOT
+// boundaries.
+func (db *DB) maybeAutoCheckpoint() error {
+	if db.cfg.CheckpointEvery <= 0 || db.cfg.EOT != NoForce {
+		return nil
+	}
+	cur := db.arr.Stats().Transfers() + db.log.Stats().TotalTransfers()
+	if cur-db.lastCkptTransfers < db.cfg.CheckpointEvery {
+		return nil
+	}
+	if err := db.pool.FlushAll(nil); err != nil {
+		return fmt.Errorf("rda: auto checkpoint: %w", err)
+	}
+	db.lastCkptLSN = db.log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot, Active: db.tm.Active()})
+	db.lastCkptTransfers = db.arr.Stats().Transfers() + db.log.Stats().TotalTransfers()
+	db.truncateLog()
+	return nil
+}
+
+// truncateLog reclaims log space by dropping every record no recovery
+// could need: records older than both the last checkpoint (¬FORCE REDO
+// starts there; FORCE has nothing to redo) and the oldest active
+// transaction's BOT (loser UNDO starts there).  Working parity twins
+// whose writers' EOT records get dropped are handled by the
+// unknown-means-committed rule in the recovery analysis — see
+// recovery.Analysis.Committed.  Called with db.mu held.
+func (db *DB) truncateLog() {
+	var bound wal.LSN
+	if db.cfg.EOT == Force {
+		// TOC: every commit is a checkpoint, so only active
+		// transactions pin the log.
+		bound = wal.LSN(db.log.Len()) + 1
+	} else {
+		if db.lastCkptLSN == 0 {
+			return // no checkpoint yet: the whole log feeds REDO
+		}
+		bound = db.lastCkptLSN
+	}
+	for _, st := range db.states {
+		if st.botLSN != 0 && st.botLSN < bound {
+			bound = st.botLSN
+		}
+	}
+	db.log.Truncate(bound)
+}

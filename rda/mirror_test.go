@@ -1,0 +1,125 @@
+package rda
+
+import (
+	"bytes"
+	"testing"
+)
+
+// mirrorConfig is a width-1 array: every parity "group" is a mirrored
+// pair (single parity) or a Wu & Fuchs twin-page triple (RDA).
+func mirrorConfig(useRDA bool) Config {
+	cfg := smallConfig(PageLogging, Force, useRDA, DataStriping)
+	cfg.DataDisks = 1
+	cfg.NumPages = 32
+	return cfg
+}
+
+// TestMirroredPairSemantics runs the standard commit/abort/crash/media
+// battery on a mirrored (N=1) array — the introduction's comparator.
+func TestMirroredPairSemantics(t *testing.T) {
+	for _, useRDA := range []bool{false, true} {
+		db, err := Open(mirrorConfig(useRDA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := fillPage(db, 0x10)
+		tx := mustBegin(t, db)
+		if err := tx.WritePage(0, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// Abort path.
+		ab := mustBegin(t, db)
+		if err := ab.WritePage(0, fillPage(db, 0x99)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ab.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		// Crash path.
+		loser := mustBegin(t, db)
+		for p := PageID(0); p < 12; p++ {
+			if err := loser.WritePage(p, fillPage(db, 0x77)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.Crash()
+		if _, err := db.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		// Media path: every disk in turn.
+		for d := 0; d < db.NumDisks(); d++ {
+			if err := db.FailDisk(d); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.RepairDisk(d); err != nil {
+				t.Fatalf("rda=%v disk %d: %v", useRDA, d, err)
+			}
+		}
+		check := mustBegin(t, db)
+		got, err := check.ReadPage(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, base) {
+			t.Fatalf("rda=%v: mirrored page lost its committed value", useRDA)
+		}
+		if err := check.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.VerifyParity(); err != nil {
+			t.Fatalf("rda=%v: %v", useRDA, err)
+		}
+	}
+}
+
+// TestMirrorWriteCost pins the mirroring cost model: a committed write
+// to a width-1 group is exactly two transfers (both copies), with no
+// read-modify-write — the 100%-overhead/cheap-write tradeoff the paper's
+// introduction describes for Bitton & Gray mirroring.
+func TestMirrorWriteCost(t *testing.T) {
+	cfg := mirrorConfig(false)
+	cfg.BufferFrames = 2
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One committed page write, stolen via FlushPage at commit.
+	db.ResetStats()
+	tx := mustBegin(t, db)
+	if err := tx.WritePage(0, fillPage(db, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	// Fetch (1 read) + mirrored write (2 writes).  Everything else is
+	// log traffic, which is counted separately.
+	if st.DiskReads != 1 || st.DiskWrites != 2 {
+		t.Fatalf("mirror write cost: %d reads / %d writes, want 1/2", st.DiskReads, st.DiskWrites)
+	}
+}
+
+// TestMirrorStorageOverhead pins the introduction's storage comparison:
+// mirroring duplicates everything (50% of raw capacity is redundancy),
+// versus 1/(N+1) for a parity array.
+func TestMirrorStorageOverhead(t *testing.T) {
+	mirror, err := Open(mirrorConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirror.NumDisks() != 2 {
+		t.Fatalf("mirrored pair spans %d disks, want 2", mirror.NumDisks())
+	}
+	parity, err := Open(smallConfig(PageLogging, Force, false, DataStriping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 data disks + 1 parity: 20% redundancy versus mirroring's 50%.
+	if parity.NumDisks() != 5 {
+		t.Fatalf("parity array spans %d disks, want 5", parity.NumDisks())
+	}
+}

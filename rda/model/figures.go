@@ -1,0 +1,122 @@
+package model
+
+// This file regenerates the paper's evaluation artifacts (Figures 9–13)
+// from the analytical model.  Each figure is returned as a table of
+// series points so that cmd/rdabench and the benchmarks can print the
+// same rows the paper plots.
+
+// Point is one x position of a figure, with the RDA and non-RDA
+// throughputs.
+type Point struct {
+	X       float64 // communality C (Figs 9–12) or transaction size s (Fig 13)
+	NoRDA   float64 // throughput without RDA recovery
+	RDA     float64 // throughput with RDA recovery
+	GainPct float64 // 100·(RDA−NoRDA)/NoRDA
+}
+
+// Series is one environment's curve set.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// DefaultCommunalities is the C sweep used by Figures 9–12.
+var DefaultCommunalities = []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// figure runs one algorithm over both environments for a C sweep.
+func figure(algo Algorithm, cs []float64) []Series {
+	envs := []struct {
+		label string
+		p     Params
+	}{
+		{"high-update", HighUpdate()},
+		{"high-retrieval", HighRetrieval()},
+	}
+	out := make([]Series, 0, len(envs))
+	for _, env := range envs {
+		s := Series{Label: env.label}
+		for _, c := range cs {
+			p := env.p.WithCommunality(c)
+			no := Evaluate(algo, p, false).Throughput
+			yes := Evaluate(algo, p, true).Throughput
+			s.Points = append(s.Points, Point{
+				X: c, NoRDA: no, RDA: yes, GainPct: 100 * (yes - no) / no,
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Figure9 is throughput vs communality for page logging FORCE/TOC, with
+// and without RDA, in both environments (paper Figure 9).
+func Figure9(cs []float64) []Series { return figure(AlgoPageForceTOC, cs) }
+
+// Figure10 is the same sweep for page logging ¬FORCE/ACC (Figure 10).
+func Figure10(cs []float64) []Series { return figure(AlgoPageNoForceACC, cs) }
+
+// Figure11 is the sweep for record logging FORCE/TOC (Figure 11).
+func Figure11(cs []float64) []Series { return figure(AlgoRecordForceTOC, cs) }
+
+// Figure12 is the sweep for record logging ¬FORCE/ACC (Figure 12).
+func Figure12(cs []float64) []Series { return figure(AlgoRecordNoForceACC, cs) }
+
+// Figure13 is the percentage throughput benefit of RDA recovery as a
+// function of the number of pages accessed per transaction s, for record
+// logging ¬FORCE/ACC in the high update environment at C=0.9 (paper
+// Figure 13: ≈6% at s=5 rising to ≈70% at s=45).
+func Figure13(sizes []float64) Series {
+	out := Series{Label: "record NOFORCE/ACC, high-update, C=0.9"}
+	for _, s := range sizes {
+		p := HighUpdate().WithCommunality(0.9)
+		p.PagesPerTx = s
+		no := Evaluate(AlgoRecordNoForceACC, p, false).Throughput
+		yes := Evaluate(AlgoRecordNoForceACC, p, true).Throughput
+		out.Points = append(out.Points, Point{
+			X: s, NoRDA: no, RDA: yes, GainPct: 100 * (yes - no) / no,
+		})
+	}
+	return out
+}
+
+// DefaultSizes is the s sweep of Figure 13.
+var DefaultSizes = []float64{5, 10, 15, 20, 25, 30, 35, 40, 45}
+
+// NSweepPoint is one group width of the storage/performance tradeoff
+// sweep (an ablation this reproduction adds: the paper fixes N=10 and
+// only remarks that the parity overhead is (100/N)%).
+type NSweepPoint struct {
+	// N is the parity group width; N=1 is mirroring / twin-page storage.
+	N int
+	// GainPct is the RDA throughput gain for page logging FORCE/TOC in
+	// the high-update environment.
+	GainPct float64
+	// OverheadPct is the twin-parity storage overhead, 2·(100/N)%.
+	OverheadPct float64
+	// Pl is Equation 5's logging probability at this width.
+	Pl float64
+}
+
+// SweepN evaluates the RDA gain and storage overhead across group
+// widths.  Wider groups cost less storage but raise p_l (more collisions
+// of uncommitted pages inside a group), eroding the gain — the design
+// tradeoff behind the paper's choice of N=10.
+func SweepN(widths []int, c float64) []NSweepPoint {
+	out := make([]NSweepPoint, 0, len(widths))
+	for _, n := range widths {
+		p := HighUpdate().WithCommunality(c)
+		p.N = n
+		no := PageForceTOC(p, false)
+		yes := PageForceTOC(p, true)
+		out = append(out, NSweepPoint{
+			N:           n,
+			GainPct:     100 * (yes.Throughput - no.Throughput) / no.Throughput,
+			OverheadPct: 200 / float64(n),
+			Pl:          yes.Pl,
+		})
+	}
+	return out
+}
+
+// DefaultWidths is the N sweep.
+var DefaultWidths = []int{1, 2, 5, 10, 20, 50, 100}

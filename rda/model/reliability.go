@@ -1,0 +1,87 @@
+package model
+
+// This file models the reliability arithmetic behind the paper's
+// introduction: large databases need many disks, an unprotected farm of
+// D disks fails every MTTF/D hours (the paper's footnote: with a 30,000
+// hour per-disk MTTF, a large organization's farm is down to "less than
+// 25 days" between media failures), mirroring fixes that at 100% storage
+// overhead, and redundant disk arrays fix it at roughly (100/N)% — which
+// is the premise the recovery scheme builds on.
+//
+// The mean-time-to-data-loss formulas are the standard exponential
+// failure / repair model of Patterson, Gibson & Katz [3]: data is lost
+// when a second disk of a group fails while the first is still being
+// repaired.
+
+// HoursPerDay converts MTTF hours to days.
+const HoursPerDay = 24
+
+// PaperDiskMTTFHours is the per-disk MTTF the paper's footnote assumes.
+const PaperDiskMTTFHours = 30000
+
+// SystemMTTF returns the mean time to the first disk failure of a farm
+// of `disks` drives, in hours: MTTF/D.
+func SystemMTTF(diskMTTFHours float64, disks int) float64 {
+	if disks <= 0 {
+		return 0
+	}
+	return diskMTTFHours / float64(disks)
+}
+
+// GroupMTTDL returns the mean time to data loss of one redundancy group
+// of `groupSize` disks that tolerates a single failure and repairs a
+// failed drive in mttrHours:
+//
+//	MTTDL = MTTF² / (G·(G−1)·MTTR)
+func GroupMTTDL(diskMTTFHours, mttrHours float64, groupSize int) float64 {
+	if groupSize < 2 {
+		return diskMTTFHours
+	}
+	g := float64(groupSize)
+	return diskMTTFHours * diskMTTFHours / (g * (g - 1) * mttrHours)
+}
+
+// ArrayMTTDL returns the mean time to data loss of an array of
+// `numGroups` independent single-failure-tolerant groups.
+func ArrayMTTDL(diskMTTFHours, mttrHours float64, groupSize, numGroups int) float64 {
+	if numGroups <= 0 {
+		return 0
+	}
+	return GroupMTTDL(diskMTTFHours, mttrHours, groupSize) / float64(numGroups)
+}
+
+// ReliabilityComparison summarizes the introduction's three options for
+// a database of `dataDisks` disks of data.
+type ReliabilityComparison struct {
+	// Unprotected is the farm's MTTF in hours with no redundancy.
+	Unprotected float64
+	// Mirrored is the MTTDL with disk mirroring (100% overhead).
+	Mirrored float64
+	// MirroredOverheadPct is always 100.
+	MirroredOverheadPct float64
+	// RDASingle is the MTTDL with single-parity groups of N+1 disks.
+	RDASingle float64
+	// RDATwin is the MTTDL with the twin-parity organization (N+2 disk
+	// groups; still single-failure tolerant — the twin exists for
+	// transaction recovery, not double-failure tolerance).
+	RDATwin float64
+	// RDASingleOverheadPct and RDATwinOverheadPct are the parity storage
+	// overheads relative to the data: 100/N and 200/N.
+	RDASingleOverheadPct float64
+	RDATwinOverheadPct   float64
+}
+
+// CompareReliability evaluates the introduction's comparison for a farm
+// of dataDisks data disks organized in parity groups of width n.
+func CompareReliability(diskMTTFHours, mttrHours float64, dataDisks, n int) ReliabilityComparison {
+	groups := (dataDisks + n - 1) / n
+	return ReliabilityComparison{
+		Unprotected:          SystemMTTF(diskMTTFHours, dataDisks),
+		Mirrored:             ArrayMTTDL(diskMTTFHours, mttrHours, 2, dataDisks),
+		MirroredOverheadPct:  100,
+		RDASingle:            ArrayMTTDL(diskMTTFHours, mttrHours, n+1, groups),
+		RDATwin:              ArrayMTTDL(diskMTTFHours, mttrHours, n+2, groups),
+		RDASingleOverheadPct: 100 / float64(n),
+		RDATwinOverheadPct:   200 / float64(n),
+	}
+}

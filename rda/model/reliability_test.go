@@ -1,0 +1,82 @@
+package model
+
+import "testing"
+
+// TestIntroductionFootnote reproduces the paper's footnote 1: assuming a
+// 30,000-hour MTTF per disk, the mean time between media failures of a
+// 50-disk farm is "less than 25 days".
+func TestIntroductionFootnote(t *testing.T) {
+	days := SystemMTTF(PaperDiskMTTFHours, 50) / HoursPerDay
+	if days > 25 {
+		t.Fatalf("50-disk farm MTTF = %.1f days, paper says less than 25", days)
+	}
+	if days < 24 {
+		t.Fatalf("50-disk farm MTTF = %.1f days; 30000h/50 should be 25 days", days)
+	}
+}
+
+func TestGroupMTTDLShape(t *testing.T) {
+	// Redundancy buys orders of magnitude: a 10+1 group with a 24 hour
+	// repair must survive far longer than the same 11 disks unprotected
+	// (MTTF/11), and longer than a single disk.
+	mttdl := GroupMTTDL(PaperDiskMTTFHours, 24, 11)
+	if mttdl < 50*SystemMTTF(PaperDiskMTTFHours, 11) {
+		t.Fatalf("RAID group MTTDL %.0f hours is not much better than the unprotected farm", mttdl)
+	}
+	if mttdl < PaperDiskMTTFHours {
+		t.Fatalf("RAID group MTTDL %.0f hours is worse than one disk", mttdl)
+	}
+	// MTTDL shrinks with group size (more disks to pair-fail) and with
+	// repair time.
+	if GroupMTTDL(PaperDiskMTTFHours, 24, 21) >= GroupMTTDL(PaperDiskMTTFHours, 24, 11) {
+		t.Fatalf("wider groups must lose data sooner")
+	}
+	if GroupMTTDL(PaperDiskMTTFHours, 48, 11) >= GroupMTTDL(PaperDiskMTTFHours, 24, 11) {
+		t.Fatalf("slower repair must lose data sooner")
+	}
+	if GroupMTTDL(PaperDiskMTTFHours, 24, 1) != PaperDiskMTTFHours {
+		t.Fatalf("a single-disk 'group' is just the disk")
+	}
+}
+
+func TestArrayMTTDLScales(t *testing.T) {
+	one := ArrayMTTDL(PaperDiskMTTFHours, 24, 11, 1)
+	five := ArrayMTTDL(PaperDiskMTTFHours, 24, 11, 5)
+	if five*5 < one*0.999 || five*5 > one*1.001 {
+		t.Fatalf("independent groups must divide the MTTDL: %v vs %v", one, five)
+	}
+	if ArrayMTTDL(PaperDiskMTTFHours, 24, 11, 0) != 0 {
+		t.Fatalf("no groups, no data, no loss")
+	}
+}
+
+// TestIntroductionComparison checks the introduction's storyline: for a
+// 50-disk database, the unprotected farm fails within weeks; mirroring
+// and RDAs both push the MTTDL out by orders of magnitude, but mirroring
+// costs 100% extra storage while the array costs (100/N)% per parity
+// copy.
+func TestIntroductionComparison(t *testing.T) {
+	cmp := CompareReliability(PaperDiskMTTFHours, 24, 50, 10)
+	if cmp.Unprotected/HoursPerDay > 25 {
+		t.Fatalf("unprotected farm should fail within 25 days")
+	}
+	if cmp.Mirrored < 500*cmp.Unprotected {
+		t.Fatalf("mirroring should improve MTTDL by orders of magnitude")
+	}
+	if cmp.RDASingle < 50*cmp.Unprotected || cmp.RDATwin < 50*cmp.Unprotected {
+		t.Fatalf("arrays should improve MTTDL by orders of magnitude")
+	}
+	if cmp.MirroredOverheadPct != 100 {
+		t.Fatalf("mirroring overhead must be 100%%")
+	}
+	if cmp.RDASingleOverheadPct != 10 || cmp.RDATwinOverheadPct != 20 {
+		t.Fatalf("RDA overheads = %.0f%%/%.0f%%, want 10%%/20%% at N=10",
+			cmp.RDASingleOverheadPct, cmp.RDATwinOverheadPct)
+	}
+	// The twin organization's slightly wider groups cost a little MTTDL
+	// relative to single parity, never more than the mirror loses in
+	// storage.
+	if cmp.RDATwin >= cmp.RDASingle {
+		t.Fatalf("N+2 groups cannot out-survive N+1 groups")
+	}
+}

@@ -1,0 +1,297 @@
+package rda
+
+import (
+	"errors"
+
+	"bytes"
+	"fmt"
+	"math/rand"
+	"repro/internal/record"
+	"testing"
+)
+
+// TestSoakOracle runs a long randomized interleaving of transactions,
+// aborts, crashes, checkpoints and disk failures against every
+// configuration, comparing the database's on-disk state against an
+// in-memory oracle of committed effects after every resolution point.
+// This is the repository's main end-to-end correctness check: after any
+// sequence of events, the database equals the effects of committed
+// transactions only, and the parity invariant holds.
+func TestSoakOracle(t *testing.T) {
+	seeds := []int64{1234, 99}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, cfg := range allConfigs() {
+		cfg := cfg
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed=%d", cfgName(cfg), seed), func(t *testing.T) {
+				soak(t, cfg, seed+int64(cfg.Logging)*7+int64(cfg.EOT)*3)
+			})
+		}
+	}
+}
+
+type soakTx struct {
+	tx *Tx
+	// pending effects, applied to the oracle at commit.
+	pages   map[PageID][]byte
+	records map[[2]uint32][]byte // (page, slot) -> value; nil = deleted
+	// owned guards against self-deadlock in the single-goroutine driver:
+	// whole pages under page locking, (page, slot) pairs under record
+	// locking — so different transactions DO share pages in record mode,
+	// exercising the shared-frame and demotion machinery.
+	owned map[[2]uint32]bool
+}
+
+func soak(t *testing.T, cfg Config, seed int64) {
+	t.Helper()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	n := db.NumPages()
+	slots := db.RecordsPerPage()
+
+	// Oracles of committed state.
+	oraclePages := make(map[PageID][]byte)
+	oracleRecords := make(map[[2]uint32][]byte)
+
+	// ownedGlobal tracks resources claimed by open transactions so the
+	// single-goroutine driver never blocks on a lock.  Page mode claims
+	// whole pages (slot sentinel ^0); record mode claims (page, slot)
+	// pairs, so pages ARE shared between transactions.
+	ownedGlobal := make(map[[2]uint32]bool)
+	pageKey := func(p PageID) [2]uint32 { return [2]uint32{uint32(p), ^uint32(0)} }
+	recKey := func(p PageID, slot int) [2]uint32 { return [2]uint32{uint32(p), uint32(slot)} }
+	var open []*soakTx
+	nextSeq := uint64(1)
+
+	verify := func(context string) {
+		t.Helper()
+		if err := db.VerifyParity(); err != nil {
+			t.Fatalf("%s: %v", context, err)
+		}
+		if cfg.Logging == PageLogging {
+			for p, want := range oraclePages {
+				// Only check pages not owned by an open transaction (their
+				// on-disk state may legitimately be uncommitted).
+				if ownedGlobal[pageKey(p)] {
+					continue
+				}
+				got, err := db.PeekPage(p)
+				if err != nil {
+					t.Fatalf("%s: %v", context, err)
+				}
+				if !bytes.Equal(got, want) {
+					// The committed value may still be sitting in the
+					// buffer under ¬FORCE; read through a transaction.
+					tx, err := db.Begin()
+					if err != nil {
+						t.Fatalf("%s: %v", context, err)
+					}
+					got2, err := tx.ReadPage(p)
+					if err != nil {
+						t.Fatalf("%s: read page %d: %v", context, p, err)
+					}
+					_ = tx.Abort()
+					if !bytes.Equal(got2, want) {
+						t.Fatalf("%s: page %d diverged from oracle", context, p)
+					}
+				}
+			}
+		} else {
+			tx, err := db.Begin()
+			if err != nil {
+				t.Fatalf("%s: %v", context, err)
+			}
+			for key, want := range oracleRecords {
+				if ownedGlobal[key] {
+					continue
+				}
+				got, err := tx.ReadRecord(PageID(key[0]), int(key[1]))
+				if want == nil {
+					if err == nil {
+						t.Fatalf("%s: record %d.%d should be deleted", context, key[0], key[1])
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s: record %d.%d: %v", context, key[0], key[1], err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s: record %d.%d diverged from oracle", context, key[0], key[1])
+				}
+			}
+			_ = tx.Abort()
+		}
+	}
+
+	openTx := func() *soakTx {
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &soakTx{
+			tx:      tx,
+			pages:   make(map[PageID][]byte),
+			records: make(map[[2]uint32][]byte),
+			owned:   make(map[[2]uint32]bool),
+		}
+		nextSeq++
+		open = append(open, s)
+		return s
+	}
+
+	dropOwned := func(s *soakTx) {
+		for k := range s.owned {
+			delete(ownedGlobal, k)
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := r.Intn(20); {
+		case op < 8: // write in a (possibly new) transaction
+			var s *soakTx
+			if len(open) > 0 && r.Intn(2) == 0 {
+				s = open[r.Intn(len(open))]
+			} else if len(open) < 3 {
+				s = openTx()
+			} else {
+				s = open[r.Intn(len(open))]
+			}
+			p := PageID(r.Intn(n))
+			if cfg.Logging == PageLogging {
+				k := pageKey(p)
+				if ownedGlobal[k] && !s.owned[k] {
+					continue // avoid single-goroutine lock waits
+				}
+				img := make([]byte, db.PageSize())
+				r.Read(img)
+				if err := s.tx.WritePage(p, img); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				s.pages[p] = img
+				s.owned[k] = true
+				ownedGlobal[k] = true
+			} else {
+				slot := r.Intn(slots)
+				k := recKey(p, slot)
+				if ownedGlobal[k] && !s.owned[k] {
+					continue
+				}
+				if r.Intn(6) == 0 {
+					if err := s.tx.DeleteRecord(p, slot); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					s.records[k] = nil
+				} else {
+					rec := make([]byte, cfg.RecordSize)
+					r.Read(rec)
+					if err := s.tx.WriteRecord(p, slot, rec); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					s.records[k] = rec
+				}
+				s.owned[k] = true
+				ownedGlobal[k] = true
+			}
+
+		case op < 12 && len(open) > 0: // commit
+			i := r.Intn(len(open))
+			s := open[i]
+			open = append(open[:i], open[i+1:]...)
+			if err := s.tx.Commit(); err != nil {
+				t.Fatalf("step %d commit: %v", step, err)
+			}
+			for p, img := range s.pages {
+				oraclePages[p] = img
+			}
+			for k, v := range s.records {
+				oracleRecords[k] = v
+			}
+			dropOwned(s)
+			verify(fmt.Sprintf("step %d after commit", step))
+
+		case op < 15 && len(open) > 0: // abort
+			i := r.Intn(len(open))
+			s := open[i]
+			open = append(open[:i], open[i+1:]...)
+			if err := s.tx.Abort(); err != nil {
+				t.Fatalf("step %d abort: %v", step, err)
+			}
+			dropOwned(s)
+			verify(fmt.Sprintf("step %d after abort", step))
+
+		case op < 16 && cfg.EOT == NoForce: // checkpoint
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("step %d checkpoint: %v", step, err)
+			}
+
+		case op < 18: // crash + recover: all open transactions are losers
+			db.Crash()
+			if _, err := db.Recover(); err != nil {
+				t.Fatalf("step %d recover: %v", step, err)
+			}
+			for _, s := range open {
+				dropOwned(s)
+			}
+			open = nil
+			verify(fmt.Sprintf("step %d after crash recovery", step))
+
+		case op < 19: // media failure on a random disk
+			d := r.Intn(db.NumDisks())
+			if err := db.FailDisk(d); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if err := db.RepairDisk(d); err != nil {
+				t.Fatalf("step %d repair disk %d: %v", step, d, err)
+			}
+			verify(fmt.Sprintf("step %d after media recovery", step))
+
+		default: // read something
+			if len(open) == 0 {
+				continue
+			}
+			s := open[r.Intn(len(open))]
+			p := PageID(r.Intn(n))
+			if cfg.Logging == PageLogging {
+				k := pageKey(p)
+				if ownedGlobal[k] && !s.owned[k] {
+					continue
+				}
+				if _, err := s.tx.ReadPage(p); err != nil {
+					t.Fatalf("step %d read: %v", step, err)
+				}
+				s.owned[k] = true // S lock held; other txns would block
+				ownedGlobal[k] = true
+			} else {
+				slot := r.Intn(slots)
+				k := recKey(p, slot)
+				if ownedGlobal[k] && !s.owned[k] {
+					continue
+				}
+				if _, err := s.tx.ReadRecord(p, slot); err != nil && !isEmptySlot(err) {
+					t.Fatalf("step %d read: %v", step, err)
+				}
+				s.owned[k] = true
+				ownedGlobal[k] = true
+			}
+		}
+	}
+
+	// Resolve everything and do a final full check.
+	for _, s := range open {
+		if err := s.tx.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		dropOwned(s)
+	}
+	open = nil
+	verify("final")
+}
+
+func isEmptySlot(err error) bool {
+	return errors.Is(err, record.ErrEmptySlot)
+}

@@ -1,0 +1,228 @@
+package rda
+
+import (
+	"fmt"
+
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// Stats is a snapshot of the engine's cost and activity counters.  All
+// disk and log costs are in page transfers, the unit of the paper's
+// performance model, so relative throughput between configurations is
+// directly comparable with the analytical results.
+type Stats struct {
+	// DiskReads and DiskWrites count page transfers against the array
+	// (data and parity pages, header reads included).
+	DiskReads  int64
+	DiskWrites int64
+	// LogWriteTransfers counts transfers charged for forced log pages.
+	LogWriteTransfers int64
+	// LogReadTransfers counts transfers charged for recovery-time and
+	// rollback-time log reads.
+	LogReadTransfers int64
+	// LogRecords and LogBytes describe log volume.
+	LogRecords int64
+	LogBytes   int64
+
+	// BufferHits, BufferMisses and Steals describe buffer activity; a
+	// steal is a dirty frame written back by replacement.
+	BufferHits   int64
+	BufferMisses int64
+	Steals       int64
+
+	// TxStarted, TxCommitted and TxAborted count transactions.
+	TxStarted   int64
+	TxCommitted int64
+	TxAborted   int64
+
+	// Recoveries counts completed restarts.
+	Recoveries int64
+}
+
+// TotalTransfers returns the model's cost measure: every page transfer
+// against the array plus every transfer charged for the log.
+func (s Stats) TotalTransfers() int64 {
+	return s.DiskReads + s.DiskWrites + s.LogWriteTransfers + s.LogReadTransfers
+}
+
+// Stats returns a snapshot of the counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	as := db.arr.Stats()
+	ls := db.log.Stats()
+	bs := db.pool.Stats()
+	started, committed, aborted := db.tm.Counts()
+	return Stats{
+		DiskReads:         as.Reads,
+		DiskWrites:        as.Writes,
+		LogWriteTransfers: ls.Transfers,
+		LogReadTransfers:  ls.ReadTransfers,
+		LogRecords:        ls.Records,
+		LogBytes:          ls.Bytes,
+		BufferHits:        bs.Hits,
+		BufferMisses:      bs.Misses,
+		Steals:            bs.Steals,
+		TxStarted:         started,
+		TxCommitted:       committed,
+		TxAborted:         aborted,
+		Recoveries:        db.recoveries,
+	}
+}
+
+// ResetStats zeroes the transfer and activity counters (transaction and
+// recovery totals are cumulative and are not reset).
+func (db *DB) ResetStats() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.arr.ResetStats()
+	db.log.ResetStats()
+	db.pool.ResetStats()
+}
+
+// ResidentPages returns the ids of buffer-resident pages, most recently
+// used first.  Workload generators use it to realize the paper's
+// communality parameter C: with probability C a transaction re-references
+// a page already in the buffer.
+func (db *DB) ResidentPages() []PageID {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res := db.pool.Resident()
+	out := make([]PageID, len(res))
+	for i, p := range res {
+		out[i] = PageID(p)
+	}
+	return out
+}
+
+// VerifyParity checks the parity invariant of every group (see
+// core.Store.VerifyParityInvariant).  It performs uncharged verification
+// reads; intended for tests and examples.
+func (db *DB) VerifyParity() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.store.VerifyParityInvariant()
+}
+
+// PeekPage returns the current on-disk contents of a page without
+// charging transfers.  Verification aid for tests and examples; not part
+// of the transactional interface.
+func (db *DB) PeekPage(p PageID) ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.arr.PeekData(page.PageID(p))
+}
+
+// GroupInfo describes the recovery state of one parity group — the
+// observable anatomy of the paper's twin-page scheme.  Introspection
+// aid; all reads are uncharged.
+type GroupInfo struct {
+	// Group is the parity group number of the queried page.
+	Group uint32
+	// Pages are the logical pages sharing the group.
+	Pages []PageID
+	// Dirty reports whether the group is in the Figure 3 dirty state.
+	Dirty bool
+	// DirtyPage and DirtyTxn identify the no-UNDO-logging write that
+	// dirtied the group (meaningful when Dirty).
+	DirtyPage PageID
+	DirtyTxn  uint64
+	// CurrentTwin is the index of the current parity page per the
+	// in-memory bitmap; single-parity arrays always use twin 0.
+	CurrentTwin int
+	// TwinStates are the on-disk header states of the parity page(s):
+	// "committed", "obsolete", "working" or "invalid".
+	TwinStates []string
+	// TwinTimestamps are the Figure 7 timestamps of the parity page(s).
+	TwinTimestamps []uint64
+}
+
+// InspectGroup reports the recovery state of the parity group holding
+// page p.
+func (db *DB) InspectGroup(p PageID) (GroupInfo, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if int(p) >= db.NumPages() {
+		return GroupInfo{}, ErrBadPage
+	}
+	g := db.arr.GroupOf(page.PageID(p))
+	info := GroupInfo{Group: uint32(g)}
+	for _, q := range db.arr.GroupPages(g) {
+		info.Pages = append(info.Pages, PageID(q))
+	}
+	if db.store.Twins != nil {
+		info.CurrentTwin = db.store.Twins.Current(g)
+	}
+	if db.store.Dirty != nil {
+		if e, dirty := db.store.Dirty.Lookup(g); dirty {
+			info.Dirty = true
+			info.DirtyPage = PageID(e.Page)
+			info.DirtyTxn = uint64(e.Txn)
+		}
+	}
+	for twin := 0; twin < db.arr.ParityPages(); twin++ {
+		meta, err := db.arr.PeekParityMeta(g, twin)
+		if err != nil {
+			return info, err
+		}
+		info.TwinStates = append(info.TwinStates, meta.State.String())
+		info.TwinTimestamps = append(info.TwinTimestamps, uint64(meta.Timestamp))
+	}
+	return info, nil
+}
+
+// DumpLog calls fn for every log record, oldest first, with a rendered
+// one-line description.  Diagnostic aid (cmd/waldump); uncharged.
+func (db *DB) DumpLog(fn func(line string) bool) error {
+	db.mu.Lock()
+	log := db.log
+	db.mu.Unlock()
+	return log.Scan(1, func(r wal.Record) bool {
+		return fn(renderLogRecord(r))
+	})
+}
+
+// renderLogRecord formats one record for humans.
+func renderLogRecord(r wal.Record) string {
+	switch r.Type {
+	case wal.TypeCheckpoint:
+		return fmt.Sprintf("%6d  CKPT    active=%v", r.LSN, r.Active)
+	case wal.TypeBOT, wal.TypeEOT, wal.TypeAbort:
+		return fmt.Sprintf("%6d  %-6s  txn=%d", r.LSN, r.Type, r.Txn)
+	case wal.TypeChainHead:
+		return fmt.Sprintf("%6d  %-6s  txn=%d head=%d", r.LSN, r.Type, r.Txn, r.Page)
+	default:
+		gran := "page"
+		slot := ""
+		if r.Slot != wal.NoSlot {
+			gran = "record"
+			slot = fmt.Sprintf(".%d", r.Slot)
+		}
+		return fmt.Sprintf("%6d  %-6s  txn=%d %s %d%s (%d bytes)",
+			r.LSN, r.Type, r.Txn, gran, r.Page, slot, len(r.Image))
+	}
+}
+
+// DiskTransfers returns per-disk page transfer totals, indexed by disk
+// number.  Rotated parity exists to keep these balanced (Section 3.1);
+// tests and benchmarks use this to verify it.
+func (db *DB) DiskTransfers() []int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	per := db.arr.DiskStats()
+	out := make([]int64, len(per))
+	for i, s := range per {
+		out[i] = s.Transfers()
+	}
+	return out
+}
+
+// LiveLogRecords returns the number of log records the log currently
+// retains (older records are reclaimed by truncation once no recovery
+// could need them).
+func (db *DB) LiveLogRecords() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.log.Len() - int(db.log.FirstLSN()) + 1
+}

@@ -1,0 +1,664 @@
+package rda
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/lock"
+	"repro/internal/page"
+	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Tx is a transaction handle.  A Tx must be used from one goroutine at a
+// time and is invalid after Commit, Abort, a deadlock abort, or a crash.
+type Tx struct {
+	db   *DB
+	st   *txState
+	done bool
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() (*Tx, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return nil, ErrCrashed
+	}
+	t := db.tm.Begin()
+	st := &txState{
+		t:             t,
+		beforePages:   make(map[page.PageID]page.Buf),
+		beforeRecords: make(map[page.RecordID]record.Image),
+		loggedRecords: make(map[page.RecordID]bool),
+		stolenBefore:  make(map[page.PageID]page.Buf),
+		stolenLogged:  make(map[page.PageID]bool),
+	}
+	db.states[t.ID] = st
+	return &Tx{db: db, st: st}, nil
+}
+
+// ID returns the transaction's identifier.
+func (tx *Tx) ID() uint64 { return uint64(tx.st.t.ID) }
+
+// check validates the handle and page id.
+func (tx *Tx) check(p PageID) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if int(p) >= tx.db.NumPages() {
+		return fmt.Errorf("%w: %d of %d", ErrBadPage, p, tx.db.NumPages())
+	}
+	return nil
+}
+
+// acquire takes a lock, translating a deadlock-victim verdict into an
+// automatic abort of this transaction.
+func (tx *Tx) acquire(res lock.Resource, mode lock.Mode) error {
+	err := tx.db.locks.Acquire(tx.st.t.ID, res, mode)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, lock.ErrDeadlock):
+		if abortErr := tx.Abort(); abortErr != nil && !errors.Is(abortErr, ErrTxDone) {
+			return fmt.Errorf("rda: deadlock abort failed: %w", abortErr)
+		}
+		return fmt.Errorf("%w: %v", ErrDeadlock, err)
+	case errors.Is(err, lock.ErrClosed):
+		tx.done = true
+		return ErrCrashed
+	default:
+		return err
+	}
+}
+
+// lockResource returns the resource to lock for a page/record access
+// under the configured granularity.
+func (tx *Tx) pageResource(p PageID) lock.Resource {
+	return lock.PageResource(page.PageID(p))
+}
+
+// --- Page-granularity operations (PageLogging) ----------------------------
+
+// ReadPage returns a copy of page p under a shared lock.
+func (tx *Tx) ReadPage(p PageID) ([]byte, error) {
+	if err := tx.check(p); err != nil {
+		return nil, err
+	}
+	if tx.db.cfg.Logging != PageLogging {
+		return nil, fmt.Errorf("%w: ReadPage requires PageLogging", ErrWrongMode)
+	}
+	if err := tx.acquire(tx.pageResource(p), lock.Shared); err != nil {
+		return nil, err
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.db.crashed {
+		tx.done = true
+		return nil, ErrCrashed
+	}
+	f, err := tx.db.pool.Get(page.PageID(p))
+	if err != nil {
+		return nil, err
+	}
+	defer tx.db.pool.Unpin(page.PageID(p))
+	return f.Data.Clone(), nil
+}
+
+// WritePage replaces page p's contents under an exclusive lock.  data
+// must be exactly PageSize bytes.
+func (tx *Tx) WritePage(p PageID, data []byte) error {
+	if err := tx.check(p); err != nil {
+		return err
+	}
+	if tx.db.cfg.Logging != PageLogging {
+		return fmt.Errorf("%w: WritePage requires PageLogging", ErrWrongMode)
+	}
+	if len(data) != tx.db.cfg.PageSize {
+		return fmt.Errorf("%w (%d bytes, want %d)", page.ErrBadSize, len(data), tx.db.cfg.PageSize)
+	}
+	if err := tx.acquire(tx.pageResource(p), lock.Exclusive); err != nil {
+		return err
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.db.crashed {
+		tx.done = true
+		return ErrCrashed
+	}
+	pid := page.PageID(p)
+	f, err := tx.db.pool.Get(pid)
+	if err != nil {
+		return err
+	}
+	defer tx.db.pool.Unpin(pid)
+	tx.firstModifyPage(pid, f.Data)
+	copy(f.Data, data)
+	tx.db.pool.MarkDirty(pid, tx.st.t.ID)
+	tx.st.t.Modified[pid] = struct{}{}
+	return nil
+}
+
+// firstModifyPage retains the page's current contents as the in-memory
+// before-image the recovery schemes work from; without RDA recovery the
+// before-image also goes to the log immediately (classic UNDO logging).
+func (tx *Tx) firstModifyPage(p page.PageID, cur page.Buf) {
+	if _, ok := tx.st.beforePages[p]; ok {
+		return
+	}
+	tx.st.beforePages[p] = cur.Clone()
+	// Every update transaction brackets itself with BOT...EOT on the log
+	// (the model charges these for all update transactions); RDA only
+	// avoids the before-images.
+	tx.db.ensureBOT(tx.st)
+	if !tx.db.cfg.RDA {
+		tx.db.ensureUndoLogged(tx.st, p)
+	}
+}
+
+// --- Record-granularity operations (RecordLogging) ------------------------
+
+// recordView pins page p and returns its record view; the caller must
+// Unpin.
+func (tx *Tx) recordView(p page.PageID) (*record.Page, error) {
+	f, err := tx.db.pool.Get(p)
+	if err != nil {
+		return nil, err
+	}
+	v, err := record.View(f.Data)
+	if err != nil {
+		tx.db.pool.Unpin(p)
+		return nil, err
+	}
+	return v, nil
+}
+
+// ReadRecord returns a copy of the record at (p, slot) under a shared
+// record lock, or record.ErrEmptySlot if the slot is free.
+func (tx *Tx) ReadRecord(p PageID, slot int) ([]byte, error) {
+	if err := tx.checkRecord(p); err != nil {
+		return nil, err
+	}
+	if err := tx.acquire(lock.RecordResource(page.PageID(p), slot), lock.Shared); err != nil {
+		return nil, err
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.db.crashed {
+		tx.done = true
+		return nil, ErrCrashed
+	}
+	v, err := tx.recordView(page.PageID(p))
+	if err != nil {
+		return nil, err
+	}
+	defer tx.db.pool.Unpin(page.PageID(p))
+	return v.Read(slot)
+}
+
+// WriteRecord stores rec at (p, slot) under an exclusive record lock,
+// inserting or overwriting.
+func (tx *Tx) WriteRecord(p PageID, slot int, rec []byte) error {
+	if err := tx.checkRecord(p); err != nil {
+		return err
+	}
+	if err := tx.acquire(lock.RecordResource(page.PageID(p), slot), lock.Exclusive); err != nil {
+		return err
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.db.crashed {
+		tx.done = true
+		return ErrCrashed
+	}
+	return tx.writeRecordLocked(page.PageID(p), slot, rec, true)
+}
+
+// InsertRecord stores rec in a free slot of page p and returns the slot
+// index, or record.ErrFull if the page has no free slot.  The slot is
+// chosen under its exclusive lock, so concurrent inserters never collide
+// (a candidate that another transaction claims first is skipped; the
+// probe locks are retained until EOT, as strict two-phase locking
+// requires).
+func (tx *Tx) InsertRecord(p PageID, rec []byte) (int, error) {
+	if err := tx.checkRecord(p); err != nil {
+		return 0, err
+	}
+	pid := page.PageID(p)
+	slots := tx.db.RecordsPerPage()
+	for slot := 0; slot < slots; slot++ {
+		// Peek (uncharged, unlocked) to skip obviously taken slots.
+		tx.db.mu.Lock()
+		if tx.db.crashed {
+			tx.db.mu.Unlock()
+			tx.done = true
+			return 0, ErrCrashed
+		}
+		v, err := tx.recordView(pid)
+		if err != nil {
+			tx.db.mu.Unlock()
+			return 0, err
+		}
+		used := v.Used(slot)
+		tx.db.pool.Unpin(pid)
+		tx.db.mu.Unlock()
+		if used {
+			continue
+		}
+		// Lock the candidate, then re-check under the lock.
+		if err := tx.acquire(lock.RecordResource(pid, slot), lock.Exclusive); err != nil {
+			return 0, err
+		}
+		tx.db.mu.Lock()
+		if tx.db.crashed {
+			tx.db.mu.Unlock()
+			tx.done = true
+			return 0, ErrCrashed
+		}
+		v, err = tx.recordView(pid)
+		if err != nil {
+			tx.db.mu.Unlock()
+			return 0, err
+		}
+		stillFree := !v.Used(slot)
+		tx.db.pool.Unpin(pid)
+		if !stillFree {
+			tx.db.mu.Unlock()
+			continue // raced with a concurrent inserter
+		}
+		err = tx.writeRecordLocked(pid, slot, rec, true)
+		tx.db.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		return slot, nil
+	}
+	return 0, record.ErrFull
+}
+
+// DeleteRecord removes the record at (p, slot) under an exclusive lock.
+func (tx *Tx) DeleteRecord(p PageID, slot int) error {
+	if err := tx.checkRecord(p); err != nil {
+		return err
+	}
+	if err := tx.acquire(lock.RecordResource(page.PageID(p), slot), lock.Exclusive); err != nil {
+		return err
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.db.crashed {
+		tx.done = true
+		return ErrCrashed
+	}
+	return tx.writeRecordLocked(page.PageID(p), slot, nil, false)
+}
+
+// writeRecordLocked performs the write/delete under db.mu with locks
+// held.
+func (tx *Tx) writeRecordLocked(p page.PageID, slot int, rec []byte, present bool) error {
+	// Before another transaction is allowed to touch a page that sits in
+	// a parity group dirtied BY THAT PAGE, the no-UNDO-logging steal must
+	// be demoted to a logged one; otherwise a later twin-parity undo of
+	// the owning transaction would roll the whole page back past this
+	// transaction's records.  See DB.demoteNoLogSteal.
+	if tx.db.cfg.RDA {
+		g := tx.db.arr.GroupOf(p)
+		if e, dirty := tx.db.store.Dirty.Lookup(g); dirty && e.Page == p && e.Txn != tx.st.t.ID {
+			if err := tx.db.demoteNoLogSteal(g, e); err != nil {
+				return err
+			}
+		}
+	}
+	v, err := tx.recordView(p)
+	if err != nil {
+		return err
+	}
+	defer tx.db.pool.Unpin(p)
+	rid := page.RecordID{Page: p, Slot: slot}
+	if _, ok := tx.st.beforeRecords[rid]; !ok {
+		img, err := v.Snapshot(slot)
+		if err != nil {
+			return err
+		}
+		tx.st.beforeRecords[rid] = img
+		tx.db.ensureBOT(tx.st)
+		if !tx.db.cfg.RDA {
+			tx.db.log.Append(wal.Record{
+				Type: wal.TypeBeforeImage, Txn: tx.st.t.ID, Page: p, Slot: int32(slot),
+				Image: record.EncodeImage(img),
+			})
+			tx.st.loggedRecords[rid] = true
+		}
+	}
+	if present {
+		if err := v.Write(slot, rec); err != nil {
+			return err
+		}
+	} else if err := v.Delete(slot); err != nil {
+		return err
+	}
+	tx.db.pool.MarkDirty(p, tx.st.t.ID)
+	tx.st.t.Modified[p] = struct{}{}
+	tx.st.t.ModifiedRecords[rid] = struct{}{}
+	return nil
+}
+
+func (tx *Tx) checkRecord(p PageID) error {
+	if err := tx.check(p); err != nil {
+		return err
+	}
+	if tx.db.cfg.Logging != RecordLogging {
+		return fmt.Errorf("%w: record operations require RecordLogging", ErrWrongMode)
+	}
+	return nil
+}
+
+// --- EOT -------------------------------------------------------------------
+
+// Commit ends the transaction successfully.  Under FORCE all of its
+// modified pages are written to the database first; after-images and the
+// EOT record go to the log; RDA working parities become current.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.db.mu.Lock()
+	if tx.db.crashed {
+		tx.db.mu.Unlock()
+		tx.done = true
+		return ErrCrashed
+	}
+	st := tx.st
+	t := st.t
+	updater := len(t.Modified) > 0
+
+	if updater && tx.db.cfg.EOT == Force {
+		for p := range t.Modified {
+			if err := tx.db.pool.FlushPage(p); err != nil {
+				tx.db.mu.Unlock()
+				return fmt.Errorf("rda: force at EOT: %w", err)
+			}
+		}
+	}
+	if updater {
+		tx.db.ensureBOT(st)
+		if err := tx.db.appendAfterImages(st); err != nil {
+			tx.db.mu.Unlock()
+			return err
+		}
+		tx.db.log.Append(wal.Record{Type: wal.TypeEOT, Txn: t.ID, Slot: wal.NoSlot})
+	}
+	// The EOT record is the commit point; everything after is volatile
+	// bookkeeping.
+	tx.db.store.CommitGroups(t)
+	tx.db.clearModifiers(t)
+	tx.db.tm.Finish(t.ID, txn.Committed)
+	delete(tx.db.states, t.ID)
+	tx.done = true
+	ckptErr := tx.db.maybeAutoCheckpoint()
+	tx.db.truncateLog()
+	tx.db.mu.Unlock()
+
+	if ckptErr != nil {
+		tx.db.locks.ReleaseAll(t.ID)
+		return ckptErr
+	}
+
+	tx.db.locks.ReleaseAll(t.ID)
+	return nil
+}
+
+// appendAfterImages writes the transaction's REDO material: page images
+// (page mode) or record images (record mode) of everything it modified.
+func (db *DB) appendAfterImages(st *txState) error {
+	t := st.t
+	if db.cfg.Logging == PageLogging {
+		for p := range t.Modified {
+			img, err := db.currentImage(p)
+			if err != nil {
+				return err
+			}
+			db.log.Append(wal.Record{
+				Type: wal.TypeAfterImage, Txn: t.ID, Page: p, Slot: wal.NoSlot, Image: img,
+			})
+		}
+		return nil
+	}
+	for rid := range t.ModifiedRecords {
+		img, err := db.currentImage(rid.Page)
+		if err != nil {
+			return err
+		}
+		v, err := record.View(page.Buf(img))
+		if err != nil {
+			return err
+		}
+		snap, err := v.Snapshot(rid.Slot)
+		if err != nil {
+			return err
+		}
+		db.log.Append(wal.Record{
+			Type: wal.TypeAfterImage, Txn: t.ID, Page: rid.Page, Slot: int32(rid.Slot),
+			Image: record.EncodeImage(snap),
+		})
+	}
+	return nil
+}
+
+// currentImage returns the latest contents of page p: the buffered frame
+// when resident, the on-disk page otherwise (the page was stolen and not
+// re-referenced; the read is charged, as any I/O).
+func (db *DB) currentImage(p page.PageID) (page.Buf, error) {
+	if f := db.pool.Frame(p); f != nil {
+		return f.Data.Clone(), nil
+	}
+	return db.store.ReadPage(p)
+}
+
+// clearModifiers removes the finished transaction from every resident
+// frame's modifier set; frames still dirty afterwards carry committed
+// residue (see buffer.Frame.Residue).
+func (db *DB) clearModifiers(t *txn.Txn) {
+	for p := range t.Modified {
+		f := db.pool.Frame(p)
+		if f == nil {
+			continue
+		}
+		delete(f.Modifiers, t.ID)
+		if f.Dirty {
+			f.Residue = true
+		}
+	}
+}
+
+// Abort rolls the transaction back:
+//
+//   - pages written back without UNDO logging are restored from twin
+//     parity (D_old = (P ⊕ P′) ⊕ D_new) and their working parities
+//     invalidated;
+//   - pages written back through the logging path are restored on disk
+//     from the retained before-images (record mode restores only this
+//     transaction's records);
+//   - modified pages never stolen are repaired in the buffer alone.
+//
+// The paper's model charges a rollback with reading the log back to the
+// BOT record; the engine charges that scan explicitly.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.db.mu.Lock()
+	if tx.db.crashed {
+		tx.db.mu.Unlock()
+		tx.done = true
+		return ErrCrashed
+	}
+	st := tx.st
+	t := st.t
+
+	if err := tx.db.rollback(st); err != nil {
+		tx.db.mu.Unlock()
+		return fmt.Errorf("rda: abort txn %d: %w", t.ID, err)
+	}
+	if st.botLSN != 0 {
+		// Charged backward read of the log to the BOT record (the
+		// model's c_b component).
+		tx.db.log.ChargeScan(st.botLSN, wal.LSN(tx.db.log.Len()))
+		tx.db.log.Append(wal.Record{Type: wal.TypeAbort, Txn: t.ID, Slot: wal.NoSlot})
+	}
+	tx.db.tm.Finish(t.ID, txn.Aborted)
+	delete(tx.db.states, t.ID)
+	tx.done = true
+	tx.db.mu.Unlock()
+
+	tx.db.locks.ReleaseAll(t.ID)
+	return nil
+}
+
+// rollback performs the disk- and buffer-level undo for an abort.
+func (db *DB) rollback(st *txState) error {
+	t := st.t
+
+	// 1. Parity undo of groups this transaction dirtied.
+	if db.store.Dirty != nil {
+		for _, g := range db.store.Dirty.GroupsOf(t.ID) {
+			p, _, err := db.store.UndoGroupViaParity(g)
+			if err != nil {
+				return err
+			}
+			// Drop any buffered copy; the restored version is on disk.
+			db.pool.Discard(p)
+		}
+	}
+
+	// 2. Write-through restore of pages stolen via the logging path.
+	for p := range st.stolenLogged {
+		restored, err := db.restoreStolenLogged(st, p)
+		if err != nil {
+			return err
+		}
+		f := db.pool.Frame(p)
+		if f == nil {
+			continue
+		}
+		delete(f.Modifiers, t.ID)
+		if len(f.Modifiers) == 0 {
+			// Nobody else's uncommitted work lives here; the restored
+			// disk copy is authoritative.
+			db.pool.Discard(p)
+			continue
+		}
+		// Other active transactions' changes are in this frame (record
+		// locking).  Repair only this transaction's part in place and
+		// refresh the disk version to the just-restored image so later
+		// parity small-writes use the correct old contents.
+		if err := db.repairFrameData(st, f); err != nil {
+			return err
+		}
+		if f.DiskVersion != nil {
+			f.DiskVersion = restored.Clone()
+		}
+	}
+
+	// 3. In-buffer repair of modified pages never stolen.
+	for p := range t.Modified {
+		if _, viaParity := st.stolenBefore[p]; viaParity {
+			continue
+		}
+		if st.stolenLogged[p] {
+			continue
+		}
+		f := db.pool.Frame(p)
+		if f == nil {
+			continue // evicted clean, or never dirtied
+		}
+		if _, mine := f.Modifiers[t.ID]; !mine {
+			continue
+		}
+		if err := db.repairFrame(st, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreStolenLogged writes page p's pre-transaction state back to disk
+// and returns the restored disk image.
+func (db *DB) restoreStolenLogged(st *txState, p page.PageID) (page.Buf, error) {
+	if db.cfg.Logging == PageLogging {
+		img, ok := st.beforePages[p]
+		if !ok {
+			return nil, fmt.Errorf("rda: missing before-image for page %d", p)
+		}
+		restored := img.Clone()
+		return restored, db.store.WriteLogged(p, restored, nil)
+	}
+	// Record mode: restore only this transaction's records on the
+	// current disk page, preserving other transactions' records.
+	cur, err := db.store.ReadPage(p)
+	if err != nil {
+		return nil, err
+	}
+	v, err := record.View(cur)
+	if err != nil {
+		return nil, err
+	}
+	for rid, img := range st.beforeRecords {
+		if rid.Page != p {
+			continue
+		}
+		if err := v.Apply(rid.Slot, img); err != nil {
+			return nil, err
+		}
+	}
+	return cur, db.store.WriteLogged(p, cur, nil)
+}
+
+// repairFrameData rewinds this transaction's changes in a frame's data:
+// the whole page in page mode, only this transaction's records in record
+// mode (other transactions' changes stay).
+func (db *DB) repairFrameData(st *txState, f *buffer.Frame) error {
+	if db.cfg.Logging == PageLogging {
+		img, ok := st.beforePages[f.Page]
+		if !ok {
+			return nil
+		}
+		copy(f.Data, img)
+		return nil
+	}
+	v, err := record.View(f.Data)
+	if err != nil {
+		return err
+	}
+	for rid, img := range st.beforeRecords {
+		if rid.Page != f.Page {
+			continue
+		}
+		if err := v.Apply(rid.Slot, img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repairFrame rewinds a never-stolen frame to this transaction's
+// before-images and updates the frame bookkeeping.
+func (db *DB) repairFrame(st *txState, f *buffer.Frame) error {
+	t := st.t
+	if err := db.repairFrameData(st, f); err != nil {
+		return err
+	}
+	delete(f.Modifiers, t.ID)
+	if len(f.Modifiers) == 0 {
+		if f.DiskVersion != nil && f.Data.Equal(f.DiskVersion) {
+			f.Dirty = false
+			f.Residue = false
+		} else if f.Dirty {
+			// Whatever delta remains belongs to finished transactions.
+			f.Residue = true
+		}
+	}
+	return nil
+}
