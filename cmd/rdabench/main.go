@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rdabench [-fig 9|10|11|12|13|overhead|nsweep|reliability|all] [-live] [-budget N]
+//	rdabench [-fig 9|10|11|12|13|overhead|nsweep|reliability|all] [-live] [-budget N] [-seed N]
 //
 // The output is a table per figure with one row per x value (communality
 // C, or transaction size s for Figure 13), giving the throughput without
@@ -27,6 +27,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 9, 10, 11, 12, 13, overhead, nsweep, reliability or all")
 	live := flag.Bool("live", false, "also measure the live engine (slower)")
 	budget := flag.Int64("budget", 150000, "transfer budget per live measurement point")
+	seed := flag.Int64("seed", 42, "workload seed for the live measurement")
 	flag.Parse()
 
 	switch *fig {
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	if *live {
-		if err := liveCrossCheck(*budget); err != nil {
+		if err := liveCrossCheck(*budget, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "rdabench: live measurement: %v\n", err)
 			os.Exit(1)
 		}
@@ -122,7 +123,8 @@ func printReliability() {
 
 // liveCrossCheck measures the paper's headline comparison — page logging
 // FORCE/TOC with and without RDA — on the real engine over a sweep of C.
-func liveCrossCheck(budget int64) error {
+// Both sides of each comparison run the same seeded workload.
+func liveCrossCheck(budget, seed int64) error {
 	fmt.Println("== Live engine cross-check: page logging FORCE/TOC (cf. Figure 9) ==")
 	fmt.Printf("%6s %12s %12s %8s %16s\n", "C", "no-RDA tx", "RDA tx", "gain", "log transfers Δ")
 	for _, c := range []float64{0.0, 0.3, 0.6, 0.9} {
@@ -143,7 +145,7 @@ func liveCrossCheck(budget int64) error {
 				UpdateProb:     0.9,
 				AbortProb:      0.01,
 				Communality:    c,
-				Seed:           42,
+				Seed:           seed,
 			}, sim.Options{Transfers: budget, CrashAtEnd: true})
 		}
 		no, err := run(false)

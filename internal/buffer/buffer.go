@@ -24,6 +24,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/page"
 )
@@ -60,13 +61,15 @@ type Frame struct {
 // Pinned reports whether the frame is currently pinned.
 func (f *Frame) Pinned() bool { return f.pins > 0 }
 
-// ModifierList returns the frame's modifiers as a slice (unspecified
-// order).
+// ModifierList returns the frame's modifiers in ascending id order.  The
+// order is deterministic so that identically seeded runs issue identical
+// I/O sequences (crash-point schedules replay by write index).
 func (f *Frame) ModifierList() []page.TxID {
 	out := make([]page.TxID, 0, len(f.Modifiers))
 	for tx := range f.Modifiers {
 		out = append(out, tx)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -158,7 +161,9 @@ func (bp *Pool) Resident() []page.PageID {
 	return out
 }
 
-// DirtyPages returns the ids of all dirty resident pages.
+// DirtyPages returns the ids of all dirty resident pages in ascending
+// order, so checkpoint and EOT flush sequences are deterministic (a
+// requirement for replayable crash-point schedules).
 func (bp *Pool) DirtyPages() []page.PageID {
 	var out []page.PageID
 	for p, f := range bp.frames {
@@ -166,6 +171,7 @@ func (bp *Pool) DirtyPages() []page.PageID {
 			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -216,7 +216,10 @@ func (s *Store) StealNoLog(p page.PageID, data, cachedOld page.Buf, t *txn.Txn) 
 			return err
 		}
 	}
-	meta := disk.Meta{Txn: t.ID, ChainPrev: t.ChainHead(), ChainSet: true}
+	// The data header carries the same timestamp as the working parity
+	// written above: after a crash the scan can tell whether this data
+	// write made it to disk before re-stealing rewrote the twin.
+	meta := disk.Meta{Txn: t.ID, Timestamp: ts, ChainPrev: t.ChainHead(), ChainSet: true}
 	if err := s.writeData(p, data, meta); err != nil {
 		return err
 	}
@@ -426,12 +429,112 @@ func (s *Store) CrashUndoWorkingTwin(w WorkingTwinInfo) error {
 		return fmt.Errorf("core: read tagged page %d: %w", w.Page, err)
 	}
 	if meta.Txn != w.Txn {
-		// Already restored by a previous, interrupted recovery.
+		// Already restored by a previous, interrupted recovery, or the
+		// crash fell between the working-parity write and the data write:
+		// either way the page holds no state of this writer.
+		return s.Twins.Invalidate(w.Group, w.Twin)
+	}
+	if meta.Timestamp != w.Timestamp {
+		// The crash fell inside a re-steal, between rewriting the working
+		// twin and the data write: the twin describes a newer page version
+		// than the one on disk, so P ⊕ P′ ⊕ D would yield garbage.  The
+		// committed twin still describes the pre-transaction group, giving
+		// the before-image directly: D_old = P_cmt ⊕ (other data pages).
+		dOld, err := s.ReconstructData(w.Group, w.Page, 1-w.Twin)
+		if err != nil {
+			return err
+		}
+		if err := s.writeData(w.Page, dOld, disk.Meta{}); err != nil {
+			return err
+		}
 		return s.Twins.Invalidate(w.Group, w.Twin)
 	}
 	_, err = s.undoViaTwins(w.Group, w.Page, w.Twin)
 	return err
 }
+
+// ReconstructData rebuilds data page p of group g from the given parity
+// twin and the group's other data pages (charged reads): D = P ⊕ (other
+// data).  Callers pick a twin whose parity is known to describe the
+// wanted version of the group.
+func (s *Store) ReconstructData(g page.GroupID, p page.PageID, twin int) (page.Buf, error) {
+	parity, _, err := s.Arr.ReadParity(g, twin)
+	if err != nil {
+		return nil, fmt.Errorf("core: read twin %d of group %d: %w", twin, g, err)
+	}
+	blocks := [][]byte{parity}
+	for _, q := range s.Arr.GroupPages(g) {
+		if q == p {
+			continue
+		}
+		b, _, err := s.Arr.ReadData(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: read page %d: %w", q, err)
+		}
+		blocks = append(blocks, b)
+	}
+	return page.Buf(xorparity.Reconstruct(s.Arr.PageSize(), blocks...)), nil
+}
+
+// ResyncParity makes every group's current parity twin equal the XOR of
+// its on-disk data pages again.  Crash recovery runs it — after loser
+// working twins are invalidated and the bitmap is rebuilt, before logged
+// undo — to close the window where an in-place parity read-modify-write
+// ran ahead of its data write (or a committed twin flip ran ahead of the
+// data write behind it).  Returns the number of groups repaired.
+//
+// If the other twin of a twinned group already matches the data, the
+// group simply never finished switching: the matching twin is promoted
+// and the stale one invalidated.  Otherwise the current twin's payload
+// is recomputed in place, keeping its header.
+func (s *Store) ResyncParity() (int, error) {
+	fixed := 0
+	for g := 0; g < s.Arr.NumGroups(); g++ {
+		gid := page.GroupID(g)
+		cur := s.currentTwin(gid)
+		ok, err := s.Arr.VerifyGroup(gid, cur)
+		if err != nil {
+			return fixed, fmt.Errorf("core: resync group %d: %w", g, err)
+		}
+		if ok {
+			continue
+		}
+		if s.Twins != nil {
+			other := 1 - cur
+			okOther, err := s.Arr.VerifyGroup(gid, other)
+			if err != nil {
+				return fixed, fmt.Errorf("core: resync group %d: %w", g, err)
+			}
+			if okOther {
+				om, err := s.Arr.PeekParityMeta(gid, other)
+				if err != nil {
+					return fixed, err
+				}
+				if om.State == disk.StateCommitted {
+					s.Twins.Promote(gid, other)
+					if err := s.Twins.Invalidate(gid, cur); err != nil {
+						return fixed, err
+					}
+					fixed++
+					continue
+				}
+			}
+		}
+		meta, err := s.Arr.PeekParityMeta(gid, cur)
+		if err != nil {
+			return fixed, err
+		}
+		if err := s.Arr.RecomputeParity(gid, cur, meta); err != nil {
+			return fixed, fmt.Errorf("core: resync group %d: %w", g, err)
+		}
+		fixed++
+	}
+	return fixed, nil
+}
+
+// SetInjector installs (or removes) a fault injector on every drive of
+// the store's array.
+func (s *Store) SetInjector(inj disk.Injector) { s.Arr.SetInjector(inj) }
 
 // RebuildAfterCrash reconstructs the volatile twin bitmap using the
 // Current_Parity scan (Figure 7), resolving working headers through the

@@ -132,6 +132,9 @@ type Disk struct {
 	blocks    []block
 	failed    bool
 	stats     Stats
+	// inj, when non-nil, observes every charged I/O and may subvert it
+	// (see Injector).
+	inj Injector
 }
 
 // New creates a disk with the given identifier, number of blocks and block
@@ -162,11 +165,18 @@ func (d *Disk) BlockSize() int { return d.blockSize }
 func (d *Disk) Read(blockNum int) (page.Buf, Meta, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	dec := d.observe(blockNum, OpRead)
 	if d.failed {
 		return nil, Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
 	}
 	if blockNum < 0 || blockNum >= len(d.blocks) {
 		return nil, Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	if dec.Err != nil {
+		return nil, Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, dec.Err)
+	}
+	if dec.Panic != nil {
+		panic(dec.Panic)
 	}
 	d.stats.Reads++
 	b := &d.blocks[blockNum]
@@ -181,6 +191,7 @@ func (d *Disk) Read(blockNum int) (page.Buf, Meta, error) {
 func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	dec := d.observe(blockNum, OpWrite)
 	if d.failed {
 		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
 	}
@@ -190,12 +201,45 @@ func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
 	if len(data) != d.blockSize {
 		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, page.ErrBadSize)
 	}
+	if dec.Err != nil {
+		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, dec.Err)
+	}
+	if dec.Panic != nil && !dec.Torn {
+		// Power fails before the sector reaches the platter: the old
+		// contents survive intact.
+		panic(dec.Panic)
+	}
 	d.stats.Writes++
 	b := &d.blocks[blockNum]
+	if dec.Torn {
+		// The header travels out of band and persists; only half of the
+		// payload does.  The stored checksum stays stale, so reads return
+		// ErrChecksum until the block is repaired from redundancy.
+		b.meta = meta
+		half := d.blockSize / 2
+		if dec.TornHead {
+			copy(b.data[:half], data[:half])
+		} else {
+			copy(b.data[half:], data[half:])
+		}
+		b.bad = true
+		if dec.Panic != nil {
+			panic(dec.Panic)
+		}
+		return nil
+	}
 	copy(b.data, data)
 	b.meta = meta
 	b.sum = page.Buf(b.data).Checksum()
 	b.bad = false
+	if dec.FlipBit {
+		bit := dec.FlipBitOffset % (d.blockSize * 8)
+		if bit < 0 {
+			bit += d.blockSize * 8
+		}
+		b.data[bit/8] ^= 1 << (bit % 8)
+		b.bad = true
+	}
 	return nil
 }
 
@@ -205,11 +249,18 @@ func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
 func (d *Disk) ReadMeta(blockNum int) (Meta, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	dec := d.observe(blockNum, OpReadMeta)
 	if d.failed {
 		return Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
 	}
 	if blockNum < 0 || blockNum >= len(d.blocks) {
 		return Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	if dec.Err != nil {
+		return Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, dec.Err)
+	}
+	if dec.Panic != nil {
+		panic(dec.Panic)
 	}
 	d.stats.Reads++
 	return d.blocks[blockNum].meta, nil
@@ -222,11 +273,20 @@ func (d *Disk) ReadMeta(blockNum int) (Meta, error) {
 func (d *Disk) WriteMeta(blockNum int, meta Meta) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	dec := d.observe(blockNum, OpWriteMeta)
 	if d.failed {
 		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
 	}
 	if blockNum < 0 || blockNum >= len(d.blocks) {
 		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrOutOfRange)
+	}
+	if dec.Err != nil {
+		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, dec.Err)
+	}
+	if dec.Panic != nil {
+		// A header write is a single out-of-band transfer: a crash before
+		// it leaves the old header intact.
+		panic(dec.Panic)
 	}
 	d.stats.Writes++
 	d.blocks[blockNum].meta = meta

@@ -498,6 +498,14 @@ func (a *Array) RepairDisk(d int) error {
 // Disk exposes the underlying drive (for tests and the layout dumper).
 func (a *Array) Disk(d int) *disk.Disk { return a.disks[d] }
 
+// SetInjector installs (or, with nil, removes) a fault injector on every
+// drive of the array.
+func (a *Array) SetInjector(inj disk.Injector) {
+	for _, d := range a.disks {
+		d.SetInjector(inj)
+	}
+}
+
 // Stats returns the aggregate I/O counters across all disks.
 func (a *Array) Stats() disk.Stats {
 	var s disk.Stats

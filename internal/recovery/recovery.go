@@ -37,6 +37,7 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -154,18 +155,38 @@ type Report struct {
 	UndoneViaLog    int // before-images written back
 	Redone          int // after-images replayed
 	LaunderedTwins  int // winner working twins promoted on disk
+	RepairedTorn    int // torn blocks rebuilt from redundancy
+	ResyncedGroups  int // groups whose parity was resynchronized
 }
 
 // CrashRecover runs the full restart sequence described in the package
 // comment.  redo selects whether the REDO pass runs (¬FORCE algorithms);
 // FORCE algorithms have nothing to redo.
-func CrashRecover(s *core.Store, redo bool) (*Report, error) {
+//
+// hard marks a restart after a mid-I/O crash (the fault plane's crash
+// points, as opposed to db.Crash()'s quiescent loss of volatile state).
+// It enables two extra passes that only mid-I/O interleavings need: the
+// torn-block repair scan after analysis, and the parity resynchronization
+// after the bitmap rebuild, closing the window where an in-place parity
+// read-modify-write ran ahead of its data write.  Quiescent restarts skip
+// both so their transfer counts match the paper's cost model.
+func CrashRecover(s *core.Store, redo, hard bool) (*Report, error) {
 	a, err := Analyze(s.Log)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{Losers: a.Losers}
 	loser := func(tx page.TxID) bool { return a.Outcomes[tx] == OutcomeLoser }
+
+	// Pass 1.5: repair torn blocks from redundancy, so every later pass
+	// can read every block.
+	if hard {
+		n, err := repairTorn(s, a)
+		if err != nil {
+			return nil, err
+		}
+		rep.RepairedTorn = n
+	}
 
 	// Pass 2: parity undo via the twin header scan.
 	if s.RDA() {
@@ -198,6 +219,20 @@ func CrashRecover(s *core.Store, redo bool) (*Report, error) {
 		}
 	}
 
+	// Pass 3.5: resynchronize parity with the on-disk data.  At this
+	// point no working twins remain (losers' invalidated, winners'
+	// laundered) and all remaining undo/redo is log-based, so forcing
+	// every group's current parity to XOR(data) is safe — and necessary
+	// when the crash fell between an in-place parity write and the data
+	// write behind it.
+	if hard {
+		n, err := s.ResyncParity()
+		if err != nil {
+			return nil, err
+		}
+		rep.ResyncedGroups = n
+	}
+
 	// Pass 4: logged undo, newest first per loser.
 	for _, tx := range a.Losers {
 		images := a.LoserImages[tx]
@@ -224,6 +259,140 @@ func CrashRecover(s *core.Store, redo bool) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// repairTorn scans every block for a torn write — checksum mismatch
+// under an intact out-of-band header — and rebuilds its payload from the
+// group's redundancy.  A torn write IS the crash, so at most one block
+// per restart is torn, but the scan handles any number.  The scan's
+// reads are charged, like every recovery pass.
+func repairTorn(s *core.Store, a *Analysis) (int, error) {
+	repaired := 0
+	for g := 0; g < s.Arr.NumGroups(); g++ {
+		gid := page.GroupID(g)
+		for _, p := range s.Arr.GroupPages(gid) {
+			_, _, err := s.Arr.ReadData(p)
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, disk.ErrChecksum) {
+				return repaired, fmt.Errorf("recovery: torn scan page %d: %w", p, err)
+			}
+			if err := repairTornData(s, a, gid, p); err != nil {
+				return repaired, err
+			}
+			repaired++
+		}
+		for twin := 0; twin < s.Arr.ParityPages(); twin++ {
+			_, _, err := s.Arr.ReadParity(gid, twin)
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, disk.ErrChecksum) {
+				return repaired, fmt.Errorf("recovery: torn scan group %d twin %d: %w", g, twin, err)
+			}
+			if err := repairTornParity(s, a, gid, twin); err != nil {
+				return repaired, err
+			}
+			repaired++
+		}
+	}
+	return repaired, nil
+}
+
+// repairTornData rebuilds a torn data page.
+//
+// If a loser's working twin covers the page, the tear interrupted a
+// no-UNDO steal: the committed twin still describes the pre-transaction
+// group, so the page is restored to its before-image with a cleared
+// header (the parity-undo pass then merely invalidates the twin).
+// Otherwise the tear interrupted a committed or logged write-back whose
+// parity update preceded it, so the Figure 7 current twin describes the
+// intended contents; the page is rebuilt from it under the header the
+// torn write itself persisted.
+func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID) error {
+	if s.RDA() {
+		for twin := 0; twin < 2; twin++ {
+			m, err := s.Arr.ReadParityMeta(g, twin)
+			if err != nil {
+				return err
+			}
+			if m.State != disk.StateWorking || m.DirtyPage != p || a.Committed(m.Txn) {
+				continue
+			}
+			dOld, err := s.ReconstructData(g, p, 1-twin)
+			if err != nil {
+				return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+			}
+			if err := s.Arr.WriteData(p, dOld, disk.Meta{}); err != nil {
+				return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+			}
+			return nil
+		}
+	}
+	twin := 0
+	if s.Twins != nil {
+		t, err := s.Twins.CurrentParityFromDisk(g, a.Committed)
+		if err != nil {
+			return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+		}
+		twin = t
+	}
+	data, err := s.ReconstructData(g, p, twin)
+	if err != nil {
+		return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+	}
+	loc := s.Arr.DataLoc(p)
+	hdr, err := s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
+	if err != nil {
+		return err
+	}
+	if err := s.Arr.WriteData(p, data, hdr); err != nil {
+		return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+	}
+	return nil
+}
+
+// repairTornParity rebuilds a torn parity twin.
+//
+// A torn twin in the working state whose writer lost means the tear
+// interrupted the steal's parity write itself.  If the covered data page
+// already carries the writer's tag the tear hit a re-steal, so the page
+// is first restored from the committed twin; either way the torn twin is
+// rewritten as invalid with a zero payload.  Any other header — committed,
+// obsolete, or a stale working header whose writer committed — belongs to
+// an in-place read-modify-write that ran ahead of its data write: the
+// payload is recomputed from the on-disk data under the persisted header.
+func repairTornParity(s *core.Store, a *Analysis, g page.GroupID, twin int) error {
+	hdr, err := s.Arr.PeekParityMeta(g, twin)
+	if err != nil {
+		return err
+	}
+	if hdr.State == disk.StateWorking && !a.Committed(hdr.Txn) {
+		p := hdr.DirtyPage
+		_, dMeta, err := s.Arr.ReadData(p)
+		if err != nil {
+			return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+		}
+		if dMeta.Txn == hdr.Txn {
+			dOld, err := s.ReconstructData(g, p, 1-twin)
+			if err != nil {
+				return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+			}
+			if err := s.Arr.WriteData(p, dOld, disk.Meta{}); err != nil {
+				return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+			}
+		}
+		zero := make(page.Buf, s.Arr.PageSize())
+		if err := s.Arr.WriteParity(g, twin, zero, disk.Meta{State: disk.StateInvalid}); err != nil {
+			return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+		}
+		return nil
+	}
+	if err := s.Arr.RecomputeParity(g, twin, hdr); err != nil {
+		return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+	}
+	return nil
 }
 
 // applyImage writes a logged page or record image back to the database.

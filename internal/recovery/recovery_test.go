@@ -73,7 +73,7 @@ func TestAnalyzeOutcomes(t *testing.T) {
 
 func TestCrashRecoverEmptyLog(t *testing.T) {
 	s := newStore(t, diskarray.RAID5Twin)
-	rep, err := CrashRecover(s, true)
+	rep, err := CrashRecover(s, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestCrashRecoverBadPageImage(t *testing.T) {
 	s := newStore(t, diskarray.RAID5)
 	s.Log.Append(wal.Record{Type: wal.TypeBOT, Txn: 1, Slot: wal.NoSlot})
 	s.Log.Append(wal.Record{Type: wal.TypeBeforeImage, Txn: 1, Page: 0, Slot: wal.NoSlot, Image: []byte{1, 2}}) // wrong size
-	if _, err := CrashRecover(s, false); err == nil || !strings.Contains(err.Error(), "image") {
+	if _, err := CrashRecover(s, false, false); err == nil || !strings.Contains(err.Error(), "image") {
 		t.Fatalf("err = %v, want image-size error", err)
 	}
 }
@@ -104,7 +104,7 @@ func TestCrashRecoverLaundersWinnerTwins(t *testing.T) {
 	s.Log.Append(wal.Record{Type: wal.TypeEOT, Txn: tx.ID, Slot: wal.NoSlot})
 	// Crash before the lazily-updated twin header is touched again.
 	s.ResetVolatile()
-	rep, err := CrashRecover(s, false)
+	rep, err := CrashRecover(s, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,415 @@
+// Package crashcheck is the crash-point explorer for the RDA engine.
+//
+// The paper's central claim (Section 4) is that twin-parity undo makes
+// the database recoverable from a crash at *any* instant, without UNDO
+// log writes for stolen pages.  This package turns that claim into a
+// machine-checked property:
+//
+//  1. run a deterministic seeded workload once under a counting fault
+//     plane and record W, the total number of block writes it issues;
+//  2. for every write index k in [0, W), re-run the identical workload,
+//     crash it at write k (cleanly, or tearing write k itself in torn
+//     mode), run crash recovery, and verify the recovered state.
+//
+// The verified invariants after each crash:
+//
+//   - every page a committed transaction wrote holds its last committed
+//     image (durability);
+//   - no page shows data from an uncommitted transaction (no-UNDO steal
+//     really undone);
+//   - the single transaction whose Commit the crash may have interrupted
+//     is atomic — all of its pages are new or all are old;
+//   - each group's current parity twin equals the XOR of its data pages,
+//     no working-state twin survives, the twin-state pair is one a legal
+//     Figure 8 history can produce, the Current_Parity bitmap matches a
+//     Figure 7 recomputation, and the Dirty_Set is empty
+//     (DB.VerifyRecovered);
+//   - the database still works: a probe transaction commits and its
+//     update is durable and parity-consistent.
+//
+// Because the workload, the buffer manager, and the fault plane are all
+// deterministic, a failing run is identified completely by its seed and
+// schedule, both of which print in a replayable syntax.
+package crashcheck
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/rda"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// Layout selects the array organization (the explorer is run once
+	// per layout: DataStriping exercises RAID5Twin, ParityStriping
+	// exercises ParityStripeTwin).
+	Layout rda.Layout
+	// Seed drives the workload generator.
+	Seed int64
+	// Txns is the number of transactions in the workload (default 8).
+	Txns int
+	// OpsPerTx is the number of page operations per transaction.  The
+	// default of 10 exceeds the buffer pool's 6 frames so transactions
+	// dirty more pages than fit, forcing mid-transaction eviction steals
+	// through the paper's no-UNDO-logging path — the state the crash
+	// sweep most needs to interrupt.
+	OpsPerTx int
+	// Torn makes Explore tear write k itself (half the payload and the
+	// full header persist) instead of dropping it cleanly.
+	Torn bool
+}
+
+func (o *Options) fill() {
+	if o.Txns <= 0 {
+		o.Txns = 8
+	}
+	if o.OpsPerTx <= 0 {
+		o.OpsPerTx = 10
+	}
+}
+
+// dbConfig is the explorer's geometry: small enough that an exhaustive
+// sweep stays cheap, with fewer buffer frames than the working set so
+// eviction steals (the paper's no-UNDO-logging path) actually happen.
+func dbConfig(layout rda.Layout) rda.Config {
+	return rda.Config{
+		DataDisks:    4,
+		NumPages:     48,
+		PageSize:     64,
+		BufferFrames: 6,
+		Layout:       layout,
+		Logging:      rda.PageLogging,
+		EOT:          rda.Force,
+		RDA:          true,
+		LogPageSize:  256,
+		LogWriteCost: 4,
+	}
+}
+
+// Violation is one failed crash-and-recover run, identified by the seed
+// and schedule that reproduce it.
+type Violation struct {
+	Seed     int64
+	Schedule fault.Schedule
+	Err      error
+}
+
+// String renders the violation with its deterministic reproduction key.
+func (v Violation) String() string {
+	return fmt.Sprintf("seed=%d sched=%q: %v", v.Seed, v.Schedule, v.Err)
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// TotalWrites is W for the last counted workload (0 for Replay).
+	TotalWrites int64
+	// Runs is the number of crash-and-recover cycles performed.
+	Runs int
+	// Violations holds every failed run.
+	Violations []Violation
+}
+
+// driver runs the deterministic workload and carries the oracle: the
+// page images every committed transaction has durably written.
+type driver struct {
+	db   *rda.DB
+	opts Options
+	rng  *rand.Rand
+
+	committed map[rda.PageID][]byte
+	pending   map[rda.PageID][]byte // current transaction's writes
+	inCommit  bool                  // crash may have interrupted an EOT
+}
+
+func newDriver(db *rda.DB, opts Options) *driver {
+	return &driver{
+		db:        db,
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		committed: make(map[rda.PageID][]byte),
+	}
+}
+
+// pageImage is the deterministic content transaction txn writes to page
+// p at operation op.  It depends only on (seed, txn, op, p), never on
+// rng state, so the oracle can recompute it.
+func (d *driver) pageImage(txn, op int, p rda.PageID) []byte {
+	out := make([]byte, d.db.PageSize())
+	h := uint64(d.opts.Seed)*0x9E3779B97F4A7C15 ^ uint64(txn)<<40 ^ uint64(op)<<20 ^ uint64(p)
+	for i := range out {
+		h = h*6364136223846793005 + 1442695040888963407
+		out[i] = byte(h >> 56)
+	}
+	return out
+}
+
+// run executes the seeded workload.  It returns the crash sentinel if a
+// schedule rule fired mid-run, nil if the workload completed.  All rng
+// draws happen in a fixed order, so every run with the same seed issues
+// the identical I/O sequence up to the crash point.
+func (d *driver) run() (crash *fault.Crash, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := fault.AsCrash(r)
+			if !ok {
+				panic(r)
+			}
+			crash = c
+		}
+	}()
+	npages := d.db.NumPages()
+	for t := 0; t < d.opts.Txns; t++ {
+		tx, err := d.db.Begin()
+		if err != nil {
+			return nil, fmt.Errorf("txn %d begin: %w", t, err)
+		}
+		d.pending = make(map[rda.PageID][]byte)
+		abort := d.rng.Intn(6) == 0
+		for op := 0; op < d.opts.OpsPerTx; op++ {
+			p := rda.PageID(d.rng.Intn(npages))
+			if d.rng.Intn(4) == 0 {
+				if _, err := tx.ReadPage(p); err != nil {
+					return nil, fmt.Errorf("txn %d read page %d: %w", t, p, err)
+				}
+				continue
+			}
+			img := d.pageImage(t, op, p)
+			if err := tx.WritePage(p, img); err != nil {
+				return nil, fmt.Errorf("txn %d write page %d: %w", t, p, err)
+			}
+			d.pending[p] = img
+		}
+		if abort {
+			if err := tx.Abort(); err != nil {
+				return nil, fmt.Errorf("txn %d abort: %w", t, err)
+			}
+			d.pending = nil
+			continue
+		}
+		d.inCommit = true
+		if err := tx.Commit(); err != nil {
+			return nil, fmt.Errorf("txn %d commit: %w", t, err)
+		}
+		d.inCommit = false
+		for p, img := range d.pending {
+			d.committed[p] = img
+		}
+		d.pending = nil
+	}
+	return nil, nil
+}
+
+// expected returns the oracle image of page p: its last committed write,
+// or the formatted zero page.
+func (d *driver) expected(p rda.PageID) []byte {
+	if img, ok := d.committed[p]; ok {
+		return img
+	}
+	return make([]byte, d.db.PageSize())
+}
+
+// verify compares every on-disk page against the oracle.  If the crash
+// unwound out of a Commit, that one transaction's outcome is ambiguous:
+// its pages may all show the new images (the EOT record made it to the
+// log) or all show the old ones (it did not) — but never a mix.
+func (d *driver) verify() error {
+	if d.inCommit && len(d.pending) > 0 {
+		var newN, oldN int
+		for p, img := range d.pending {
+			got, err := d.db.PeekPage(p)
+			if err != nil {
+				return fmt.Errorf("peek page %d: %w", p, err)
+			}
+			old := d.expected(p)
+			switch {
+			case bytes.Equal(got, img) && bytes.Equal(got, old):
+				// Rewrite of identical content: counts as either outcome.
+			case bytes.Equal(got, img):
+				newN++
+			case bytes.Equal(got, old):
+				oldN++
+			default:
+				return fmt.Errorf("page %d of interrupted commit matches neither old nor new image", p)
+			}
+		}
+		if newN > 0 && oldN > 0 {
+			return fmt.Errorf("interrupted commit is not atomic: %d page(s) new, %d page(s) old", newN, oldN)
+		}
+		if newN > 0 {
+			// The EOT record survived: the transaction committed.
+			for p, img := range d.pending {
+				d.committed[p] = img
+			}
+		}
+	}
+	for p := 0; p < d.db.NumPages(); p++ {
+		id := rda.PageID(p)
+		got, err := d.db.PeekPage(id)
+		if err != nil {
+			return fmt.Errorf("peek page %d: %w", p, err)
+		}
+		if !bytes.Equal(got, d.expected(id)) {
+			return fmt.Errorf("page %d diverges from last committed image", p)
+		}
+	}
+	return nil
+}
+
+// probe checks that the recovered database still accepts and persists a
+// transaction.
+func (d *driver) probe() error {
+	tx, err := d.db.Begin()
+	if err != nil {
+		return fmt.Errorf("probe begin: %w", err)
+	}
+	p := rda.PageID(0)
+	img := d.pageImage(1<<20, 0, p)
+	if err := tx.WritePage(p, img); err != nil {
+		return fmt.Errorf("probe write: %w", err)
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("probe commit: %w", err)
+	}
+	got, err := d.db.PeekPage(p)
+	if err != nil {
+		return fmt.Errorf("probe peek: %w", err)
+	}
+	if !bytes.Equal(got, img) {
+		return fmt.Errorf("probe update not durable")
+	}
+	return d.db.VerifyParity()
+}
+
+// CountWrites runs the workload once under a pure counting plane and
+// returns W, the number of block writes it issues.  It also sanity-checks
+// the final state against the oracle, so a broken workload is caught
+// before any crash is injected.
+func CountWrites(opts Options) (int64, error) {
+	opts.fill()
+	db, err := rda.Open(dbConfig(opts.Layout))
+	if err != nil {
+		return 0, err
+	}
+	plane := fault.NewPlane(nil)
+	db.SetInjector(plane)
+	d := newDriver(db, opts)
+	crash, err := d.run()
+	if err != nil {
+		return 0, fmt.Errorf("counting run: %w", err)
+	}
+	if crash != nil {
+		return 0, fmt.Errorf("counting run crashed: %v", crash)
+	}
+	if err := d.verify(); err != nil {
+		return 0, fmt.Errorf("counting run final state: %w", err)
+	}
+	return plane.Writes(), nil
+}
+
+// RunSchedule performs one crash-and-recover cycle: the seeded workload
+// under the given fault schedule, then CrashHard + Recover + every
+// invariant check.  A nil error means the run survived.  If no schedule
+// rule fires the workload completes and only the final state is checked.
+func RunSchedule(opts Options, sched fault.Schedule) error {
+	opts.fill()
+	db, err := rda.Open(dbConfig(opts.Layout))
+	if err != nil {
+		return err
+	}
+	plane := fault.NewPlane(sched)
+	db.SetInjector(plane)
+	d := newDriver(db, opts)
+	crash, err := d.run()
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if crash == nil {
+		// Schedule never fired (e.g. a torn rule landed on a header-only
+		// write, which cannot tear).  Vacuous crash, real final check.
+		if err := d.verify(); err != nil {
+			return fmt.Errorf("uncrashed final state: %w", err)
+		}
+		return nil
+	}
+	db.CrashHard()
+	if _, err := db.Recover(); err != nil {
+		return fmt.Errorf("recover after %v: %w", crash, err)
+	}
+	if err := db.VerifyRecovered(); err != nil {
+		return fmt.Errorf("after %v: %w", crash, err)
+	}
+	if err := d.verify(); err != nil {
+		return fmt.Errorf("after %v: %w", crash, err)
+	}
+	if err := d.probe(); err != nil {
+		return fmt.Errorf("after %v: %w", crash, err)
+	}
+	return nil
+}
+
+// Explore is the exhaustive sweep: count W, then crash at every write
+// index in [0, W).  progress, when non-nil, is called after each run.
+func Explore(opts Options, progress func(done, total int64)) (*Result, error) {
+	opts.fill()
+	total, err := CountWrites(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{TotalWrites: total}
+	for k := int64(0); k < total; k++ {
+		var sched fault.Schedule
+		if opts.Torn {
+			// Alternate which half of the torn payload persists so both
+			// torn shapes are covered across the sweep.
+			sched = fault.Schedule{fault.TornWrite(k, k%2 == 0)}
+		} else {
+			sched = fault.Schedule{fault.CrashAfterNWrites(k)}
+		}
+		res.Runs++
+		if err := RunSchedule(opts, sched); err != nil {
+			res.Violations = append(res.Violations, Violation{Seed: opts.Seed, Schedule: sched, Err: err})
+		}
+		if progress != nil {
+			progress(k+1, total)
+		}
+	}
+	return res, nil
+}
+
+// Soak performs iters randomized crash-and-recover cycles.  Each
+// iteration derives a fresh workload seed and a random crash point (and
+// randomly chooses clean vs torn) from opts.Seed, so a whole soak run is
+// reproducible from one number and any single failure is reproducible
+// from its printed seed and schedule.
+func Soak(opts Options, iters int) (*Result, error) {
+	opts.fill()
+	meta := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{}
+	for i := 0; i < iters; i++ {
+		o := opts
+		o.Seed = int64(meta.Uint64() >> 1)
+		total, err := CountWrites(o)
+		if err != nil {
+			return nil, err
+		}
+		if total == 0 {
+			continue
+		}
+		res.TotalWrites = total
+		k := meta.Int63n(total)
+		var sched fault.Schedule
+		if meta.Intn(3) == 0 {
+			sched = fault.Schedule{fault.TornWrite(k, meta.Intn(2) == 0)}
+		} else {
+			sched = fault.Schedule{fault.CrashAfterNWrites(k)}
+		}
+		res.Runs++
+		if err := RunSchedule(o, sched); err != nil {
+			res.Violations = append(res.Violations, Violation{Seed: o.Seed, Schedule: sched, Err: err})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/rda"
+)
+
+// small keeps the exhaustive in-test sweeps fast; the cmd/rdacrash CLI
+// runs the full default workload.
+func small(layout rda.Layout) Options {
+	return Options{Layout: layout, Seed: 1, Txns: 4, OpsPerTx: 3}
+}
+
+func TestCountWritesDeterministic(t *testing.T) {
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		w1, err := CountWrites(small(layout))
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		w2, err := CountWrites(small(layout))
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if w1 != w2 {
+			t.Fatalf("%v: write count not deterministic: %d vs %d", layout, w1, w2)
+		}
+		if w1 == 0 {
+			t.Fatalf("%v: workload issued no writes", layout)
+		}
+	}
+}
+
+func TestExploreClean(t *testing.T) {
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		res, err := Explore(small(layout), nil)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if res.Runs == 0 {
+			t.Fatalf("%v: no crash points explored", layout)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v: %s", layout, v)
+		}
+	}
+}
+
+func TestExploreTorn(t *testing.T) {
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		opts := small(layout)
+		opts.Torn = true
+		res, err := Explore(opts, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v: %s", layout, v)
+		}
+	}
+}
+
+// TestWorkloadSteals proves the default workload exercises the paper's
+// no-UNDO-logging steal path: transactions dirty more pages than the
+// pool has frames, so replacement must steal mid-transaction.  Without
+// this the crash sweep would never interrupt a working-state twin.
+func TestWorkloadSteals(t *testing.T) {
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		opts := Options{Layout: layout, Seed: 1, Txns: 3}
+		opts.fill()
+		db, err := rda.Open(dbConfig(layout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := newDriver(db, opts)
+		if crash, err := d.run(); err != nil || crash != nil {
+			t.Fatalf("%v: run: crash=%v err=%v", layout, crash, err)
+		}
+		if s := db.Stats().Steals; s == 0 {
+			t.Fatalf("%v: default workload performed no dirty steals", layout)
+		}
+	}
+}
+
+// TestExploreWithSteals sweeps a workload big enough to steal; it is the
+// in-tree version of `rdacrash -explore` at reduced transaction count.
+func TestExploreWithSteals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		res, err := Explore(Options{Layout: layout, Seed: 3, Txns: 2}, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v: %s", layout, v)
+		}
+	}
+}
+
+func TestSoak(t *testing.T) {
+	res, err := Soak(small(rda.DataStriping), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs == 0 {
+		t.Fatal("soak performed no runs")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestViolationReplay checks the failure-reproduction contract: a
+// violation's printed schedule parses back into a schedule that drives
+// the identical run.
+func TestViolationReplay(t *testing.T) {
+	sched := fault.Schedule{fault.CrashAfterNWrites(5)}
+	parsed, err := fault.ParseSchedule(sched.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSchedule(small(rda.DataStriping), parsed); err != nil {
+		t.Fatalf("replayed schedule failed: %v", err)
+	}
+}

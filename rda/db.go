@@ -3,6 +3,7 @@ package rda
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/buffer"
@@ -74,6 +75,9 @@ type DB struct {
 	pool    *buffer.Pool
 	states  map[page.TxID]*txState
 	crashed bool
+	// dirtyCrash marks a crash that interrupted a block I/O (CrashHard);
+	// Recover then runs the torn-repair and parity-resync passes.
+	dirtyCrash bool
 
 	// lastCkptTransfers is the transfer count at the last automatic
 	// checkpoint (see Config.CheckpointEvery); lastCkptLSN is the log
@@ -198,9 +202,6 @@ func (db *DB) writeBack(f *buffer.Frame) error {
 	old := f.DiskVersion // nil under ¬FORCE: the store re-reads (a=4)
 
 	mods := f.ModifierList()
-	if len(mods) == 0 {
-		return db.store.WriteCommitted(f.Page, f.Data, old)
-	}
 
 	if db.cfg.RDA && len(mods) == 1 && !f.Residue {
 		st := db.states[mods[0]]
@@ -219,6 +220,25 @@ func (db *DB) writeBack(f *buffer.Frame) error {
 			}
 			return db.store.StealNoLog(f.Page, f.Data, oldOnDisk, st.t)
 		}
+	}
+
+	// Any other write into a dirty group would have to XOR-update both
+	// parity twins in place, and a crash between those two writes can
+	// leave neither twin describing a recoverable view.  Demote the
+	// group's no-logging steal to a logged one first: the write below
+	// then lands in a clean group through the crash-safe single-twin
+	// protocol.
+	if db.cfg.RDA {
+		g := db.arr.GroupOf(f.Page)
+		if e, dirty := db.store.Dirty.Lookup(g); dirty {
+			if err := db.demoteNoLogSteal(g, e); err != nil {
+				return err
+			}
+		}
+	}
+
+	if len(mods) == 0 {
+		return db.store.WriteCommitted(f.Page, f.Data, old)
 	}
 
 	// Logging path: make sure every active modifier's UNDO material for
@@ -263,13 +283,18 @@ func (db *DB) ensureUndoLogged(st *txState, p page.PageID) {
 		st.t.LoggedUndo[p] = struct{}{}
 		return
 	}
-	for rid, img := range st.beforeRecords {
+	rids := make([]page.RecordID, 0, len(st.beforeRecords))
+	for rid := range st.beforeRecords {
 		if rid.Page != p || st.loggedRecords[rid] {
 			continue
 		}
+		rids = append(rids, rid)
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i].Slot < rids[j].Slot })
+	for _, rid := range rids {
 		db.log.Append(wal.Record{
 			Type: wal.TypeBeforeImage, Txn: st.t.ID, Page: rid.Page, Slot: int32(rid.Slot),
-			Image: record.EncodeImage(img),
+			Image: record.EncodeImage(st.beforeRecords[rid]),
 		})
 		st.loggedRecords[rid] = true
 	}
@@ -277,11 +302,12 @@ func (db *DB) ensureUndoLogged(st *txState, p page.PageID) {
 }
 
 // demoteNoLogSteal converts a page's no-UNDO-logging steal into a logged
-// one (record mode only).  The owning transaction's retained record
-// before-images go to the log, the working parity twin — which already
-// describes the on-disk data — is committed on disk and promoted in the
-// bitmap, and the group returns to the clean state.  From here on the
-// page is shared and every recovery path for it is log-based.
+// one.  The owning transaction's retained before-image(s) go to the log,
+// the working parity twin — which already describes the on-disk data —
+// is committed on disk and promoted in the bitmap, and the group returns
+// to the clean state.  From here on the group is shared and every
+// recovery path for it is log-based.  Both the record-mode sharing path
+// and any write-back into a dirty group use this.
 func (db *DB) demoteNoLogSteal(g page.GroupID, e dirtyset.Entry) error {
 	owner := db.states[e.Txn]
 	if owner == nil {
@@ -342,6 +368,34 @@ func (db *DB) Crash() {
 	db.crashed = true
 }
 
+// CrashHard simulates a power failure in the middle of a block I/O.  The
+// fault plane's crash points panic out of a disk write; the harness
+// recovers the sentinel and calls CrashHard.  Because the panic may have
+// unwound past a mutator holding the engine mutex, the mutex is replaced
+// wholesale — which is only sound in a single-goroutine harness, the one
+// place crash points fire.  Recover afterwards runs the extra mid-I/O
+// repair passes (torn blocks, parity resync) that Crash's quiescent
+// restarts never need.
+func (db *DB) CrashHard() {
+	db.mu = sync.Mutex{}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pool.DropAll()
+	db.store.ResetVolatile()
+	db.locks.Close()
+	db.tm.Reset()
+	db.states = make(map[page.TxID]*txState)
+	db.crashed = true
+	db.dirtyCrash = true
+}
+
+// SetInjector installs (or, with nil, removes) a fault injector on every
+// drive of the array.  Install after Open so formatting I/O is not
+// observed; schedules then count only workload writes.
+func (db *DB) SetInjector(inj disk.Injector) {
+	db.arr.SetInjector(inj)
+}
+
 // RecoveryReport summarizes a restart.
 type RecoveryReport struct {
 	// Losers are the transactions rolled back.
@@ -352,6 +406,12 @@ type RecoveryReport struct {
 	UndoneViaLog int
 	// Redone counts after-images replayed (¬FORCE).
 	Redone int
+	// RepairedTorn counts torn blocks rebuilt from redundancy (mid-I/O
+	// crashes only).
+	RepairedTorn int
+	// ResyncedGroups counts groups whose parity was resynchronized with
+	// the on-disk data (mid-I/O crashes only).
+	ResyncedGroups int
 }
 
 // Recover restarts a crashed database: log analysis, UNDO of losers
@@ -364,10 +424,11 @@ func (db *DB) Recover() (*RecoveryReport, error) {
 	if !db.crashed {
 		return nil, errors.New("rda: Recover on a running database")
 	}
-	rep, err := recovery.CrashRecover(db.store, db.cfg.EOT == NoForce)
+	rep, err := recovery.CrashRecover(db.store, db.cfg.EOT == NoForce, db.dirtyCrash)
 	if err != nil {
 		return nil, fmt.Errorf("rda: recovery: %w", err)
 	}
+	db.dirtyCrash = false
 	if db.cfg.EOT == NoForce {
 		// A fresh empty checkpoint bounds the next restart's REDO pass.
 		db.lastCkptLSN = db.log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot})
@@ -383,6 +444,8 @@ func (db *DB) Recover() (*RecoveryReport, error) {
 		UndoneViaParity: rep.UndoneViaParity,
 		UndoneViaLog:    rep.UndoneViaLog,
 		Redone:          rep.Redone,
+		RepairedTorn:    rep.RepairedTorn,
+		ResyncedGroups:  rep.ResyncedGroups,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/page"
 )
 
@@ -145,6 +146,41 @@ func TestDoubleFailureTwinAdvantage(t *testing.T) {
 	if twinLost == 0 {
 		t.Fatalf("some two-disk patterns must still exceed the redundancy")
 	}
+}
+
+// TestSecondFailureMidRebuild fails a second disk *during* the rebuild
+// of the first, via a fault-plane rule that fail-stops the drive once
+// the rebuild has written a few blocks.  The interrupted RepairDisk must
+// surface the failure (not fabricate data), and the subsequent
+// double-disk repair must report the groups that exceeded the
+// redundancy while leaving every other page intact.
+func TestSecondFailureMidRebuild(t *testing.T) {
+	db, err := Open(smallConfig(PageLogging, Force, true, DataStriping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := loadAll(t, db)
+	dA, dB := 0, 1
+	if err := db.FailDisk(dA); err != nil {
+		t.Fatal(err)
+	}
+	// Drive dB dies at its next access once the rebuild of dA has
+	// written 4 blocks; the rebuild only reads dB, which is exactly why
+	// the rule triggers on reads too.
+	plane := fault.NewPlane(fault.Schedule{fault.FailDisk(dB, 4)})
+	db.SetInjector(plane)
+	if err := db.RepairDisk(dA); err == nil {
+		t.Fatalf("rebuild of disk %d survived the mid-rebuild failure of disk %d", dA, dB)
+	}
+	db.SetInjector(nil)
+	lost, err := db.RepairDisks(dA, dB)
+	if err != nil {
+		t.Fatalf("double repair: %v", err)
+	}
+	if len(lost) == 0 {
+		t.Fatalf("two data disks failed; some groups must be reported lost")
+	}
+	checkAfterDoubleFailure(t, db, imgs, lost)
 }
 
 // TestSingleDiskRepairNeverLoses re-checks the single-failure contract

@@ -3,6 +3,7 @@ package rda
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/buffer"
 	"repro/internal/lock"
@@ -375,7 +376,7 @@ func (tx *Tx) Commit() error {
 	updater := len(t.Modified) > 0
 
 	if updater && tx.db.cfg.EOT == Force {
-		for p := range t.Modified {
+		for _, p := range sortedPages(t.Modified) {
 			if err := tx.db.pool.FlushPage(p); err != nil {
 				tx.db.mu.Unlock()
 				return fmt.Errorf("rda: force at EOT: %w", err)
@@ -415,7 +416,7 @@ func (tx *Tx) Commit() error {
 func (db *DB) appendAfterImages(st *txState) error {
 	t := st.t
 	if db.cfg.Logging == PageLogging {
-		for p := range t.Modified {
+		for _, p := range sortedPages(t.Modified) {
 			img, err := db.currentImage(p)
 			if err != nil {
 				return err
@@ -426,7 +427,7 @@ func (db *DB) appendAfterImages(st *txState) error {
 		}
 		return nil
 	}
-	for rid := range t.ModifiedRecords {
+	for _, rid := range sortedRecordIDs(t.ModifiedRecords) {
 		img, err := db.currentImage(rid.Page)
 		if err != nil {
 			return err
@@ -533,8 +534,9 @@ func (db *DB) rollback(st *txState) error {
 		}
 	}
 
-	// 2. Write-through restore of pages stolen via the logging path.
-	for p := range st.stolenLogged {
+	// 2. Write-through restore of pages stolen via the logging path, in
+	// page order so abort I/O sequences are deterministic.
+	for _, p := range sortedBoolPages(st.stolenLogged) {
 		restored, err := db.restoreStolenLogged(st, p)
 		if err != nil {
 			return err
@@ -582,6 +584,42 @@ func (db *DB) rollback(st *txState) error {
 		}
 	}
 	return nil
+}
+
+// sortedPages returns a page set's members in ascending order.  Engine
+// loops that issue I/O iterate sets in sorted order so that identically
+// seeded runs produce identical block-write sequences — what makes a
+// crash-point schedule (crash at write k) replayable.
+func sortedPages(set map[page.PageID]struct{}) []page.PageID {
+	out := make([]page.PageID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedBoolPages(set map[page.PageID]bool) []page.PageID {
+	out := make([]page.PageID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedRecordIDs(set map[page.RecordID]struct{}) []page.RecordID {
+	out := make([]page.RecordID, 0, len(set))
+	for rid := range set {
+		out = append(out, rid)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Page != out[j].Page {
+			return out[i].Page < out[j].Page
+		}
+		return out[i].Slot < out[j].Slot
+	})
+	return out
 }
 
 // restoreStolenLogged writes page p's pre-transaction state back to disk
