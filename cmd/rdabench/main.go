@@ -7,6 +7,13 @@
 //
 //	rdabench [-fig 9|10|11|12|13|overhead|nsweep|reliability|all] [-live] [-budget N] [-seed N]
 //
+// The self-healing flags measure the live engine under injected faults —
+// a background transient-error rate and/or a disk death mid-run —
+// against a fault-free baseline of the same workload, and print the
+// retry, degraded-serving and rebuild counters:
+//
+//	rdabench -fig 9 -transient-rate 50 -faildisk-at 2000
+//
 // The output is a table per figure with one row per x value (communality
 // C, or transaction size s for Figure 13), giving the throughput without
 // and with RDA recovery and the percentage gain — the same series the
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/rda"
 	"repro/rda/model"
@@ -28,6 +36,8 @@ func main() {
 	live := flag.Bool("live", false, "also measure the live engine (slower)")
 	budget := flag.Int64("budget", 150000, "transfer budget per live measurement point")
 	seed := flag.Int64("seed", 42, "workload seed for the live measurement")
+	transientRate := flag.Int64("transient-rate", 0, "self-healing run: fail every n-th disk access with a transient error (0 = off)")
+	faildiskAt := flag.Int64("faildisk-at", -1, "self-healing run: fail-stop disk 0 after this many block writes (-1 = off)")
 	flag.Parse()
 
 	switch *fig {
@@ -64,6 +74,12 @@ func main() {
 	if *live {
 		if err := liveCrossCheck(*budget, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "rdabench: live measurement: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *transientRate > 0 || *faildiskAt >= 0 {
+		if err := selfHealBench(*transientRate, *faildiskAt, *budget, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "rdabench: self-healing measurement: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -119,6 +135,88 @@ func printReliability() {
 	fmt.Printf("  RDA single (N=10, %2.0f%%): MTTDL %6.0f days\n", cmp.RDASingleOverheadPct, days(cmp.RDASingle))
 	fmt.Printf("  RDA twin   (N=10, %2.0f%%): MTTDL %6.0f days\n", cmp.RDATwinOverheadPct, days(cmp.RDATwin))
 	fmt.Println()
+}
+
+// selfHealBench measures the live engine under injected faults against a
+// fault-free baseline of the same seeded workload: a background
+// transient-error rate (masked by the retry layer), a disk death mid-run
+// (served degraded, then rebuilt online after the interval), or both.
+// It prints the committed-transaction cost of the faults and the
+// self-healing counters that explain it.
+func selfHealBench(transientRate, faildiskAt, budget, seed int64) error {
+	fmt.Println("== Self-healing: live engine under injected faults (page logging FORCE/TOC, RDA, C=0.9) ==")
+	run := func(inject bool) (sim.Result, *rda.DB, error) {
+		cfg := rda.DefaultConfig()
+		cfg.Logging = rda.PageLogging
+		cfg.EOT = rda.Force
+		cfg.RDA = true
+		cfg.PageSize = 256
+		db, err := rda.Open(cfg)
+		if err != nil {
+			return sim.Result{}, nil, err
+		}
+		if inject {
+			var sched fault.Schedule
+			if faildiskAt >= 0 {
+				sched = fault.Schedule{fault.FailDisk(0, faildiskAt)}
+			}
+			plane := fault.NewPlane(sched)
+			if transientRate > 0 {
+				plane.SetTransientEvery(transientRate)
+			}
+			db.SetInjector(plane)
+		}
+		res, err := sim.Run(db, sim.Workload{
+			Concurrency:    6,
+			PagesPerTx:     10,
+			UpdateFraction: 0.8,
+			UpdateProb:     0.9,
+			AbortProb:      0.01,
+			Communality:    0.9,
+			Seed:           seed,
+		}, sim.Options{Transfers: budget})
+		return res, db, err
+	}
+	base, _, err := run(false)
+	if err != nil {
+		return err
+	}
+	faulted, db, err := run(true)
+	if err != nil {
+		return err
+	}
+	// Finish any online rebuild the disk death left behind, and verify
+	// the array came back whole.
+	pre := db.Stats()
+	steps := 0
+	for {
+		done, err := db.RebuildStep(0)
+		if err != nil {
+			return fmt.Errorf("online rebuild: %w", err)
+		}
+		if done {
+			break
+		}
+		steps++
+	}
+	post := db.Stats()
+	if err := db.VerifyParity(); err != nil {
+		return fmt.Errorf("parity after rebuild: %w", err)
+	}
+	st := faulted.Stats
+	fmt.Printf("  injected faults       : transient rate 1/%d, disk death at write %d\n", transientRate, faildiskAt)
+	fmt.Printf("  committed             : %d faulted vs %d fault-free (%.1f%%)\n",
+		faulted.Committed, base.Committed, 100*float64(faulted.Committed)/float64(base.Committed))
+	fmt.Printf("  retries               : %d transient errors masked, %d backoff units, %d auto fail-stops\n",
+		st.IORetries, st.RetryBackoffUnits, st.AutoFailStops)
+	fmt.Printf("  degraded serving      : %d reads reconstructed, %d writes without the dead member\n",
+		st.DegradedReads, st.DegradedWrites)
+	fmt.Printf("  online rebuild        : %d groups restored (%d after the interval, %d throttled steps, %d transfers)\n",
+		post.RebuiltGroups, post.RebuiltGroups-st.RebuiltGroups, steps,
+		post.DiskReads+post.DiskWrites-pre.DiskReads-pre.DiskWrites)
+	fmt.Printf("  final health          : %v\n", db.Health())
+	fmt.Println()
+	return nil
 }
 
 // liveCrossCheck measures the paper's headline comparison — page logging

@@ -10,6 +10,13 @@
 //
 //	rdacrash -soak -seed 7 -iters 200
 //
+// Mix mode is the self-healing soak: every run executes under a
+// background transient-error rate (masked by the retry layer), and
+// iterations alternate between random crash points and mid-run disk
+// deaths served degraded and rebuilt online:
+//
+//	rdacrash -mix -seed 7 -iters 50 -transient 50
+//
 // Every failure prints its seed and schedule; replay one with:
 //
 //	rdacrash -seed <seed> -sched "crash@w12"
@@ -31,6 +38,8 @@ func main() {
 	var (
 		explore = flag.Bool("explore", false, "exhaustively crash at every write index")
 		soak    = flag.Bool("soak", false, "randomized crash points over derived seeds")
+		mix     = flag.Bool("mix", false, "self-healing soak: transient faults everywhere, alternating crashes and mid-run disk deaths")
+		trans   = flag.Int64("transient", 50, "mix mode: fail every n-th disk access with a transient error (0 disables)")
 		torn    = flag.Bool("torn", false, "tear the crashed write (half payload persists) instead of dropping it")
 		seed    = flag.Int64("seed", 1, "workload seed (soak: master seed for derived runs)")
 		iters   = flag.Int("iters", 100, "soak iterations")
@@ -67,7 +76,16 @@ func main() {
 			os.Exit(2)
 		}
 		for _, l := range lays {
-			if err := crashcheck.RunSchedule(opts(l), s); err != nil {
+			// Mix-mode replays (disk deaths, transient rates) need the
+			// mix harness; add -mix (and the original -transient rate)
+			// to the replay command line.
+			var err error
+			if *mix {
+				err = crashcheck.RunMixSchedule(opts(l), s, *trans)
+			} else {
+				err = crashcheck.RunSchedule(opts(l), s)
+			}
+			if err != nil {
 				fmt.Printf("%v: FAIL seed=%d sched=%q: %v\n", l, *seed, s, err)
 				failed = true
 			} else {
@@ -90,7 +108,17 @@ func main() {
 				fmt.Fprintf(os.Stderr, "rdacrash: %v\n", err)
 				os.Exit(1)
 			}
-			report(l, res)
+			report(l, res, "")
+			failed = failed || len(res.Violations) > 0
+		}
+	case *mix:
+		for _, l := range lays {
+			res, err := crashcheck.MixSoak(opts(l), *iters, *trans)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdacrash: %v\n", err)
+				os.Exit(1)
+			}
+			report(l, res, fmt.Sprintf("-mix -transient %d ", *trans))
 			failed = failed || len(res.Violations) > 0
 		}
 	case *soak:
@@ -100,7 +128,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "rdacrash: %v\n", err)
 				os.Exit(1)
 			}
-			report(l, res)
+			report(l, res, "")
 			failed = failed || len(res.Violations) > 0
 		}
 	default:
@@ -112,12 +140,12 @@ func main() {
 	}
 }
 
-func report(l rda.Layout, res *crashcheck.Result) {
+func report(l rda.Layout, res *crashcheck.Result, extra string) {
 	fmt.Printf("%v: %d run(s), %d write(s) per workload, %d violation(s)\n",
 		l, res.Runs, res.TotalWrites, len(res.Violations))
 	for _, v := range res.Violations {
 		fmt.Printf("  FAIL %s\n", v)
-		fmt.Printf("       replay: rdacrash -layout %s -seed %d -sched %q\n", layoutFlag(l), v.Seed, v.Schedule)
+		fmt.Printf("       replay: rdacrash %s-layout %s -seed %d -sched %q\n", extra, layoutFlag(l), v.Seed, v.Schedule)
 	}
 }
 

@@ -49,12 +49,20 @@ type Store struct {
 	Dirty *dirtyset.Table
 	Log   *wal.Log
 	TM    *txn.Manager
+
+	// Degraded-serving state (degraded.go).
+	degraded bool
+	downDisk int
+	// restored[g] is set once the rebuild worker has reconstructed
+	// group g's block on the down disk; nil outside degraded mode.
+	restored []bool
+	deg      DegradedStats
 }
 
 // NewStore wires a store over the given array.  RDA recovery is enabled
 // iff the array is twinned (the engine validates the combination).
 func NewStore(arr *diskarray.Array, log *wal.Log, tm *txn.Manager) *Store {
-	s := &Store{Arr: arr, Log: log, TM: tm}
+	s := &Store{Arr: arr, Log: log, TM: tm, downDisk: -1}
 	if arr.Twinned() {
 		s.Twins = twinpage.New(arr)
 		s.Dirty = dirtyset.New()
@@ -65,8 +73,12 @@ func NewStore(arr *diskarray.Array, log *wal.Log, tm *txn.Manager) *Store {
 // RDA reports whether RDA recovery is active.
 func (s *Store) RDA() bool { return s.Twins != nil }
 
-// ReadPage reads a data page, charging one transfer.
+// ReadPage reads a data page, charging one transfer.  If the page's disk
+// is down, the read is served by on-the-fly reconstruction instead.
 func (s *Store) ReadPage(p page.PageID) (page.Buf, error) {
+	if s.pageUnavailable(p) {
+		return s.readDegraded(p)
+	}
 	b, _, err := s.Arr.ReadData(p)
 	if err != nil {
 		return nil, fmt.Errorf("core: read page %d: %w", p, err)
@@ -80,6 +92,9 @@ func (s *Store) ReadPage(p page.PageID) (page.Buf, error) {
 func (s *Store) oldOnDisk(p page.PageID, cached page.Buf) (page.Buf, error) {
 	if cached != nil {
 		return cached, nil
+	}
+	if s.pageUnavailable(p) {
+		return s.readDegraded(p)
 	}
 	b, _, err := s.Arr.ReadData(p)
 	if err != nil {
@@ -109,6 +124,9 @@ func (s *Store) currentTwin(g page.GroupID) int {
 // read-modify-write.
 func (s *Store) WriteCommitted(p page.PageID, data, cachedOld page.Buf) error {
 	g := s.Arr.GroupOf(p)
+	if s.writeDegradedNeeded(g, p) {
+		return s.writeDegraded(p, data)
+	}
 	if s.Dirty != nil && s.Dirty.IsDirty(g) {
 		oldData, err := s.oldOnDisk(p, cachedOld)
 		if err != nil {
@@ -159,7 +177,7 @@ func (s *Store) smallWriteParity(g page.GroupID, twin int, p page.PageID, cached
 	if err != nil {
 		return nil, err
 	}
-	cur, _, err := s.Arr.ReadParity(g, twin)
+	cur, _, err := s.ReadParityRepair(g, twin)
 	if err != nil {
 		return nil, fmt.Errorf("core: read parity of group %d: %w", g, err)
 	}
@@ -170,12 +188,20 @@ func (s *Store) smallWriteParity(g page.GroupID, twin int, p page.PageID, cached
 // callers fall back to the logging path.
 var ErrMustLog = errors.New("core: parity group requires UNDO logging")
 
-// CanStealNoLog reports whether (p, tx) may take the RDA fast path.
+// CanStealNoLog reports whether (p, tx) may take the RDA fast path.  A
+// degraded group always refuses: its parity redundancy is consumed by the
+// disk loss and cannot simultaneously fund transaction recovery
+// (Section 4's premise in reverse), so writers fall back to UNDO logging
+// until the group is rebuilt.
 func (s *Store) CanStealNoLog(p page.PageID, tx page.TxID) bool {
 	if s.Dirty == nil {
 		return false
 	}
-	return s.Dirty.CanStealWithoutLogging(s.Arr.GroupOf(p), p, tx)
+	g := s.Arr.GroupOf(p)
+	if s.GroupDegraded(g) {
+		return false
+	}
+	return s.Dirty.CanStealWithoutLogging(g, p, tx)
 }
 
 // StealNoLog writes page p, modified by active transaction tx, without
@@ -188,6 +214,9 @@ func (s *Store) StealNoLog(p page.PageID, data, cachedOld page.Buf, t *txn.Txn) 
 		return fmt.Errorf("core: StealNoLog without RDA recovery")
 	}
 	g := s.Arr.GroupOf(p)
+	if s.GroupDegraded(g) {
+		return fmt.Errorf("%w: group %d is degraded", ErrMustLog, g)
+	}
 	if !s.Dirty.CanStealWithoutLogging(g, p, t.ID) {
 		return fmt.Errorf("%w: group %d page %d txn %d", ErrMustLog, g, p, t.ID)
 	}
@@ -236,6 +265,9 @@ func (s *Store) StealNoLog(p page.PageID, data, cachedOld page.Buf, t *txn.Txn) 
 // read-modify-written in place.
 func (s *Store) WriteLogged(p page.PageID, data, cachedOld page.Buf) error {
 	g := s.Arr.GroupOf(p)
+	if s.writeDegradedNeeded(g, p) {
+		return s.writeDegraded(p, data)
+	}
 	if s.Dirty != nil && s.Dirty.IsDirty(g) {
 		oldData, err := s.oldOnDisk(p, cachedOld)
 		if err != nil {
@@ -272,7 +304,7 @@ func (s *Store) singleParityWrite(p page.PageID, g page.GroupID, data, oldData p
 		}
 		return s.writeData(p, data, meta)
 	}
-	parity, pMeta, err := s.Arr.ReadParity(g, twin)
+	parity, pMeta, err := s.ReadParityRepair(g, twin)
 	if err != nil {
 		return fmt.Errorf("core: read parity of group %d: %w", g, err)
 	}
@@ -288,7 +320,7 @@ func (s *Store) singleParityWrite(p page.PageID, g page.GroupID, data, oldData p
 func (s *Store) updateBothTwins(g page.GroupID, oldData, data page.Buf) error {
 	delta := xorparity.Xor(oldData, data)
 	for twin := 0; twin < 2; twin++ {
-		parity, meta, err := s.Arr.ReadParity(g, twin)
+		parity, meta, err := s.ReadParityRepair(g, twin)
 		if err != nil {
 			return fmt.Errorf("core: read twin %d parity of group %d: %w", twin, g, err)
 		}
@@ -359,11 +391,11 @@ func (s *Store) UndoGroupViaParity(g page.GroupID) (page.PageID, page.Buf, error
 // (through UndoGroupViaParity) and crash recovery (which has no
 // Dirty_Set and supplies the page and twin from the header scan).
 func (s *Store) undoViaTwins(g page.GroupID, p page.PageID, workingTwin int) (page.Buf, error) {
-	p0, _, err := s.Arr.ReadParity(g, 0)
+	p0, _, err := s.ReadParityRepair(g, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: read twin 0 of group %d: %w", g, err)
 	}
-	p1, _, err := s.Arr.ReadParity(g, 1)
+	p1, _, err := s.ReadParityRepair(g, 1)
 	if err != nil {
 		return nil, fmt.Errorf("core: read twin 1 of group %d: %w", g, err)
 	}
@@ -458,7 +490,7 @@ func (s *Store) CrashUndoWorkingTwin(w WorkingTwinInfo) error {
 // data).  Callers pick a twin whose parity is known to describe the
 // wanted version of the group.
 func (s *Store) ReconstructData(g page.GroupID, p page.PageID, twin int) (page.Buf, error) {
-	parity, _, err := s.Arr.ReadParity(g, twin)
+	parity, _, err := s.ReadParityRepair(g, twin)
 	if err != nil {
 		return nil, fmt.Errorf("core: read twin %d of group %d: %w", twin, g, err)
 	}

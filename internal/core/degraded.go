@@ -1,0 +1,249 @@
+// Degraded-mode serving: with one disk down, every parity group has lost
+// at most one block (the array organizations place at most one block of a
+// group per disk), so reads of the lost block reconstruct on the fly from
+// parity + survivors and writes maintain parity without the dead member.
+//
+// The paper-faithful twist is the steal policy: a group whose redundancy
+// is consumed by the disk loss cannot also fund transaction recovery, so
+// CanStealNoLog refuses degraded groups and the engine falls back to
+// UNDO logging until the rebuild restores them (see DESIGN.md).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/page"
+	"repro/internal/xorparity"
+)
+
+// DegradedStats counts the degraded-serving and latent-repair work done
+// by the store.
+type DegradedStats struct {
+	// DegradedReads is the number of reads served by on-the-fly
+	// reconstruction because the target block's disk was down.
+	DegradedReads uint64
+	// DegradedWrites is the number of writes that maintained parity
+	// without a dead group member.
+	DegradedWrites uint64
+	// ParityRepairs is the number of parity pages recomputed in place
+	// after a latent checksum error (ReadParityRepair).
+	ParityRepairs uint64
+	// RebuiltGroups is the number of groups restored by the online
+	// rebuild worker since the last disk loss.
+	RebuiltGroups uint64
+}
+
+// EnterDegraded records that disk d is down: reads and writes touching
+// its blocks are served from redundancy until LeaveDegraded.  The engine
+// calls it (with its mutex held) when the array health machine leaves
+// Healthy, after demoting any dirty groups that touch the disk.
+func (s *Store) EnterDegraded(d int) {
+	s.degraded = true
+	s.downDisk = d
+	s.restored = make([]bool, s.Arr.NumGroups())
+	s.deg.RebuiltGroups = 0
+}
+
+// LeaveDegraded returns the store to normal serving: every block is
+// reachable again (the disk was rebuilt online or media recovery ran).
+func (s *Store) LeaveDegraded() {
+	s.degraded = false
+	s.downDisk = -1
+	s.restored = nil
+}
+
+// Degraded reports whether the store is serving in degraded mode.
+func (s *Store) Degraded() bool { return s.degraded }
+
+// DownDisk returns the disk being served around, or -1.
+func (s *Store) DownDisk() int {
+	if !s.degraded {
+		return -1
+	}
+	return s.downDisk
+}
+
+// MarkRestored records that group g's block on the down disk has been
+// reconstructed by the rebuild worker: the group serves normally again.
+func (s *Store) MarkRestored(g page.GroupID) {
+	if s.restored != nil && !s.restored[g] {
+		s.restored[g] = true
+		s.deg.RebuiltGroups++
+	}
+}
+
+// DegradedCounters returns the cumulative degraded-serving counters.
+func (s *Store) DegradedCounters() DegradedStats { return s.deg }
+
+// GroupDegraded reports whether group g currently has an unreachable
+// block: the store is degraded, the group has not been restored by the
+// rebuild worker, and one of its blocks lives on the down disk.
+func (s *Store) GroupDegraded(g page.GroupID) bool {
+	if !s.degraded || (s.restored != nil && s.restored[g]) {
+		return false
+	}
+	return s.GroupOnDisk(g, s.downDisk)
+}
+
+// GroupOnDisk reports whether group g keeps a block (data or parity) on
+// disk d.
+func (s *Store) GroupOnDisk(g page.GroupID, d int) bool {
+	for _, p := range s.Arr.GroupPages(g) {
+		if s.Arr.DataLoc(p).Disk == d {
+			return true
+		}
+	}
+	for twin := 0; twin < s.Arr.ParityPages(); twin++ {
+		if s.Arr.ParityLoc(g, twin).Disk == d {
+			return true
+		}
+	}
+	return false
+}
+
+// pageUnavailable reports whether data page p is currently unreachable
+// (it lives on the down disk and its group has not been restored).
+func (s *Store) pageUnavailable(p page.PageID) bool {
+	if !s.degraded {
+		return false
+	}
+	if g := s.Arr.GroupOf(p); s.restored != nil && s.restored[g] {
+		return false
+	}
+	return s.Arr.DataLoc(p).Disk == s.downDisk
+}
+
+// deadTwin returns the parity twin of group g on the down disk, or -1.
+func (s *Store) deadTwin(g page.GroupID) int {
+	if !s.degraded || (s.restored != nil && s.restored[g]) {
+		return -1
+	}
+	for twin := 0; twin < s.Arr.ParityPages(); twin++ {
+		if s.Arr.ParityLoc(g, twin).Disk == s.downDisk {
+			return twin
+		}
+	}
+	return -1
+}
+
+// describingTwin returns the twin whose parity describes the group's
+// on-disk data: the working twin of a dirty group, the current twin of a
+// clean one (and 0 on single-parity arrays).
+func (s *Store) describingTwin(g page.GroupID) int {
+	if s.Dirty != nil {
+		if e, dirty := s.Dirty.Lookup(g); dirty {
+			return e.WorkingTwin
+		}
+	}
+	return s.currentTwin(g)
+}
+
+// readDegraded serves a read of an unreachable data page by on-the-fly
+// reconstruction: D = P ⊕ (other data pages), using the twin that
+// describes the on-disk data.  Both twins are reachable here — the
+// group's only lost block is p itself — so the describing twin always is.
+// Nothing is written back; the rebuild worker restores the block.
+func (s *Store) readDegraded(p page.PageID) (page.Buf, error) {
+	g := s.Arr.GroupOf(p)
+	b, err := s.ReconstructData(g, p, s.describingTwin(g))
+	if err != nil {
+		return nil, fmt.Errorf("core: degraded read of page %d: %w", p, err)
+	}
+	s.deg.DegradedReads++
+	return b, nil
+}
+
+// writeDegradedNeeded reports whether writing page p of degraded group g
+// needs the special degraded protocol.  When the group's lost block is a
+// *different* data page, the ordinary small-write protocol never touches
+// it (it reads p's old contents and the parity, both reachable), so the
+// normal paths stay in force.
+func (s *Store) writeDegradedNeeded(g page.GroupID, p page.PageID) bool {
+	if !s.GroupDegraded(g) {
+		return false
+	}
+	return s.pageUnavailable(p) || s.deadTwin(g) >= 0
+}
+
+// writeDegraded writes data page p of a group with an unreachable block.
+//
+// Degraded groups are always clean — the engine demotes their no-log
+// steals when the disk goes down and CanStealNoLog refuses new ones — so
+// there is no working twin to preserve and the write may recompute
+// parity wholesale, which also launders any partial parity state left by
+// the failure moment.  Two cases:
+//
+//   - p itself is lost: its new contents are folded into parity only
+//     (P = D_new ⊕ other data); reads reconstruct them on the fly and
+//     the rebuild materializes them.  Both twins are reachable; the new
+//     parity goes to the obsolete twin committed with a fresh timestamp
+//     and the bitmap flips, as in WriteCommitted.
+//   - a parity twin is lost: every data page is reachable, so the
+//     surviving twin is fully recomputed from data (committed, fresh
+//     timestamp) and promoted, then the data page is written.  On a
+//     single-parity array whose parity block is lost there is nothing to
+//     maintain: the data write alone suffices and the rebuild recomputes
+//     parity.
+func (s *Store) writeDegraded(p page.PageID, data page.Buf) error {
+	g := s.Arr.GroupOf(p)
+	s.deg.DegradedWrites++
+	if s.pageUnavailable(p) {
+		parity, err := s.parityWithout(g, p, data)
+		if err != nil {
+			return err
+		}
+		if s.Twins == nil {
+			pMeta, err := s.Arr.PeekParityMeta(g, 0)
+			if err != nil {
+				return fmt.Errorf("core: degraded write of page %d: %w", p, err)
+			}
+			if err := s.Arr.WriteParity(g, 0, parity, pMeta); err != nil {
+				return fmt.Errorf("core: degraded write of page %d: %w", p, err)
+			}
+			return nil
+		}
+		obsolete := s.Twins.Obsolete(g)
+		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		if err := s.Arr.WriteParity(g, obsolete, parity, meta); err != nil {
+			return fmt.Errorf("core: degraded write of page %d: %w", p, err)
+		}
+		s.Twins.Promote(g, obsolete)
+		return nil
+	}
+	dead := s.deadTwin(g)
+	if s.Twins == nil {
+		// Single-parity array with its parity block lost: write the data
+		// alone; redundancy for this group returns with the rebuild.
+		return s.writeData(p, data, disk.Meta{})
+	}
+	alive := 1 - dead
+	parity, err := s.parityWithout(g, p, data)
+	if err != nil {
+		return err
+	}
+	meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+	if err := s.Arr.WriteParity(g, alive, parity, meta); err != nil {
+		return fmt.Errorf("core: degraded write of page %d: %w", p, err)
+	}
+	s.Twins.Promote(g, alive)
+	return s.writeData(p, data, disk.Meta{})
+}
+
+// parityWithout computes the group's parity with page p's contents taken
+// from `data` instead of disk: XOR of data and every other member page.
+// Every other member is reachable in both degraded-write cases.
+func (s *Store) parityWithout(g page.GroupID, p page.PageID, data page.Buf) (page.Buf, error) {
+	blocks := [][]byte{data}
+	for _, q := range s.Arr.GroupPages(g) {
+		if q == p {
+			continue
+		}
+		b, _, err := s.Arr.ReadData(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: degraded parity of group %d: read page %d: %w", g, q, err)
+		}
+		blocks = append(blocks, b)
+	}
+	return page.Buf(xorparity.Compute(s.Arr.PageSize(), blocks...)), nil
+}

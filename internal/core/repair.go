@@ -29,7 +29,7 @@ func (s *Store) RebuildDataPage(p page.PageID) (page.Buf, error) {
 			}
 		}
 	}
-	parity, _, err := s.Arr.ReadParity(g, twin)
+	parity, _, err := s.ReadParityRepair(g, twin)
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuild page %d: read parity: %w", p, err)
 	}
@@ -56,6 +56,9 @@ func (s *Store) RebuildDataPage(p page.PageID) (page.Buf, error) {
 // inline counterpart of the Scrub pass, so a single bad sector never
 // surfaces as an application error on a redundant array.
 func (s *Store) ReadPageRepair(p page.PageID) (page.Buf, error) {
+	if s.pageUnavailable(p) {
+		return s.readDegraded(p)
+	}
 	b, _, err := s.Arr.ReadData(p)
 	if err == nil {
 		return b, nil
@@ -68,4 +71,30 @@ func (s *Store) ReadPageRepair(p page.PageID) (page.Buf, error) {
 		return nil, fmt.Errorf("core: read repair of page %d failed: %w (original: %v)", p, rerr, err)
 	}
 	return rebuilt, nil
+}
+
+// ReadParityRepair reads parity twin `twin` of group g, transparently
+// repairing a latent checksum error by recomputing the parity from the
+// group's data pages — but only when this twin is the one describing the
+// on-disk data (the current twin of a clean group, or the working twin
+// of a dirty one).  The other twin holds *history* — the committed
+// pre-transaction parity of a dirty group, or an obsolete version — that
+// the data cannot regenerate, so its errors surface to the caller.
+func (s *Store) ReadParityRepair(g page.GroupID, twin int) (page.Buf, disk.Meta, error) {
+	b, m, err := s.Arr.ReadParity(g, twin)
+	if err == nil || !errors.Is(err, disk.ErrChecksum) {
+		return b, m, err
+	}
+	if twin != s.describingTwin(g) {
+		return nil, disk.Meta{}, fmt.Errorf("core: read twin %d of group %d: %w", twin, g, err)
+	}
+	meta, merr := s.Arr.PeekParityMeta(g, twin)
+	if merr != nil {
+		return nil, disk.Meta{}, fmt.Errorf("core: read twin %d of group %d: %w", twin, g, err)
+	}
+	if rerr := s.Arr.RecomputeParity(g, twin, meta); rerr != nil {
+		return nil, disk.Meta{}, fmt.Errorf("core: parity repair of group %d twin %d failed: %w (original: %v)", g, twin, rerr, err)
+	}
+	s.deg.ParityRepairs++
+	return s.Arr.ReadParity(g, twin)
 }

@@ -37,7 +37,14 @@ var (
 	// ErrChecksum reports that a block's stored checksum does not match
 	// its contents (injected corruption).
 	ErrChecksum = errors.New("disk: block checksum mismatch")
+	// ErrTransient reports a transient I/O error: the block is untouched
+	// and an immediate retry may succeed.  The fault plane injects it;
+	// the array's retry layer is responsible for masking it.
+	ErrTransient = errors.New("disk: transient I/O error")
 )
+
+// IsTransient reports whether err is a transient, retryable I/O error.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // ParityState is the lifecycle state of a twin parity page, stored in the
 // block header (Figure 8 of the paper).  Data blocks leave it at

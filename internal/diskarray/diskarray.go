@@ -22,6 +22,7 @@ package diskarray
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/disk"
 	"repro/internal/page"
@@ -81,6 +82,15 @@ type Config struct {
 	NumPages int
 	// PageSize is the size of each page/block in bytes.
 	PageSize int
+	// RetryAttempts bounds how many times one block I/O is issued before
+	// a transient error is surfaced (default 4).
+	RetryAttempts int
+	// FailStopAfter is K: after K consecutive errored attempts on one
+	// disk the array fail-stops it automatically (default 3).  Keeping
+	// K < RetryAttempts means a persistently erroring disk is declared
+	// dead *within* a single retried operation, so callers see a
+	// degraded-servable ErrFailed rather than a transient error.
+	FailStopAfter int
 }
 
 // Errors returned by the array.
@@ -108,6 +118,13 @@ type Array struct {
 	// Parity striping geometry (unused for RAID5 kinds).
 	areas    int // areas per disk = disks
 	areaSize int // blocks per area
+
+	// Self-healing state (health.go).
+	hmu     sync.Mutex
+	health  Health
+	down    int   // failed/rebuilding disk, -1 when none
+	consec  []int // consecutive errored attempts per disk
+	healing HealingStats
 }
 
 // New builds and formats an array.  Formatting establishes the all-zero
@@ -129,7 +146,13 @@ func New(cfg Config) (*Array, error) {
 	if cfg.PageSize < page.MinSize {
 		return nil, fmt.Errorf("%w: page size %d below minimum %d", ErrBadConfig, cfg.PageSize, page.MinSize)
 	}
-	a := &Array{cfg: cfg}
+	a := &Array{cfg: cfg, down: -1}
+	if a.cfg.RetryAttempts <= 0 {
+		a.cfg.RetryAttempts = 4
+	}
+	if a.cfg.FailStopAfter <= 0 {
+		a.cfg.FailStopAfter = 3
+	}
 	n := cfg.DataDisks
 	switch cfg.Kind {
 	case RAID5, ParityStripe:
@@ -161,6 +184,7 @@ func New(cfg Config) (*Array, error) {
 	}
 	a.numGroups = groups
 	a.disks = make([]*disk.Disk, numDisks)
+	a.consec = make([]int, numDisks)
 	for d := range a.disks {
 		a.disks[d] = disk.New(d, blocksPerDisk, cfg.PageSize)
 	}
@@ -411,43 +435,74 @@ func (a *Array) ParityLoc(g page.GroupID, twin int) Loc {
 }
 
 // --- Raw I/O ---------------------------------------------------------------
+//
+// Every charged block operation goes through the self-healing retry
+// wrapper (do, in health.go): transient errors are retried with bounded
+// deterministic backoff, per-disk error accounting trips automatic
+// fail-stops, and hard failures advance the array health machine.
 
 // ReadData reads logical data page p, charging one transfer.
 func (a *Array) ReadData(p page.PageID) (page.Buf, disk.Meta, error) {
 	loc := a.DataLoc(p)
-	return a.disks[loc.Disk].Read(loc.Block)
+	var b page.Buf
+	var m disk.Meta
+	err := a.do(loc.Disk, func() error {
+		var err error
+		b, m, err = a.disks[loc.Disk].Read(loc.Block)
+		return err
+	})
+	return b, m, err
 }
 
 // WriteData writes logical data page p, charging one transfer.
 func (a *Array) WriteData(p page.PageID, b page.Buf, meta disk.Meta) error {
 	loc := a.DataLoc(p)
-	return a.disks[loc.Disk].Write(loc.Block, b, meta)
+	return a.do(loc.Disk, func() error {
+		return a.disks[loc.Disk].Write(loc.Block, b, meta)
+	})
 }
 
 // ReadParity reads the group's parity page, charging one transfer.
 func (a *Array) ReadParity(g page.GroupID, twin int) (page.Buf, disk.Meta, error) {
 	loc := a.ParityLoc(g, twin)
-	return a.disks[loc.Disk].Read(loc.Block)
+	var b page.Buf
+	var m disk.Meta
+	err := a.do(loc.Disk, func() error {
+		var err error
+		b, m, err = a.disks[loc.Disk].Read(loc.Block)
+		return err
+	})
+	return b, m, err
 }
 
 // WriteParity writes the group's parity page, charging one transfer.
 func (a *Array) WriteParity(g page.GroupID, twin int, b page.Buf, meta disk.Meta) error {
 	loc := a.ParityLoc(g, twin)
-	return a.disks[loc.Disk].Write(loc.Block, b, meta)
+	return a.do(loc.Disk, func() error {
+		return a.disks[loc.Disk].Write(loc.Block, b, meta)
+	})
 }
 
 // WriteParityMeta rewrites only the parity page's header (state,
 // timestamp), charging one transfer.
 func (a *Array) WriteParityMeta(g page.GroupID, twin int, meta disk.Meta) error {
 	loc := a.ParityLoc(g, twin)
-	return a.disks[loc.Disk].WriteMeta(loc.Block, meta)
+	return a.do(loc.Disk, func() error {
+		return a.disks[loc.Disk].WriteMeta(loc.Block, meta)
+	})
 }
 
 // ReadParityMeta reads only the parity page's header (state, timestamp),
 // charging one transfer.  The bitmap-rebuild scan after a crash uses it.
 func (a *Array) ReadParityMeta(g page.GroupID, twin int) (disk.Meta, error) {
 	loc := a.ParityLoc(g, twin)
-	return a.disks[loc.Disk].ReadMeta(loc.Block)
+	var m disk.Meta
+	err := a.do(loc.Disk, func() error {
+		var err error
+		m, err = a.disks[loc.Disk].ReadMeta(loc.Block)
+		return err
+	})
+	return m, err
 }
 
 // PeekParityMeta returns parity metadata without charging a transfer
@@ -473,12 +528,14 @@ func (a *Array) PeekParity(g page.GroupID, twin int) (page.Buf, error) {
 
 // --- Failure handling ------------------------------------------------------
 
-// FailDisk injects a fail-stop failure on disk d.
+// FailDisk injects a fail-stop failure on disk d and advances the health
+// machine exactly as an organically detected failure would.
 func (a *Array) FailDisk(d int) error {
 	if d < 0 || d >= len(a.disks) {
 		return fmt.Errorf("diskarray: no disk %d", d)
 	}
 	a.disks[d].Fail()
+	a.noteFailed(d, disk.ErrFailed)
 	return nil
 }
 
@@ -486,12 +543,14 @@ func (a *Array) FailDisk(d int) error {
 func (a *Array) DiskFailed(d int) bool { return a.disks[d].Failed() }
 
 // RepairDisk swaps in a fresh zeroed drive for disk d without
-// reconstructing its contents (media recovery does that).
+// reconstructing its contents (media recovery does that), then re-derives
+// the array health from the remaining fail-stop flags.
 func (a *Array) RepairDisk(d int) error {
 	if d < 0 || d >= len(a.disks) {
 		return fmt.Errorf("diskarray: no disk %d", d)
 	}
 	a.disks[d].Repair()
+	a.recomputeHealth()
 	return nil
 }
 

@@ -1,0 +1,231 @@
+package diskarray
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// Health is the array's availability state.  The machine moves
+//
+//	Healthy → Degraded → Rebuilding → Healthy
+//
+// as disks fail-stop and are rebuilt online, and drops to Failed when a
+// second disk is lost while the first is still down — at that point some
+// parity groups have lost two blocks and XOR redundancy cannot recover
+// them without a media-recovery pass (RepairDisks).
+type Health int
+
+const (
+	// Healthy: all disks serving.
+	Healthy Health = iota
+	// Degraded: exactly one disk is down; reads of its blocks must be
+	// reconstructed from parity + survivors.
+	Degraded
+	// Rebuilding: the down disk has been replaced by a fresh drive and a
+	// rebuild worker is reconstructing its blocks; unrestored blocks must
+	// still be served degraded.
+	Rebuilding
+	// Failed: two or more disks lost while redundancy was already
+	// consumed.  I/O errors are wrapped in ErrArrayFailed.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Rebuilding:
+		return "rebuilding"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Health(%d)", int(h))
+	}
+}
+
+// ErrArrayFailed reports that a second disk failed while the array was
+// already degraded: single-parity redundancy is exhausted and affected
+// groups cannot be served.  Media recovery (RepairDisks) is the only way
+// out.
+var ErrArrayFailed = errors.New("diskarray: array failed, overlapping disk losses exceed parity redundancy")
+
+// HealingStats counts the work done by the self-healing retry layer.
+type HealingStats struct {
+	// Retries is the number of transient I/O errors absorbed by the
+	// retry loop (each one is a re-issued block operation).
+	Retries uint64
+	// BackoffUnits is the total deterministic backoff charged before
+	// retries, in abstract units (1, 2, 4, ... per successive attempt).
+	// The simulator does not sleep; the counter stands in for wall time.
+	BackoffUnits uint64
+	// AutoFailStops is the number of disks fail-stopped automatically
+	// after FailStopAfter consecutive errored attempts.
+	AutoFailStops uint64
+}
+
+// Health returns the array's current availability state.
+func (a *Array) Health() Health {
+	a.hmu.Lock()
+	defer a.hmu.Unlock()
+	return a.health
+}
+
+// DownDisk returns the disk currently down (Degraded) or being rebuilt
+// (Rebuilding), or -1 when the array is Healthy.  When Failed it returns
+// the first lost disk.
+func (a *Array) DownDisk() int {
+	a.hmu.Lock()
+	defer a.hmu.Unlock()
+	return a.down
+}
+
+// Healing returns the cumulative self-healing counters.
+func (a *Array) Healing() HealingStats {
+	a.hmu.Lock()
+	defer a.hmu.Unlock()
+	return a.healing
+}
+
+// do runs one block I/O against disk d through the retry layer.
+//
+// Transient errors (disk.ErrTransient) are retried up to RetryAttempts
+// times with deterministic exponential backoff (recorded in abstract
+// units, never slept).  Each errored attempt bumps the disk's
+// consecutive-error count; any success resets it.  When the count reaches
+// FailStopAfter the disk is fail-stopped automatically — a drive that
+// keeps erroring is treated as dead rather than allowed to stall the
+// engine — and the error converts to the ErrFailed class so the layers
+// above serve the request degraded instead of surfacing a spurious
+// failure.  Hard errors (ErrFailed) feed the health machine; data errors
+// (ErrChecksum, ErrOutOfRange) pass through untouched, as they indicate
+// bad blocks rather than a bad drive.
+func (a *Array) do(d int, op func() error) error {
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			a.hmu.Lock()
+			a.consec[d] = 0
+			a.hmu.Unlock()
+			return nil
+		}
+		if disk.IsTransient(err) {
+			a.hmu.Lock()
+			a.healing.Retries++
+			a.consec[d]++
+			trip := a.consec[d] >= a.cfg.FailStopAfter
+			if trip {
+				a.healing.AutoFailStops++
+			} else if attempt < a.cfg.RetryAttempts {
+				a.healing.BackoffUnits += 1 << (attempt - 1)
+			}
+			a.hmu.Unlock()
+			if trip {
+				a.disks[d].Fail()
+				return a.noteFailed(d, fmt.Errorf("%w: disk %d fail-stopped after %d consecutive transient errors", disk.ErrFailed, d, a.cfg.FailStopAfter))
+			}
+			if attempt < a.cfg.RetryAttempts {
+				continue
+			}
+			return err
+		}
+		if errors.Is(err, disk.ErrFailed) {
+			return a.noteFailed(d, err)
+		}
+		return err
+	}
+}
+
+// noteFailed records that disk d returned a hard failure and advances the
+// health machine.  The first loss degrades the array; a loss of a second,
+// different disk while the first is still down fails it, and from then on
+// every hard error is wrapped in ErrArrayFailed so callers get a typed
+// double-failure signal instead of a raw disk error.
+func (a *Array) noteFailed(d int, err error) error {
+	a.hmu.Lock()
+	defer a.hmu.Unlock()
+	switch {
+	case a.health == Failed:
+		// Already failed; keep wrapping below.
+	case a.down == -1:
+		a.down = d
+		a.health = Degraded
+	case a.down == d:
+		// The down disk (or its mid-rebuild replacement) erred again;
+		// fall back from Rebuilding to Degraded, still one disk down.
+		if a.health == Rebuilding {
+			a.health = Degraded
+		}
+	default:
+		a.health = Failed
+	}
+	if a.health == Failed && !errors.Is(err, ErrArrayFailed) {
+		err = fmt.Errorf("%w: %v", ErrArrayFailed, err)
+	}
+	return err
+}
+
+// recomputeHealth re-derives the health state from the disks' actual
+// fail-stop flags.  Called after a repair; a Rebuilding state is
+// preserved (its down disk is already replaced, hence not Failed()).
+func (a *Array) recomputeHealth() {
+	a.hmu.Lock()
+	defer a.hmu.Unlock()
+	failed := make([]int, 0, len(a.disks))
+	for i, dd := range a.disks {
+		if dd.Failed() {
+			failed = append(failed, i)
+		}
+	}
+	for i := range a.consec {
+		a.consec[i] = 0
+	}
+	switch len(failed) {
+	case 0:
+		if a.health != Rebuilding {
+			a.health = Healthy
+			a.down = -1
+		}
+	case 1:
+		a.health = Degraded
+		a.down = failed[0]
+	default:
+		a.health = Failed
+		a.down = failed[0]
+	}
+}
+
+// BeginRebuild swaps a fresh zeroed drive in for down disk d and marks
+// the array Rebuilding.  The caller owns reconstructing the drive's
+// blocks (stripe by stripe, online) and must call FinishRebuild when
+// done; until then reads of unrestored blocks return zeroes and must be
+// served degraded by the layers above.
+func (a *Array) BeginRebuild(d int) error {
+	if d < 0 || d >= len(a.disks) {
+		return fmt.Errorf("diskarray: no disk %d", d)
+	}
+	a.disks[d].Repair()
+	a.hmu.Lock()
+	defer a.hmu.Unlock()
+	a.health = Rebuilding
+	a.down = d
+	for i := range a.consec {
+		a.consec[i] = 0
+	}
+	return nil
+}
+
+// FinishRebuild marks an online rebuild complete, returning the array to
+// Healthy.
+func (a *Array) FinishRebuild() {
+	a.hmu.Lock()
+	defer a.hmu.Unlock()
+	if a.health == Rebuilding {
+		a.health = Healthy
+		a.down = -1
+	}
+}

@@ -36,7 +36,6 @@
 package fault
 
 import (
-	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -45,8 +44,10 @@ import (
 	"repro/internal/disk"
 )
 
-// ErrTransient is the error a TransientError rule injects.
-var ErrTransient = errors.New("fault: injected transient I/O error")
+// ErrTransient is the error a TransientError rule injects.  It is the
+// disk layer's transient-error class, so the array's retry layer treats
+// injected faults exactly like native ones.
+var ErrTransient = disk.ErrTransient
 
 // Crash is the sentinel panic value of a tripped crash point.
 type Crash struct {
@@ -279,6 +280,12 @@ type Plane struct {
 	rules  []Rule
 	writes int64 // block writes observed (and allowed to proceed)
 	reads  int64 // block reads observed
+	// transientEvery, when positive, fails every n-th access (across all
+	// op classes, counting failed attempts too) with ErrTransient — a
+	// deterministic background error rate for degraded-mode soaks, O(1)
+	// per access where an equivalent rule list would be O(rate·accesses).
+	transientEvery int64
+	accesses       int64 // all observed accesses, applied or not
 }
 
 // NewPlane builds a plane executing the given schedule.  An empty
@@ -316,11 +323,25 @@ func (p *Plane) Schedule() Schedule {
 	return out
 }
 
+// SetTransientEvery makes the plane fail every n-th observed access with
+// ErrTransient, independent of the schedule (0 disables).  Because the
+// counter includes failed attempts, an isolated hit is always masked by a
+// single retry: the retry lands on a non-multiple count.
+func (p *Plane) SetTransientEvery(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.transientEvery = n
+}
+
 // Observe implements disk.Injector.
 func (p *Plane) Observe(a disk.Access) disk.Decision {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var dec disk.Decision
+	p.accesses++
+	if p.transientEvery > 0 && p.accesses%p.transientEvery == 0 {
+		dec.Err = ErrTransient
+	}
 	for i := range p.rules {
 		r := &p.rules[i]
 		if r.fired {

@@ -131,6 +131,26 @@ type Config struct {
 	// computes (model.Result.Interval).  Zero disables automatic
 	// checkpoints; Checkpoint can always be called manually.
 	CheckpointEvery int64
+
+	// --- Self-healing knobs (see DESIGN.md §"Self-healing I/O") ---
+
+	// RetryAttempts bounds how many times one block I/O is issued before
+	// a transient error is surfaced (default 4).  Backoff between
+	// attempts is deterministic and charged in abstract units, never
+	// slept.
+	RetryAttempts int
+	// FailStopAfter is K: after K consecutive errored attempts on one
+	// disk the array fail-stops it automatically and serves degraded
+	// (default 3).  The default keeps K < RetryAttempts so a persistently
+	// erroring disk is declared dead within a single retried operation
+	// instead of surfacing an error to the caller.
+	FailStopAfter int
+	// RebuildBatchGroups throttles the online rebuild worker: each
+	// RebuildStep restores at most this many parity groups before
+	// releasing the engine to live transactions (default 8).  Smaller
+	// batches favour transaction latency, larger ones rebuild speed —
+	// the classic rebuild-rate trade-off.
+	RebuildBatchGroups int
 }
 
 // DefaultConfig returns the paper's model parameters.
@@ -147,6 +167,10 @@ func DefaultConfig() Config {
 		RecordSize:   100,
 		LogPageSize:  2020,
 		LogWriteCost: 4,
+
+		RetryAttempts:      4,
+		FailStopAfter:      3,
+		RebuildBatchGroups: 8,
 	}
 }
 
@@ -176,6 +200,15 @@ func (c Config) validate() (Config, error) {
 	}
 	if c.LogWriteCost == 0 {
 		c.LogWriteCost = def.LogWriteCost
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = def.RetryAttempts
+	}
+	if c.FailStopAfter == 0 {
+		c.FailStopAfter = def.FailStopAfter
+	}
+	if c.RebuildBatchGroups == 0 {
+		c.RebuildBatchGroups = def.RebuildBatchGroups
 	}
 	if c.DataDisks < 1 {
 		return c, fmt.Errorf("%w: DataDisks must be at least 1", ErrBadConfig)

@@ -273,6 +273,19 @@ func (d *driver) probe() error {
 	if err := tx.Commit(); err != nil {
 		return fmt.Errorf("probe commit: %w", err)
 	}
+	// A disk can die during the probe itself (a late FailDisk rule): the
+	// commit then lives only in parity, which the raw platter peek below
+	// cannot see.  Rebuild first so redundancy-only state is
+	// materialized; an instant no-op on a healthy array.
+	for {
+		done, err := d.db.RebuildStep(0)
+		if err != nil {
+			return fmt.Errorf("probe rebuild: %w", err)
+		}
+		if done {
+			break
+		}
+	}
 	got, err := d.db.PeekPage(p)
 	if err != nil {
 		return fmt.Errorf("probe peek: %w", err)
@@ -374,6 +387,114 @@ func Explore(opts Options, progress func(done, total int64)) (*Result, error) {
 		}
 		if progress != nil {
 			progress(k+1, total)
+		}
+	}
+	return res, nil
+}
+
+// RunMixSchedule is RunSchedule with a background transient-error rate
+// (every transientEvery-th access fails once; 0 disables) and support for
+// mid-run disk deaths.  A FailDisk rule must complete the workload with
+// no surfaced error — the retry layer masks the transients and degraded
+// serving masks the dead disk — after which the online rebuild is pumped
+// to completion and the oracle, parity invariant and probe checks run
+// against the restored array.  Crash rules behave as in RunSchedule
+// (recovery runs under the same transient rate).  A schedule must not
+// combine a crash and a disk death: crash recovery on a degraded array
+// is out of scope (rda.Recover returns ErrDegraded).
+func RunMixSchedule(opts Options, sched fault.Schedule, transientEvery int64) error {
+	opts.fill()
+	db, err := rda.Open(dbConfig(opts.Layout))
+	if err != nil {
+		return err
+	}
+	plane := fault.NewPlane(sched)
+	plane.SetTransientEvery(transientEvery)
+	db.SetInjector(plane)
+	d := newDriver(db, opts)
+	crash, err := d.run()
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if crash != nil {
+		db.CrashHard()
+		if _, err := db.Recover(); err != nil {
+			return fmt.Errorf("recover after %v: %w", crash, err)
+		}
+		if err := db.VerifyRecovered(); err != nil {
+			return fmt.Errorf("after %v: %w", crash, err)
+		}
+	} else {
+		// The workload completed; if a FailDisk rule killed a drive
+		// mid-run the array is degraded and every operation since was
+		// served from redundancy.  Rebuild it online (a no-op when
+		// healthy), then hold the run to the same oracle.
+		for {
+			done, rerr := db.RebuildStep(0)
+			if rerr != nil {
+				return fmt.Errorf("online rebuild: %w", rerr)
+			}
+			if done {
+				break
+			}
+		}
+	}
+	if err := d.verify(); err != nil {
+		return fmt.Errorf("after %v: %w", sched, err)
+	}
+	if err := d.probe(); err != nil {
+		return fmt.Errorf("after %v: %w", sched, err)
+	}
+	if transientEvery > 0 && plane.Reads()+plane.Writes() >= transientEvery && db.Stats().IORetries == 0 {
+		return fmt.Errorf("transient rate 1/%d injected faults but the retry layer recorded none", transientEvery)
+	}
+	return nil
+}
+
+// MixSoak performs iters randomized self-healing cycles under a constant
+// background transient-error rate.  Iterations alternate between the
+// crash discipline of Soak (crash or torn write at a random index, then
+// recovery) and a mid-run disk death (FailDisk at a random write index,
+// then degraded serving and an online rebuild) — never both in one
+// schedule, since crash recovery requires a healthy array.  Every run
+// must preserve the committed-state oracle; the transient faults must be
+// invisible throughout.
+func MixSoak(opts Options, iters int, transientEvery int64) (*Result, error) {
+	opts.fill()
+	probe, err := rda.Open(dbConfig(opts.Layout))
+	if err != nil {
+		return nil, err
+	}
+	numDisks := probe.NumDisks()
+	meta := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{}
+	for i := 0; i < iters; i++ {
+		o := opts
+		o.Seed = int64(meta.Uint64() >> 1)
+		total, err := CountWrites(o)
+		if err != nil {
+			return nil, err
+		}
+		if total == 0 {
+			continue
+		}
+		res.TotalWrites = total
+		k := meta.Int63n(total)
+		disk := meta.Intn(numDisks)
+		tornHead := meta.Intn(2) == 0
+		wantTorn := meta.Intn(3) == 0
+		var sched fault.Schedule
+		switch {
+		case i%2 == 0:
+			sched = fault.Schedule{fault.FailDisk(disk, k)}
+		case wantTorn:
+			sched = fault.Schedule{fault.TornWrite(k, tornHead)}
+		default:
+			sched = fault.Schedule{fault.CrashAfterNWrites(k)}
+		}
+		res.Runs++
+		if err := RunMixSchedule(o, sched, transientEvery); err != nil {
+			res.Violations = append(res.Violations, Violation{Seed: o.Seed, Schedule: sched, Err: err})
 		}
 	}
 	return res, nil

@@ -126,3 +126,58 @@ func TestViolationReplay(t *testing.T) {
 		t.Fatalf("replayed schedule failed: %v", err)
 	}
 }
+
+// TestMixSoak runs the self-healing soak in miniature: a background
+// transient rate on every run, alternating crash recoveries and mid-run
+// disk deaths with online rebuilds, all held to the committed-state
+// oracle.
+func TestMixSoak(t *testing.T) {
+	iters := 20
+	if testing.Short() {
+		iters = 6
+	}
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		opts := small(layout)
+		opts.Seed = 7
+		res, err := MixSoak(opts, iters, 50)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if res.Runs == 0 {
+			t.Fatalf("%v: soak ran nothing", layout)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v: %s", layout, v)
+		}
+	}
+}
+
+// TestMixFailDiskEveryIndex kills each disk at every write index of a
+// small workload — an exhaustive sweep of the degraded-serving and
+// online-rebuild interlock.  The workload must complete with no surfaced
+// error each time.
+func TestMixFailDiskEveryIndex(t *testing.T) {
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		opts := small(layout)
+		total, err := CountWrites(opts)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		probe, err := rda.Open(dbConfig(layout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := int64(1)
+		if testing.Short() {
+			step = 7
+		}
+		for d := 0; d < probe.NumDisks(); d++ {
+			for k := int64(0); k < total; k += step {
+				sched := fault.Schedule{fault.FailDisk(d, k)}
+				if err := RunMixSchedule(opts, sched, 0); err != nil {
+					t.Errorf("%v: seed=%d sched=%q: %v", layout, opts.Seed, sched, err)
+				}
+			}
+		}
+	}
+}

@@ -37,6 +37,15 @@ var (
 	// ErrWrongMode reports a page operation on a record-mode database or
 	// vice versa.
 	ErrWrongMode = errors.New("rda: operation not available in this logging mode")
+	// ErrDegraded reports an operation that needs the array's full
+	// redundancy while a disk is down.  Finish the online rebuild
+	// (RebuildStep/StartRebuild) or run media recovery (RepairDisk)
+	// first.
+	ErrDegraded = errors.New("rda: array is degraded")
+	// ErrArrayFailed reports that a second disk failed while the array
+	// was already degraded: parity redundancy is exhausted and affected
+	// groups cannot be served until RepairDisks runs.
+	ErrArrayFailed = diskarray.ErrArrayFailed
 )
 
 // txState is the engine-side volatile state of one active transaction.
@@ -106,6 +115,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	arr, err := diskarray.New(diskarray.Config{
 		Kind: kind, DataDisks: cfg.DataDisks, NumPages: cfg.NumPages, PageSize: cfg.PageSize,
+		RetryAttempts: cfg.RetryAttempts, FailStopAfter: cfg.FailStopAfter,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rda: %w", err)
@@ -189,16 +199,84 @@ func (db *DB) RecordsPerPage() int {
 func (db *DB) NumDisks() int { return db.arr.NumDisks() }
 
 // fetch loads a page from the array on a buffer miss, transparently
-// repairing latent sector errors from the group's redundancy.
+// repairing latent sector errors from the group's redundancy.  If the
+// read trips an automatic fail-stop, the engine enters degraded mode and
+// retries once: the retry reconstructs the page from parity + survivors.
 func (db *DB) fetch(p page.PageID) (page.Buf, error) {
-	return db.store.ReadPageRepair(p)
+	b, err := db.store.ReadPageRepair(p)
+	if err != nil && db.syncHealth() {
+		return db.store.ReadPageRepair(p)
+	}
+	return b, err
+}
+
+// storeRead is ReadPage with the same enter-degraded-and-retry-once
+// discipline as fetch.  Engine paths that read outside the buffer pool
+// (after-image capture, abort restores) use it.
+func (db *DB) storeRead(p page.PageID) (page.Buf, error) {
+	b, err := db.store.ReadPage(p)
+	if err != nil && db.syncHealth() {
+		return db.store.ReadPage(p)
+	}
+	return b, err
+}
+
+// syncHealth aligns the engine's degraded-serving state with the array's
+// health machine; called with db.mu held after an operation failed (or
+// on an explicit FailDisk).  When the array has just gone down to one
+// disk, every dirty parity group keeping a block on that disk is demoted
+// to logged UNDO — a degraded group's redundancy is consumed by the disk
+// loss and cannot also fund transaction recovery — and the store enters
+// degraded serving.  Returns true when degraded mode was just entered:
+// the caller's failed operation is worth exactly one retry, which will
+// now be served from redundancy.
+func (db *DB) syncHealth() bool {
+	h := db.arr.Health()
+	if h != diskarray.Degraded && h != diskarray.Rebuilding {
+		return false
+	}
+	if db.store.Degraded() {
+		return false
+	}
+	down := db.arr.DownDisk()
+	if db.store.Dirty != nil {
+		for g := 0; g < db.arr.NumGroups(); g++ {
+			gid := page.GroupID(g)
+			e, dirty := db.store.Dirty.Lookup(gid)
+			if !dirty || !db.store.GroupOnDisk(gid, down) {
+				continue
+			}
+			if err := db.demoteNoLogSteal(gid, e); err != nil {
+				// The demotion itself hit the dead disk or a second
+				// failure; degraded serving still engages — the logged
+				// before-image is on the log and the rollback paths
+				// handle the rest.
+				continue
+			}
+		}
+	}
+	db.store.EnterDegraded(down)
+	return true
 }
 
 // writeBack is the STEAL policy (see DESIGN.md §5): it is invoked by the
 // buffer pool for every dirty frame leaving the pool (replacement, EOT
 // forcing, checkpoint flushing) and decides between the RDA no-logging
 // path, the classic logging path and the committed write path.
+//
+// A failure that trips the array into degraded mode is retried once: the
+// lazy log appends below are idempotent, and the retry routes through
+// the degraded write protocol, so a mid-write disk loss never surfaces
+// to the caller.
 func (db *DB) writeBack(f *buffer.Frame) error {
+	err := db.writeBackOnce(f)
+	if err != nil && db.syncHealth() {
+		err = db.writeBackOnce(f)
+	}
+	return err
+}
+
+func (db *DB) writeBackOnce(f *buffer.Frame) error {
 	old := f.DiskVersion // nil under ¬FORCE: the store re-reads (a=4)
 
 	mods := f.ModifierList()
@@ -317,10 +395,22 @@ func (db *DB) demoteNoLogSteal(g page.GroupID, e dirtyset.Entry) error {
 	db.ensureUndoLogged(owner, e.Page)
 	owner.stolenLogged[e.Page] = true
 	meta := disk.Meta{State: disk.StateCommitted, Timestamp: db.tm.NextTimestamp()}
-	if err := db.arr.WriteParityMeta(g, e.WorkingTwin, meta); err != nil {
-		return fmt.Errorf("rda: demote group %d: %w", g, err)
+	if down := db.arr.DownDisk(); down >= 0 && db.arr.ParityLoc(g, e.WorkingTwin).Disk == down {
+		// The working twin is the group's lost block.  Its data page is
+		// reachable and already holds the stolen value, so the surviving
+		// twin is recomputed wholesale to describe the on-disk group and
+		// committed in its place.
+		alive := 1 - e.WorkingTwin
+		if err := db.arr.RecomputeParity(g, alive, meta); err != nil {
+			return fmt.Errorf("rda: demote group %d: %w", g, err)
+		}
+		db.store.Twins.Promote(g, alive)
+	} else {
+		if err := db.arr.WriteParityMeta(g, e.WorkingTwin, meta); err != nil {
+			return fmt.Errorf("rda: demote group %d: %w", g, err)
+		}
+		db.store.Twins.Promote(g, e.WorkingTwin)
 	}
-	db.store.Twins.Promote(g, e.WorkingTwin)
 	db.store.Dirty.Clean(g)
 	// The page leaves the owner's no-logging chain.
 	chain := owner.t.StolenNoLog[:0]
@@ -424,6 +514,13 @@ func (db *DB) Recover() (*RecoveryReport, error) {
 	if !db.crashed {
 		return nil, errors.New("rda: Recover on a running database")
 	}
+	if db.arr.Health() != diskarray.Healthy {
+		// Crash recovery scans and rewrites parity on every disk; with a
+		// member down it cannot run.  Media recovery (RepairDisk/
+		// RepairDisks after restart tooling replaces the drive) must
+		// complete first.
+		return nil, fmt.Errorf("%w: crash recovery requires a healthy array (health %v)", ErrDegraded, db.arr.Health())
+	}
 	rep, err := recovery.CrashRecover(db.store, db.cfg.EOT == NoForce, db.dirtyCrash)
 	if err != nil {
 		return nil, fmt.Errorf("rda: recovery: %w", err)
@@ -450,11 +547,18 @@ func (db *DB) Recover() (*RecoveryReport, error) {
 }
 
 // FailDisk injects a fail-stop failure on the given disk (0 ≤ d <
-// NumDisks).  Operations touching the disk will fail until RepairDisk.
+// NumDisks).  The engine enters degraded serving immediately — reads
+// reconstruct from redundancy, writes maintain parity without the dead
+// member — until an online rebuild (RebuildStep/StartRebuild) or media
+// recovery (RepairDisk) completes.
 func (db *DB) FailDisk(d int) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.arr.FailDisk(d)
+	if err := db.arr.FailDisk(d); err != nil {
+		return err
+	}
+	db.syncHealth()
+	return nil
 }
 
 // RepairDisk replaces the failed disk with a fresh one and reconstructs
@@ -480,7 +584,17 @@ func (db *DB) RepairDisk(d int) error {
 	if err := recovery.RecoverMedia(db.store, d, before); err != nil {
 		return fmt.Errorf("rda: media recovery: %w", err)
 	}
+	db.leaveDegradedLocked()
 	return nil
+}
+
+// leaveDegradedLocked returns the engine to normal serving after media
+// recovery restored full redundancy.  Called with db.mu held.
+func (db *DB) leaveDegradedLocked() {
+	db.arr.FinishRebuild() // no-op unless a rebuild was in flight
+	if db.arr.Health() == diskarray.Healthy {
+		db.store.LeaveDegraded()
+	}
 }
 
 // RepairDisks replaces several simultaneously failed disks and
@@ -510,6 +624,7 @@ func (db *DB) RepairDisks(ds ...int) ([]uint32, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rda: media recovery: %w", err)
 	}
+	db.leaveDegradedLocked()
 	out := make([]uint32, len(lost))
 	for i, g := range lost {
 		out[i] = uint32(g)

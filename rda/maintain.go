@@ -35,6 +35,11 @@ func (db *DB) Scrub() (*ScrubReport, error) {
 	if db.crashed {
 		return nil, ErrCrashed
 	}
+	if db.store.Degraded() {
+		// Scrubbing compares parity against data it cannot fully read;
+		// finish the rebuild first.
+		return nil, fmt.Errorf("%w: scrub needs full redundancy", ErrDegraded)
+	}
 	// Flush so the scan verifies current contents, then require
 	// cleanliness.
 	if err := db.pool.FlushAll(nil); err != nil {
@@ -78,6 +83,10 @@ func (db *DB) BulkLoad(start PageID, pages [][]byte) (int, error) {
 	defer db.mu.Unlock()
 	if db.crashed {
 		return 0, ErrCrashed
+	}
+	if db.store.Degraded() {
+		// Full-stripe writes need every member disk.
+		return 0, fmt.Errorf("%w: bulk load needs full redundancy", ErrDegraded)
 	}
 	if db.tm.ActiveCount() > 0 {
 		return 0, fmt.Errorf("%w: %d active transactions", ErrBusy, db.tm.ActiveCount())

@@ -1,0 +1,190 @@
+package rda
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/disk"
+	"repro/internal/diskarray"
+	"repro/internal/page"
+)
+
+// Health returns the array's availability state (see diskarray.Health):
+// Healthy, Degraded (one disk down, serving from redundancy), Rebuilding
+// (replacement drive being reconstructed online) or Failed (overlapping
+// losses; RepairDisks is the only way out).
+func (db *DB) Health() diskarray.Health {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.arr.Health()
+}
+
+// RebuildProgress describes an online rebuild.
+type RebuildProgress struct {
+	// Health is the array state the snapshot was taken in.
+	Health diskarray.Health
+	// DownDisk is the disk being rebuilt (-1 when Healthy).
+	DownDisk int
+	// TotalGroups is the number of parity groups that keep a block on
+	// the down disk; RestoredGroups of them have been reconstructed.
+	TotalGroups    int
+	RestoredGroups int
+}
+
+// Done reports whether nothing is left to rebuild.
+func (p RebuildProgress) Done() bool { return p.Health == diskarray.Healthy }
+
+// RebuildProgress returns a snapshot of the online rebuild's progress.
+func (db *DB) RebuildProgress() RebuildProgress {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pr := RebuildProgress{Health: db.arr.Health(), DownDisk: db.arr.DownDisk()}
+	if !db.store.Degraded() {
+		return pr
+	}
+	down := db.store.DownDisk()
+	for g := 0; g < db.arr.NumGroups(); g++ {
+		if db.store.GroupOnDisk(page.GroupID(g), down) {
+			pr.TotalGroups++
+		}
+	}
+	pr.RestoredGroups = int(db.store.DegradedCounters().RebuiltGroups)
+	return pr
+}
+
+// RebuildStep reconstructs up to maxGroups parity groups of the down
+// disk onto its replacement drive (maxGroups ≤ 0 uses
+// Config.RebuildBatchGroups).  The first step swaps the fresh drive in;
+// each step runs atomically under the engine mutex, so live transactions
+// interleave between batches — the throttling knob trades transaction
+// latency against rebuild time.  Restored groups leave degraded serving
+// immediately; when the last one is restored the array returns to
+// Healthy and (true, nil) is reported.  Resumable: steps may be
+// interleaved with any transaction work and repeat after errors.
+func (db *DB) RebuildStep(maxGroups int) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return false, ErrCrashed
+	}
+	return db.rebuildStepLocked(maxGroups)
+}
+
+func (db *DB) rebuildStepLocked(maxGroups int) (bool, error) {
+	if !db.store.Degraded() {
+		db.syncHealth()
+		if !db.store.Degraded() {
+			return true, nil
+		}
+	}
+	down := db.store.DownDisk()
+	switch db.arr.Health() {
+	case diskarray.Failed:
+		return false, fmt.Errorf("%w: online rebuild impossible, run RepairDisks", ErrArrayFailed)
+	case diskarray.Degraded:
+		if err := db.arr.BeginRebuild(down); err != nil {
+			return false, err
+		}
+	case diskarray.Rebuilding:
+		// Resuming a rebuild already in flight.
+	case diskarray.Healthy:
+		// Media recovery got there first.
+		db.store.LeaveDegraded()
+		return true, nil
+	}
+	if maxGroups <= 0 {
+		maxGroups = db.cfg.RebuildBatchGroups
+	}
+	restored := 0
+	remaining := false
+	for g := 0; g < db.arr.NumGroups(); g++ {
+		gid := page.GroupID(g)
+		if !db.store.GroupDegraded(gid) {
+			continue
+		}
+		if restored >= maxGroups {
+			remaining = true
+			break
+		}
+		if err := db.restoreGroup(gid, down); err != nil {
+			return false, err
+		}
+		db.store.MarkRestored(gid)
+		restored++
+	}
+	if remaining {
+		return false, nil
+	}
+	db.arr.FinishRebuild()
+	db.store.LeaveDegraded()
+	return true, nil
+}
+
+// restoreGroup reconstructs group g's block on the replacement drive for
+// disk `down`: a parity twin is recomputed from the group's data pages,
+// a data page is reconstructed from the current parity and the other
+// members.  Degraded groups are always clean (their steals were demoted
+// when the disk went down), so the current twin describes the on-disk
+// data.
+func (db *DB) restoreGroup(g page.GroupID, down int) error {
+	for twin := 0; twin < db.arr.ParityPages(); twin++ {
+		if db.arr.ParityLoc(g, twin).Disk != down {
+			continue
+		}
+		meta := disk.Meta{State: disk.StateCommitted, Timestamp: 0}
+		if db.store.Twins != nil {
+			if db.store.Twins.Current(g) == twin {
+				meta = disk.Meta{State: disk.StateCommitted, Timestamp: db.tm.NextTimestamp()}
+			} else {
+				// The lost twin held history; its replacement starts
+				// over as an obsolete copy of the current parity.
+				meta = disk.Meta{State: disk.StateObsolete, Timestamp: 0}
+			}
+		}
+		if err := db.arr.RecomputeParity(g, twin, meta); err != nil {
+			return fmt.Errorf("rda: rebuild parity of group %d: %w", g, err)
+		}
+		return nil
+	}
+	twin := 0
+	if db.store.Twins != nil {
+		twin = db.store.Twins.Current(g)
+	}
+	for _, p := range db.arr.GroupPages(g) {
+		if db.arr.DataLoc(p).Disk != down {
+			continue
+		}
+		b, err := db.store.ReconstructData(g, p, twin)
+		if err != nil {
+			return fmt.Errorf("rda: rebuild page %d: %w", p, err)
+		}
+		if err := db.arr.WriteData(p, b, disk.Meta{}); err != nil {
+			return fmt.Errorf("rda: rebuild page %d: %w", p, err)
+		}
+		return nil
+	}
+	return nil
+}
+
+// StartRebuild launches the online rebuild worker in a goroutine.  It
+// loops RebuildStep with the configured batch size, yielding between
+// batches so live transactions interleave, and delivers the final result
+// (nil on a completed rebuild) on the returned channel.
+func (db *DB) StartRebuild() <-chan error {
+	ch := make(chan error, 1)
+	go func() {
+		for {
+			done, err := db.RebuildStep(0)
+			if err != nil {
+				ch <- err
+				return
+			}
+			if done {
+				ch <- nil
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	return ch
+}

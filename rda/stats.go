@@ -38,6 +38,25 @@ type Stats struct {
 
 	// Recoveries counts completed restarts.
 	Recoveries int64
+
+	// Self-healing counters (see DESIGN.md §"Self-healing I/O").
+	// IORetries counts transient I/O errors absorbed by the retry layer;
+	// RetryBackoffUnits is the deterministic backoff charged before the
+	// retries (abstract units, never slept); AutoFailStops counts disks
+	// fail-stopped automatically after consecutive errors.
+	IORetries         int64
+	RetryBackoffUnits int64
+	AutoFailStops     int64
+	// DegradedReads and DegradedWrites count operations served around a
+	// down disk (reads reconstructed from redundancy, writes maintaining
+	// parity without the dead member); ParityRepairs counts parity pages
+	// recomputed in place after latent checksum errors; RebuiltGroups
+	// counts groups restored by the online rebuild worker since the last
+	// disk loss.
+	DegradedReads  int64
+	DegradedWrites int64
+	ParityRepairs  int64
+	RebuiltGroups  int64
 }
 
 // TotalTransfers returns the model's cost measure: every page transfer
@@ -53,6 +72,8 @@ func (db *DB) Stats() Stats {
 	as := db.arr.Stats()
 	ls := db.log.Stats()
 	bs := db.pool.Stats()
+	hs := db.arr.Healing()
+	ds := db.store.DegradedCounters()
 	started, committed, aborted := db.tm.Counts()
 	return Stats{
 		DiskReads:         as.Reads,
@@ -68,6 +89,13 @@ func (db *DB) Stats() Stats {
 		TxCommitted:       committed,
 		TxAborted:         aborted,
 		Recoveries:        db.recoveries,
+		IORetries:         int64(hs.Retries),
+		RetryBackoffUnits: int64(hs.BackoffUnits),
+		AutoFailStops:     int64(hs.AutoFailStops),
+		DegradedReads:     int64(ds.DegradedReads),
+		DegradedWrites:    int64(ds.DegradedWrites),
+		ParityRepairs:     int64(ds.ParityRepairs),
+		RebuiltGroups:     int64(ds.RebuiltGroups),
 	}
 }
 

@@ -455,7 +455,7 @@ func (db *DB) currentImage(p page.PageID) (page.Buf, error) {
 	if f := db.pool.Frame(p); f != nil {
 		return f.Data.Clone(), nil
 	}
-	return db.store.ReadPage(p)
+	return db.storeRead(p)
 }
 
 // clearModifiers removes the finished transaction from every resident
@@ -500,8 +500,18 @@ func (tx *Tx) Abort() error {
 	t := st.t
 
 	if err := tx.db.rollback(st); err != nil {
-		tx.db.mu.Unlock()
-		return fmt.Errorf("rda: abort txn %d: %w", t.ID, err)
+		// A disk loss mid-rollback trips degraded mode; the retry runs
+		// the remaining undo through the degraded protocol (groups the
+		// first pass finished are already clean, and the health sync
+		// demoted any dirty group on the lost disk to the idempotent
+		// logged-restore path).
+		if tx.db.syncHealth() {
+			err = tx.db.rollback(st)
+		}
+		if err != nil {
+			tx.db.mu.Unlock()
+			return fmt.Errorf("rda: abort txn %d: %w", t.ID, err)
+		}
 	}
 	if st.botLSN != 0 {
 		// Charged backward read of the log to the BOT record (the
@@ -635,7 +645,7 @@ func (db *DB) restoreStolenLogged(st *txState, p page.PageID) (page.Buf, error) 
 	}
 	// Record mode: restore only this transaction's records on the
 	// current disk page, preserving other transactions' records.
-	cur, err := db.store.ReadPage(p)
+	cur, err := db.storeRead(p)
 	if err != nil {
 		return nil, err
 	}
