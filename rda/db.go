@@ -227,16 +227,31 @@ func (db *DB) storeRead(p page.PageID) (page.Buf, error) {
 // disk, every dirty parity group keeping a block on that disk is demoted
 // to logged UNDO — a degraded group's redundancy is consumed by the disk
 // loss and cannot also fund transaction recovery — and the store enters
-// degraded serving.  Returns true when degraded mode was just entered:
-// the caller's failed operation is worth exactly one retry, which will
-// now be served from redundancy.
+// degraded serving.  Returns true when degraded serving was just
+// (re-)entered: the caller's failed operation is worth exactly one
+// retry, which will now be served from redundancy.
+//
+// One degraded-to-degraded transition also lands here: a rebuild whose
+// replacement drive dies falls back from Rebuilding to Degraded while
+// some groups are already marked restored onto the now-dead replacement.
+// Those blocks are gone again, so the restored flags are stale — left in
+// place they would route reads of "restored" groups straight to the dead
+// disk and make the next rebuild skip them, completing with all-zero
+// blocks.  Re-entering degraded mode resets the flags (and re-demotes
+// any dirty group that took a no-log steal while its group was
+// restored), so every group on the down disk serves from redundancy
+// again and the next rebuild reconstructs the drive from scratch.
 func (db *DB) syncHealth() bool {
 	h := db.arr.Health()
 	if h != diskarray.Degraded && h != diskarray.Rebuilding {
 		return false
 	}
 	if db.store.Degraded() {
-		return false
+		// Restored flags only accumulate while Rebuilding; seeing them
+		// with the array back in Degraded means the replacement died.
+		if h != diskarray.Degraded || db.store.DegradedCounters().RebuiltGroups == 0 {
+			return false
+		}
 	}
 	down := db.arr.DownDisk()
 	if db.store.Dirty != nil {
@@ -248,9 +263,12 @@ func (db *DB) syncHealth() bool {
 			}
 			if err := db.demoteNoLogSteal(gid, e); err != nil {
 				// The demotion itself hit the dead disk or a second
-				// failure; degraded serving still engages — the logged
-				// before-image is on the log and the rollback paths
-				// handle the rest.
+				// failure.  Continuing is safe only because
+				// demoteNoLogSteal appends the owner's UNDO material to
+				// the log *before* its first disk write (see the
+				// ordering note there), so the steal already has a
+				// log-based undo path even though the group stays
+				// dirty.
 				continue
 			}
 		}
@@ -386,6 +404,13 @@ func (db *DB) ensureUndoLogged(st *txState, p page.PageID) {
 // to the clean state.  From here on the group is shared and every
 // recovery path for it is log-based.  Both the record-mode sharing path
 // and any write-back into a dirty group use this.
+//
+// Ordering invariant: the log appends (BOT + before-images) happen
+// before the first disk write, and log appends cannot fail.  A demotion
+// interrupted by a disk failure therefore always leaves the steal with a
+// complete log-based undo path; syncHealth relies on this when it
+// swallows a demotion error on the way into degraded serving, and
+// TestDemoteLogsUndoBeforeDisk locks the ordering in.
 func (db *DB) demoteNoLogSteal(g page.GroupID, e dirtyset.Entry) error {
 	owner := db.states[e.Txn]
 	if owner == nil {

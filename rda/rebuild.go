@@ -71,11 +71,14 @@ func (db *DB) RebuildStep(maxGroups int) (bool, error) {
 }
 
 func (db *DB) rebuildStepLocked(maxGroups int) (bool, error) {
+	// Unconditional: besides entering degraded serving after a fresh
+	// loss, syncHealth also resets stale restored-group state when a
+	// rebuild's replacement drive died (Rebuilding fell back to
+	// Degraded), so the BeginRebuild below starts over from scratch
+	// instead of skipping groups whose blocks died with the replacement.
+	db.syncHealth()
 	if !db.store.Degraded() {
-		db.syncHealth()
-		if !db.store.Degraded() {
-			return true, nil
-		}
+		return true, nil
 	}
 	down := db.store.DownDisk()
 	switch db.arr.Health() {
@@ -170,6 +173,14 @@ func (db *DB) restoreGroup(g page.GroupID, down int) error {
 // loops RebuildStep with the configured batch size, yielding between
 // batches so live transactions interleave, and delivers the final result
 // (nil on a completed rebuild) on the returned channel.
+//
+// Throttling: Config.RebuildBatchGroups is the only throttle.  The
+// Gosched between batches lets other runnable goroutines in, but offers
+// no fairness guarantee of its own — what keeps the worker from
+// monopolizing the engine is that each batch re-acquires db.mu, whose
+// starvation mode hands the lock to transactions that have been waiting
+// ≳1ms.  Callers needing a stronger pacing policy (sleep between
+// batches, external rate limit) should drive RebuildStep themselves.
 func (db *DB) StartRebuild() <-chan error {
 	ch := make(chan error, 1)
 	go func() {

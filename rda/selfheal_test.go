@@ -13,6 +13,8 @@ import (
 	"repro/internal/disk"
 	"repro/internal/diskarray"
 	"repro/internal/fault"
+	"repro/internal/page"
+	"repro/internal/wal"
 )
 
 // TestTransientRetryMasking runs a commit-heavy workload under a
@@ -385,5 +387,247 @@ func TestOnlineRebuildUnderTraffic(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// pumpRebuild drives RebuildStep to completion with a deadline.
+func pumpRebuild(t *testing.T, db *DB) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done, err := db.RebuildStep(0)
+		if err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rebuild did not finish")
+		}
+	}
+}
+
+// readAllTx reads every page through the transactional path and compares
+// it against the oracle — exercising degraded serving when a disk is
+// down, and failing on any surfaced error or stale image.
+func readAllTx(t *testing.T, db *DB, imgs map[PageID][]byte, when string) {
+	t.Helper()
+	tx := mustBegin(t, db)
+	for p := 0; p < db.NumPages(); p++ {
+		got, err := tx.ReadPage(PageID(p))
+		if err != nil {
+			t.Fatalf("%s: read page %d: %v", when, p, err)
+		}
+		if !bytes.Equal(got, imgs[PageID(p)]) {
+			t.Fatalf("%s: page %d served a stale image", when, p)
+		}
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplacementFailureMidRebuild kills the replacement drive after the
+// rebuild has restored some groups onto it.  The restored-group flags
+// must be invalidated: the blocks restored onto the dead replacement are
+// gone again, so their groups must return to degraded serving (not
+// surface errors) and the next rebuild must reconstruct them from
+// scratch (not skip them and complete with all-zero blocks).
+func TestReplacementFailureMidRebuild(t *testing.T) {
+	cfg := smallConfig(PageLogging, Force, true, DataStriping)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := loadAll(t, db)
+	const d = 0
+	if err := db.FailDisk(d); err != nil {
+		t.Fatal(err)
+	}
+
+	// One batch of the rebuild: the replacement is swapped in and one
+	// group is restored onto it.
+	done, err := db.RebuildStep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("one group cannot be the whole disk in this geometry")
+	}
+	if pr := db.RebuildProgress(); pr.RestoredGroups != 1 {
+		t.Fatalf("RestoredGroups = %d after one single-group step", pr.RestoredGroups)
+	}
+
+	// The replacement dies too.  The restored group's block died with
+	// it: its restored flag must be reset so it serves degraded again.
+	if err := db.FailDisk(d); err != nil {
+		t.Fatal(err)
+	}
+	if h := db.Health(); h != diskarray.Degraded {
+		t.Fatalf("health = %v, want Degraded after replacement loss", h)
+	}
+	if pr := db.RebuildProgress(); pr.RestoredGroups != 0 {
+		t.Fatalf("RestoredGroups = %d, want 0 after replacement loss", pr.RestoredGroups)
+	}
+	readAllTx(t, db, imgs, "between failures")
+
+	// A fresh rebuild must restore the whole disk, including the group
+	// the aborted rebuild had already marked restored.
+	pumpRebuild(t, db)
+	if h := db.Health(); h != diskarray.Healthy {
+		t.Fatalf("health = %v, want Healthy", h)
+	}
+	if err := db.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	for p, want := range imgs {
+		got, err := db.PeekPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("page %d lost its committed image across the replacement failure", p)
+		}
+	}
+}
+
+// TestReplacementAutoFailStopMidRebuild is the organic variant: the
+// replacement drive dies via the auto-fail-stop heuristic (persistent
+// transient errors) instead of an explicit FailDisk, so the stale
+// restored-group state is only discovered lazily, when a failed read
+// routes through syncHealth.  The reads must still be served from
+// redundancy and the re-run rebuild must restore every block.
+func TestReplacementAutoFailStopMidRebuild(t *testing.T) {
+	cfg := smallConfig(PageLogging, Force, true, DataStriping)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := loadAll(t, db)
+	// Page 0's disk: group 0 is then both the first group restored by the
+	// single-group step below and one whose data the sweep reads through
+	// the replacement, guaranteeing the storm is hit.
+	d := db.arr.DataLoc(0).Disk
+	if err := db.FailDisk(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RebuildStep(1); err != nil {
+		t.Fatal(err)
+	}
+	if pr := db.RebuildProgress(); pr.RestoredGroups != 1 {
+		t.Fatalf("RestoredGroups = %d after one single-group step", pr.RestoredGroups)
+	}
+
+	// The replacement starts erroring on every access; the first read
+	// that touches it must trip the auto fail-stop and be served
+	// degraded, with the stale restored flags reset along the way.
+	db.SetInjector(storm{disk: d})
+	readAllTx(t, db, imgs, "under replacement storm")
+	if h := db.Health(); h != diskarray.Degraded {
+		t.Fatalf("health = %v, want Degraded after auto fail-stop", h)
+	}
+	if pr := db.RebuildProgress(); pr.RestoredGroups != 0 {
+		t.Fatalf("RestoredGroups = %d, want 0 after auto fail-stop of the replacement", pr.RestoredGroups)
+	}
+	db.SetInjector(nil)
+
+	pumpRebuild(t, db)
+	if err := db.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	for p, want := range imgs {
+		got, err := db.PeekPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("page %d lost its committed image across the replacement fail-stop", p)
+		}
+	}
+}
+
+// undoProbe observes the disk access stream and records, at the first
+// access it sees, whether a before-image for the probed page was already
+// on the log.
+type undoProbe struct {
+	log    *wal.Log
+	page   page.PageID
+	sawIO  bool
+	logged bool
+}
+
+func (u *undoProbe) Observe(a disk.Access) disk.Decision {
+	if !u.sawIO {
+		u.sawIO = true
+		_ = u.log.Scan(1, func(r wal.Record) bool {
+			if r.Type == wal.TypeBeforeImage && r.Page == u.page {
+				u.logged = true
+				return false
+			}
+			return true
+		})
+	}
+	return disk.Decision{}
+}
+
+// TestDemoteLogsUndoBeforeDisk locks in the ordering invariant of
+// demoteNoLogSteal that syncHealth relies on when it swallows a demotion
+// error during a disk loss: the owner's UNDO before-image reaches the
+// log before the demotion's first disk I/O, so a demotion interrupted by
+// a second failure always leaves a log-based undo path.
+func TestDemoteLogsUndoBeforeDisk(t *testing.T) {
+	cfg := smallConfig(PageLogging, Force, true, DataStriping)
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := loadAll(t, db)
+
+	// Dirty a group: an active transaction's page is stolen through the
+	// no-UNDO-logging path by the checkpoint flush.
+	const p = PageID(0)
+	tx := mustBegin(t, db)
+	if err := tx.WritePage(p, fillPage(db, 0x5C)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	g := db.arr.GroupOf(page.PageID(p))
+	e, dirty := db.store.Dirty.Lookup(g)
+	if !dirty {
+		t.Fatal("checkpoint flush did not take the no-log steal path")
+	}
+
+	// Fail the disk holding the group's working twin: syncHealth must
+	// demote the steal, and the demotion's log appends must precede its
+	// disk I/O.
+	probe := &undoProbe{log: db.log, page: page.PageID(p)}
+	db.SetInjector(probe)
+	if err := db.FailDisk(db.arr.ParityLoc(g, e.WorkingTwin).Disk); err != nil {
+		t.Fatal(err)
+	}
+	db.SetInjector(nil)
+	if !probe.sawIO {
+		t.Fatal("demotion performed no disk I/O")
+	}
+	if !probe.logged {
+		t.Fatal("demotion touched disk before the owner's UNDO before-image was logged")
+	}
+	if _, still := db.store.Dirty.Lookup(g); still {
+		t.Fatal("group still dirty after demotion")
+	}
+
+	// The logged undo path works: abort restores the committed image.
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.PeekPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, imgs[p]) {
+		t.Fatal("abort after demotion did not restore the committed image")
 	}
 }
