@@ -185,6 +185,15 @@ func selfHealBench(transientRate, faildiskAt, budget, seed int64) error {
 	if err != nil {
 		return err
 	}
+	// Crash the faulted database while it is still degraded and recover
+	// it with the dead member absent — the transient-error rate stays
+	// live across recovery, so this also exercises retry masking inside
+	// the recovery passes.
+	db.Crash()
+	rep, err := db.Recover()
+	if err != nil {
+		return fmt.Errorf("degraded recovery: %w", err)
+	}
 	// Finish any online rebuild the disk death left behind, and verify
 	// the array came back whole.
 	pre := db.Stats()
@@ -211,6 +220,9 @@ func selfHealBench(transientRate, faildiskAt, budget, seed int64) error {
 		st.IORetries, st.RetryBackoffUnits, st.AutoFailStops)
 	fmt.Printf("  degraded serving      : %d reads reconstructed, %d writes without the dead member\n",
 		st.DegradedReads, st.DegradedWrites)
+	fmt.Printf("  degraded recovery     : %d loser(s) (%d via parity, %d via log, %d via reconstruction), %d deferred parity group(s), %d lost page(s)\n",
+		rep.Losers, rep.UndoneViaParity, rep.UndoneViaLog,
+		rep.UndoneViaReconstruction, rep.DeferredParityGroups, len(rep.LostPages))
 	fmt.Printf("  online rebuild        : %d groups restored (%d after the interval, %d throttled steps, %d transfers)\n",
 		post.RebuiltGroups, post.RebuiltGroups-st.RebuiltGroups, steps,
 		post.DiskReads+post.DiskWrites-pre.DiskReads-pre.DiskWrites)

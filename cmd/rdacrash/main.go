@@ -17,9 +17,18 @@
 //
 //	rdacrash -mix -seed 7 -iters 50 -transient 50
 //
+// Degraded mode is the exhaustive sweep with one disk down: it crashes
+// the workload at every write index while a disk is dead from the start
+// (covering crash points inside the restarted online rebuild, too), then
+// sweeps schedules where the disk death *coincides* with the crash
+// write:
+//
+//	rdacrash -degraded
+//
 // Every failure prints its seed and schedule; replay one with:
 //
 //	rdacrash -seed <seed> -sched "crash@w12"
+//	rdacrash -degraded -seed <seed> -sched "faildisk[0]@w0 crash@w13"
 //
 // The exit status is non-zero if any run violated a recovery invariant.
 package main
@@ -36,17 +45,18 @@ import (
 
 func main() {
 	var (
-		explore = flag.Bool("explore", false, "exhaustively crash at every write index")
-		soak    = flag.Bool("soak", false, "randomized crash points over derived seeds")
-		mix     = flag.Bool("mix", false, "self-healing soak: transient faults everywhere, alternating crashes and mid-run disk deaths")
-		trans   = flag.Int64("transient", 50, "mix mode: fail every n-th disk access with a transient error (0 disables)")
-		torn    = flag.Bool("torn", false, "tear the crashed write (half payload persists) instead of dropping it")
-		seed    = flag.Int64("seed", 1, "workload seed (soak: master seed for derived runs)")
-		iters   = flag.Int("iters", 100, "soak iterations")
-		txns    = flag.Int("txns", 0, "transactions per workload (0 = default)")
-		ops     = flag.Int("ops", 0, "page operations per transaction (0 = default)")
-		sched   = flag.String("sched", "", `replay one schedule (e.g. "crash@w12" or "torn[head]@w3") and exit`)
-		layouts = flag.String("layout", "both", "array layout: data, parity, or both")
+		explore  = flag.Bool("explore", false, "exhaustively crash at every write index")
+		degraded = flag.Bool("degraded", false, "exhaustive crash sweep with one disk down: crashes across the degraded workload, the online rebuild, and coinciding with the disk death itself")
+		soak     = flag.Bool("soak", false, "randomized crash points over derived seeds")
+		mix      = flag.Bool("mix", false, "self-healing soak: transient faults everywhere, alternating crashes and mid-run disk deaths")
+		trans    = flag.Int64("transient", 50, "mix mode: fail every n-th disk access with a transient error (0 disables)")
+		torn     = flag.Bool("torn", false, "tear the crashed write (half payload persists) instead of dropping it")
+		seed     = flag.Int64("seed", 1, "workload seed (soak: master seed for derived runs)")
+		iters    = flag.Int("iters", 100, "soak iterations")
+		txns     = flag.Int("txns", 0, "transactions per workload (0 = default)")
+		ops      = flag.Int("ops", 0, "page operations per transaction (0 = default)")
+		sched    = flag.String("sched", "", `replay one schedule (e.g. "crash@w12" or "torn[head]@w3") and exit`)
+		layouts  = flag.String("layout", "both", "array layout: data, parity, or both")
 	)
 	flag.Parse()
 
@@ -76,13 +86,22 @@ func main() {
 			os.Exit(2)
 		}
 		for _, l := range lays {
-			// Mix-mode replays (disk deaths, transient rates) need the
-			// mix harness; add -mix (and the original -transient rate)
-			// to the replay command line.
+			// Mix- and degraded-mode replays (disk deaths, transient
+			// rates) need their own harness; add -mix/-degraded (and the
+			// original -transient rate) to the replay command line.
 			var err error
-			if *mix {
+			switch {
+			case *degraded:
+				var rep *rda.RecoveryReport
+				rep, err = crashcheck.RunDegradedSchedule(opts(l), s)
+				if rep != nil {
+					fmt.Printf("%v: recovery report: losers=%d undoneViaParity=%d undoneViaLog=%d undoneViaReconstruction=%d deferredParityGroups=%d lostPages=%d\n",
+						l, rep.Losers, rep.UndoneViaParity, rep.UndoneViaLog,
+						rep.UndoneViaReconstruction, rep.DeferredParityGroups, len(rep.LostPages))
+				}
+			case *mix:
 				err = crashcheck.RunMixSchedule(opts(l), s, *trans)
-			} else {
+			default:
 				err = crashcheck.RunSchedule(opts(l), s)
 			}
 			if err != nil {
@@ -91,6 +110,21 @@ func main() {
 			} else {
 				fmt.Printf("%v: ok seed=%d sched=%q\n", l, *seed, s)
 			}
+		}
+	case *degraded:
+		for _, l := range lays {
+			res, err := crashcheck.ExploreDegraded(opts(l), func(done, total int64) {
+				if done%64 == 0 || done == total {
+					fmt.Printf("\r%v: degraded crash %d/%d", l, done, total)
+				}
+			})
+			fmt.Println()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdacrash: %v\n", err)
+				os.Exit(1)
+			}
+			report(l, res, "-degraded ")
+			failed = failed || len(res.Violations) > 0
 		}
 	case *explore:
 		for _, l := range lays {
@@ -143,6 +177,10 @@ func main() {
 func report(l rda.Layout, res *crashcheck.Result, extra string) {
 	fmt.Printf("%v: %d run(s), %d write(s) per workload, %d violation(s)\n",
 		l, res.Runs, res.TotalWrites, len(res.Violations))
+	if res.UndoneViaReconstruction+res.DeferredParityGroups+res.DataLossRuns > 0 {
+		fmt.Printf("%v: degraded recovery: %d undo(s) via reconstruction, %d deferred parity group(s), %d run(s) with explicit loss (%d page(s))\n",
+			l, res.UndoneViaReconstruction, res.DeferredParityGroups, res.DataLossRuns, res.LostPages)
+	}
 	for _, v := range res.Violations {
 		fmt.Printf("  FAIL %s\n", v)
 		fmt.Printf("       replay: rdacrash %s-layout %s -seed %d -sched %q\n", extra, layoutFlag(l), v.Seed, v.Schedule)

@@ -56,7 +56,11 @@ type Store struct {
 	// restored[g] is set once the rebuild worker has reconstructed
 	// group g's block on the down disk; nil outside degraded mode.
 	restored []bool
-	deg      DegradedStats
+	// replacement marks that the down disk's slot holds a fresh
+	// (readable) replacement drive instead of the dead one; see
+	// SetReplacementPresent in degraded.go.
+	replacement bool
+	deg         DegradedStats
 }
 
 // NewStore wires a store over the given array.  RDA recovery is enabled
@@ -144,17 +148,32 @@ func (s *Store) WriteCommitted(p page.PageID, data, cachedOld page.Buf) error {
 		}
 		return s.singleParityWrite(p, g, data, oldData, disk.Meta{})
 	}
+	return s.flipCommitted(g, p, data, cachedOld)
+}
+
+// flipCommitted performs the committed small-write on a clean group of a
+// twinned array: the new parity goes to the obsolete twin in the
+// committed state with a fresh timestamp, the bitmap flips, then the
+// data page is written.  The parity header names the written page
+// (DirtyPage + PairedSet) and the data header echoes the parity
+// timestamp — the same pairing StealNoLog records — so a restart that
+// cannot recompute parity (a sibling data page unreadable after a disk
+// loss) can still tell whether the flip's data write reached disk: a
+// broken pair means the parity ran ahead and the untouched other twin
+// still describes the on-disk data.
+func (s *Store) flipCommitted(g page.GroupID, p page.PageID, data, cachedOld page.Buf) error {
 	newParity, err := s.smallWriteParity(g, s.currentTwin(g), p, cachedOld, data)
 	if err != nil {
 		return err
 	}
 	obsolete := s.Twins.Obsolete(g)
-	meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+	ts := s.TM.NextTimestamp()
+	meta := disk.Meta{State: disk.StateCommitted, Timestamp: ts, DirtyPage: p, PairedSet: true}
 	if err := s.Arr.WriteParity(g, obsolete, newParity, meta); err != nil {
 		return fmt.Errorf("core: write committed parity of group %d: %w", g, err)
 	}
 	s.Twins.Promote(g, obsolete)
-	return s.writeData(p, data, disk.Meta{})
+	return s.writeData(p, data, disk.Meta{Timestamp: ts})
 }
 
 // oldForSmallWrite fetches the page's on-disk contents when the
@@ -261,8 +280,12 @@ func (s *Store) StealNoLog(p page.PageID, data, cachedOld page.Buf, t *txn.Txn) 
 
 // WriteLogged writes a page whose UNDO material is already on the log.
 // On a dirty group of a twinned array both parity twins are updated (the
-// paper's 2·p_l extra transfers); otherwise the current parity is
-// read-modify-written in place.
+// paper's 2·p_l extra transfers); on a clean twinned group the write
+// flips to the obsolete twin like WriteCommitted — the same four
+// transfers as the classic read-modify-write, but the previous parity
+// version survives the write, which is what lets a degraded restart fall
+// back to it when a crash cuts a flip in half (see flipCommitted).
+// Single-parity arrays do the classic in-place read-modify-write.
 func (s *Store) WriteLogged(p page.PageID, data, cachedOld page.Buf) error {
 	g := s.Arr.GroupOf(p)
 	if s.writeDegradedNeeded(g, p) {
@@ -277,6 +300,9 @@ func (s *Store) WriteLogged(p page.PageID, data, cachedOld page.Buf) error {
 			return err
 		}
 		return s.writeData(p, data, disk.Meta{})
+	}
+	if s.Twins != nil {
+		return s.flipCommitted(g, p, data, cachedOld)
 	}
 	oldData, err := s.oldForSmallWrite(p, cachedOld)
 	if err != nil {
@@ -426,6 +452,12 @@ type WorkingTwinInfo struct {
 // ScanWorkingTwins reads every group's twin parity headers (two charged
 // transfers per group — the paper's background bitmap scan, Section 4.2)
 // and returns the twins found in the working state, sorted by group.
+//
+// On a degraded array twins on the down disk are skipped: the drive is
+// gone (or, mid-rebuild, untrusted unless its header proves a
+// post-swap write — a StateNone header is never working, so reading the
+// replacement directly is sufficient there).  Recovery finds the steals
+// such twins described through the data pages' transaction tags instead.
 func (s *Store) ScanWorkingTwins() ([]WorkingTwinInfo, error) {
 	if s.Twins == nil {
 		return nil, nil
@@ -434,6 +466,11 @@ func (s *Store) ScanWorkingTwins() ([]WorkingTwinInfo, error) {
 	for g := 0; g < s.Arr.NumGroups(); g++ {
 		gid := page.GroupID(g)
 		for twin := 0; twin < 2; twin++ {
+			if s.degraded && !s.replacement &&
+				(s.restored == nil || !s.restored[gid]) &&
+				s.Arr.ParityLoc(gid, twin).Disk == s.downDisk {
+				continue
+			}
 			meta, err := s.Arr.ReadParityMeta(gid, twin)
 			if err != nil {
 				return nil, fmt.Errorf("core: scan group %d twin %d: %w", g, twin, err)
@@ -523,6 +560,17 @@ func (s *Store) ResyncParity() (int, error) {
 	fixed := 0
 	for g := 0; g < s.Arr.NumGroups(); g++ {
 		gid := page.GroupID(g)
+		if s.GroupDegraded(gid) {
+			// A degraded group cannot be verified against all its
+			// members.  If its lost block is a twin, the crash-recovery
+			// bitmap pass already re-established the surviving twin
+			// against the data; if it is a data page, the current parity
+			// *defines* the lost page's value and checkPairedFlip has
+			// already demoted a flip whose data write the crash cut off.
+			// Either way the restarted rebuild recomputes the group's
+			// redundancy.
+			continue
+		}
 		cur := s.currentTwin(gid)
 		ok, err := s.Arr.VerifyGroup(gid, cur)
 		if err != nil {
@@ -579,6 +627,140 @@ func (s *Store) RebuildAfterCrash(committed func(page.TxID) bool) error {
 	return s.Twins.RebuildBitmap(committed)
 }
 
+// RebuildAfterCrashDegraded is the bitmap rebuild for a restart with one
+// disk down.  Groups with both twins off the down disk run the normal
+// Figure 7 comparison.  A group whose twin slot is positionally down
+// gets its surviving twin established as the group's sole authoritative
+// parity: verified against the on-disk data and, if it does not match
+// (the dead slot held the only describing parity — e.g. a winner's
+// un-laundered working twin died with the disk), recomputed wholesale in
+// the committed state.  All its data pages are readable — the twin is
+// the group's only block on the down disk — so the recompute always
+// succeeds.  The dead slot itself is *deferred*: the restarted online
+// rebuild recomputes it from scratch.  Returns the number of deferred
+// parity groups.
+func (s *Store) RebuildAfterCrashDegraded(committed func(page.TxID) bool) (int, error) {
+	deferred := 0
+	if s.Twins == nil {
+		// Single parity keeps no bitmap; just count the groups whose
+		// parity block is gone so the caller can report them deferred.
+		for g := 0; g < s.Arr.NumGroups(); g++ {
+			if s.degraded && s.Arr.ParityLoc(page.GroupID(g), 0).Disk == s.downDisk {
+				deferred++
+			}
+		}
+		return deferred, nil
+	}
+	for g := 0; g < s.Arr.NumGroups(); g++ {
+		gid := page.GroupID(g)
+		dead := s.deadTwin(gid)
+		if dead < 0 {
+			cur, err := s.Twins.CurrentParityFromDisk(gid, committed)
+			if err != nil {
+				return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
+			}
+			if s.GroupDegraded(gid) {
+				// The group's lost block is a data page, so the parity
+				// cannot be verified by recomputation (ResyncParity skips
+				// it); check the flip pairing instead and fall back to the
+				// older twin when the Figure 7 winner's data write never
+				// reached disk.
+				cur, err = s.checkPairedFlip(gid, cur, committed)
+				if err != nil {
+					return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
+				}
+			}
+			s.Twins.Promote(gid, cur)
+			continue
+		}
+		deferred++
+		alive := 1 - dead
+		m, err := s.Arr.ReadParityMeta(gid, alive)
+		if err != nil {
+			return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
+		}
+		ok := false
+		if m.State == disk.StateCommitted {
+			ok, err = s.Arr.VerifyGroup(gid, alive)
+			if err != nil {
+				return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
+			}
+		}
+		if !ok {
+			meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+			if err := s.Arr.RecomputeParity(gid, alive, meta); err != nil {
+				return deferred, fmt.Errorf("core: recompute surviving twin of group %d: %w", g, err)
+			}
+		}
+		s.Twins.Promote(gid, alive)
+	}
+	return deferred, nil
+}
+
+// checkPairedFlip validates the Figure 7 winner of a degraded group
+// whose lost block is a data page.  A committed small-write flip records
+// which data page it wrote (DirtyPage + PairedSet) and stamps that page
+// with the parity's timestamp (flipCommitted); if the crash landed
+// between the parity write and the data write, the pair is broken — the
+// winner describes data that never reached disk, and through the parity
+// equation it would assign the unreadable dead page a garbage value.
+// The other twin, untouched by the flip, still describes the on-disk
+// contents, so it is demoted back to current and the half-finished flip
+// invalidated.  The interrupted write's own page is consistent either
+// way: its transaction cannot have logged EOT past an unfinished flush,
+// so the old on-disk contents are exactly what UNDO wants.
+//
+// A pair that names the dead page itself is unverifiable; the winner is
+// kept (a degraded parity-only write carries no pairing, so this arises
+// only for flips that completed before the disk died with the crash).
+//
+// The fallback twin is whatever the flip was computed from — the current
+// twin of the clean pre-flip group — so its *payload* describes the
+// on-disk data whatever its header says: committed, obsolete (an older
+// flip's leftover, or the formatted state), or working with a committed
+// writer (a winner's steal the laundering pass has not reached).  All
+// three are accepted and laundered to committed; a working header whose
+// writer did not commit cannot be current under a completed flip (the
+// group would have been dirty and the flip never issued), so it is
+// refused defensively.
+func (s *Store) checkPairedFlip(g page.GroupID, cur int, committed func(page.TxID) bool) (int, error) {
+	m, err := s.Arr.ReadParityMeta(g, cur)
+	if err != nil {
+		return cur, err
+	}
+	if m.State != disk.StateCommitted || !m.PairedSet || s.pageUnavailable(m.DirtyPage) {
+		return cur, nil
+	}
+	_, dm, err := s.Arr.ReadData(m.DirtyPage)
+	if err != nil {
+		return cur, err
+	}
+	if dm.Timestamp == m.Timestamp {
+		return cur, nil
+	}
+	om, err := s.Arr.ReadParityMeta(g, 1-cur)
+	if err != nil {
+		return cur, err
+	}
+	usable := om.State == disk.StateCommitted || om.State == disk.StateObsolete ||
+		(om.State == disk.StateWorking && committed != nil && committed(om.Txn))
+	if !usable {
+		// No usable fallback — keep the winner rather than promote
+		// garbage.
+		return cur, nil
+	}
+	if om.State != disk.StateCommitted {
+		m := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		if err := s.Arr.WriteParityMeta(g, 1-cur, m); err != nil {
+			return cur, err
+		}
+	}
+	if err := s.Twins.Invalidate(g, cur); err != nil {
+		return cur, err
+	}
+	return 1 - cur, nil
+}
+
 // ResetVolatile drops the store's main-memory state (Dirty_Set, twin
 // bitmap) — the system crash.
 func (s *Store) ResetVolatile() {
@@ -594,9 +776,32 @@ func (s *Store) ResetVolatile() {
 // parity equals the XOR of the group's on-disk data pages (clean groups),
 // or that the working twin does (dirty groups).  Free (Peek) I/O;
 // verification aid for tests.
+//
+// On a degraded array only what redundancy still pins down is checked: a
+// group whose lost block is a parity twin has its surviving twin
+// verified against the (fully readable) data; a group whose lost block
+// is a data page is skipped, since the current parity *defines* the lost
+// page's value and the platter under the dead position holds stale bits
+// the Peek I/O must not be compared against.
 func (s *Store) VerifyParityInvariant() error {
 	for g := 0; g < s.Arr.NumGroups(); g++ {
 		gid := page.GroupID(g)
+		if s.GroupDegraded(gid) {
+			dead := s.deadTwin(gid)
+			if dead < 0 || s.Twins == nil {
+				// Lost block is a data page, or a single-parity array
+				// lost its parity block: nothing verifiable remains.
+				continue
+			}
+			ok, err := s.Arr.VerifyGroup(gid, 1-dead)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("core: degraded group %d parity invariant violated (surviving twin %d)", g, 1-dead)
+			}
+			continue
+		}
 		twin := 0
 		if s.Twins != nil {
 			twin = s.Twins.Current(gid)

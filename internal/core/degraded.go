@@ -42,6 +42,7 @@ func (s *Store) EnterDegraded(d int) {
 	s.degraded = true
 	s.downDisk = d
 	s.restored = make([]bool, s.Arr.NumGroups())
+	s.replacement = false
 	s.deg.RebuiltGroups = 0
 }
 
@@ -51,6 +52,47 @@ func (s *Store) LeaveDegraded() {
 	s.degraded = false
 	s.downDisk = -1
 	s.restored = nil
+	s.replacement = false
+}
+
+// SetReplacementPresent records whether the down disk's slot holds a
+// fresh replacement drive (array health Rebuilding) rather than the dead
+// drive itself.  Crash recovery uses this: a replacement drive is
+// physically readable, and a parity twin it holds in any state other
+// than StateNone was genuinely written after the swap (rebuild restores
+// or post-restore steals), so recovery may trust it even though the
+// position counts as down for serving purposes.
+func (s *Store) SetReplacementPresent(ok bool) { s.replacement = ok }
+
+// PageUnavailable reports whether data page p must not be read from its
+// platter: it lives on the down disk and its group has not been restored.
+// During crash recovery this is always position-keyed — even when a
+// replacement drive is present the page's content is untrustworthy
+// (a rebuilt page is indistinguishable from an unrestored zeroed one).
+func (s *Store) PageUnavailable(p page.PageID) bool { return s.pageUnavailable(p) }
+
+// DeadTwin returns the parity twin of group g on the down disk, or -1.
+func (s *Store) DeadTwin(g page.GroupID) int { return s.deadTwin(g) }
+
+// TwinReadable reports whether parity twin `twin` of group g holds
+// trustworthy bits.  Twins off the down disk always do.  A twin on the
+// down disk is gone while the dead drive is still in place; once a
+// replacement drive is spinning (SetReplacementPresent), a header state
+// other than StateNone proves the slot was written after the swap and
+// the twin may be used.  The header probe is a charged read, like every
+// recovery decision that touches disk.
+func (s *Store) TwinReadable(g page.GroupID, twin int) bool {
+	if !s.degraded || s.Arr.ParityLoc(g, twin).Disk != s.downDisk {
+		return true
+	}
+	if s.restored != nil && s.restored[g] {
+		return true
+	}
+	if !s.replacement {
+		return false
+	}
+	m, err := s.Arr.ReadParityMeta(g, twin)
+	return err == nil && m.State != disk.StateNone
 }
 
 // Degraded reports whether the store is serving in degraded mode.

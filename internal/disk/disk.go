@@ -106,6 +106,15 @@ type Meta struct {
 	// same transfer anyway — lets crash recovery locate the page to undo
 	// with the same header scan that rebuilds the current-parity bitmap.
 	DirtyPage page.PageID
+	// PairedSet, on a committed parity twin, marks that DirtyPage names
+	// the data page whose small-write flip produced this parity version
+	// and that the paired data write carries this header's Timestamp —
+	// the same log-N-bits trick as above, reused so a *degraded* restart
+	// (one data page unreadable, parity unverifiable by recomputation)
+	// can tell whether the flip's data write reached disk before the
+	// crash.  A broken pair means the parity ran ahead of the data and
+	// the other twin still describes the on-disk contents.
+	PairedSet bool
 }
 
 // Stats counts the I/O traffic a disk has served.

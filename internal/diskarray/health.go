@@ -199,6 +199,23 @@ func (a *Array) recomputeHealth() {
 	}
 }
 
+// ProbeDisks touches every drive once — one charged header read of block
+// 0 each, the restart-time spin-up check — so that any disk that died at
+// (or since) the crash is discovered by the health machine *before*
+// recovery plans its passes, instead of surfacing as a surprise error in
+// the middle of one.  Probe errors are not returned: the point is the
+// health-machine side effect, and a dead drive's groups are handled by
+// the degraded recovery path.
+func (a *Array) ProbeDisks() {
+	for d := range a.disks {
+		dd := a.disks[d]
+		_ = a.do(d, func() error {
+			_, err := dd.ReadMeta(0)
+			return err
+		})
+	}
+}
+
 // BeginRebuild swaps a fresh zeroed drive in for down disk d and marks
 // the array Rebuilding.  The caller owns reconstructing the drive's
 // blocks (stripe by stripe, online) and must call FinishRebuild when

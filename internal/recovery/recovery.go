@@ -157,6 +157,27 @@ type Report struct {
 	LaunderedTwins  int // winner working twins promoted on disk
 	RepairedTorn    int // torn blocks rebuilt from redundancy
 	ResyncedGroups  int // groups whose parity was resynchronized
+
+	// Degraded-restart counters (zero on a healthy array).
+	//
+	// UndoneViaReconstruction counts loser pages whose undo could not
+	// run the plain Figure 6 identity because a group member sat on the
+	// dead disk, and was instead served by reconstruction from the
+	// surviving members (promoting the committed twin over a lost dirty
+	// page, or rebuilding D_old from the committed twin when the working
+	// twin was lost).
+	UndoneViaReconstruction int
+	// DeferredParityGroups counts groups whose parity member is on the
+	// down disk: recovery re-establishes their surviving parity only,
+	// and the restarted online rebuild recomputes the lost member.
+	DeferredParityGroups int
+	// LostPages lists pages whose contents genuinely exceeded the
+	// surviving redundancy (for example a dirty group whose committed
+	// twin died *unobserved* in the same instant as the crash, so no
+	// demotion ever logged the before-image).  They are zeroed, parity
+	// is made consistent, and the caller decides how loudly to escalate
+	// — explicit, reported loss, never silent corruption.
+	LostPages []page.PageID
 }
 
 // CrashRecover runs the full restart sequence described in the package
@@ -177,38 +198,69 @@ func CrashRecover(s *core.Store, redo, hard bool) (*Report, error) {
 	}
 	rep := &Report{Losers: a.Losers}
 	loser := func(tx page.TxID) bool { return a.Outcomes[tx] == OutcomeLoser }
+	degraded := s.Degraded()
 
 	// Pass 1.5: repair torn blocks from redundancy, so every later pass
-	// can read every block.
+	// can read every block.  On a degraded array the scan covers the
+	// surviving members only.
 	if hard {
-		n, err := repairTorn(s, a)
+		n, err := repairTorn(s, a, rep)
 		if err != nil {
 			return nil, err
 		}
 		rep.RepairedTorn = n
 	}
 
-	// Pass 2: parity undo via the twin header scan.
+	// Pass 2: parity undo via the twin header scan.  With a member down
+	// the scan sees surviving twins only; crashUndoWorking dispatches each
+	// loser twin to the plain Figure 6 identity or to its degraded
+	// fallbacks (reconstruction from survivors, the logged before-image,
+	// or — only when a committed twin died unobserved in the same instant
+	// as the crash — explicit reported loss).
 	if s.RDA() {
 		working, err := s.ScanWorkingTwins()
 		if err != nil {
 			return nil, err
 		}
+		handled := make(map[page.GroupID]bool)
 		for _, w := range working {
 			if !loser(w.Txn) {
 				continue
 			}
-			if err := s.CrashUndoWorkingTwin(w); err != nil {
+			handled[w.Group] = true
+			if err := crashUndoWorking(s, a, w, rep); err != nil {
 				return nil, fmt.Errorf("recovery: parity undo of group %d: %w", w.Group, err)
 			}
-			rep.UndoneViaParity++
+		}
+		// Pass 2.5 (degraded only): the twin scan cannot see a loser's
+		// working twin that sat on the dead disk.  Those steals are found
+		// by the other half of the paper's machinery — the per-page
+		// transaction tag of the TWIST chain — and unwound from the
+		// surviving committed twin.
+		if degraded {
+			if err := undoDeadTwinLosers(s, a, handled, rep); err != nil {
+				return nil, err
+			}
 		}
 		// Pass 3: rebuild the bitmap and launder winners' working twins.
-		if err := s.RebuildAfterCrash(a.Committed); err != nil {
+		if degraded {
+			deferred, err := s.RebuildAfterCrashDegraded(a.Committed)
+			if err != nil {
+				return nil, err
+			}
+			rep.DeferredParityGroups = deferred
+		} else if err := s.RebuildAfterCrash(a.Committed); err != nil {
 			return nil, err
 		}
 		for _, w := range working {
 			if !a.Committed(w.Txn) {
+				continue
+			}
+			if degraded && s.DeadTwin(w.Group) >= 0 {
+				// The degraded bitmap pass re-established this group's
+				// surviving twin wholesale (committed, fresh timestamp);
+				// re-stamping the old working header would resurrect
+				// stale state.  The dead slot is the rebuild's job.
 				continue
 			}
 			meta := disk.Meta{State: disk.StateCommitted, Timestamp: w.Timestamp, Txn: w.Txn}
@@ -217,6 +269,14 @@ func CrashRecover(s *core.Store, redo, hard bool) (*Report, error) {
 			}
 			rep.LaunderedTwins++
 		}
+	} else if degraded {
+		// Single-parity array: no twins to undo from, but groups whose
+		// parity block is lost must still be handed to the rebuild.
+		deferred, err := s.RebuildAfterCrashDegraded(a.Committed)
+		if err != nil {
+			return nil, err
+		}
+		rep.DeferredParityGroups = deferred
 	}
 
 	// Pass 3.5: resynchronize parity with the on-disk data.  At this
@@ -233,14 +293,32 @@ func CrashRecover(s *core.Store, redo, hard bool) (*Report, error) {
 		rep.ResyncedGroups = n
 	}
 
+	// The loss declarations above (Pass 2/2.5) run before the log-based
+	// passes, so a page can be declared lost and *then* rewritten by a
+	// full-page log image — its content is log-determined after all, and
+	// leaving it in LostPages would misreport recoverable (non-zero)
+	// state as explicit loss.  Track the set and drop re-determined
+	// pages; record-level images cannot re-determine a lost page (the
+	// page base they would patch is gone), so they are skipped and the
+	// page stays zeroed and reported.
+	lostSet := make(map[page.PageID]bool, len(rep.LostPages))
+	for _, p := range rep.LostPages {
+		lostSet[p] = true
+	}
+
 	// Pass 4: logged undo, newest first per loser.
 	for _, tx := range a.Losers {
 		images := a.LoserImages[tx]
 		for i := len(images) - 1; i >= 0; i-- {
-			if err := applyImage(s, images[i], false); err != nil {
-				return nil, fmt.Errorf("recovery: undo txn %d page %d: %w", tx, images[i].Page, err)
+			r := images[i]
+			if lostSet[r.Page] && r.Slot != wal.NoSlot {
+				continue
+			}
+			if err := applyImage(s, r, false); err != nil {
+				return nil, fmt.Errorf("recovery: undo txn %d page %d: %w", tx, r.Page, err)
 			}
 			rep.UndoneViaLog++
+			delete(lostSet, r.Page)
 		}
 	}
 
@@ -252,25 +330,229 @@ func CrashRecover(s *core.Store, redo, hard bool) (*Report, error) {
 	// Pass 6: REDO.
 	if redo {
 		for _, r := range a.RedoImages {
+			if lostSet[r.Page] && r.Slot != wal.NoSlot {
+				continue
+			}
 			if err := applyImage(s, r, true); err != nil {
 				return nil, fmt.Errorf("recovery: redo txn %d page %d: %w", r.Txn, r.Page, err)
 			}
 			rep.Redone++
+			delete(lostSet, r.Page)
 		}
 	}
+	if len(lostSet) != len(rep.LostPages) {
+		kept := rep.LostPages[:0]
+		for _, p := range rep.LostPages {
+			if lostSet[p] {
+				kept = append(kept, p)
+			}
+		}
+		rep.LostPages = kept
+	}
 	return rep, nil
+}
+
+// crashUndoWorking unwinds one loser's working twin.  On a healthy group
+// this is the plain Figure 6 undo (CrashUndoWorkingTwin).  On a group
+// with a member on the dead disk it dispatches by which member is gone:
+//
+//   - the dirty page itself: promote the committed twin and invalidate
+//     the working one — the committed parity now *defines* the page's
+//     before-image, served by reconstruction and materialized by the
+//     rebuild (Figure 6 without the data write);
+//   - the committed twin: (P ⊕ P′) ⊕ D_new has nothing to XOR against,
+//     so fall back to the logged before-image that the eager demotion's
+//     log-first ordering guarantees whenever the disk's death was
+//     observed before the crash.  If the death was *unobserved* (it
+//     coincided with the crash) no demotion ever ran and D_old existed
+//     only on the dead twin: explicit, reported data loss;
+//   - a sibling data page: the undo's own reads never touch it — except
+//     when the crash fell inside a re-steal (twin timestamp ahead of the
+//     data page), whose recovery needs every other data page.  W ⊕ C
+//     cancels the dead sibling but leaves two unknowns in one equation:
+//     both pages are lost, explicitly.
+func crashUndoWorking(s *core.Store, a *Analysis, w core.WorkingTwinInfo, rep *Report) error {
+	if !s.Degraded() || !s.GroupOnDisk(w.Group, s.DownDisk()) {
+		if err := s.CrashUndoWorkingTwin(w); err != nil {
+			return err
+		}
+		rep.UndoneViaParity++
+		return nil
+	}
+	switch {
+	case s.PageUnavailable(w.Page):
+		s.Twins.Promote(w.Group, 1-w.Twin)
+		if err := s.Twins.Invalidate(w.Group, w.Twin); err != nil {
+			return err
+		}
+		rep.UndoneViaReconstruction++
+		return nil
+	case !s.TwinReadable(w.Group, 1-w.Twin):
+		if hasLoggedImage(a, w.Txn, w.Page) {
+			// The demotion's log append completed before the crash; the
+			// logged-undo pass restores D_old, and its degraded write
+			// re-establishes the surviving parity and launders this
+			// twin's working state along the way.
+			return nil
+		}
+		lost, err := loseGroup(s, w.Group, []page.PageID{w.Page})
+		if err != nil {
+			return err
+		}
+		rep.LostPages = append(rep.LostPages, lost...)
+		return nil
+	}
+	// The dead member is a sibling data page; w.Page and both twins are
+	// readable.
+	_, m, err := s.Arr.ReadData(w.Page)
+	if err != nil {
+		return fmt.Errorf("recovery: read tagged page %d: %w", w.Page, err)
+	}
+	if m.Txn == w.Txn && m.Timestamp != w.Timestamp {
+		// Re-steal entanglement: two unknowns, one surviving equation.
+		lost, err := loseGroup(s, w.Group, []page.PageID{w.Page})
+		if err != nil {
+			return err
+		}
+		rep.LostPages = append(rep.LostPages, lost...)
+		return nil
+	}
+	if err := s.CrashUndoWorkingTwin(w); err != nil {
+		return err
+	}
+	rep.UndoneViaParity++
+	return nil
+}
+
+// undoDeadTwinLosers finds loser steals whose working twin sat on the
+// dead disk, invisible to the twin header scan.  The steal's data write
+// carries the writer's transaction tag (the TWIST chain), so scanning
+// the surviving data pages of every group with an unreadable twin
+// recovers exactly the set: an unresolved loser tag under a dead twin
+// means the dead twin was the working one, hence the surviving twin is
+// the committed one — it describes the group with the page at its
+// before-image, which therefore reconstructs as D_old = P_cmt ⊕ (other
+// data).  A tag whose before-image reached the log (the group was being
+// demoted when the crash hit) is left to the logged-undo pass instead.
+func undoDeadTwinLosers(s *core.Store, a *Analysis, handled map[page.GroupID]bool, rep *Report) error {
+	if s.Twins == nil {
+		return nil
+	}
+	for g := 0; g < s.Arr.NumGroups(); g++ {
+		gid := page.GroupID(g)
+		if handled[gid] {
+			continue
+		}
+		dead := s.DeadTwin(gid)
+		if dead < 0 || s.TwinReadable(gid, dead) {
+			continue
+		}
+		for _, p := range s.Arr.GroupPages(gid) {
+			if s.PageUnavailable(p) {
+				continue
+			}
+			_, m, err := s.Arr.ReadData(p)
+			if err != nil {
+				return fmt.Errorf("recovery: tag scan of group %d: %w", g, err)
+			}
+			if !m.ChainSet || a.Outcomes[m.Txn] != OutcomeLoser {
+				continue
+			}
+			if hasLoggedImage(a, m.Txn, p) {
+				continue
+			}
+			dOld, err := s.ReconstructData(gid, p, 1-dead)
+			if err != nil {
+				return fmt.Errorf("recovery: tag undo of page %d: %w", p, err)
+			}
+			if err := s.WriteCommitted(p, dOld, nil); err != nil {
+				return fmt.Errorf("recovery: tag undo of page %d: %w", p, err)
+			}
+			rep.UndoneViaReconstruction++
+		}
+	}
+	return nil
+}
+
+// hasLoggedImage reports whether analysis found a logged before-image of
+// page p for loser tx.  The eager demotion's log-first ordering
+// guarantees one whenever a degraded group's no-log steal was demoted —
+// even a demotion the crash itself interrupted.
+func hasLoggedImage(a *Analysis, tx page.TxID, p page.PageID) bool {
+	for _, r := range a.LoserImages[tx] {
+		if r.Page == p {
+			return true
+		}
+	}
+	return false
+}
+
+// loseGroup abandons state the surviving redundancy can no longer
+// determine: the listed readable pages are zeroed (cleared headers), the
+// group's unreachable data pages are recorded as lost (they rebuild as
+// whatever the recomputed parity implies — zero), and every *readable*
+// parity twin is rewritten consistent with the remaining data (first
+// committed with a fresh timestamp and promoted, the rest obsolete).
+// The returned list feeds Report.LostPages — the explicit data-loss
+// event a DBA answers with an archive restore, mirroring the
+// RecoverMediaMulti contract for losses beyond redundancy.
+func loseGroup(s *core.Store, g page.GroupID, zero []page.PageID) ([]page.PageID, error) {
+	lost := append([]page.PageID(nil), zero...)
+	for _, p := range zero {
+		if err := s.Arr.WriteData(p, make(page.Buf, s.Arr.PageSize()), disk.Meta{}); err != nil {
+			return nil, fmt.Errorf("recovery: zero lost page %d: %w", p, err)
+		}
+	}
+	var blocks [][]byte
+	for _, q := range s.Arr.GroupPages(g) {
+		if s.PageUnavailable(q) {
+			lost = append(lost, q)
+			continue
+		}
+		b, _, err := s.Arr.ReadData(q)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: read lost group %d page %d: %w", g, q, err)
+		}
+		blocks = append(blocks, b)
+	}
+	parity := page.Buf(xorparity.Compute(s.Arr.PageSize(), blocks...))
+	first := true
+	for twin := 0; twin < s.Arr.ParityPages(); twin++ {
+		if !s.TwinReadable(g, twin) {
+			continue
+		}
+		meta := disk.Meta{State: disk.StateObsolete}
+		if first {
+			meta = disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		}
+		if err := s.Arr.WriteParity(g, twin, parity, meta); err != nil {
+			return nil, fmt.Errorf("recovery: reset parity of lost group %d: %w", g, err)
+		}
+		if s.Twins != nil && first {
+			s.Twins.Promote(g, twin)
+		}
+		first = false
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	return lost, nil
 }
 
 // repairTorn scans every block for a torn write — checksum mismatch
 // under an intact out-of-band header — and rebuilds its payload from the
 // group's redundancy.  A torn write IS the crash, so at most one block
 // per restart is torn, but the scan handles any number.  The scan's
-// reads are charged, like every recovery pass.
-func repairTorn(s *core.Store, a *Analysis) (int, error) {
+// reads are charged, like every recovery pass.  On a degraded array the
+// scan skips the dead disk's blocks; a torn block in a group that ALSO
+// lost a member to the disk is repaired from what survives, or reported
+// lost when the tear and the loss together exceed the redundancy.
+func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 	repaired := 0
 	for g := 0; g < s.Arr.NumGroups(); g++ {
 		gid := page.GroupID(g)
 		for _, p := range s.Arr.GroupPages(gid) {
+			if s.PageUnavailable(p) {
+				continue
+			}
 			_, _, err := s.Arr.ReadData(p)
 			if err == nil {
 				continue
@@ -278,12 +560,15 @@ func repairTorn(s *core.Store, a *Analysis) (int, error) {
 			if !errors.Is(err, disk.ErrChecksum) {
 				return repaired, fmt.Errorf("recovery: torn scan page %d: %w", p, err)
 			}
-			if err := repairTornData(s, a, gid, p); err != nil {
+			if err := repairTornData(s, a, gid, p, rep); err != nil {
 				return repaired, err
 			}
 			repaired++
 		}
 		for twin := 0; twin < s.Arr.ParityPages(); twin++ {
+			if !s.TwinReadable(gid, twin) {
+				continue
+			}
 			_, _, err := s.Arr.ReadParity(gid, twin)
 			if err == nil {
 				continue
@@ -291,7 +576,7 @@ func repairTorn(s *core.Store, a *Analysis) (int, error) {
 			if !errors.Is(err, disk.ErrChecksum) {
 				return repaired, fmt.Errorf("recovery: torn scan group %d twin %d: %w", g, twin, err)
 			}
-			if err := repairTornParity(s, a, gid, twin); err != nil {
+			if err := repairTornParity(s, a, gid, twin, rep); err != nil {
 				return repaired, err
 			}
 			repaired++
@@ -310,7 +595,10 @@ func repairTorn(s *core.Store, a *Analysis) (int, error) {
 // parity update preceded it, so the Figure 7 current twin describes the
 // intended contents; the page is rebuilt from it under the header the
 // torn write itself persisted.
-func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID) error {
+func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, rep *Report) error {
+	if s.GroupDegraded(g) {
+		return repairTornDataDegraded(s, a, g, p, rep)
+	}
 	if s.RDA() {
 		for twin := 0; twin < 2; twin++ {
 			m, err := s.Arr.ReadParityMeta(g, twin)
@@ -353,6 +641,96 @@ func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID) e
 	return nil
 }
 
+// repairTornDataDegraded repairs a torn data page in a group that also
+// lost a block to the dead disk.  Only the cases where the surviving
+// redundancy still pins the page down are repairable; anything else is
+// explicit, reported loss via loseGroup.
+func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, rep *Report) error {
+	dead := s.DeadTwin(g)
+	if dead < 0 || s.Twins == nil {
+		// The group also lost a data page (or a single-parity array lost
+		// its only parity block): a tear plus a dead member is two
+		// unknowns against at most one surviving equation.
+		lost, err := loseGroup(s, g, []page.PageID{p})
+		if err != nil {
+			return err
+		}
+		rep.LostPages = append(rep.LostPages, lost...)
+		return nil
+	}
+	alive := 1 - dead
+	m, err := s.Arr.ReadParityMeta(g, alive)
+	if err != nil {
+		return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+	}
+	if m.State == disk.StateWorking && !a.Committed(m.Txn) && m.DirtyPage == p {
+		// The tear interrupted a no-log steal whose committed twin died
+		// with the disk: D_old survives only on the log, and only if the
+		// eager demotion got there before the crash.
+		if hasLoggedImage(a, m.Txn, p) {
+			// Zero placeholder; the logged-undo pass restores D_old and
+			// its degraded write re-establishes the surviving parity.
+			if err := s.Arr.WriteData(p, make(page.Buf, s.Arr.PageSize()), disk.Meta{}); err != nil {
+				return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+			}
+			return nil
+		}
+		lost, err := loseGroup(s, g, []page.PageID{p})
+		if err != nil {
+			return err
+		}
+		rep.LostPages = append(rep.LostPages, lost...)
+		return nil
+	}
+	if m.State == disk.StateCommitted || (m.State == disk.StateWorking && a.Committed(m.Txn)) {
+		// The surviving twin describes the on-disk group — unless some
+		// *other* page carries an unresolved no-log steal whose D_new
+		// the twin does not yet include; that combination leaves the
+		// torn page undetermined.
+		for _, q := range s.Arr.GroupPages(g) {
+			if q == p {
+				continue
+			}
+			_, qm, err := s.Arr.ReadData(q)
+			if err != nil {
+				if errors.Is(err, disk.ErrChecksum) {
+					continue // a second tear; reconstruction below fails loudly
+				}
+				return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+			}
+			if qm.ChainSet && a.Outcomes[qm.Txn] == OutcomeLoser && !hasLoggedImage(a, qm.Txn, q) && m.State == disk.StateCommitted {
+				lost, err := loseGroup(s, g, []page.PageID{p})
+				if err != nil {
+					return err
+				}
+				rep.LostPages = append(rep.LostPages, lost...)
+				return nil
+			}
+		}
+		data, err := s.ReconstructData(g, p, alive)
+		if err != nil {
+			return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+		}
+		loc := s.Arr.DataLoc(p)
+		hdr, err := s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
+		if err != nil {
+			return err
+		}
+		if err := s.Arr.WriteData(p, data, hdr); err != nil {
+			return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+		}
+		return nil
+	}
+	// Obsolete or invalid survivor: the only twin describing the group
+	// died with the disk.
+	lost, err := loseGroup(s, g, []page.PageID{p})
+	if err != nil {
+		return err
+	}
+	rep.LostPages = append(rep.LostPages, lost...)
+	return nil
+}
+
 // repairTornParity rebuilds a torn parity twin.
 //
 // A torn twin in the working state whose writer lost means the tear
@@ -363,7 +741,10 @@ func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID) e
 // obsolete, or a stale working header whose writer committed — belongs to
 // an in-place read-modify-write that ran ahead of its data write: the
 // payload is recomputed from the on-disk data under the persisted header.
-func repairTornParity(s *core.Store, a *Analysis, g page.GroupID, twin int) error {
+func repairTornParity(s *core.Store, a *Analysis, g page.GroupID, twin int, rep *Report) error {
+	if s.GroupDegraded(g) {
+		return repairTornParityDegraded(s, a, g, twin, rep)
+	}
 	hdr, err := s.Arr.PeekParityMeta(g, twin)
 	if err != nil {
 		return err
@@ -392,6 +773,91 @@ func repairTornParity(s *core.Store, a *Analysis, g page.GroupID, twin int) erro
 	if err := s.Arr.RecomputeParity(g, twin, hdr); err != nil {
 		return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
 	}
+	return nil
+}
+
+// repairTornParityDegraded repairs a torn parity twin in a group that
+// also lost a block to the dead disk.
+//
+// If the dead block is the OTHER twin, every data page survives and the
+// torn twin recomputes wholesale — after first unwinding (or declaring
+// lost) any no-log steal whose working header the torn twin carries,
+// since its D_old lives beyond the surviving redundancy unless demotion
+// logged it.  If the dead block is a data page, recomputing the torn
+// payload would need the dead page: the torn twin is invalidated when
+// the other twin describes the on-disk group, and the group is declared
+// lost when the torn twin was the only describing one.
+func repairTornParityDegraded(s *core.Store, a *Analysis, g page.GroupID, twin int, rep *Report) error {
+	hdr, err := s.Arr.PeekParityMeta(g, twin)
+	if err != nil {
+		return err
+	}
+	dead := s.DeadTwin(g)
+	if dead >= 0 && s.Twins != nil {
+		if hdr.State == disk.StateWorking && !a.Committed(hdr.Txn) {
+			p := hdr.DirtyPage
+			_, dMeta, err := s.Arr.ReadData(p)
+			if err != nil {
+				return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+			}
+			if dMeta.Txn == hdr.Txn && !hasLoggedImage(a, hdr.Txn, p) {
+				// The steal's data write landed, its committed twin died
+				// with the disk, and no demotion logged D_old: the
+				// before-image is gone.  loseGroup also heals the tear
+				// (it rewrites every readable twin).
+				lost, err := loseGroup(s, g, []page.PageID{p})
+				if err != nil {
+					return err
+				}
+				rep.LostPages = append(rep.LostPages, lost...)
+				return nil
+			}
+			// Untagged (the data write never landed) or rewound later
+			// from the log: the on-disk data is (or will be made)
+			// consistent, so recompute over it below.
+		}
+		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		if err := s.Arr.RecomputeParity(g, twin, meta); err != nil {
+			return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+		}
+		s.Twins.Promote(g, twin)
+		return nil
+	}
+	if s.Twins == nil {
+		// Single-parity group with a dead data page and a torn parity
+		// block: one equation, two unknowns.
+		lost, err := loseGroup(s, g, nil)
+		if err != nil {
+			return err
+		}
+		rep.LostPages = append(rep.LostPages, lost...)
+		return nil
+	}
+	// A data page is dead and this twin is torn.  If the other twin
+	// describes the on-disk group (Figure 7 says it is current), the torn
+	// one was redundant: invalidate it.  Otherwise the dead page's value
+	// survived only in the torn payload.
+	other := 1 - twin
+	om, err := s.Arr.ReadParityMeta(g, other)
+	if err != nil {
+		return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+	}
+	otherDescribes := om.State == disk.StateCommitted &&
+		(hdr.State != disk.StateCommitted || om.Timestamp > hdr.Timestamp ||
+			(om.Timestamp == hdr.Timestamp && other < twin))
+	if otherDescribes {
+		zero := make(page.Buf, s.Arr.PageSize())
+		if err := s.Arr.WriteParity(g, twin, zero, disk.Meta{State: disk.StateInvalid}); err != nil {
+			return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+		}
+		s.Twins.Promote(g, other)
+		return nil
+	}
+	lost, err := loseGroup(s, g, nil)
+	if err != nil {
+		return err
+	}
+	rep.LostPages = append(rep.LostPages, lost...)
 	return nil
 }
 

@@ -27,6 +27,13 @@
 //   - the database still works: a probe transaction commits and its
 //     update is durable and parity-consistent.
 //
+// The same property holds degraded: ExploreDegraded repeats the sweep
+// with one disk already down, with the disk death coinciding with the
+// crash, and with the crash landing inside the online rebuild — degraded
+// crash recovery must preserve every invariant above on the surviving
+// members, with explicit (zeroed, reported) data loss tolerated only
+// when the death and the crash coincide.
+//
 // Because the workload, the buffer manager, and the fault plane are all
 // deterministic, a failing run is identified completely by its seed and
 // schedule, both of which print in a replayable syntax.
@@ -110,6 +117,29 @@ type Result struct {
 	Runs int
 	// Violations holds every failed run.
 	Violations []Violation
+
+	// Degraded-sweep aggregates (RunDegradedSchedule-based modes only),
+	// summed over every recovery the sweep performed.
+	UndoneViaReconstruction int
+	DeferredParityGroups    int
+	// DataLossRuns counts runs whose recovery reported lost pages — legal
+	// only for schedules where the disk death coincides with the crash.
+	DataLossRuns int
+	// LostPages is the total number of pages those runs reported lost.
+	LostPages int
+}
+
+// absorb folds one run's recovery report into the sweep aggregates.
+func (r *Result) absorb(rep *rda.RecoveryReport) {
+	if rep == nil {
+		return
+	}
+	r.UndoneViaReconstruction += rep.UndoneViaReconstruction
+	r.DeferredParityGroups += rep.DeferredParityGroups
+	if len(rep.LostPages) > 0 {
+		r.DataLossRuns++
+		r.LostPages += len(rep.LostPages)
+	}
 }
 
 // driver runs the deterministic workload and carries the oracle: the
@@ -122,6 +152,10 @@ type driver struct {
 	committed map[rda.PageID][]byte
 	pending   map[rda.PageID][]byte // current transaction's writes
 	inCommit  bool                  // crash may have interrupted an EOT
+	// lost holds pages recovery reported as beyond the surviving
+	// redundancy (coinciding crash + disk death only): the oracle expects
+	// them zeroed — explicit loss, never silent corruption.
+	lost map[rda.PageID]bool
 }
 
 func newDriver(db *rda.DB, opts Options) *driver {
@@ -130,6 +164,17 @@ func newDriver(db *rda.DB, opts Options) *driver {
 		opts:      opts,
 		rng:       rand.New(rand.NewSource(opts.Seed)),
 		committed: make(map[rda.PageID][]byte),
+	}
+}
+
+// noteLost records pages recovery declared lost; verify holds them to
+// the explicit-loss contract (zeroed) instead of the committed oracle.
+func (d *driver) noteLost(pages []rda.PageID) {
+	if d.lost == nil {
+		d.lost = make(map[rda.PageID]bool)
+	}
+	for _, p := range pages {
+		d.lost[p] = true
 	}
 }
 
@@ -219,6 +264,9 @@ func (d *driver) verify() error {
 	if d.inCommit && len(d.pending) > 0 {
 		var newN, oldN int
 		for p, img := range d.pending {
+			if d.lost[p] {
+				continue
+			}
 			got, err := d.db.PeekPage(p)
 			if err != nil {
 				return fmt.Errorf("peek page %d: %w", p, err)
@@ -250,6 +298,12 @@ func (d *driver) verify() error {
 		got, err := d.db.PeekPage(id)
 		if err != nil {
 			return fmt.Errorf("peek page %d: %w", p, err)
+		}
+		if d.lost[id] {
+			if !bytes.Equal(got, make([]byte, d.db.PageSize())) {
+				return fmt.Errorf("lost page %d is not zeroed: explicit loss must never be silent corruption", p)
+			}
+			continue
 		}
 		if !bytes.Equal(got, d.expected(id)) {
 			return fmt.Errorf("page %d diverges from last committed image", p)
@@ -348,8 +402,17 @@ func RunSchedule(opts Options, sched fault.Schedule) error {
 		return nil
 	}
 	db.CrashHard()
-	if _, err := db.Recover(); err != nil {
+	rep, err := db.Recover()
+	if err != nil {
 		return fmt.Errorf("recover after %v: %w", crash, err)
+	}
+	// Healthy-array regression guard: RunSchedule's schedules never kill
+	// a disk, so the degraded recovery machinery must stay completely
+	// cold — any non-zero counter means the degraded path leaked into
+	// the common case.
+	if rep.UndoneViaReconstruction != 0 || rep.DeferredParityGroups != 0 || len(rep.LostPages) != 0 {
+		return fmt.Errorf("healthy restart took the degraded path after %v: reconstruction=%d deferred=%d lost=%v",
+			crash, rep.UndoneViaReconstruction, rep.DeferredParityGroups, rep.LostPages)
 	}
 	if err := db.VerifyRecovered(); err != nil {
 		return fmt.Errorf("after %v: %w", crash, err)
@@ -392,6 +455,99 @@ func Explore(opts Options, progress func(done, total int64)) (*Result, error) {
 	return res, nil
 }
 
+// countDegraded measures the write clock of a degraded run: the seeded
+// workload under a FailDisk(d, 0) schedule, then the online rebuild
+// pumped to completion.  It returns the write count at workload end and
+// at rebuild end — the two bounds the degraded sweep needs (crash
+// indexes below the first interrupt the degraded workload; indexes
+// between the two land inside the restarted rebuild).  The final state
+// is sanity-checked against the oracle.
+func countDegraded(opts Options, d int) (workload, full int64, err error) {
+	opts.fill()
+	db, err := rda.Open(dbConfig(opts.Layout))
+	if err != nil {
+		return 0, 0, err
+	}
+	plane := fault.NewPlane(fault.Schedule{fault.FailDisk(d, 0)})
+	db.SetInjector(plane)
+	drv := newDriver(db, opts)
+	crash, err := drv.run()
+	if err != nil {
+		return 0, 0, fmt.Errorf("degraded counting run: %w", err)
+	}
+	if crash != nil {
+		return 0, 0, fmt.Errorf("degraded counting run crashed: %v", crash)
+	}
+	workload = plane.Writes()
+	crash, err = pumpRebuild(db)
+	if err != nil {
+		return 0, 0, fmt.Errorf("degraded counting rebuild: %w", err)
+	}
+	if crash != nil {
+		return 0, 0, fmt.Errorf("degraded counting rebuild crashed: %v", crash)
+	}
+	full = plane.Writes()
+	if err := drv.verify(); err != nil {
+		return 0, 0, fmt.Errorf("degraded counting final state: %w", err)
+	}
+	return workload, full, nil
+}
+
+// ExploreDegraded is the degraded-restart sweep — the machine check that
+// one redundancy mechanism really funds media AND transaction recovery
+// at once.  Three schedule families, every run a RunDegradedSchedule
+// cycle (degraded crash recovery, restarted rebuild, oracle + probe):
+//
+//   - disk already down: FailDisk(0, 0) plus a crash at every write
+//     index of the degraded workload — restart with a member long dead;
+//   - coinciding: FailDisk(k%D, k) plus a crash at write k, for every k
+//     of the healthy workload — the death is unobserved before the
+//     crash, recovery discovers it at restart (the only family where
+//     explicit data loss is legal);
+//   - crash mid-rebuild: FailDisk(0, 0) plus a crash at every write
+//     index inside the online rebuild that follows the workload — the
+//     restarted rebuild must reconstruct every group from scratch.
+func ExploreDegraded(opts Options, progress func(done, total int64)) (*Result, error) {
+	opts.fill()
+	wDeg, wFull, err := countDegraded(opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	wHealthy, err := CountWrites(opts)
+	if err != nil {
+		return nil, err
+	}
+	geom, err := rda.Open(dbConfig(opts.Layout))
+	if err != nil {
+		return nil, err
+	}
+	numDisks := geom.NumDisks()
+	res := &Result{TotalWrites: wDeg}
+	total := wFull + wHealthy
+	var done int64
+	run := func(sched fault.Schedule) {
+		res.Runs++
+		rep, err := RunDegradedSchedule(opts, sched)
+		res.absorb(rep)
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{Seed: opts.Seed, Schedule: sched, Err: err})
+		}
+		done++
+		if progress != nil {
+			progress(done, total)
+		}
+	}
+	// Disk-down and crash-mid-rebuild families share one schedule shape;
+	// the crash index decides which regime it lands in.
+	for k := int64(0); k < wFull; k++ {
+		run(fault.Schedule{fault.FailDisk(0, 0), fault.CrashAfterNWrites(k)})
+	}
+	for k := int64(0); k < wHealthy; k++ {
+		run(fault.Schedule{fault.FailDisk(int(k)%numDisks, k), fault.CrashAfterNWrites(k)})
+	}
+	return res, nil
+}
+
 // RunMixSchedule is RunSchedule with a background transient-error rate
 // (every transientEvery-th access fails once; 0 disables) and support for
 // mid-run disk deaths.  A FailDisk rule must complete the workload with
@@ -399,66 +555,161 @@ func Explore(opts Options, progress func(done, total int64)) (*Result, error) {
 // serving masks the dead disk — after which the online rebuild is pumped
 // to completion and the oracle, parity invariant and probe checks run
 // against the restored array.  Crash rules behave as in RunSchedule
-// (recovery runs under the same transient rate).  A schedule must not
-// combine a crash and a disk death: crash recovery on a degraded array
-// is out of scope (rda.Recover returns ErrDegraded).
+// (recovery runs under the same transient rate).
+//
+// A schedule MAY combine a crash and a disk death: crash recovery runs
+// degraded (rda.Recover with one member down), the restarted rebuild is
+// pumped to completion — re-entering recovery if a crash rule fires
+// mid-rebuild — and the same oracle applies.  A loser undo whose needed
+// committed twin died with the disk falls back to the before-image the
+// eager demotion logged; only when the death was never observed before
+// the crash (the two coincide) can that image be missing, and recovery
+// then reports the affected pages in RecoveryReport.LostPages — the one
+// case the oracle excuses, requiring the pages zeroed rather than
+// matching their committed images.  Loss under any schedule where the
+// death does not coincide with the crash is a violation.
 func RunMixSchedule(opts Options, sched fault.Schedule, transientEvery int64) error {
+	_, err := runCombined(opts, sched, transientEvery)
+	return err
+}
+
+// RunDegradedSchedule performs one combined-fault crash-and-recover
+// cycle (see RunMixSchedule for the contract) and returns the recovery
+// report — counters summed if a crash mid-rebuild forced a second
+// restart; nil if no crash rule fired.  It is the single-run unit of
+// ExploreDegraded and of the rdacrash -degraded -sched replay.
+func RunDegradedSchedule(opts Options, sched fault.Schedule) (*rda.RecoveryReport, error) {
+	return runCombined(opts, sched, 0)
+}
+
+// schedKillsDisk reports whether the schedule contains a FailDisk rule.
+func schedKillsDisk(sched fault.Schedule) bool {
+	for _, r := range sched {
+		if r.Kind == fault.KindFailDisk {
+			return true
+		}
+	}
+	return false
+}
+
+// runCombined is the shared engine behind RunMixSchedule and
+// RunDegradedSchedule: workload, crash recovery (possibly degraded),
+// rebuild convergence, and the oracle/probe/transient checks.
+func runCombined(opts Options, sched fault.Schedule, transientEvery int64) (*rda.RecoveryReport, error) {
 	opts.fill()
 	db, err := rda.Open(dbConfig(opts.Layout))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	plane := fault.NewPlane(sched)
 	plane.SetTransientEvery(transientEvery)
 	db.SetInjector(plane)
 	d := newDriver(db, opts)
+	killsDisk := schedKillsDisk(sched)
 	crash, err := d.run()
 	if err != nil {
-		return fmt.Errorf("workload: %w", err)
+		return nil, fmt.Errorf("workload: %w", err)
 	}
-	if crash != nil {
-		db.CrashHard()
-		if _, err := db.Recover(); err != nil {
-			return fmt.Errorf("recover after %v: %w", crash, err)
-		}
-		if err := db.VerifyRecovered(); err != nil {
-			return fmt.Errorf("after %v: %w", crash, err)
-		}
-	} else {
-		// The workload completed; if a FailDisk rule killed a drive
-		// mid-run the array is degraded and every operation since was
-		// served from redundancy.  Rebuild it online (a no-op when
-		// healthy), then hold the run to the same oracle.
-		for {
-			done, rerr := db.RebuildStep(0)
-			if rerr != nil {
-				return fmt.Errorf("online rebuild: %w", rerr)
+	// Recover-and-rebuild convergence: a crash sends the run through
+	// CrashHard + Recover; the rebuild pump afterwards can itself hit a
+	// late crash rule (crash-mid-rebuild schedules) and loop back.  Each
+	// round consumes at least one of the schedule's one-shot rules, so
+	// the loop is bounded.
+	var total *rda.RecoveryReport
+	for round := 0; ; round++ {
+		if crash != nil {
+			if round > len(sched)+1 {
+				return total, fmt.Errorf("crash recovery did not converge after %d rounds", round)
 			}
-			if done {
-				break
+			db.CrashHard()
+			rep, err := db.Recover()
+			if err != nil {
+				return total, fmt.Errorf("recover after %v: %w", crash, err)
 			}
+			if total == nil {
+				total = rep
+			} else {
+				total.Losers += rep.Losers
+				total.UndoneViaParity += rep.UndoneViaParity
+				total.UndoneViaLog += rep.UndoneViaLog
+				total.Redone += rep.Redone
+				total.RepairedTorn += rep.RepairedTorn
+				total.ResyncedGroups += rep.ResyncedGroups
+				total.UndoneViaReconstruction += rep.UndoneViaReconstruction
+				total.DeferredParityGroups += rep.DeferredParityGroups
+				total.LostPages = append(total.LostPages, rep.LostPages...)
+			}
+			if !killsDisk && (rep.UndoneViaReconstruction != 0 || rep.DeferredParityGroups != 0 || len(rep.LostPages) != 0) {
+				return total, fmt.Errorf("healthy restart took the degraded path after %v: reconstruction=%d deferred=%d lost=%v",
+					crash, rep.UndoneViaReconstruction, rep.DeferredParityGroups, rep.LostPages)
+			}
+			if len(rep.LostPages) > 0 {
+				if !killsDisk {
+					return total, fmt.Errorf("recovery after %v lost pages %v with no disk death in the schedule", crash, rep.LostPages)
+				}
+				d.noteLost(rep.LostPages)
+			}
+			if err := db.VerifyRecovered(); err != nil {
+				return total, fmt.Errorf("after %v: %w", crash, err)
+			}
+		}
+		// The workload completed or recovery did; if a disk is (still)
+		// down the array serves degraded.  Rebuild it online — a no-op
+		// when healthy — re-entering recovery if the pump crashes.
+		crash, err = pumpRebuild(db)
+		if err != nil {
+			return total, fmt.Errorf("online rebuild: %w", err)
+		}
+		if crash == nil {
+			break
 		}
 	}
 	if err := d.verify(); err != nil {
-		return fmt.Errorf("after %v: %w", sched, err)
+		return total, fmt.Errorf("after %v: %w", sched, err)
 	}
 	if err := d.probe(); err != nil {
-		return fmt.Errorf("after %v: %w", sched, err)
+		return total, fmt.Errorf("after %v: %w", sched, err)
 	}
 	if transientEvery > 0 && plane.Reads()+plane.Writes() >= transientEvery && db.Stats().IORetries == 0 {
-		return fmt.Errorf("transient rate 1/%d injected faults but the retry layer recorded none", transientEvery)
+		return total, fmt.Errorf("transient rate 1/%d injected faults but the retry layer recorded none", transientEvery)
 	}
-	return nil
+	return total, nil
+}
+
+// pumpRebuild drives the online rebuild to completion, converting a
+// crash-rule panic (a crash point landing inside a rebuild write) into a
+// returned sentinel so the caller can run recovery and resume.
+func pumpRebuild(db *rda.DB) (crash *fault.Crash, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := fault.AsCrash(r)
+			if !ok {
+				panic(r)
+			}
+			crash = c
+		}
+	}()
+	for {
+		done, err := db.RebuildStep(0)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return nil, nil
+		}
+	}
 }
 
 // MixSoak performs iters randomized self-healing cycles under a constant
-// background transient-error rate.  Iterations alternate between the
-// crash discipline of Soak (crash or torn write at a random index, then
-// recovery) and a mid-run disk death (FailDisk at a random write index,
-// then degraded serving and an online rebuild) — never both in one
-// schedule, since crash recovery requires a healthy array.  Every run
-// must preserve the committed-state oracle; the transient faults must be
-// invisible throughout.
+// background transient-error rate.  Iterations rotate between the crash
+// discipline of Soak (crash or torn write at a random index, then
+// recovery), a mid-run disk death (FailDisk at a random write index,
+// then degraded serving and an online rebuild), and the combined case —
+// a disk death AND a crash in one schedule, exercising degraded crash
+// recovery, including coinciding death-and-crash indexes where explicit
+// data loss is the legal outcome.  Every run must preserve the
+// committed-state oracle; the transient faults must be invisible
+// throughout.
 func MixSoak(opts Options, iters int, transientEvery int64) (*Result, error) {
 	opts.fill()
 	probe, err := rda.Open(dbConfig(opts.Layout))
@@ -483,14 +734,23 @@ func MixSoak(opts Options, iters int, transientEvery int64) (*Result, error) {
 		disk := meta.Intn(numDisks)
 		tornHead := meta.Intn(2) == 0
 		wantTorn := meta.Intn(3) == 0
+		coincide := meta.Intn(2) == 0
+		k2 := meta.Int63n(total)
 		var sched fault.Schedule
-		switch {
-		case i%2 == 0:
+		switch i % 3 {
+		case 0:
 			sched = fault.Schedule{fault.FailDisk(disk, k)}
-		case wantTorn:
-			sched = fault.Schedule{fault.TornWrite(k, tornHead)}
+		case 1:
+			if wantTorn {
+				sched = fault.Schedule{fault.TornWrite(k, tornHead)}
+			} else {
+				sched = fault.Schedule{fault.CrashAfterNWrites(k)}
+			}
 		default:
-			sched = fault.Schedule{fault.CrashAfterNWrites(k)}
+			if coincide {
+				k2 = k
+			}
+			sched = fault.Schedule{fault.FailDisk(disk, k), fault.CrashAfterNWrites(k2)}
 		}
 		res.Runs++
 		if err := RunMixSchedule(o, sched, transientEvery); err != nil {

@@ -152,6 +152,33 @@ func TestMixSoak(t *testing.T) {
 	}
 }
 
+// TestExploreDegraded is the in-tree version of `rdacrash -degraded`:
+// the exhaustive crash sweep with one disk down — crash points spanning
+// the degraded workload and the online rebuild, plus the coinciding
+// family where the disk dies at the crash write itself.  Every run must
+// recover, serve the committed state, and rebuild full redundancy.
+func TestExploreDegraded(t *testing.T) {
+	layouts := []rda.Layout{rda.DataStriping, rda.ParityStriping}
+	if testing.Short() {
+		layouts = layouts[:1]
+	}
+	for _, layout := range layouts {
+		res, err := ExploreDegraded(small(layout), nil)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if res.Runs == 0 {
+			t.Fatalf("%v: no degraded crash points explored", layout)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v: %s", layout, v)
+		}
+		if res.DeferredParityGroups == 0 {
+			t.Errorf("%v: sweep never deferred a parity group — dead-twin recovery untested", layout)
+		}
+	}
+}
+
 // TestMixFailDiskEveryIndex kills each disk at every write index of a
 // small workload — an exhaustive sweep of the degraded-serving and
 // online-rebuild interlock.  The workload must complete with no surfaced

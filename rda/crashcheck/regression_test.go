@@ -1,0 +1,60 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/rda"
+)
+
+// TestDegradedScheduleRegressions replays schedules that historically
+// diverged from the committed-state oracle while the degraded
+// crash-recovery path was being built.  Both are instances of the
+// paired-flip window: a committed small-write flip's parity write lands,
+// the crash cuts the paired data write, and the disk holding the data
+// member is dead — so recovery cannot verify the winner twin by
+// recomputation and must detect the broken pair via the timestamp echo
+// and demote to the pre-flip twin.
+func TestDegradedScheduleRegressions(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		sched string
+	}{
+		// Flip ran ahead of the crashed data write with the data disk
+		// dead from the start; the pre-flip twin was left obsolete.
+		{
+			name:  "paired-flip-obsolete-fallback",
+			opts:  Options{Layout: rda.DataStriping, Seed: 1, Txns: 4, OpsPerTx: 3},
+			sched: "faildisk[0]@w0 crash@w13",
+		},
+		// Same window found first by the mix soak: the data disk died
+		// mid-run just before the flip, and the fallback twin still
+		// carried a committed writer's working header.
+		{
+			name:  "paired-flip-working-fallback",
+			opts:  Options{Layout: rda.DataStriping, Seed: 1853314096802305477},
+			sched: "faildisk[4]@w1 crash@w10",
+		},
+		// A page declared lost by the parity-undo pass (coinciding,
+		// unobserved disk death) was later rewritten by a full-page
+		// logged before-image — log-determined after all, and it must
+		// leave LostPages instead of being reported as zeroed loss.
+		{
+			name:  "lost-page-redetermined-by-log",
+			opts:  Options{Layout: rda.ParityStriping, Seed: 1},
+			sched: "faildisk[0]@w84 crash@w84",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := fault.ParseSchedule(tc.sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := RunDegradedSchedule(tc.opts, s); err != nil {
+				t.Fatalf("seed=%d sched=%q: %v", tc.opts.Seed, tc.sched, err)
+			}
+		})
+	}
+}

@@ -40,7 +40,9 @@ var (
 	// ErrDegraded reports an operation that needs the array's full
 	// redundancy while a disk is down.  Finish the online rebuild
 	// (RebuildStep/StartRebuild) or run media recovery (RepairDisk)
-	// first.
+	// first.  Crash recovery is NOT such an operation: Recover runs with
+	// a single member down (degraded restart) and only a double loss
+	// (ErrArrayFailed) refuses it.
 	ErrDegraded = errors.New("rda: array is degraded")
 	// ErrArrayFailed reports that a second disk failed while the array
 	// was already degraded: parity redundancy is exhausted and affected
@@ -527,29 +529,97 @@ type RecoveryReport struct {
 	// ResyncedGroups counts groups whose parity was resynchronized with
 	// the on-disk data (mid-I/O crashes only).
 	ResyncedGroups int
+	// UndoneViaReconstruction counts loser pages undone by reconstruction
+	// from surviving members because a group member sat on the dead disk
+	// (degraded restarts only).
+	UndoneViaReconstruction int
+	// DeferredParityGroups counts groups whose parity member is on the
+	// down disk: recovery re-established the surviving parity only, and
+	// the restarted online rebuild recomputes the lost member (degraded
+	// restarts only).
+	DeferredParityGroups int
+	// LostPages lists pages whose contents genuinely exceeded the
+	// surviving redundancy — possible only when a disk death coincided
+	// with the crash, so the demotion that would have logged the
+	// before-image never ran.  The pages are zeroed and parity made
+	// consistent: explicit, reported loss, never silent corruption.
+	LostPages []PageID
 }
 
 // Recover restarts a crashed database: log analysis, UNDO of losers
 // (twin-parity scan first, then logged before-images), current-parity
 // bitmap rebuild, and REDO of winners under ¬FORCE.  See
 // internal/recovery for the pass structure.
+//
+// Recovery runs with up to one member down — crashed while degraded,
+// crashed in the same instant as the disk death, or crashed mid-rebuild.
+// Every pass then works on surviving members only: a loser undo whose
+// group lost its dirty page promotes the committed twin (the parity now
+// defines the before-image, served by reconstruction); one whose group
+// lost its *working* twin is found via the data page's transaction tag
+// and rewound from the surviving committed twin; and when the committed
+// twin needed for D_old = (P ⊕ P′) ⊕ D_new sat on the dead disk, the
+// undo falls back to the logged before-image that the eager demotion's
+// log-first ordering guarantees whenever the death was observed before
+// the crash.  Groups whose parity member is lost are deferred to the
+// restarted online rebuild, which always reconstructs the drive from
+// scratch after a restart.  The database comes back up serving degraded.
+// Only a double member loss refuses recovery, with ErrArrayFailed.
 func (db *DB) Recover() (*RecoveryReport, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !db.crashed {
 		return nil, errors.New("rda: Recover on a running database")
 	}
-	if db.arr.Health() != diskarray.Healthy {
-		// Crash recovery scans and rewrites parity on every disk; with a
-		// member down it cannot run.  Media recovery (RepairDisk/
-		// RepairDisks after restart tooling replaces the drive) must
-		// complete first.
-		return nil, fmt.Errorf("%w: crash recovery requires a healthy array (health %v)", ErrDegraded, db.arr.Health())
+	if db.dirtyCrash {
+		// A mid-I/O crash can kill a drive in the same instant without
+		// the health machine observing it (fail-stops latch on first
+		// access).  Spin up every drive once so the passes plan against
+		// the array's true health instead of hitting a surprise error
+		// mid-pass.
+		db.arr.ProbeDisks()
 	}
-	rep, err := recovery.CrashRecover(db.store, db.cfg.EOT == NoForce, db.dirtyCrash)
-	if err != nil {
+	var rep *recovery.Report
+	for attempt := 0; ; attempt++ {
+		switch h := db.arr.Health(); h {
+		case diskarray.Failed:
+			return nil, fmt.Errorf("%w: crash recovery with two members down exceeds parity redundancy; run RepairDisks first", ErrArrayFailed)
+		case diskarray.Degraded, diskarray.Rebuilding:
+			// Re-derive degraded serving from scratch: restored-group flags
+			// are wiped even when the crash hit mid-rebuild, so the restarted
+			// rebuild reconstructs every group on the lost member and can
+			// never certify a deferred-parity group without recomputing it.
+			db.store.EnterDegraded(db.arr.DownDisk())
+			db.store.SetReplacementPresent(h == diskarray.Rebuilding)
+		default:
+			if db.store.Degraded() {
+				db.store.LeaveDegraded()
+			}
+		}
+		var err error
+		rep, err = recovery.CrashRecover(db.store, db.cfg.EOT == NoForce, db.dirtyCrash)
+		if err == nil {
+			break
+		}
+		// A drive can fail-stop in the middle of recovery itself (it
+		// survived the crash only to die under the recovery I/O).  The
+		// passes are restartable — undo writes are idempotent, repairs
+		// leave consistent groups, the bitmap pass recomputes from
+		// headers — so observe the loss and run recovery again in
+		// degraded mode.  The Failed case above bounds the loop: each
+		// retry needs a fresh disk death, and the second overlapping
+		// loss trips it.
+		if errors.Is(err, disk.ErrFailed) && attempt < db.arr.NumDisks() {
+			db.arr.ProbeDisks()
+			continue
+		}
 		return nil, fmt.Errorf("rda: recovery: %w", err)
 	}
+	var lost []PageID
+	for _, p := range rep.LostPages {
+		lost = append(lost, PageID(p))
+	}
+	db.store.SetReplacementPresent(false)
 	db.dirtyCrash = false
 	if db.cfg.EOT == NoForce {
 		// A fresh empty checkpoint bounds the next restart's REDO pass.
@@ -562,12 +632,15 @@ func (db *DB) Recover() (*RecoveryReport, error) {
 	db.truncateLog()
 	db.recoveries++
 	return &RecoveryReport{
-		Losers:          len(rep.Losers),
-		UndoneViaParity: rep.UndoneViaParity,
-		UndoneViaLog:    rep.UndoneViaLog,
-		Redone:          rep.Redone,
-		RepairedTorn:    rep.RepairedTorn,
-		ResyncedGroups:  rep.ResyncedGroups,
+		Losers:                  len(rep.Losers),
+		UndoneViaParity:         rep.UndoneViaParity,
+		UndoneViaLog:            rep.UndoneViaLog,
+		Redone:                  rep.Redone,
+		RepairedTorn:            rep.RepairedTorn,
+		ResyncedGroups:          rep.ResyncedGroups,
+		UndoneViaReconstruction: rep.UndoneViaReconstruction,
+		DeferredParityGroups:    rep.DeferredParityGroups,
+		LostPages:               lost,
 	}, nil
 }
 

@@ -76,6 +76,14 @@ func (db *DB) rebuildStepLocked(maxGroups int) (bool, error) {
 	// rebuild's replacement drive died (Rebuilding fell back to
 	// Degraded), so the BeginRebuild below starts over from scratch
 	// instead of skipping groups whose blocks died with the replacement.
+	//
+	// The same from-scratch rule is the deferred-parity interlock after a
+	// degraded restart: Recover re-enters degraded serving with ALL
+	// restored-group flags wiped (rda/db.go), so a rebuild resumed after
+	// a crash walks every group on the down disk again — it cannot
+	// certify a group whose parity member recovery deferred without
+	// recomputing that member here (restoreGroup), whatever the
+	// pre-crash rebuild had already marked restored.
 	db.syncHealth()
 	if !db.store.Degraded() {
 		return true, nil

@@ -22,6 +22,12 @@ import (
 //   - the in-memory current-parity bitmap matches an independent
 //     Current_Parity (Figure 7) recomputation from the on-disk headers.
 //
+// After a degraded restart the checks cover the surviving members only:
+// a group whose parity twin sits on the down disk must have its
+// *surviving* twin current and committed (the dead slot is deferred to
+// the rebuild), and a group whose data page is lost is checked against
+// the twin that defines the lost page's value.
+//
 // All reads are uncharged verification I/O.
 func (db *DB) VerifyRecovered() error {
 	db.mu.Lock()
@@ -42,6 +48,24 @@ func (db *DB) VerifyRecovered() error {
 	}
 	for g := 0; g < db.arr.NumGroups(); g++ {
 		gid := page.GroupID(g)
+		if dead := db.store.DeadTwin(gid); dead >= 0 {
+			// Degraded group that lost a parity twin: only the surviving
+			// slot holds meaning, and it must be the current, committed
+			// one.  The dead slot is the restarted rebuild's job.
+			alive := 1 - dead
+			if cur := db.store.Twins.Current(gid); cur != alive {
+				return fmt.Errorf("rda: degraded group %d bitmap points at dead twin %d", g, cur)
+			}
+			m, err := db.arr.PeekParityMeta(gid, alive)
+			if err != nil {
+				return err
+			}
+			if m.State != disk.StateCommitted {
+				return fmt.Errorf("rda: degraded group %d surviving twin %d in state %s, want committed",
+					g, alive, m.State)
+			}
+			continue
+		}
 		var metas [2]disk.Meta
 		for twin := 0; twin < 2; twin++ {
 			m, err := db.arr.PeekParityMeta(gid, twin)
