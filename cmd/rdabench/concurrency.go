@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/rda"
+)
+
+// The group-striped concurrency benchmark: W goroutines run transactions
+// over disjoint parity-group ranges against one engine, with a simulated
+// per-transfer disk service time so wall-clock throughput measures how
+// much array parallelism the engine's latching actually admits.  Under
+// the old whole-engine mutex every configuration measured the same
+// tx/second; with per-group latches, workers on disjoint groups overlap
+// their I/O across the array's drives and throughput scales with W.
+
+// benchGeometry is the benchmark's fixed engine configuration.
+func benchGeometry(workers int, ioDelay time.Duration) rda.Config {
+	cfg := rda.DefaultConfig()
+	cfg.DataDisks = 8
+	cfg.NumPages = 512
+	cfg.PageSize = 2048
+	// More frames than pages: the working set stays resident, so the
+	// measured I/O is the FORCE commit traffic, not eviction noise.
+	cfg.BufferFrames = 600
+	cfg.Logging = rda.PageLogging
+	cfg.EOT = rda.Force
+	cfg.RDA = true
+	cfg.Workers = workers
+	cfg.IODelay = ioDelay
+	return cfg
+}
+
+const (
+	benchTxnsPerWorker = 150
+	benchPagesPerTxn   = 8
+)
+
+// benchRun is one measured concurrency level, as serialized into
+// BENCH_concurrency.json.
+type benchRun struct {
+	Workers   int     `json:"workers"`
+	Committed int64   `json:"committed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	TxPerSec  float64 `json:"tx_per_sec"`
+	// Speedup is this run's TxPerSec over the workers=1 run's (1.0 when
+	// no workers=1 level was measured).
+	Speedup float64 `json:"speedup"`
+}
+
+// benchOutput is the BENCH_concurrency.json document.
+type benchOutput struct {
+	Bench    string `json:"bench"`
+	Geometry struct {
+		DataDisks      int     `json:"data_disks"`
+		NumPages       int     `json:"num_pages"`
+		PageSize       int     `json:"page_size"`
+		BufferFrames   int     `json:"buffer_frames"`
+		EOT            string  `json:"eot"`
+		IODelayMicros  float64 `json:"io_delay_us"`
+		TxnsPerWorker  int     `json:"txns_per_worker"`
+		PagesPerTxn    int     `json:"pages_per_txn"`
+		DisjointGroups bool    `json:"disjoint_groups"`
+	} `json:"geometry"`
+	Runs []benchRun `json:"runs"`
+}
+
+// benchConcurrency measures every requested concurrency level and writes
+// the JSON artifact.
+func benchConcurrency(levels []int, ioDelay time.Duration, seed int64, outPath string) error {
+	fmt.Println("== Group-striped concurrency: wall-clock throughput vs transaction concurrency ==")
+	fmt.Printf("   (disjoint-group workload, %d txns x %d pages per worker, %v per block transfer)\n",
+		benchTxnsPerWorker, benchPagesPerTxn, ioDelay)
+	fmt.Printf("%8s %10s %12s %12s %9s\n", "workers", "committed", "elapsed", "tx/sec", "speedup")
+
+	out := benchOutput{Bench: "group-striped concurrency (disjoint parity groups)"}
+	g := benchGeometry(1, ioDelay)
+	out.Geometry.DataDisks = g.DataDisks
+	out.Geometry.NumPages = g.NumPages
+	out.Geometry.PageSize = g.PageSize
+	out.Geometry.BufferFrames = g.BufferFrames
+	out.Geometry.EOT = "force"
+	out.Geometry.IODelayMicros = float64(ioDelay) / float64(time.Microsecond)
+	out.Geometry.TxnsPerWorker = benchTxnsPerWorker
+	out.Geometry.PagesPerTxn = benchPagesPerTxn
+	out.Geometry.DisjointGroups = true
+
+	var base float64
+	for _, w := range levels {
+		run, err := benchOneLevel(w, ioDelay, seed)
+		if err != nil {
+			return fmt.Errorf("workers=%d: %w", w, err)
+		}
+		if w == 1 && base == 0 {
+			base = run.TxPerSec
+		}
+		if base > 0 {
+			run.Speedup = run.TxPerSec / base
+		} else {
+			run.Speedup = 1
+		}
+		fmt.Printf("%8d %10d %11.0fms %12.1f %8.2fx\n",
+			run.Workers, run.Committed, run.ElapsedMS, run.TxPerSec, run.Speedup)
+		out.Runs = append(out.Runs, run)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("   wrote %s\n\n", outPath)
+	return nil
+}
+
+// benchOneLevel opens a fresh engine and runs `workers` goroutines of
+// blind page writes over disjoint page ranges (each range an integral
+// number of parity groups), returning the measured throughput.
+func benchOneLevel(workers int, ioDelay time.Duration, seed int64) (benchRun, error) {
+	cfg := benchGeometry(workers, ioDelay)
+	db, err := rda.Open(cfg)
+	if err != nil {
+		return benchRun{}, err
+	}
+	per := cfg.NumPages / workers
+	// Align each worker's range to whole parity groups so the workload is
+	// group-disjoint, not merely page-disjoint.
+	per -= per % cfg.DataDisks
+	if per < cfg.DataDisks {
+		return benchRun{}, fmt.Errorf("too many workers for %d pages", cfg.NumPages)
+	}
+	img := make([]byte, cfg.PageSize)
+	for i := range img {
+		img[i] = byte(i)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		committed int64
+		mu        sync.Mutex
+		firstErr  error
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			lo := w * per
+			var done int64
+			for n := 0; n < benchTxnsPerWorker; n++ {
+				tx, err := db.Begin()
+				if err == nil {
+					for i := 0; i < benchPagesPerTxn && err == nil; i++ {
+						p := rda.PageID(lo + rng.Intn(per))
+						err = tx.WritePage(p, img)
+					}
+					if err == nil {
+						err = tx.Commit()
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				done++
+			}
+			mu.Lock()
+			committed += done
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return benchRun{}, firstErr
+	}
+	if err := db.VerifyParity(); err != nil {
+		return benchRun{}, fmt.Errorf("parity after bench: %w", err)
+	}
+	return benchRun{
+		Workers:   workers,
+		Committed: committed,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		TxPerSec:  float64(committed) / elapsed.Seconds(),
+	}, nil
+}
+
+// parseWorkersList parses the -workers flag ("1,8" etc).
+func parseWorkersList(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", tok)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -workers list")
+	}
+	return out, nil
+}

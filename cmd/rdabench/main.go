@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/sim"
@@ -38,7 +39,23 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed for the live measurement")
 	transientRate := flag.Int64("transient-rate", 0, "self-healing run: fail every n-th disk access with a transient error (0 = off)")
 	faildiskAt := flag.Int64("faildisk-at", -1, "self-healing run: fail-stop disk 0 after this many block writes (-1 = off)")
+	workersList := flag.String("workers", "", "concurrency bench: comma-separated worker counts (e.g. 1,8); runs the group-striped throughput bench and exits")
+	ioDelay := flag.Duration("iodelay", 150*time.Microsecond, "concurrency bench: simulated per-transfer disk service time")
+	benchOut := flag.String("bench-out", "BENCH_concurrency.json", "concurrency bench: output JSON path")
 	flag.Parse()
+
+	if *workersList != "" {
+		levels, err := parseWorkersList(*workersList)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdabench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := benchConcurrency(levels, *ioDelay, *seed, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rdabench: concurrency bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *fig {
 	case "9":

@@ -57,6 +57,7 @@ func main() {
 		ops      = flag.Int("ops", 0, "page operations per transaction (0 = default)")
 		sched    = flag.String("sched", "", `replay one schedule (e.g. "crash@w12" or "torn[head]@w3") and exit`)
 		layouts  = flag.String("layout", "both", "array layout: data, parity, or both")
+		workers  = flag.Int("workers", 0, "engine-internal parallelism for recovery/rebuild scans (0 = deterministic single worker)")
 	)
 	flag.Parse()
 
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	opts := func(l rda.Layout) crashcheck.Options {
-		return crashcheck.Options{Layout: l, Seed: *seed, Txns: *txns, OpsPerTx: *ops, Torn: *torn}
+		return crashcheck.Options{Layout: l, Seed: *seed, Txns: *txns, OpsPerTx: *ops, Torn: *torn, Workers: *workers}
 	}
 
 	failed := false

@@ -15,23 +15,36 @@
 // path to re-read the old page from the array, the paper's a=4 case used
 // in the ¬FORCE analysis (Section 5.2.2).
 //
-// The pool uses LRU replacement.  It is not internally synchronized; the
-// engine serializes access (page-level consistency is the lock manager's
-// job, and all cost accounting is deterministic under a single mutex).
+// The pool uses a single LRU list and is internally synchronized: an
+// internal mutex guards the frame map, the LRU list, pin counts and the
+// stats, so concurrent operations on disjoint parity groups share the
+// pool safely.  Frame *contents* (Data, DiskVersion, Dirty, Modifiers,
+// Residue) are not guarded here — the engine serializes them with its
+// per-group latches (a frame's group latch is held whenever its content
+// or steal bookkeeping is read or written).  Eviction bridges the two
+// worlds: a victim frame may belong to a group whose latch the evicting
+// operation does not hold, so Get threads an EvictGuard through which the
+// engine try-acquires the victim's group latch; an unguardable victim is
+// skipped, and if every candidate is merely guard-blocked (never the case
+// single-threaded) Get yields and retries rather than failing.
 package buffer
 
 import (
 	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/page"
 )
 
 // Frame is one buffer slot.  Fields are exported for the engine's steal
 // policy and for tests; outside packages must treat them as read-only
-// except through the pool's methods.
+// except through the pool's methods, and must hold the frame's group
+// latch (or otherwise exclude concurrency) when touching the content
+// fields.
 type Frame struct {
 	Page page.PageID
 	// Data is the current (possibly uncommitted) page contents.
@@ -54,11 +67,13 @@ type Frame struct {
 	// classic logging instead.
 	Residue bool
 
-	pins int
+	pins int // guarded by the pool mutex
 	elem *list.Element
 }
 
-// Pinned reports whether the frame is currently pinned.
+// Pinned reports whether the frame is currently pinned.  Snapshot only;
+// meaningful to concurrent callers only while they hold the pool's
+// internal invariants another way (tests, single-threaded use).
 func (f *Frame) Pinned() bool { return f.pins > 0 }
 
 // ModifierList returns the frame's modifiers in ascending id order.  The
@@ -76,11 +91,21 @@ func (f *Frame) ModifierList() []page.TxID {
 // WriteBack is the engine's steal policy: persist the frame to the array,
 // performing whatever logging or parity work its recovery scheme
 // requires.  On success the pool marks the frame clean and refreshes its
-// DiskVersion.
+// DiskVersion.  The callback must not call back into the pool (it may run
+// with the pool's internal mutex held).
 type WriteBack func(f *Frame) error
 
 // Fetch loads a page image from the array on a buffer miss.
 type Fetch func(p page.PageID) (page.Buf, error)
+
+// EvictGuard lets the engine interpose its per-group latches on eviction:
+// called with a prospective victim's page id, it either returns a release
+// function and true (the victim's group is latched — or was already held
+// by the calling operation — and the eviction may proceed), or false (the
+// latch is contended; the pool skips this victim).  It must never block.
+// A nil guard admits every victim, which is only safe when the caller
+// excludes concurrency (stop-the-world sections, tests).
+type EvictGuard func(p page.PageID) (release func(), ok bool)
 
 // Stats counts buffer activity.
 type Stats struct {
@@ -101,15 +126,21 @@ type Pool struct {
 	capacity int
 	pageSize int
 	// KeepDiskVersions controls whether clean fetches retain a disk
-	// version copy alongside Data (see package comment).
+	// version copy alongside Data (see package comment).  Set once at
+	// construction time, before the pool is shared.
 	KeepDiskVersions bool
 
+	// mu guards frames, lru, pin counts and stats.  It is held across
+	// miss fetches and eviction write-backs (both leaf disk work), but
+	// never across the FlushPage write-back, so concurrent commits
+	// force-flushing disjoint groups overlap their I/O.
+	mu     sync.Mutex
 	frames map[page.PageID]*Frame
 	lru    *list.List // front = most recently used; values are *Frame
+	stats  Stats
 
 	writeBack WriteBack
 	fetch     Fetch
-	stats     Stats
 }
 
 // New creates a pool of `capacity` frames (the paper's B) over pages of
@@ -133,27 +164,50 @@ func New(capacity, pageSize int, fetch Fetch, writeBack WriteBack) *Pool {
 func (bp *Pool) Capacity() int { return bp.capacity }
 
 // Len returns the number of resident pages.
-func (bp *Pool) Len() int { return len(bp.frames) }
+func (bp *Pool) Len() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
 
 // Stats returns a snapshot of the activity counters.
-func (bp *Pool) Stats() Stats { return bp.stats }
+func (bp *Pool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
 
 // ResetStats zeroes the activity counters.
-func (bp *Pool) ResetStats() { bp.stats = Stats{} }
+func (bp *Pool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
 
 // Contains reports whether page p is resident.
 func (bp *Pool) Contains(p page.PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	_, ok := bp.frames[p]
 	return ok
 }
 
-// Frame returns the resident frame for p, or nil.
-func (bp *Pool) Frame(p page.PageID) *Frame { return bp.frames[p] }
+// Frame returns the resident frame for p, or nil.  The caller must hold
+// p's group latch (or exclude concurrency) while using the frame, which
+// also keeps it from being evicted under the caller's feet — eviction
+// try-acquires the same latch.
+func (bp *Pool) Frame(p page.PageID) *Frame {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.frames[p]
+}
 
 // Resident returns the resident page ids in LRU order (most recent
 // first).  The workload generator uses it to realize the paper's
 // communality parameter C by re-referencing buffer-resident pages.
 func (bp *Pool) Resident() []page.PageID {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	out := make([]page.PageID, 0, len(bp.frames))
 	for e := bp.lru.Front(); e != nil; e = e.Next() {
 		out = append(out, e.Value.(*Frame).Page)
@@ -165,6 +219,8 @@ func (bp *Pool) Resident() []page.PageID {
 // order, so checkpoint and EOT flush sequences are deterministic (a
 // requirement for replayable crash-point schedules).
 func (bp *Pool) DirtyPages() []page.PageID {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	var out []page.PageID
 	for p, f := range bp.frames {
 		if f.Dirty {
@@ -176,18 +232,38 @@ func (bp *Pool) DirtyPages() []page.PageID {
 }
 
 // Get pins page p, fetching it on a miss (evicting the LRU unpinned frame
-// if the pool is full).  Callers must Unpin when done.
-func (bp *Pool) Get(p page.PageID) (*Frame, error) {
-	if f, ok := bp.frames[p]; ok {
-		bp.stats.Hits++
-		bp.lru.MoveToFront(f.elem)
-		f.pins++
-		return f, nil
+// admitted by guard if the pool is full).  Callers must Unpin when done.
+// When every eviction candidate is blocked by the guard, Get yields and
+// retries — the latch holders blocking it cannot in turn be waiting on
+// this Get, so progress is guaranteed.
+func (bp *Pool) Get(p page.PageID, guard EvictGuard) (*Frame, error) {
+	// The mutex is released by defer, never explicitly: the write-back
+	// and fetch callbacks below can panic (fault-injection crash points
+	// fire inside disk I/O), and the crash harness then needs to take the
+	// mutex again to drop the pool.
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for {
+		if f, ok := bp.frames[p]; ok {
+			bp.stats.Hits++
+			bp.lru.MoveToFront(f.elem)
+			f.pins++
+			return f, nil
+		}
+		if len(bp.frames) < bp.capacity {
+			break
+		}
+		blocked, err := bp.evictOne(guard)
+		if err != nil {
+			return nil, err
+		}
+		if blocked {
+			bp.mu.Unlock()
+			runtime.Gosched()
+			bp.mu.Lock()
+		}
 	}
 	bp.stats.Misses++
-	if err := bp.makeRoom(); err != nil {
-		return nil, err
-	}
 	data, err := bp.fetch(p)
 	if err != nil {
 		return nil, fmt.Errorf("buffer: fetch page %d: %w", p, err)
@@ -206,8 +282,49 @@ func (bp *Pool) Get(p page.PageID) (*Frame, error) {
 	return f, nil
 }
 
+// evictOne (pool mutex held) evicts the least recently used unpinned
+// frame the guard admits, stealing it (via WriteBack) when dirty.  It
+// returns blocked=true when at least one candidate was refused by the
+// guard and none could be evicted — the caller should yield and retry.
+// ErrNoFrames means every frame is pinned regardless of the guard.
+func (bp *Pool) evictOne(guard EvictGuard) (blocked bool, err error) {
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*Frame)
+		if f.pins > 0 {
+			continue
+		}
+		release := func() {}
+		if guard != nil {
+			rel, ok := guard(f.Page)
+			if !ok {
+				blocked = true
+				continue
+			}
+			release = rel
+		}
+		if f.Dirty {
+			bp.stats.Steals++
+			if err := bp.writeBack(f); err != nil {
+				release()
+				return false, fmt.Errorf("buffer: steal page %d: %w", f.Page, err)
+			}
+			bp.markClean(f)
+		}
+		bp.remove(f)
+		bp.stats.Evictions++
+		release()
+		return false, nil
+	}
+	if blocked {
+		return true, nil
+	}
+	return false, ErrNoFrames
+}
+
 // Unpin releases one pin on page p.
 func (bp *Pool) Unpin(p page.PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[p]
 	if !ok || f.pins == 0 {
 		panic(fmt.Sprintf("buffer: unpin of page %d not pinned", p))
@@ -215,41 +332,16 @@ func (bp *Pool) Unpin(p page.PageID) {
 	f.pins--
 }
 
-// MarkDirty records that tx modified the (pinned) frame of page p.  The
-// first modification snapshots the disk version if the pool keeps them
-// and none is held yet.
+// MarkDirty records that tx modified the (pinned) frame of page p.
 func (bp *Pool) MarkDirty(p page.PageID, tx page.TxID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[p]
 	if !ok {
 		panic(fmt.Sprintf("buffer: MarkDirty of non-resident page %d", p))
 	}
 	f.Dirty = true
 	f.Modifiers[tx] = struct{}{}
-}
-
-// makeRoom evicts the least recently used unpinned frame if the pool is
-// full, stealing it (via WriteBack) when dirty.
-func (bp *Pool) makeRoom() error {
-	if len(bp.frames) < bp.capacity {
-		return nil
-	}
-	for e := bp.lru.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*Frame)
-		if f.Pinned() {
-			continue
-		}
-		if f.Dirty {
-			bp.stats.Steals++
-			if err := bp.writeBack(f); err != nil {
-				return fmt.Errorf("buffer: steal page %d: %w", f.Page, err)
-			}
-			bp.markClean(f)
-		}
-		bp.remove(f)
-		bp.stats.Evictions++
-		return nil
-	}
-	return ErrNoFrames
 }
 
 // markClean resets the frame's dirty bookkeeping after a successful write
@@ -271,31 +363,44 @@ func (bp *Pool) remove(f *Frame) {
 }
 
 // FlushPage writes page p back if resident and dirty, leaving it resident
-// and clean.  Used by FORCE at EOT and by checkpointing.
+// and clean.  Used by FORCE at EOT and by checkpointing.  The write-back
+// runs outside the pool mutex — the frame is pinned for its duration and
+// the caller's group latch (or stop-the-world exclusivity) keeps its
+// content stable — so concurrent commits flushing disjoint groups
+// overlap their disk work.
 func (bp *Pool) FlushPage(p page.PageID) error {
+	bp.mu.Lock()
 	f, ok := bp.frames[p]
-	if !ok {
+	if !ok || !f.Dirty {
+		bp.mu.Unlock()
 		return nil
 	}
-	if !f.Dirty {
-		return nil
+	f.pins++
+	bp.mu.Unlock()
+	err := bp.writeBack(f)
+	bp.mu.Lock()
+	f.pins--
+	if err == nil {
+		bp.markClean(f)
 	}
-	if err := bp.writeBack(f); err != nil {
+	bp.mu.Unlock()
+	if err != nil {
 		return fmt.Errorf("buffer: flush page %d: %w", p, err)
 	}
-	bp.markClean(f)
 	return nil
 }
 
 // FlushAll writes back every dirty frame accepted by filter (nil = all).
 func (bp *Pool) FlushAll(filter func(*Frame) bool) error {
 	for _, p := range bp.DirtyPages() {
-		f := bp.frames[p]
-		if f == nil || !f.Dirty {
-			continue
-		}
-		if filter != nil && !filter(f) {
-			continue
+		if filter != nil {
+			f := bp.Frame(p)
+			if f == nil || !f.Dirty {
+				continue
+			}
+			if !filter(f) {
+				continue
+			}
 		}
 		if err := bp.FlushPage(p); err != nil {
 			return err
@@ -307,6 +412,8 @@ func (bp *Pool) FlushAll(filter func(*Frame) bool) error {
 // Discard drops page p from the pool without writing it back.  Used when
 // an abort invalidates a never-stolen modified page.
 func (bp *Pool) Discard(p page.PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if f, ok := bp.frames[p]; ok {
 		bp.remove(f)
 	}
@@ -317,6 +424,8 @@ func (bp *Pool) Discard(p page.PageID) {
 // disk version to restore.  Used by abort for modified-but-never-stolen
 // pages when the disk version is retained.
 func (bp *Pool) RestoreDiskVersion(p page.PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[p]
 	if !ok || f.DiskVersion == nil {
 		return false
@@ -331,6 +440,8 @@ func (bp *Pool) RestoreDiskVersion(p page.PageID) bool {
 // DropAll empties the pool without writing anything — the buffer is
 // volatile and this is what a system crash does to it.
 func (bp *Pool) DropAll() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	bp.frames = make(map[page.PageID]*Frame, bp.capacity)
 	bp.lru.Init()
 }
@@ -338,6 +449,8 @@ func (bp *Pool) DropAll() {
 // DropDiskVersions forgets every frame's disk version (entering the
 // paper's a=4 regime, e.g. at EOT under ¬FORCE).
 func (bp *Pool) DropDiskVersions(pages []page.PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	for _, p := range pages {
 		if f, ok := bp.frames[p]; ok && !f.Dirty {
 			f.DiskVersion = nil

@@ -51,7 +51,7 @@ func newPool(s *fakeStore, capacity int) *Pool {
 func TestGetHitMiss(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 4)
-	f, err := bp.Get(3)
+	f, err := bp.Get(3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestGetHitMiss(t *testing.T) {
 		t.Fatalf("wrong page contents")
 	}
 	bp.Unpin(3)
-	if _, err := bp.Get(3); err != nil {
+	if _, err := bp.Get(3, nil); err != nil {
 		t.Fatal(err)
 	}
 	bp.Unpin(3)
@@ -76,17 +76,17 @@ func TestLRUEviction(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 3)
 	for _, p := range []page.PageID{0, 1, 2} {
-		if _, err := bp.Get(p); err != nil {
+		if _, err := bp.Get(p, nil); err != nil {
 			t.Fatal(err)
 		}
 		bp.Unpin(p)
 	}
 	// Touch 0 so 1 becomes LRU.
-	if _, err := bp.Get(0); err != nil {
+	if _, err := bp.Get(0, nil); err != nil {
 		t.Fatal(err)
 	}
 	bp.Unpin(0)
-	if _, err := bp.Get(3); err != nil {
+	if _, err := bp.Get(3, nil); err != nil {
 		t.Fatal(err)
 	}
 	bp.Unpin(3)
@@ -103,19 +103,19 @@ func TestLRUEviction(t *testing.T) {
 func TestStealWritesBackDirtyVictim(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 2)
-	f, err := bp.Get(0)
+	f, err := bp.Get(0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	f.Data[1] = 0xEE
 	bp.MarkDirty(0, 7)
 	bp.Unpin(0)
-	if _, err := bp.Get(1); err != nil {
+	if _, err := bp.Get(1, nil); err != nil {
 		t.Fatal(err)
 	}
 	bp.Unpin(1)
 	// Fill the pool: page 0 is LRU and dirty, so it must be stolen.
-	if _, err := bp.Get(2); err != nil {
+	if _, err := bp.Get(2, nil); err != nil {
 		t.Fatal(err)
 	}
 	bp.Unpin(2)
@@ -133,14 +133,14 @@ func TestStealWritesBackDirtyVictim(t *testing.T) {
 func TestPinnedFramesNotEvicted(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 2)
-	if _, err := bp.Get(0); err != nil { // stays pinned
+	if _, err := bp.Get(0, nil); err != nil { // stays pinned
 		t.Fatal(err)
 	}
-	if _, err := bp.Get(1); err != nil {
+	if _, err := bp.Get(1, nil); err != nil {
 		t.Fatal(err)
 	}
 	bp.Unpin(1)
-	if _, err := bp.Get(2); err != nil {
+	if _, err := bp.Get(2, nil); err != nil {
 		t.Fatal(err)
 	}
 	bp.Unpin(2)
@@ -151,10 +151,10 @@ func TestPinnedFramesNotEvicted(t *testing.T) {
 		t.Fatalf("unpinned page 1 should have been the victim")
 	}
 	// With every frame pinned, Get must fail rather than evict.
-	if _, err := bp.Get(2); err != nil {
+	if _, err := bp.Get(2, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bp.Get(3); !errors.Is(err, ErrNoFrames) {
+	if _, err := bp.Get(3, nil); !errors.Is(err, ErrNoFrames) {
 		t.Fatalf("err = %v, want ErrNoFrames", err)
 	}
 }
@@ -162,7 +162,7 @@ func TestPinnedFramesNotEvicted(t *testing.T) {
 func TestDiskVersionTracking(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 4)
-	f, err := bp.Get(5)
+	f, err := bp.Get(5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestKeepDiskVersionsOff(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 4)
 	bp.KeepDiskVersions = false
-	f, err := bp.Get(1)
+	f, err := bp.Get(1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestKeepDiskVersionsOff(t *testing.T) {
 func TestRestoreDiskVersion(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 4)
-	f, err := bp.Get(2)
+	f, err := bp.Get(2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestFlushAllWithFilter(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 5)
 	for _, p := range []page.PageID{0, 1, 2} {
-		f, err := bp.Get(p)
+		f, err := bp.Get(p, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,7 +255,7 @@ func TestFlushAllWithFilter(t *testing.T) {
 func TestDiscardAndDropAll(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 4)
-	f, err := bp.Get(0)
+	f, err := bp.Get(0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestDiscardAndDropAll(t *testing.T) {
 		t.Fatalf("discard must not write back")
 	}
 	for _, p := range []page.PageID{1, 2} {
-		if _, err := bp.Get(p); err != nil {
+		if _, err := bp.Get(p, nil); err != nil {
 			t.Fatal(err)
 		}
 		bp.Unpin(p)
@@ -284,7 +284,7 @@ func TestDiscardAndDropAll(t *testing.T) {
 func TestWriteBackFailurePropagates(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 1)
-	f, err := bp.Get(0)
+	f, err := bp.Get(0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestWriteBackFailurePropagates(t *testing.T) {
 	bp.MarkDirty(0, 1)
 	bp.Unpin(0)
 	s.failWrites = true
-	if _, err := bp.Get(1); err == nil {
+	if _, err := bp.Get(1, nil); err == nil {
 		t.Fatalf("steal failure must propagate from Get")
 	}
 	if err := bp.FlushPage(0); err == nil {
@@ -304,7 +304,7 @@ func TestResidentOrder(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 4)
 	for _, p := range []page.PageID{4, 5, 6} {
-		if _, err := bp.Get(p); err != nil {
+		if _, err := bp.Get(p, nil); err != nil {
 			t.Fatal(err)
 		}
 		bp.Unpin(p)
@@ -324,7 +324,7 @@ func TestResidentOrder(t *testing.T) {
 func TestModifiersAccumulateAndClearOnWriteBack(t *testing.T) {
 	s := newFakeStore(10, 64)
 	bp := newPool(s, 4)
-	if _, err := bp.Get(0); err != nil {
+	if _, err := bp.Get(0, nil); err != nil {
 		t.Fatal(err)
 	}
 	bp.MarkDirty(0, 1)

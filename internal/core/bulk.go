@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/disk"
 	"repro/internal/page"
+	"repro/internal/workpool"
 	"repro/internal/xorparity"
 )
 
@@ -17,6 +19,10 @@ import (
 // alone — N data writes plus one parity write, instead of N small writes
 // at 3–4 transfers each — which is why loaders use it.  Groups only
 // partially covered by the run fall back to WriteCommitted small writes.
+// Full stripes touch disjoint groups, so they fan out across Workers
+// (Workers <= 1 writes them inline in group order); the partial-group
+// writes run sequentially first, because WriteCommitted's parity
+// read-modify-write shares the Dirty_Set bookkeeping.
 //
 // All touched groups must be clean: bulk loading bypasses transactions
 // and must not destroy undo material of in-flight work.  Returns the
@@ -47,7 +53,10 @@ func (s *Store) BulkLoad(start page.PageID, pages []page.Buf) (int, error) {
 		}
 	}
 
-	fullStripes := 0
+	// Partition the run: groups the run fully covers take a full-stripe
+	// write; the rest of the pages take individual small writes.
+	var fullGroups []page.GroupID
+	var partial []page.PageID
 	done := make(map[page.GroupID]bool)
 	for i := range pages {
 		p := start + page.PageID(i)
@@ -55,47 +64,64 @@ func (s *Store) BulkLoad(start page.PageID, pages []page.Buf) (int, error) {
 		if done[g] {
 			continue
 		}
-		members := s.Arr.GroupPages(g)
 		full := true
-		for _, q := range members {
+		for _, q := range s.Arr.GroupPages(g) {
 			if _, ok := covered(q); !ok {
 				full = false
 				break
 			}
 		}
-		if !full {
-			buf, _ := covered(p)
-			if err := s.WriteCommitted(p, buf, nil); err != nil {
-				return fullStripes, err
-			}
+		if full {
+			done[g] = true
+			fullGroups = append(fullGroups, g)
 			continue
 		}
-		done[g] = true
-		raw := make([][]byte, len(members))
-		for j, q := range members {
-			buf, _ := covered(q)
-			raw[j] = buf
-			if err := s.Arr.WriteData(q, buf, disk.Meta{}); err != nil {
-				return fullStripes, fmt.Errorf("core: bulk write page %d: %w", q, err)
-			}
-		}
-		parity := xorparity.Compute(s.Arr.PageSize(), raw...)
-		// On twinned arrays the new parity lands on the obsolete twin and
-		// the bitmap flips, the same crash-friendly two-version discipline
-		// as WriteCommitted (bulk loading itself is not atomic — loaders
-		// re-run after a crash — but the parity flip never tears).
-		twin := s.currentTwin(g)
-		if s.Twins != nil {
-			twin = s.Twins.Obsolete(g)
-		}
-		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
-		if err := s.Arr.WriteParity(g, twin, parity, meta); err != nil {
-			return fullStripes, fmt.Errorf("core: bulk write parity of group %d: %w", g, err)
-		}
-		if s.Twins != nil {
-			s.Twins.Promote(g, twin)
-		}
-		fullStripes++
+		partial = append(partial, p)
 	}
-	return fullStripes, nil
+	for _, p := range partial {
+		buf, _ := covered(p)
+		if err := s.WriteCommitted(p, buf, nil); err != nil {
+			return 0, err
+		}
+	}
+	var fullStripes atomic.Int64
+	err := workpool.Run(s.Workers, len(fullGroups), func(i int) error {
+		if err := s.bulkStripe(fullGroups[i], covered); err != nil {
+			return err
+		}
+		fullStripes.Add(1)
+		return nil
+	})
+	return int(fullStripes.Load()), err
+}
+
+// bulkStripe performs one full-stripe write: all of group g's data pages
+// plus a freshly computed parity page.
+func (s *Store) bulkStripe(g page.GroupID, covered func(page.PageID) (page.Buf, bool)) error {
+	members := s.Arr.GroupPages(g)
+	raw := make([][]byte, len(members))
+	for j, q := range members {
+		buf, _ := covered(q)
+		raw[j] = buf
+		if err := s.Arr.WriteData(q, buf, disk.Meta{}); err != nil {
+			return fmt.Errorf("core: bulk write page %d: %w", q, err)
+		}
+	}
+	parity := xorparity.Compute(s.Arr.PageSize(), raw...)
+	// On twinned arrays the new parity lands on the obsolete twin and
+	// the bitmap flips, the same crash-friendly two-version discipline
+	// as WriteCommitted (bulk loading itself is not atomic — loaders
+	// re-run after a crash — but the parity flip never tears).
+	twin := s.currentTwin(g)
+	if s.Twins != nil {
+		twin = s.Twins.Obsolete(g)
+	}
+	meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+	if err := s.Arr.WriteParity(g, twin, parity, meta); err != nil {
+		return fmt.Errorf("core: bulk write parity of group %d: %w", g, err)
+	}
+	if s.Twins != nil {
+		s.Twins.Promote(g, twin)
+	}
+	return nil
 }

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/dirtyset"
 	"repro/internal/disk"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/twinpage"
 	"repro/internal/txn"
 	"repro/internal/wal"
+	"repro/internal/workpool"
 	"repro/internal/xorparity"
 )
 
@@ -50,6 +52,11 @@ type Store struct {
 	Log   *wal.Log
 	TM    *txn.Manager
 
+	// Workers bounds the store's internal parallelism for whole-array
+	// scans (parity resync, bulk load); <= 1 runs them inline in index
+	// order.  Set once by the engine at Open, before the store is shared.
+	Workers int
+
 	// Degraded-serving state (degraded.go).
 	degraded bool
 	downDisk int
@@ -60,7 +67,7 @@ type Store struct {
 	// (readable) replacement drive instead of the dead one; see
 	// SetReplacementPresent in degraded.go.
 	replacement bool
-	deg         DegradedStats
+	deg         degCounters
 }
 
 // NewStore wires a store over the given array.  RDA recovery is enabled
@@ -556,60 +563,74 @@ func (s *Store) ReconstructData(g page.GroupID, p page.PageID, twin int) (page.B
 // group simply never finished switching: the matching twin is promoted
 // and the stale one invalidated.  Otherwise the current twin's payload
 // is recomputed in place, keeping its header.
+// Groups are verified (and, when needed, repaired) independently, so the
+// scan fans out across Workers; each worker touches only its own group's
+// blocks and bitmap slot.  Workers <= 1 scans inline in group order.
 func (s *Store) ResyncParity() (int, error) {
-	fixed := 0
-	for g := 0; g < s.Arr.NumGroups(); g++ {
-		gid := page.GroupID(g)
-		if s.GroupDegraded(gid) {
-			// A degraded group cannot be verified against all its
-			// members.  If its lost block is a twin, the crash-recovery
-			// bitmap pass already re-established the surviving twin
-			// against the data; if it is a data page, the current parity
-			// *defines* the lost page's value and checkPairedFlip has
-			// already demoted a flip whose data write the crash cut off.
-			// Either way the restarted rebuild recomputes the group's
-			// redundancy.
-			continue
-		}
-		cur := s.currentTwin(gid)
-		ok, err := s.Arr.VerifyGroup(gid, cur)
+	var fixed atomic.Int64
+	err := workpool.Run(s.Workers, s.Arr.NumGroups(), func(g int) error {
+		did, err := s.resyncGroup(page.GroupID(g))
 		if err != nil {
-			return fixed, fmt.Errorf("core: resync group %d: %w", g, err)
+			return err
 		}
-		if ok {
-			continue
+		if did {
+			fixed.Add(1)
 		}
-		if s.Twins != nil {
-			other := 1 - cur
-			okOther, err := s.Arr.VerifyGroup(gid, other)
-			if err != nil {
-				return fixed, fmt.Errorf("core: resync group %d: %w", g, err)
-			}
-			if okOther {
-				om, err := s.Arr.PeekParityMeta(gid, other)
-				if err != nil {
-					return fixed, err
-				}
-				if om.State == disk.StateCommitted {
-					s.Twins.Promote(gid, other)
-					if err := s.Twins.Invalidate(gid, cur); err != nil {
-						return fixed, err
-					}
-					fixed++
-					continue
-				}
-			}
-		}
-		meta, err := s.Arr.PeekParityMeta(gid, cur)
-		if err != nil {
-			return fixed, err
-		}
-		if err := s.Arr.RecomputeParity(gid, cur, meta); err != nil {
-			return fixed, fmt.Errorf("core: resync group %d: %w", g, err)
-		}
-		fixed++
+		return nil
+	})
+	return int(fixed.Load()), err
+}
+
+// resyncGroup verifies one group's current parity twin against its data
+// pages and repairs a mismatch, reporting whether a repair happened.
+func (s *Store) resyncGroup(gid page.GroupID) (bool, error) {
+	if s.GroupDegraded(gid) {
+		// A degraded group cannot be verified against all its
+		// members.  If its lost block is a twin, the crash-recovery
+		// bitmap pass already re-established the surviving twin
+		// against the data; if it is a data page, the current parity
+		// *defines* the lost page's value and checkPairedFlip has
+		// already demoted a flip whose data write the crash cut off.
+		// Either way the restarted rebuild recomputes the group's
+		// redundancy.
+		return false, nil
 	}
-	return fixed, nil
+	cur := s.currentTwin(gid)
+	ok, err := s.Arr.VerifyGroup(gid, cur)
+	if err != nil {
+		return false, fmt.Errorf("core: resync group %d: %w", gid, err)
+	}
+	if ok {
+		return false, nil
+	}
+	if s.Twins != nil {
+		other := 1 - cur
+		okOther, err := s.Arr.VerifyGroup(gid, other)
+		if err != nil {
+			return false, fmt.Errorf("core: resync group %d: %w", gid, err)
+		}
+		if okOther {
+			om, err := s.Arr.PeekParityMeta(gid, other)
+			if err != nil {
+				return false, err
+			}
+			if om.State == disk.StateCommitted {
+				s.Twins.Promote(gid, other)
+				if err := s.Twins.Invalidate(gid, cur); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+		}
+	}
+	meta, err := s.Arr.PeekParityMeta(gid, cur)
+	if err != nil {
+		return false, err
+	}
+	if err := s.Arr.RecomputeParity(gid, cur, meta); err != nil {
+		return false, fmt.Errorf("core: resync group %d: %w", gid, err)
+	}
+	return true, nil
 }
 
 // SetInjector installs (or removes) a fault injector on every drive of

@@ -11,14 +11,15 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/disk"
 	"repro/internal/page"
 	"repro/internal/xorparity"
 )
 
-// DegradedStats counts the degraded-serving and latent-repair work done
-// by the store.
+// DegradedStats is a snapshot of the degraded-serving and latent-repair
+// work done by the store (see DegradedCounters).
 type DegradedStats struct {
 	// DegradedReads is the number of reads served by on-the-fly
 	// reconstruction because the target block's disk was down.
@@ -34,6 +35,17 @@ type DegradedStats struct {
 	RebuiltGroups uint64
 }
 
+// degCounters is the live form of DegradedStats.  The hot-path counters
+// (degraded reads/writes, latent parity repairs) are bumped by ordinary
+// page operations running concurrently under the engine's shared gate,
+// so they are atomics rather than fields behind a lock.
+type degCounters struct {
+	degradedReads  atomic.Uint64
+	degradedWrites atomic.Uint64
+	parityRepairs  atomic.Uint64
+	rebuiltGroups  atomic.Uint64
+}
+
 // EnterDegraded records that disk d is down: reads and writes touching
 // its blocks are served from redundancy until LeaveDegraded.  The engine
 // calls it (with its mutex held) when the array health machine leaves
@@ -43,7 +55,7 @@ func (s *Store) EnterDegraded(d int) {
 	s.downDisk = d
 	s.restored = make([]bool, s.Arr.NumGroups())
 	s.replacement = false
-	s.deg.RebuiltGroups = 0
+	s.deg.rebuiltGroups.Store(0)
 }
 
 // LeaveDegraded returns the store to normal serving: every block is
@@ -111,12 +123,20 @@ func (s *Store) DownDisk() int {
 func (s *Store) MarkRestored(g page.GroupID) {
 	if s.restored != nil && !s.restored[g] {
 		s.restored[g] = true
-		s.deg.RebuiltGroups++
+		s.deg.rebuiltGroups.Add(1)
 	}
 }
 
-// DegradedCounters returns the cumulative degraded-serving counters.
-func (s *Store) DegradedCounters() DegradedStats { return s.deg }
+// DegradedCounters returns a snapshot of the cumulative degraded-serving
+// counters.
+func (s *Store) DegradedCounters() DegradedStats {
+	return DegradedStats{
+		DegradedReads:  s.deg.degradedReads.Load(),
+		DegradedWrites: s.deg.degradedWrites.Load(),
+		ParityRepairs:  s.deg.parityRepairs.Load(),
+		RebuiltGroups:  s.deg.rebuiltGroups.Load(),
+	}
+}
 
 // GroupDegraded reports whether group g currently has an unreachable
 // block: the store is degraded, the group has not been restored by the
@@ -192,7 +212,7 @@ func (s *Store) readDegraded(p page.PageID) (page.Buf, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: degraded read of page %d: %w", p, err)
 	}
-	s.deg.DegradedReads++
+	s.deg.degradedReads.Add(1)
 	return b, nil
 }
 
@@ -229,7 +249,7 @@ func (s *Store) writeDegradedNeeded(g page.GroupID, p page.PageID) bool {
 //     parity.
 func (s *Store) writeDegraded(p page.PageID, data page.Buf) error {
 	g := s.Arr.GroupOf(p)
-	s.deg.DegradedWrites++
+	s.deg.degradedWrites.Add(1)
 	if s.pageUnavailable(p) {
 		parity, err := s.parityWithout(g, p, data)
 		if err != nil {

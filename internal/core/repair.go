@@ -95,6 +95,6 @@ func (s *Store) ReadParityRepair(g page.GroupID, twin int) (page.Buf, disk.Meta,
 	if rerr := s.Arr.RecomputeParity(g, twin, meta); rerr != nil {
 		return nil, disk.Meta{}, fmt.Errorf("core: parity repair of group %d twin %d failed: %w (original: %v)", g, twin, rerr, err)
 	}
-	s.deg.ParityRepairs++
+	s.deg.parityRepairs.Add(1)
 	return s.Arr.ReadParity(g, twin)
 }

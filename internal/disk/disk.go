@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/page"
 )
@@ -151,6 +153,14 @@ type Disk struct {
 	// inj, when non-nil, observes every charged I/O and may subvert it
 	// (see Injector).
 	inj Injector
+	// latency (ns), when non-zero, is the simulated service time of one
+	// charged block transfer, slept while the drive's mutex is held — a
+	// single-spindle drive serves one transfer at a time, so queued
+	// requests to the same disk serialize while transfers on OTHER disks
+	// of the array overlap in wall-clock time.  That makes wall-clock
+	// throughput reflect how much array parallelism the caller actually
+	// achieves (zero for tests; benchmarks opt in).
+	latency atomic.Int64
 }
 
 // New creates a disk with the given identifier, number of blocks and block
@@ -176,11 +186,25 @@ func (d *Disk) NumBlocks() int { return len(d.blocks) }
 // BlockSize returns the size in bytes of each block.
 func (d *Disk) BlockSize() int { return d.blockSize }
 
+// SetLatency sets the simulated service time of one block transfer (0
+// disables, the default).  Concurrency-safe; takes effect on the next
+// transfer.
+func (d *Disk) SetLatency(lat time.Duration) { d.latency.Store(int64(lat)) }
+
+// serviceTime sleeps the configured per-transfer latency.  Called with
+// d.mu held (see the latency field).
+func (d *Disk) serviceTime() {
+	if lat := d.latency.Load(); lat > 0 {
+		time.Sleep(time.Duration(lat))
+	}
+}
+
 // Read returns a copy of the block's data and its metadata, charging one
 // page transfer.
 func (d *Disk) Read(blockNum int) (page.Buf, Meta, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.serviceTime()
 	dec := d.observe(blockNum, OpRead)
 	if d.failed {
 		return nil, Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
@@ -207,6 +231,7 @@ func (d *Disk) Read(blockNum int) (page.Buf, Meta, error) {
 func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.serviceTime()
 	dec := d.observe(blockNum, OpWrite)
 	if d.failed {
 		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
@@ -265,6 +290,7 @@ func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
 func (d *Disk) ReadMeta(blockNum int) (Meta, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.serviceTime()
 	dec := d.observe(blockNum, OpReadMeta)
 	if d.failed {
 		return Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)
@@ -289,6 +315,7 @@ func (d *Disk) ReadMeta(blockNum int) (Meta, error) {
 func (d *Disk) WriteMeta(blockNum int, meta Meta) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.serviceTime()
 	dec := d.observe(blockNum, OpWriteMeta)
 	if d.failed {
 		return fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrFailed)

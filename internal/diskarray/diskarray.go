@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/page"
@@ -562,6 +563,15 @@ func (a *Array) Disk(d int) *disk.Disk { return a.disks[d] }
 func (a *Array) SetInjector(inj disk.Injector) {
 	for _, d := range a.disks {
 		d.SetInjector(inj)
+	}
+}
+
+// SetLatency sets the simulated per-transfer service time of every drive
+// (see disk.Disk.SetLatency).  Rebuild replacements inherit it: a rebuild
+// reuses the repaired drive object.
+func (a *Array) SetLatency(lat time.Duration) {
+	for _, d := range a.disks {
+		d.SetLatency(lat)
 	}
 }
 

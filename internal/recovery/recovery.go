@@ -47,6 +47,7 @@ import (
 	"repro/internal/page"
 	"repro/internal/record"
 	"repro/internal/wal"
+	"repro/internal/workpool"
 	"repro/internal/xorparity"
 )
 
@@ -545,9 +546,20 @@ func loseGroup(s *core.Store, g page.GroupID, zero []page.PageID) ([]page.PageID
 // scan skips the dead disk's blocks; a torn block in a group that ALSO
 // lost a member to the disk is repaired from what survives, or reported
 // lost when the tear and the loss together exceed the redundancy.
+// The scan — a charged read of every live block — is the expensive part
+// and touches nothing shared, so it fans out across the store's Workers,
+// each worker filling its own group's slot of the findings table.  The
+// repairs themselves (at most one per restart in practice) then run
+// sequentially in group order, because they mutate the shared Report and
+// the twin bitmap.
 func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
-	repaired := 0
-	for g := 0; g < s.Arr.NumGroups(); g++ {
+	type torn struct {
+		parity bool
+		p      page.PageID // data page, when !parity
+		twin   int         // parity twin, when parity
+	}
+	found := make([][]torn, s.Arr.NumGroups())
+	err := workpool.Run(s.Workers, s.Arr.NumGroups(), func(g int) error {
 		gid := page.GroupID(g)
 		for _, p := range s.Arr.GroupPages(gid) {
 			if s.PageUnavailable(p) {
@@ -558,12 +570,9 @@ func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 				continue
 			}
 			if !errors.Is(err, disk.ErrChecksum) {
-				return repaired, fmt.Errorf("recovery: torn scan page %d: %w", p, err)
+				return fmt.Errorf("recovery: torn scan page %d: %w", p, err)
 			}
-			if err := repairTornData(s, a, gid, p, rep); err != nil {
-				return repaired, err
-			}
-			repaired++
+			found[g] = append(found[g], torn{p: p})
 		}
 		for twin := 0; twin < s.Arr.ParityPages(); twin++ {
 			if !s.TwinReadable(gid, twin) {
@@ -574,10 +583,27 @@ func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 				continue
 			}
 			if !errors.Is(err, disk.ErrChecksum) {
-				return repaired, fmt.Errorf("recovery: torn scan group %d twin %d: %w", g, twin, err)
+				return fmt.Errorf("recovery: torn scan group %d twin %d: %w", g, twin, err)
 			}
-			if err := repairTornParity(s, a, gid, twin, rep); err != nil {
-				return repaired, err
+			found[g] = append(found[g], torn{parity: true, twin: twin})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	repaired := 0
+	for g, items := range found {
+		gid := page.GroupID(g)
+		for _, it := range items {
+			if it.parity {
+				if err := repairTornParity(s, a, gid, it.twin, rep); err != nil {
+					return repaired, err
+				}
+			} else {
+				if err := repairTornData(s, a, gid, it.p, rep); err != nil {
+					return repaired, err
+				}
 			}
 			repaired++
 		}

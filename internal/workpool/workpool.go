@@ -1,0 +1,90 @@
+// Package workpool runs the engine's embarrassingly parallel disk loops
+// — rebuild batches, recovery-time torn-repair and parity-resync scans,
+// bulk-load stripe writes — across a bounded set of workers.
+//
+// The contract is shaped by the fault-injection plane:
+//
+//   - workers <= 1 runs the loop inline in index order, byte-identical to
+//     the plain for-loop it replaces, so single-threaded crashcheck
+//     schedules stay deterministic.
+//   - a worker panic (a crash point firing inside disk I/O) is re-thrown
+//     in the caller's goroutine after the other workers drain, so
+//     fault.AsCrash sentinels keep propagating to the CrashHard harness
+//     exactly as in the sequential loop.
+//   - on error the pool stops handing out new indices; among the errors
+//     observed, the one with the lowest index is returned, matching the
+//     first-error semantics of the sequential loop as closely as an
+//     unordered execution can.
+package workpool
+
+import "sync"
+
+// Run executes fn(i) for every i in [0, n) using at most `workers`
+// concurrent goroutines.  See the package comment for the sequential,
+// panic and error contracts.
+func Run(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr error
+		errIdx   int
+		panicVal any
+		panicked bool
+		wg       sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if panicked || firstErr != nil || next >= n {
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			mu.Unlock()
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						mu.Lock()
+						if !panicked {
+							panicked, panicVal = true, r
+						}
+						mu.Unlock()
+					}
+				}()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+	return firstErr
+}

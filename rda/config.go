@@ -26,6 +26,7 @@ package rda
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Layout selects the array organization (Section 3).
@@ -151,6 +152,30 @@ type Config struct {
 	// batches favour transaction latency, larger ones rebuild speed —
 	// the classic rebuild-rate trade-off.
 	RebuildBatchGroups int
+
+	// Workers bounds the engine's internal parallelism for the
+	// embarrassingly parallel disk loops: rebuild batches, recovery-time
+	// torn-repair and parity-resync scans, and bulk-load stripe writes.
+	// The default of 1 runs every loop inline in deterministic order —
+	// required for replayable crash-point schedules — while larger
+	// values fan the per-group work across a bounded worker pool.
+	// Transaction concurrency itself is not limited by this knob; any
+	// number of goroutines may run transactions against the engine, and
+	// transactions on disjoint parity groups proceed in parallel under
+	// the group latch table regardless of Workers.
+	Workers int
+
+	// IODelay, when non-zero, is the simulated service time of one block
+	// transfer: each drive sleeps it per charged read or write, one
+	// transfer at a time per drive, so wall-clock throughput reflects the
+	// array parallelism actually achieved (transfers to distinct drives
+	// overlap; queued transfers to one drive serialize).  Zero — the
+	// default, and the right value for tests and the analytical
+	// experiments — keeps all I/O instantaneous and costs measured purely
+	// in transfer counts.  The concurrency benchmark (rdabench -workers)
+	// sets it to make tx/second a meaningful measure of group-striped
+	// scaling.
+	IODelay time.Duration
 }
 
 // DefaultConfig returns the paper's model parameters.
@@ -171,6 +196,7 @@ func DefaultConfig() Config {
 		RetryAttempts:      4,
 		FailStopAfter:      3,
 		RebuildBatchGroups: 8,
+		Workers:            1,
 	}
 }
 
@@ -209,6 +235,12 @@ func (c Config) validate() (Config, error) {
 	}
 	if c.RebuildBatchGroups == 0 {
 		c.RebuildBatchGroups = def.RebuildBatchGroups
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.IODelay < 0 {
+		c.IODelay = 0
 	}
 	if c.DataDisks < 1 {
 		return c, fmt.Errorf("%w: DataDisks must be at least 1", ErrBadConfig)

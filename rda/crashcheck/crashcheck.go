@@ -67,6 +67,14 @@ type Options struct {
 	// Torn makes Explore tear write k itself (half the payload and the
 	// full header persist) instead of dropping it cleanly.
 	Torn bool
+	// Workers sets the engine's internal parallelism (rda.Config.Workers:
+	// rebuild batches, recovery scans, bulk loads).  The workload itself
+	// stays single-threaded, so the crash index of a schedule still
+	// addresses a deterministic write; with Workers > 1 the *recovery and
+	// rebuild* write order is scheduler-dependent, so sweeps exercise the
+	// invariants under many interleavings rather than replaying one.
+	// 0 means the engine default (1, fully deterministic).
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -81,18 +89,19 @@ func (o *Options) fill() {
 // dbConfig is the explorer's geometry: small enough that an exhaustive
 // sweep stays cheap, with fewer buffer frames than the working set so
 // eviction steals (the paper's no-UNDO-logging path) actually happen.
-func dbConfig(layout rda.Layout) rda.Config {
+func dbConfig(opts Options) rda.Config {
 	return rda.Config{
 		DataDisks:    4,
 		NumPages:     48,
 		PageSize:     64,
 		BufferFrames: 6,
-		Layout:       layout,
+		Layout:       opts.Layout,
 		Logging:      rda.PageLogging,
 		EOT:          rda.Force,
 		RDA:          true,
 		LogPageSize:  256,
 		LogWriteCost: 4,
+		Workers:      opts.Workers,
 	}
 }
 
@@ -356,7 +365,7 @@ func (d *driver) probe() error {
 // before any crash is injected.
 func CountWrites(opts Options) (int64, error) {
 	opts.fill()
-	db, err := rda.Open(dbConfig(opts.Layout))
+	db, err := rda.Open(dbConfig(opts))
 	if err != nil {
 		return 0, err
 	}
@@ -382,7 +391,7 @@ func CountWrites(opts Options) (int64, error) {
 // rule fires the workload completes and only the final state is checked.
 func RunSchedule(opts Options, sched fault.Schedule) error {
 	opts.fill()
-	db, err := rda.Open(dbConfig(opts.Layout))
+	db, err := rda.Open(dbConfig(opts))
 	if err != nil {
 		return err
 	}
@@ -464,7 +473,7 @@ func Explore(opts Options, progress func(done, total int64)) (*Result, error) {
 // is sanity-checked against the oracle.
 func countDegraded(opts Options, d int) (workload, full int64, err error) {
 	opts.fill()
-	db, err := rda.Open(dbConfig(opts.Layout))
+	db, err := rda.Open(dbConfig(opts))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -517,7 +526,7 @@ func ExploreDegraded(opts Options, progress func(done, total int64)) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	geom, err := rda.Open(dbConfig(opts.Layout))
+	geom, err := rda.Open(dbConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -597,7 +606,7 @@ func schedKillsDisk(sched fault.Schedule) bool {
 // rebuild convergence, and the oracle/probe/transient checks.
 func runCombined(opts Options, sched fault.Schedule, transientEvery int64) (*rda.RecoveryReport, error) {
 	opts.fill()
-	db, err := rda.Open(dbConfig(opts.Layout))
+	db, err := rda.Open(dbConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -712,7 +721,7 @@ func pumpRebuild(db *rda.DB) (crash *fault.Crash, err error) {
 // throughout.
 func MixSoak(opts Options, iters int, transientEvery int64) (*Result, error) {
 	opts.fill()
-	probe, err := rda.Open(dbConfig(opts.Layout))
+	probe, err := rda.Open(dbConfig(opts))
 	if err != nil {
 		return nil, err
 	}

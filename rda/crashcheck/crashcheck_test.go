@@ -69,7 +69,7 @@ func TestWorkloadSteals(t *testing.T) {
 	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
 		opts := Options{Layout: layout, Seed: 1, Txns: 3}
 		opts.fill()
-		db, err := rda.Open(dbConfig(layout))
+		db, err := rda.Open(dbConfig(Options{Layout: layout}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +190,7 @@ func TestMixFailDiskEveryIndex(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", layout, err)
 		}
-		probe, err := rda.Open(dbConfig(layout))
+		probe, err := rda.Open(dbConfig(Options{Layout: layout}))
 		if err != nil {
 			t.Fatal(err)
 		}

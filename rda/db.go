@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/dirtyset"
 	"repro/internal/disk"
 	"repro/internal/diskarray"
+	"repro/internal/latch"
 	"repro/internal/lock"
 	"repro/internal/page"
 	"repro/internal/record"
@@ -53,6 +55,20 @@ var (
 // txState is the engine-side volatile state of one active transaction.
 type txState struct {
 	t *txn.Txn
+	// locks is the lock manager this transaction acquires from, captured
+	// at Begin.  After a crash Recover installs a fresh manager; releases
+	// against the old, closed one are harmless no-ops, so a stale handle
+	// can always clean up against the manager it actually used.
+	locks *lock.Manager
+
+	// mu guards the fields below together with the cross-goroutine
+	// Txn bookkeeping (StolenNoLog, LoggedUndo, ChainHeadLogged): those
+	// are mutated not just by the owning goroutine but by any operation
+	// that steals or demotes one of this transaction's dirty pages.  mu
+	// is near the bottom of the lock order — hold nothing but leaf locks
+	// (log, dirty set, transaction manager, disks) while holding it, and
+	// in particular never the buffer pool's internal mutex.
+	mu sync.Mutex
 	// botLSN is the BOT record's LSN (0 until the lazy BOT is written).
 	botLSN wal.LSN
 	// beforePages holds first-modify page snapshots (page mode).
@@ -69,26 +85,62 @@ type txState struct {
 	// stolenLogged marks pages written to disk through the logging steal
 	// path; abort must restore them on disk, not just in the buffer.
 	stolenLogged map[page.PageID]bool
+	// commitSeq is the transaction's position in the engine's commit
+	// order (assigned inside the latched EOT section; 0 until commit).
+	// Under strict 2PL the commit order is a valid serialization order,
+	// which is what the concurrency oracle replays.
+	commitSeq int64
 }
 
 // DB is a database instance.  It is safe for concurrent use by multiple
-// goroutines, each running its own transactions.
+// goroutines, each running its own transactions; transactions touching
+// disjoint parity groups proceed in parallel.
+//
+// Synchronization is layered (see DESIGN.md "The latching hierarchy"):
+//
+//   - gate, a stop-the-world RWMutex: every transactional operation holds
+//     it shared, while whole-engine transitions — Crash, Recover,
+//     checkpoints, rebuild batches, disk repair, maintenance — hold it
+//     exclusively.
+//   - latches, one per parity group: the short-term physical locks that
+//     serialize one protocol step on a group (read, small write, steal,
+//     demotion, twin flip).  Blocking acquisition is group-ascending;
+//     eviction try-acquires out of order.
+//   - mu, a short-hold guard for the genuinely global leftovers: the
+//     active-transaction table and checkpoint bookkeeping.  Never held
+//     across I/O.
+//   - each txState carries its own mutex for bookkeeping that other
+//     operations mutate when they steal or demote the transaction's
+//     pages.
 type DB struct {
 	cfg Config
 
-	// mu serializes engine state.  Lock-manager waits happen outside mu.
-	mu      sync.Mutex
-	arr     *diskarray.Array
-	store   *core.Store
-	log     *wal.Log
-	tm      *txn.Manager
-	locks   *lock.Manager
-	pool    *buffer.Pool
-	states  map[page.TxID]*txState
+	// gate is the recovery gate (see the type comment).
+	gate sync.RWMutex
+	// latches is the per-parity-group latch table.
+	latches *latch.Table
+
+	// mu guards states, lastCkptTransfers, lastCkptLSN and recoveries.
+	mu sync.Mutex
+
+	arr   *diskarray.Array
+	store *core.Store
+	log   *wal.Log
+	tm    *txn.Manager
+	// locks and pool are replaced by Recover; operations read them under
+	// the shared gate, Recover writes them under the exclusive gate.
+	locks  *lock.Manager
+	pool   *buffer.Pool
+	states map[page.TxID]*txState
+	// crashed is written under the exclusive gate and read under the
+	// shared one.
 	crashed bool
 	// dirtyCrash marks a crash that interrupted a block I/O (CrashHard);
 	// Recover then runs the torn-repair and parity-resync passes.
 	dirtyCrash bool
+
+	// commitSeq issues commit-order positions (see txState.commitSeq).
+	commitSeq atomic.Int64
 
 	// lastCkptTransfers is the transfer count at the last automatic
 	// checkpoint (see Config.CheckpointEvery); lastCkptLSN is the log
@@ -123,14 +175,17 @@ func Open(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("rda: %w", err)
 	}
 	db := &DB{
-		cfg:    cfg,
-		arr:    arr,
-		log:    wal.New(wal.Config{LogPageSize: cfg.LogPageSize, WriteCost: cfg.LogWriteCost, Packed: cfg.PackedLog}),
-		tm:     txn.NewManager(),
-		locks:  lock.New(),
-		states: make(map[page.TxID]*txState),
+		cfg:     cfg,
+		arr:     arr,
+		latches: latch.New(arr.NumGroups()),
+		log:     wal.New(wal.Config{LogPageSize: cfg.LogPageSize, WriteCost: cfg.LogWriteCost, Packed: cfg.PackedLog}),
+		tm:      txn.NewManager(),
+		locks:   lock.New(),
+		states:  make(map[page.TxID]*txState),
 	}
 	db.store = core.NewStore(arr, db.log, db.tm)
+	db.store.Workers = cfg.Workers
+	arr.SetLatency(cfg.IODelay)
 	db.pool = db.newPool()
 	if cfg.Logging == RecordLogging {
 		if err := db.formatRecordPages(); err != nil {
@@ -200,36 +255,84 @@ func (db *DB) RecordsPerPage() int {
 // NumDisks returns the number of physical disks in the array.
 func (db *DB) NumDisks() int { return db.arr.NumDisks() }
 
-// fetch loads a page from the array on a buffer miss, transparently
-// repairing latent sector errors from the group's redundancy.  If the
-// read trips an automatic fail-stop, the engine enters degraded mode and
-// retries once: the retry reconstructs the page from parity + survivors.
-func (db *DB) fetch(p page.PageID) (page.Buf, error) {
-	b, err := db.store.ReadPageRepair(p)
-	if err != nil && db.syncHealth() {
-		return db.store.ReadPageRepair(p)
-	}
-	return b, err
+// getState looks up the engine-side state of an active transaction.
+func (db *DB) getState(id page.TxID) *txState {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.states[id]
 }
 
-// storeRead is ReadPage with the same enter-degraded-and-retry-once
-// discipline as fetch.  Engine paths that read outside the buffer pool
-// (after-image capture, abort restores) use it.
-func (db *DB) storeRead(p page.PageID) (page.Buf, error) {
-	b, err := db.store.ReadPage(p)
-	if err != nil && db.syncHealth() {
-		return db.store.ReadPage(p)
+// underGroup runs fn holding the recovery gate shared and the latch of
+// page p's parity group — the standard envelope of every single-page
+// transactional step.  The latch set is passed to fn so nested work
+// (buffer eviction) can try-extend it.
+func (db *DB) underGroup(p page.PageID, fn func(h *latch.Held) error) error {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	if db.crashed {
+		return ErrCrashed
 	}
-	return b, err
+	h := db.latches.NewHeld()
+	defer h.ReleaseAll()
+	h.Acquire(db.arr.GroupOf(p))
+	return fn(h)
+}
+
+// evictGuard adapts an operation's held latch set into the buffer pool's
+// eviction guard: a victim in an already-held group is admitted outright,
+// any other group is try-latched for the duration of the steal, and a
+// contended latch skips the victim (the pool then tries the next one).
+func (db *DB) evictGuard(h *latch.Held) buffer.EvictGuard {
+	return func(p page.PageID) (func(), bool) {
+		g := db.arr.GroupOf(p)
+		if h.Holds(g) {
+			return func() {}, true
+		}
+		if h.TryAcquire(g) {
+			return func() { h.Release(g) }, true
+		}
+		return nil, false
+	}
+}
+
+// healWorld is the operation-level half of the self-healing retry
+// discipline: after an I/O error escapes an operation, it takes the
+// exclusive gate, aligns the engine with the array's health machine
+// (entering degraded serving, demoting dirty groups on the lost disk),
+// and reports whether the failed operation is worth exactly one retry —
+// which will now be served from redundancy.  The caller must hold no
+// gate or latches.
+func (db *DB) healWorld() bool {
+	db.gate.Lock()
+	defer db.gate.Unlock()
+	if db.crashed {
+		return false
+	}
+	return db.syncHealth()
+}
+
+// fetch loads a page from the array on a buffer miss, transparently
+// repairing latent sector errors from the group's redundancy.  Errors
+// surface to the operation, whose healWorld retry serves the reload from
+// redundancy after a disk loss.
+func (db *DB) fetch(p page.PageID) (page.Buf, error) {
+	return db.store.ReadPageRepair(p)
+}
+
+// storeRead is ReadPage for engine paths that read outside the buffer
+// pool (after-image capture, abort restores).  Same error discipline as
+// fetch.
+func (db *DB) storeRead(p page.PageID) (page.Buf, error) {
+	return db.store.ReadPage(p)
 }
 
 // syncHealth aligns the engine's degraded-serving state with the array's
-// health machine; called with db.mu held after an operation failed (or
-// on an explicit FailDisk).  When the array has just gone down to one
-// disk, every dirty parity group keeping a block on that disk is demoted
-// to logged UNDO — a degraded group's redundancy is consumed by the disk
-// loss and cannot also fund transaction recovery — and the store enters
-// degraded serving.  Returns true when degraded serving was just
+// health machine; called with the exclusive gate held after an operation
+// failed (or on an explicit FailDisk).  When the array has just gone down
+// to one disk, every dirty parity group keeping a block on that disk is
+// demoted to logged UNDO — a degraded group's redundancy is consumed by
+// the disk loss and cannot also fund transaction recovery — and the store
+// enters degraded serving.  Returns true when degraded serving was just
 // (re-)entered: the caller's failed operation is worth exactly one
 // retry, which will now be served from redundancy.
 //
@@ -282,27 +385,18 @@ func (db *DB) syncHealth() bool {
 // writeBack is the STEAL policy (see DESIGN.md §5): it is invoked by the
 // buffer pool for every dirty frame leaving the pool (replacement, EOT
 // forcing, checkpoint flushing) and decides between the RDA no-logging
-// path, the classic logging path and the committed write path.
-//
-// A failure that trips the array into degraded mode is retried once: the
-// lazy log appends below are idempotent, and the retry routes through
-// the degraded write protocol, so a mid-write disk loss never surfaces
-// to the caller.
+// path, the classic logging path and the committed write path.  The
+// caller holds the frame's group latch (or the exclusive gate), which
+// serializes the group's steal protocol; a failure that kills a disk
+// surfaces to the operation, whose healWorld retry re-runs the write-back
+// through the degraded protocol (the lazy log appends are idempotent).
 func (db *DB) writeBack(f *buffer.Frame) error {
-	err := db.writeBackOnce(f)
-	if err != nil && db.syncHealth() {
-		err = db.writeBackOnce(f)
-	}
-	return err
-}
-
-func (db *DB) writeBackOnce(f *buffer.Frame) error {
 	old := f.DiskVersion // nil under ¬FORCE: the store re-reads (a=4)
 
 	mods := f.ModifierList()
 
 	if db.cfg.RDA && len(mods) == 1 && !f.Residue {
-		st := db.states[mods[0]]
+		st := db.getState(mods[0])
 		if st != nil && db.store.CanStealNoLog(f.Page, st.t.ID) {
 			db.ensureBOT(st)
 			oldOnDisk := old
@@ -313,10 +407,17 @@ func (db *DB) writeBackOnce(f *buffer.Frame) error {
 					return err
 				}
 			}
-			if _, ok := st.stolenBefore[f.Page]; !ok {
-				st.stolenBefore[f.Page] = oldOnDisk.Clone()
-			}
-			return db.store.StealNoLog(f.Page, f.Data, oldOnDisk, st.t)
+			return func() error {
+				st.mu.Lock()
+				defer st.mu.Unlock()
+				if _, ok := st.stolenBefore[f.Page]; !ok {
+					st.stolenBefore[f.Page] = oldOnDisk.Clone()
+				}
+				// StealNoLog grows the owner's no-logging chain; st.mu
+				// orders it against concurrent steals of the owner's
+				// other pages and against demotions.
+				return db.store.StealNoLog(f.Page, f.Data, oldOnDisk, st.t)
+			}()
 		}
 	}
 
@@ -342,13 +443,15 @@ func (db *DB) writeBackOnce(f *buffer.Frame) error {
 	// Logging path: make sure every active modifier's UNDO material for
 	// this page is on the log, then write in place.
 	for _, m := range mods {
-		st := db.states[m]
+		st := db.getState(m)
 		if st == nil {
 			continue
 		}
 		db.ensureBOT(st)
 		db.ensureUndoLogged(st, f.Page)
+		st.mu.Lock()
 		st.stolenLogged[f.Page] = true
+		st.mu.Unlock()
 	}
 	return db.store.WriteLogged(f.Page, f.Data, old)
 }
@@ -358,6 +461,8 @@ func (db *DB) writeBackOnce(f *buffer.Frame) error {
 // the database (Section 4.3), and writing it lazily keeps retrieval-only
 // transactions free of log traffic, as in the model.
 func (db *DB) ensureBOT(st *txState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.botLSN == 0 {
 		st.botLSN = db.log.Append(wal.Record{Type: wal.TypeBOT, Txn: st.t.ID, Slot: wal.NoSlot})
 	}
@@ -366,6 +471,8 @@ func (db *DB) ensureBOT(st *txState) {
 // ensureUndoLogged appends the retained before-image(s) for page p on
 // behalf of st, if not already logged.
 func (db *DB) ensureUndoLogged(st *txState, p page.PageID) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if db.cfg.Logging == PageLogging {
 		if _, done := st.t.LoggedUndo[p]; done {
 			return
@@ -405,7 +512,10 @@ func (db *DB) ensureUndoLogged(st *txState, p page.PageID) {
 // is committed on disk and promoted in the bitmap, and the group returns
 // to the clean state.  From here on the group is shared and every
 // recovery path for it is log-based.  Both the record-mode sharing path
-// and any write-back into a dirty group use this.
+// and any write-back into a dirty group use this.  Callers hold the
+// group's latch (or the exclusive gate), which excludes the owner's
+// commit and abort — the dirty page is in the owner's modified set, so
+// its EOT holds this latch too.
 //
 // Ordering invariant: the log appends (BOT + before-images) happen
 // before the first disk write, and log appends cannot fail.  A demotion
@@ -414,13 +524,15 @@ func (db *DB) ensureUndoLogged(st *txState, p page.PageID) {
 // swallows a demotion error on the way into degraded serving, and
 // TestDemoteLogsUndoBeforeDisk locks the ordering in.
 func (db *DB) demoteNoLogSteal(g page.GroupID, e dirtyset.Entry) error {
-	owner := db.states[e.Txn]
+	owner := db.getState(e.Txn)
 	if owner == nil {
 		return fmt.Errorf("rda: dirty group %d owned by unknown txn %d", g, e.Txn)
 	}
 	db.ensureBOT(owner)
 	db.ensureUndoLogged(owner, e.Page)
+	owner.mu.Lock()
 	owner.stolenLogged[e.Page] = true
+	owner.mu.Unlock()
 	meta := disk.Meta{State: disk.StateCommitted, Timestamp: db.tm.NextTimestamp()}
 	if down := db.arr.DownDisk(); down >= 0 && db.arr.ParityLoc(g, e.WorkingTwin).Disk == down {
 		// The working twin is the group's lost block.  Its data page is
@@ -440,6 +552,7 @@ func (db *DB) demoteNoLogSteal(g page.GroupID, e dirtyset.Entry) error {
 	}
 	db.store.Dirty.Clean(g)
 	// The page leaves the owner's no-logging chain.
+	owner.mu.Lock()
 	chain := owner.t.StolenNoLog[:0]
 	for _, q := range owner.t.StolenNoLog {
 		if q != e.Page {
@@ -447,7 +560,60 @@ func (db *DB) demoteNoLogSteal(g page.GroupID, e dirtyset.Entry) error {
 		}
 	}
 	owner.t.StolenNoLog = chain
+	owner.mu.Unlock()
 	return nil
+}
+
+// flushAllHealing flushes every dirty frame, retrying once through
+// degraded entry when the flush kills a disk.  Called with the exclusive
+// gate held (checkpoints, scrub).
+func (db *DB) flushAllHealing() error {
+	err := db.pool.FlushAll(nil)
+	if err != nil && db.syncHealth() {
+		err = db.pool.FlushAll(nil)
+	}
+	return err
+}
+
+// truncateLogLocked discards the log prefix no recovery can need: under
+// FORCE everything up to the oldest active transaction's BOT, under
+// ¬FORCE everything below the last checkpoint (still bounded by open
+// BOTs).  Called with db.mu held.
+func (db *DB) truncateLogLocked() {
+	var bound wal.LSN
+	if db.cfg.EOT == Force {
+		bound = wal.LSN(db.log.Len()) + 1
+	} else {
+		if db.lastCkptLSN == 0 {
+			return
+		}
+		bound = db.lastCkptLSN
+	}
+	for _, st := range db.states {
+		st.mu.Lock()
+		bot := st.botLSN
+		st.mu.Unlock()
+		if bot != 0 && bot < bound {
+			bound = bot
+		}
+	}
+	db.log.Truncate(bound)
+}
+
+// groupsOf returns the distinct parity groups of a page set in ascending
+// order — the blocking-acquisition order the latch table requires.
+func (db *DB) groupsOf(set map[page.PageID]struct{}) []page.GroupID {
+	seen := make(map[page.GroupID]struct{}, len(set))
+	out := make([]page.GroupID, 0, len(set))
+	for p := range set {
+		g := db.arr.GroupOf(p)
+		if _, ok := seen[g]; !ok {
+			seen[g] = struct{}{}
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Checkpoint takes a checkpoint.  Under ¬FORCE this is the paper's
@@ -457,16 +623,18 @@ func (db *DB) demoteNoLogSteal(g page.GroupID, e dirtyset.Entry) error {
 // transaction-oriented and implicit, so this simply flushes and logs a
 // marker, which is harmless.
 func (db *DB) Checkpoint() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	if db.crashed {
 		return ErrCrashed
 	}
-	if err := db.pool.FlushAll(nil); err != nil {
+	if err := db.flushAllHealing(); err != nil {
 		return fmt.Errorf("rda: checkpoint flush: %w", err)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.lastCkptLSN = db.log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot, Active: db.tm.Active()})
-	db.truncateLog()
+	db.truncateLogLocked()
 	return nil
 }
 
@@ -474,35 +642,42 @@ func (db *DB) Checkpoint() error {
 // lock table, active transactions, Dirty_Set, current-parity bitmap — is
 // lost.  The disks and the log survive.  All outstanding transaction
 // handles become unusable.
+//
+// Crash may race in-flight transactions: it waits (via the exclusive
+// gate) for operations inside the engine to finish their current step,
+// and closing the lock manager wakes transactions blocked in 2PL waits
+// — which happen outside the gate precisely so this cannot deadlock.
 func (db *DB) Crash() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
+	db.crashLocked()
+}
+
+func (db *DB) crashLocked() {
 	db.pool.DropAll()
 	db.store.ResetVolatile()
 	db.locks.Close()
 	db.tm.Reset()
+	db.mu.Lock()
 	db.states = make(map[page.TxID]*txState)
+	db.mu.Unlock()
 	db.crashed = true
 }
 
 // CrashHard simulates a power failure in the middle of a block I/O.  The
 // fault plane's crash points panic out of a disk write; the harness
-// recovers the sentinel and calls CrashHard.  Because the panic may have
-// unwound past a mutator holding the engine mutex, the mutex is replaced
-// wholesale — which is only sound in a single-goroutine harness, the one
-// place crash points fire.  Recover afterwards runs the extra mid-I/O
+// recovers the sentinel and calls CrashHard.  Every lock on the panicking
+// goroutine's path — the shared gate, group latches, the pool's internal
+// mutex, per-disk mutexes — is released by defers during the unwind, so
+// taking the exclusive gate here is sound even with other transactions in
+// flight (they either finish their current step or are woken from lock
+// waits with ErrClosed).  Recover afterwards runs the extra mid-I/O
 // repair passes (torn blocks, parity resync) that Crash's quiescent
 // restarts never need.
 func (db *DB) CrashHard() {
-	db.mu = sync.Mutex{}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.pool.DropAll()
-	db.store.ResetVolatile()
-	db.locks.Close()
-	db.tm.Reset()
-	db.states = make(map[page.TxID]*txState)
-	db.crashed = true
+	db.gate.Lock()
+	defer db.gate.Unlock()
+	db.crashLocked()
 	db.dirtyCrash = true
 }
 
@@ -510,6 +685,8 @@ func (db *DB) CrashHard() {
 // drive of the array.  Install after Open so formatting I/O is not
 // observed; schedules then count only workload writes.
 func (db *DB) SetInjector(inj disk.Injector) {
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	db.arr.SetInjector(inj)
 }
 
@@ -566,8 +743,8 @@ type RecoveryReport struct {
 // scratch after a restart.  The database comes back up serving degraded.
 // Only a double member loss refuses recovery, with ErrArrayFailed.
 func (db *DB) Recover() (*RecoveryReport, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	if !db.crashed {
 		return nil, errors.New("rda: Recover on a running database")
 	}
@@ -621,16 +798,20 @@ func (db *DB) Recover() (*RecoveryReport, error) {
 	}
 	db.store.SetReplacementPresent(false)
 	db.dirtyCrash = false
+	db.mu.Lock()
 	if db.cfg.EOT == NoForce {
 		// A fresh empty checkpoint bounds the next restart's REDO pass.
 		db.lastCkptLSN = db.log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot})
 	}
+	db.mu.Unlock()
 	db.locks = lock.New()
 	db.pool = db.newPool()
 	db.crashed = false
 	// Everything before the restart point is now dead weight.
-	db.truncateLog()
+	db.mu.Lock()
+	db.truncateLogLocked()
 	db.recoveries++
+	db.mu.Unlock()
 	return &RecoveryReport{
 		Losers:                  len(rep.Losers),
 		UndoneViaParity:         rep.UndoneViaParity,
@@ -650,13 +831,28 @@ func (db *DB) Recover() (*RecoveryReport, error) {
 // member — until an online rebuild (RebuildStep/StartRebuild) or media
 // recovery (RepairDisk) completes.
 func (db *DB) FailDisk(d int) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	if err := db.arr.FailDisk(d); err != nil {
 		return err
 	}
 	db.syncHealth()
 	return nil
+}
+
+// stolenBeforeFunc returns the media-recovery before-image closure:
+// the on-disk contents a dirty group's page had before its no-log steal,
+// retained by the owning transaction while it is active.
+func (db *DB) stolenBeforeFunc() recovery.BeforeImageFunc {
+	return func(g page.GroupID, e dirtyset.Entry) page.Buf {
+		st := db.getState(e.Txn)
+		if st == nil {
+			return nil
+		}
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.stolenBefore[e.Page]
+	}
 }
 
 // RepairDisk replaces the failed disk with a fresh one and reconstructs
@@ -667,19 +863,12 @@ func (db *DB) FailDisk(d int) error {
 // other, and a lost committed twin is recomputed with the before-image
 // the engine retains while the owning transaction is active.
 func (db *DB) RepairDisk(d int) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	if db.crashed {
 		return ErrCrashed
 	}
-	before := func(g page.GroupID, e dirtyset.Entry) page.Buf {
-		st := db.states[e.Txn]
-		if st == nil {
-			return nil
-		}
-		return st.stolenBefore[e.Page]
-	}
-	if err := recovery.RecoverMedia(db.store, d, before); err != nil {
+	if err := recovery.RecoverMedia(db.store, d, db.stolenBeforeFunc()); err != nil {
 		return fmt.Errorf("rda: media recovery: %w", err)
 	}
 	db.leaveDegradedLocked()
@@ -687,7 +876,8 @@ func (db *DB) RepairDisk(d int) error {
 }
 
 // leaveDegradedLocked returns the engine to normal serving after media
-// recovery restored full redundancy.  Called with db.mu held.
+// recovery restored full redundancy.  Called with the exclusive gate
+// held.
 func (db *DB) leaveDegradedLocked() {
 	db.arr.FinishRebuild() // no-op unless a rebuild was in flight
 	if db.arr.Health() == diskarray.Healthy {
@@ -706,19 +896,12 @@ func (db *DB) leaveDegradedLocked() {
 // numbers are returned so the caller can restore them from an archive.
 // A single-disk repair never loses data.
 func (db *DB) RepairDisks(ds ...int) ([]uint32, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	if db.crashed {
 		return nil, ErrCrashed
 	}
-	before := func(g page.GroupID, e dirtyset.Entry) page.Buf {
-		st := db.states[e.Txn]
-		if st == nil {
-			return nil
-		}
-		return st.stolenBefore[e.Page]
-	}
-	lost, err := recovery.RecoverMediaMulti(db.store, ds, before)
+	lost, err := recovery.RecoverMediaMulti(db.store, ds, db.stolenBeforeFunc())
 	if err != nil {
 		return nil, fmt.Errorf("rda: media recovery: %w", err)
 	}

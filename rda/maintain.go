@@ -30,8 +30,8 @@ var ErrBusy = errors.New("rda: operation requires a quiesced database")
 // work" true on a long-lived array.  The database must be quiescent: no
 // active transaction may have pages on disk awaiting undo.
 func (db *DB) Scrub() (*ScrubReport, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	if db.crashed {
 		return nil, ErrCrashed
 	}
@@ -67,8 +67,8 @@ func (db *DB) Scrub() (*ScrubReport, error) {
 // updating its checksum — a latent sector error injection for exercising
 // Scrub.  Testing/fault-injection aid.
 func (db *DB) CorruptBlock(p PageID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	loc := db.arr.DataLoc(page.PageID(p))
 	return db.arr.Disk(loc.Disk).Corrupt(loc.Block)
 }
@@ -76,11 +76,12 @@ func (db *DB) CorruptBlock(p PageID) error {
 // BulkLoad writes a run of consecutive pages as committed data, using
 // full-stripe writes (one parity write per fully covered parity group —
 // the "large accesses" of Section 3.1) instead of per-page small writes.
-// It requires a quiescent database and bypasses transactions; loaders
+// Full stripes are written in parallel when Config.Workers > 1.  It
+// requires a quiescent database and bypasses transactions; loaders
 // re-run after a crash.  It returns the number of full-stripe writes.
 func (db *DB) BulkLoad(start PageID, pages [][]byte) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	if db.crashed {
 		return 0, ErrCrashed
 	}
@@ -109,54 +110,52 @@ func (db *DB) BulkLoad(start PageID, pages [][]byte) (int, error) {
 	// The load bypassed the log; a checkpoint record fences it off so a
 	// later crash's REDO pass cannot replay pre-load after-images over
 	// the loaded pages (and the now-dead log prefix is reclaimed).
+	db.mu.Lock()
 	db.lastCkptLSN = db.log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot})
-	db.truncateLog()
+	db.truncateLogLocked()
+	db.mu.Unlock()
 	return n, nil
 }
 
 // maybeAutoCheckpoint takes an ACC checkpoint when the configured
-// transfer interval has elapsed.  Called with db.mu held at EOT
-// boundaries.
+// transfer interval has elapsed.  Called at EOT boundaries after the
+// commit's shared-gate section ends: flushing the whole pool is a
+// stop-the-world job, so the check runs gate-free first and only a due
+// checkpoint pays for the exclusive gate (where the deadline is
+// re-checked — a racing committer may have just taken it).
 func (db *DB) maybeAutoCheckpoint() error {
 	if db.cfg.CheckpointEvery <= 0 || db.cfg.EOT != NoForce {
 		return nil
 	}
-	cur := db.arr.Stats().Transfers() + db.log.Stats().TotalTransfers()
-	if cur-db.lastCkptTransfers < db.cfg.CheckpointEvery {
+	if !db.autoCheckpointDue() {
 		return nil
 	}
-	if err := db.pool.FlushAll(nil); err != nil {
+	db.gate.Lock()
+	defer db.gate.Unlock()
+	if db.crashed {
+		// The commit that triggered us already succeeded; the checkpoint
+		// simply doesn't happen on a crashed engine.
+		return nil
+	}
+	if !db.autoCheckpointDue() {
+		return nil
+	}
+	if err := db.flushAllHealing(); err != nil {
 		return fmt.Errorf("rda: auto checkpoint: %w", err)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.lastCkptLSN = db.log.Append(wal.Record{Type: wal.TypeCheckpoint, Slot: wal.NoSlot, Active: db.tm.Active()})
 	db.lastCkptTransfers = db.arr.Stats().Transfers() + db.log.Stats().TotalTransfers()
-	db.truncateLog()
+	db.truncateLogLocked()
 	return nil
 }
 
-// truncateLog reclaims log space by dropping every record no recovery
-// could need: records older than both the last checkpoint (¬FORCE REDO
-// starts there; FORCE has nothing to redo) and the oldest active
-// transaction's BOT (loser UNDO starts there).  Working parity twins
-// whose writers' EOT records get dropped are handled by the
-// unknown-means-committed rule in the recovery analysis — see
-// recovery.Analysis.Committed.  Called with db.mu held.
-func (db *DB) truncateLog() {
-	var bound wal.LSN
-	if db.cfg.EOT == Force {
-		// TOC: every commit is a checkpoint, so only active
-		// transactions pin the log.
-		bound = wal.LSN(db.log.Len()) + 1
-	} else {
-		if db.lastCkptLSN == 0 {
-			return // no checkpoint yet: the whole log feeds REDO
-		}
-		bound = db.lastCkptLSN
-	}
-	for _, st := range db.states {
-		if st.botLSN != 0 && st.botLSN < bound {
-			bound = st.botLSN
-		}
-	}
-	db.log.Truncate(bound)
+// autoCheckpointDue reports whether the transfer interval since the last
+// automatic checkpoint has elapsed.
+func (db *DB) autoCheckpointDue() bool {
+	cur := db.arr.Stats().Transfers() + db.log.Stats().TotalTransfers()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return cur-db.lastCkptTransfers >= db.cfg.CheckpointEvery
 }

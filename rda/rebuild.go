@@ -7,6 +7,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/diskarray"
 	"repro/internal/page"
+	"repro/internal/workpool"
 )
 
 // Health returns the array's availability state (see diskarray.Health):
@@ -14,8 +15,8 @@ import (
 // (replacement drive being reconstructed online) or Failed (overlapping
 // losses; RepairDisks is the only way out).
 func (db *DB) Health() diskarray.Health {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	return db.arr.Health()
 }
 
@@ -36,8 +37,8 @@ func (p RebuildProgress) Done() bool { return p.Health == diskarray.Healthy }
 
 // RebuildProgress returns a snapshot of the online rebuild's progress.
 func (db *DB) RebuildProgress() RebuildProgress {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	pr := RebuildProgress{Health: db.arr.Health(), DownDisk: db.arr.DownDisk()}
 	if !db.store.Degraded() {
 		return pr
@@ -55,15 +56,17 @@ func (db *DB) RebuildProgress() RebuildProgress {
 // RebuildStep reconstructs up to maxGroups parity groups of the down
 // disk onto its replacement drive (maxGroups ≤ 0 uses
 // Config.RebuildBatchGroups).  The first step swaps the fresh drive in;
-// each step runs atomically under the engine mutex, so live transactions
-// interleave between batches — the throttling knob trades transaction
-// latency against rebuild time.  Restored groups leave degraded serving
-// immediately; when the last one is restored the array returns to
-// Healthy and (true, nil) is reported.  Resumable: steps may be
+// each step runs atomically under the exclusive recovery gate, so live
+// transactions interleave between batches — the throttling knob trades
+// transaction latency against rebuild time.  Within a batch the group
+// reconstructions fan out across Config.Workers (they touch disjoint
+// groups, so they are independent).  Restored groups leave degraded
+// serving immediately; when the last one is restored the array returns
+// to Healthy and (true, nil) is reported.  Resumable: steps may be
 // interleaved with any transaction work and repeat after errors.
 func (db *DB) RebuildStep(maxGroups int) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	if db.crashed {
 		return false, ErrCrashed
 	}
@@ -106,22 +109,32 @@ func (db *DB) rebuildStepLocked(maxGroups int) (bool, error) {
 	if maxGroups <= 0 {
 		maxGroups = db.cfg.RebuildBatchGroups
 	}
-	restored := 0
+	batch := make([]page.GroupID, 0, maxGroups)
 	remaining := false
 	for g := 0; g < db.arr.NumGroups(); g++ {
 		gid := page.GroupID(g)
 		if !db.store.GroupDegraded(gid) {
 			continue
 		}
-		if restored >= maxGroups {
+		if len(batch) >= maxGroups {
 			remaining = true
 			break
 		}
+		batch = append(batch, gid)
+	}
+	// Groups are independent — each reconstruction reads its own members
+	// and writes its own block on the replacement drive — so the batch
+	// fans out.  Workers==1 keeps the exact sequential I/O order the
+	// crash-point schedules replay.
+	if err := workpool.Run(db.cfg.Workers, len(batch), func(i int) error {
+		gid := batch[i]
 		if err := db.restoreGroup(gid, down); err != nil {
-			return false, err
+			return err
 		}
 		db.store.MarkRestored(gid)
-		restored++
+		return nil
+	}); err != nil {
+		return false, err
 	}
 	if remaining {
 		return false, nil
@@ -185,10 +198,13 @@ func (db *DB) restoreGroup(g page.GroupID, down int) error {
 // Throttling: Config.RebuildBatchGroups is the only throttle.  The
 // Gosched between batches lets other runnable goroutines in, but offers
 // no fairness guarantee of its own — what keeps the worker from
-// monopolizing the engine is that each batch re-acquires db.mu, whose
-// starvation mode hands the lock to transactions that have been waiting
-// ≳1ms.  Callers needing a stronger pacing policy (sleep between
-// batches, external rate limit) should drive RebuildStep themselves.
+// monopolizing the engine is that each batch re-acquires the exclusive
+// recovery gate, and Go's RWMutex blocks new readers behind a waiting
+// writer (and vice versa: a batch queued behind active readers lets them
+// drain first), so transactions and rebuild batches alternate rather
+// than starve each other.  Callers needing a stronger pacing policy
+// (sleep between batches, external rate limit) should drive RebuildStep
+// themselves.
 func (db *DB) StartRebuild() <-chan error {
 	ch := make(chan error, 1)
 	go func() {

@@ -65,16 +65,22 @@ func (s Stats) TotalTransfers() int64 {
 	return s.DiskReads + s.DiskWrites + s.LogWriteTransfers + s.LogReadTransfers
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters.  Every component keeps its
+// own synchronized counters, so the snapshot is assembled under the
+// shared gate; with transactions in flight the counters are each exact
+// but mutually approximate (a live operation may land between reads).
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	as := db.arr.Stats()
 	ls := db.log.Stats()
 	bs := db.pool.Stats()
 	hs := db.arr.Healing()
 	ds := db.store.DegradedCounters()
 	started, committed, aborted := db.tm.Counts()
+	db.mu.Lock()
+	recoveries := db.recoveries
+	db.mu.Unlock()
 	return Stats{
 		DiskReads:         as.Reads,
 		DiskWrites:        as.Writes,
@@ -88,7 +94,7 @@ func (db *DB) Stats() Stats {
 		TxStarted:         started,
 		TxCommitted:       committed,
 		TxAborted:         aborted,
-		Recoveries:        db.recoveries,
+		Recoveries:        recoveries,
 		IORetries:         int64(hs.Retries),
 		RetryBackoffUnits: int64(hs.BackoffUnits),
 		AutoFailStops:     int64(hs.AutoFailStops),
@@ -102,8 +108,8 @@ func (db *DB) Stats() Stats {
 // ResetStats zeroes the transfer and activity counters (transaction and
 // recovery totals are cumulative and are not reset).
 func (db *DB) ResetStats() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	db.arr.ResetStats()
 	db.log.ResetStats()
 	db.pool.ResetStats()
@@ -114,8 +120,8 @@ func (db *DB) ResetStats() {
 // communality parameter C: with probability C a transaction re-references
 // a page already in the buffer.
 func (db *DB) ResidentPages() []PageID {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	res := db.pool.Resident()
 	out := make([]PageID, len(res))
 	for i, p := range res {
@@ -126,10 +132,12 @@ func (db *DB) ResidentPages() []PageID {
 
 // VerifyParity checks the parity invariant of every group (see
 // core.Store.VerifyParityInvariant).  It performs uncharged verification
-// reads; intended for tests and examples.
+// reads under the exclusive gate — a whole-array scan cannot tolerate
+// concurrent writers — so it quiesces live transactions for its
+// duration.  Intended for tests and examples.
 func (db *DB) VerifyParity() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	return db.store.VerifyParityInvariant()
 }
 
@@ -137,8 +145,11 @@ func (db *DB) VerifyParity() error {
 // charging transfers.  Verification aid for tests and examples; not part
 // of the transactional interface.
 func (db *DB) PeekPage(p PageID) ([]byte, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	h := db.latches.NewHeld()
+	defer h.ReleaseAll()
+	h.Acquire(db.arr.GroupOf(page.PageID(p)))
 	return db.arr.PeekData(page.PageID(p))
 }
 
@@ -169,12 +180,18 @@ type GroupInfo struct {
 // InspectGroup reports the recovery state of the parity group holding
 // page p.
 func (db *DB) InspectGroup(p PageID) (GroupInfo, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	if int(p) >= db.NumPages() {
 		return GroupInfo{}, ErrBadPage
 	}
 	g := db.arr.GroupOf(page.PageID(p))
+	// The group latch freezes the group's steal protocol state, so the
+	// snapshot is internally consistent even with live transactions on
+	// other groups.
+	h := db.latches.NewHeld()
+	defer h.ReleaseAll()
+	h.Acquire(g)
 	info := GroupInfo{Group: uint32(g)}
 	for _, q := range db.arr.GroupPages(g) {
 		info.Pages = append(info.Pages, PageID(q))
@@ -203,10 +220,9 @@ func (db *DB) InspectGroup(p PageID) (GroupInfo, error) {
 // DumpLog calls fn for every log record, oldest first, with a rendered
 // one-line description.  Diagnostic aid (cmd/waldump); uncharged.
 func (db *DB) DumpLog(fn func(line string) bool) error {
-	db.mu.Lock()
-	log := db.log
-	db.mu.Unlock()
-	return log.Scan(1, func(r wal.Record) bool {
+	// The log is internally synchronized and never replaced for the
+	// lifetime of the DB, so the scan needs no engine lock.
+	return db.log.Scan(1, func(r wal.Record) bool {
 		return fn(renderLogRecord(r))
 	})
 }
@@ -236,8 +252,8 @@ func renderLogRecord(r wal.Record) string {
 // number.  Rotated parity exists to keep these balanced (Section 3.1);
 // tests and benchmarks use this to verify it.
 func (db *DB) DiskTransfers() []int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	per := db.arr.DiskStats()
 	out := make([]int64, len(per))
 	for i, s := range per {
@@ -250,7 +266,7 @@ func (db *DB) DiskTransfers() []int64 {
 // retains (older records are reclaimed by truncation once no recovery
 // could need them).
 func (db *DB) LiveLogRecords() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	return db.log.Len() - int(db.log.FirstLSN()) + 1
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/latch"
 	"repro/internal/lock"
 	"repro/internal/page"
 	"repro/internal/record"
@@ -15,6 +16,10 @@ import (
 
 // Tx is a transaction handle.  A Tx must be used from one goroutine at a
 // time and is invalid after Commit, Abort, a deadlock abort, or a crash.
+// Different transactions may run on different goroutines concurrently;
+// the engine serializes them with two-phase locks (logical conflicts) and
+// per-parity-group latches (physical protocol steps), so transactions on
+// disjoint groups proceed in parallel.
 type Tx struct {
 	db   *DB
 	st   *txState
@@ -23,26 +28,38 @@ type Tx struct {
 
 // Begin starts a transaction.
 func (db *DB) Begin() (*Tx, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.RLock()
+	defer db.gate.RUnlock()
 	if db.crashed {
 		return nil, ErrCrashed
 	}
 	t := db.tm.Begin()
 	st := &txState{
 		t:             t,
+		locks:         db.locks,
 		beforePages:   make(map[page.PageID]page.Buf),
 		beforeRecords: make(map[page.RecordID]record.Image),
 		loggedRecords: make(map[page.RecordID]bool),
 		stolenBefore:  make(map[page.PageID]page.Buf),
 		stolenLogged:  make(map[page.PageID]bool),
 	}
+	db.mu.Lock()
 	db.states[t.ID] = st
+	db.mu.Unlock()
 	return &Tx{db: db, st: st}, nil
 }
 
 // ID returns the transaction's identifier.
 func (tx *Tx) ID() uint64 { return uint64(tx.st.t.ID) }
+
+// CommitSeq returns the transaction's position in the engine's commit
+// order, or 0 if it has not committed.  Under strict two-phase locking
+// the commit order is a valid serialization order: any two conflicting
+// transactions hold their conflicting locks to EOT, so the one that
+// commits first precedes the other in every conflict.  The concurrency
+// oracle replays concurrent histories in this order on a single-threaded
+// reference engine and diffs the results.
+func (tx *Tx) CommitSeq() int64 { return tx.st.commitSeq }
 
 // check validates the handle and page id.
 func (tx *Tx) check(p PageID) error {
@@ -55,10 +72,14 @@ func (tx *Tx) check(p PageID) error {
 	return nil
 }
 
-// acquire takes a lock, translating a deadlock-victim verdict into an
-// automatic abort of this transaction.
+// acquire takes a two-phase lock, translating a deadlock-victim verdict
+// into an automatic abort of this transaction.  Lock waits happen with
+// no gate or latch held — a waiter blocks only other lock-table users,
+// never recovery or disjoint-group transactions — and go against the
+// manager captured at Begin, so a handle that outlives a crash cleans up
+// against the (closed, no-op) manager it actually used.
 func (tx *Tx) acquire(res lock.Resource, mode lock.Mode) error {
-	err := tx.db.locks.Acquire(tx.st.t.ID, res, mode)
+	err := tx.st.locks.Acquire(tx.st.t.ID, res, mode)
 	switch {
 	case err == nil:
 		return nil
@@ -81,6 +102,21 @@ func (tx *Tx) pageResource(p PageID) lock.Resource {
 	return lock.PageResource(page.PageID(p))
 }
 
+// opLatched runs one page operation under the shared gate and the page's
+// group latch, with the engine's self-healing retry: an I/O error that
+// trips degraded-mode entry (healWorld) is retried exactly once, now
+// served from redundancy.
+func (tx *Tx) opLatched(p page.PageID, fn func(h *latch.Held) error) error {
+	err := tx.db.underGroup(p, fn)
+	if err != nil && !errors.Is(err, ErrCrashed) && tx.db.healWorld() {
+		err = tx.db.underGroup(p, fn)
+	}
+	if errors.Is(err, ErrCrashed) {
+		tx.done = true
+	}
+	return err
+}
+
 // --- Page-granularity operations (PageLogging) ----------------------------
 
 // ReadPage returns a copy of page p under a shared lock.
@@ -94,18 +130,21 @@ func (tx *Tx) ReadPage(p PageID) ([]byte, error) {
 	if err := tx.acquire(tx.pageResource(p), lock.Shared); err != nil {
 		return nil, err
 	}
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	if tx.db.crashed {
-		tx.done = true
-		return nil, ErrCrashed
-	}
-	f, err := tx.db.pool.Get(page.PageID(p))
+	pid := page.PageID(p)
+	var out []byte
+	err := tx.opLatched(pid, func(h *latch.Held) error {
+		f, err := tx.db.pool.Get(pid, tx.db.evictGuard(h))
+		if err != nil {
+			return err
+		}
+		defer tx.db.pool.Unpin(pid)
+		out = f.Data.Clone()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer tx.db.pool.Unpin(page.PageID(p))
-	return f.Data.Clone(), nil
+	return out, nil
 }
 
 // WritePage replaces page p's contents under an exclusive lock.  data
@@ -123,39 +162,39 @@ func (tx *Tx) WritePage(p PageID, data []byte) error {
 	if err := tx.acquire(tx.pageResource(p), lock.Exclusive); err != nil {
 		return err
 	}
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	if tx.db.crashed {
-		tx.done = true
-		return ErrCrashed
-	}
 	pid := page.PageID(p)
-	f, err := tx.db.pool.Get(pid)
-	if err != nil {
-		return err
-	}
-	defer tx.db.pool.Unpin(pid)
-	tx.firstModifyPage(pid, f.Data)
-	copy(f.Data, data)
-	tx.db.pool.MarkDirty(pid, tx.st.t.ID)
-	tx.st.t.Modified[pid] = struct{}{}
-	return nil
+	return tx.opLatched(pid, func(h *latch.Held) error {
+		f, err := tx.db.pool.Get(pid, tx.db.evictGuard(h))
+		if err != nil {
+			return err
+		}
+		defer tx.db.pool.Unpin(pid)
+		tx.firstModifyPage(pid, f.Data)
+		copy(f.Data, data)
+		tx.db.pool.MarkDirty(pid, tx.st.t.ID)
+		tx.st.t.Modified[pid] = struct{}{}
+		return nil
+	})
 }
 
 // firstModifyPage retains the page's current contents as the in-memory
 // before-image the recovery schemes work from; without RDA recovery the
 // before-image also goes to the log immediately (classic UNDO logging).
 func (tx *Tx) firstModifyPage(p page.PageID, cur page.Buf) {
-	if _, ok := tx.st.beforePages[p]; ok {
+	st := tx.st
+	st.mu.Lock()
+	if _, ok := st.beforePages[p]; ok {
+		st.mu.Unlock()
 		return
 	}
-	tx.st.beforePages[p] = cur.Clone()
+	st.beforePages[p] = cur.Clone()
+	st.mu.Unlock()
 	// Every update transaction brackets itself with BOT...EOT on the log
 	// (the model charges these for all update transactions); RDA only
 	// avoids the before-images.
-	tx.db.ensureBOT(tx.st)
+	tx.db.ensureBOT(st)
 	if !tx.db.cfg.RDA {
-		tx.db.ensureUndoLogged(tx.st, p)
+		tx.db.ensureUndoLogged(st, p)
 	}
 }
 
@@ -163,8 +202,8 @@ func (tx *Tx) firstModifyPage(p page.PageID, cur page.Buf) {
 
 // recordView pins page p and returns its record view; the caller must
 // Unpin.
-func (tx *Tx) recordView(p page.PageID) (*record.Page, error) {
-	f, err := tx.db.pool.Get(p)
+func (tx *Tx) recordView(p page.PageID, h *latch.Held) (*record.Page, error) {
+	f, err := tx.db.pool.Get(p, tx.db.evictGuard(h))
 	if err != nil {
 		return nil, err
 	}
@@ -185,18 +224,21 @@ func (tx *Tx) ReadRecord(p PageID, slot int) ([]byte, error) {
 	if err := tx.acquire(lock.RecordResource(page.PageID(p), slot), lock.Shared); err != nil {
 		return nil, err
 	}
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	if tx.db.crashed {
-		tx.done = true
-		return nil, ErrCrashed
-	}
-	v, err := tx.recordView(page.PageID(p))
+	pid := page.PageID(p)
+	var out []byte
+	err := tx.opLatched(pid, func(h *latch.Held) error {
+		v, err := tx.recordView(pid, h)
+		if err != nil {
+			return err
+		}
+		defer tx.db.pool.Unpin(pid)
+		out, err = v.Read(slot)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer tx.db.pool.Unpin(page.PageID(p))
-	return v.Read(slot)
+	return out, nil
 }
 
 // WriteRecord stores rec at (p, slot) under an exclusive record lock,
@@ -208,13 +250,10 @@ func (tx *Tx) WriteRecord(p PageID, slot int, rec []byte) error {
 	if err := tx.acquire(lock.RecordResource(page.PageID(p), slot), lock.Exclusive); err != nil {
 		return err
 	}
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	if tx.db.crashed {
-		tx.done = true
-		return ErrCrashed
-	}
-	return tx.writeRecordLocked(page.PageID(p), slot, rec, true)
+	pid := page.PageID(p)
+	return tx.opLatched(pid, func(h *latch.Held) error {
+		return tx.writeRecordLatched(h, pid, slot, rec, true)
+	})
 }
 
 // InsertRecord stores rec in a free slot of page p and returns the slot
@@ -222,7 +261,8 @@ func (tx *Tx) WriteRecord(p PageID, slot int, rec []byte) error {
 // chosen under its exclusive lock, so concurrent inserters never collide
 // (a candidate that another transaction claims first is skipped; the
 // probe locks are retained until EOT, as strict two-phase locking
-// requires).
+// requires).  The lock wait itself happens with no latch held — only the
+// re-check and the write run in the latched section.
 func (tx *Tx) InsertRecord(p PageID, rec []byte) (int, error) {
 	if err := tx.checkRecord(p); err != nil {
 		return 0, err
@@ -231,20 +271,19 @@ func (tx *Tx) InsertRecord(p PageID, rec []byte) (int, error) {
 	slots := tx.db.RecordsPerPage()
 	for slot := 0; slot < slots; slot++ {
 		// Peek (uncharged, unlocked) to skip obviously taken slots.
-		tx.db.mu.Lock()
-		if tx.db.crashed {
-			tx.db.mu.Unlock()
-			tx.done = true
-			return 0, ErrCrashed
-		}
-		v, err := tx.recordView(pid)
+		var used bool
+		err := tx.opLatched(pid, func(h *latch.Held) error {
+			v, err := tx.recordView(pid, h)
+			if err != nil {
+				return err
+			}
+			defer tx.db.pool.Unpin(pid)
+			used = v.Used(slot)
+			return nil
+		})
 		if err != nil {
-			tx.db.mu.Unlock()
 			return 0, err
 		}
-		used := v.Used(slot)
-		tx.db.pool.Unpin(pid)
-		tx.db.mu.Unlock()
 		if used {
 			continue
 		}
@@ -252,29 +291,29 @@ func (tx *Tx) InsertRecord(p PageID, rec []byte) (int, error) {
 		if err := tx.acquire(lock.RecordResource(pid, slot), lock.Exclusive); err != nil {
 			return 0, err
 		}
-		tx.db.mu.Lock()
-		if tx.db.crashed {
-			tx.db.mu.Unlock()
-			tx.done = true
-			return 0, ErrCrashed
-		}
-		v, err = tx.recordView(pid)
-		if err != nil {
-			tx.db.mu.Unlock()
-			return 0, err
-		}
-		stillFree := !v.Used(slot)
-		tx.db.pool.Unpin(pid)
-		if !stillFree {
-			tx.db.mu.Unlock()
-			continue // raced with a concurrent inserter
-		}
-		err = tx.writeRecordLocked(pid, slot, rec, true)
-		tx.db.mu.Unlock()
+		inserted := false
+		err = tx.opLatched(pid, func(h *latch.Held) error {
+			v, err := tx.recordView(pid, h)
+			if err != nil {
+				return err
+			}
+			stillFree := !v.Used(slot)
+			tx.db.pool.Unpin(pid)
+			if !stillFree {
+				return nil // raced with a concurrent inserter
+			}
+			if err := tx.writeRecordLatched(h, pid, slot, rec, true); err != nil {
+				return err
+			}
+			inserted = true
+			return nil
+		})
 		if err != nil {
 			return 0, err
 		}
-		return slot, nil
+		if inserted {
+			return slot, nil
+		}
 	}
 	return 0, record.ErrFull
 }
@@ -287,18 +326,15 @@ func (tx *Tx) DeleteRecord(p PageID, slot int) error {
 	if err := tx.acquire(lock.RecordResource(page.PageID(p), slot), lock.Exclusive); err != nil {
 		return err
 	}
-	tx.db.mu.Lock()
-	defer tx.db.mu.Unlock()
-	if tx.db.crashed {
-		tx.done = true
-		return ErrCrashed
-	}
-	return tx.writeRecordLocked(page.PageID(p), slot, nil, false)
+	pid := page.PageID(p)
+	return tx.opLatched(pid, func(h *latch.Held) error {
+		return tx.writeRecordLatched(h, pid, slot, nil, false)
+	})
 }
 
-// writeRecordLocked performs the write/delete under db.mu with locks
-// held.
-func (tx *Tx) writeRecordLocked(p page.PageID, slot int, rec []byte, present bool) error {
+// writeRecordLatched performs the write/delete with the page's group
+// latch (h) and the record's two-phase lock held.
+func (tx *Tx) writeRecordLatched(h *latch.Held, p page.PageID, slot int, rec []byte, present bool) error {
 	// Before another transaction is allowed to touch a page that sits in
 	// a parity group dirtied BY THAT PAGE, the no-UNDO-logging steal must
 	// be demoted to a logged one; otherwise a later twin-parity undo of
@@ -312,25 +348,33 @@ func (tx *Tx) writeRecordLocked(p page.PageID, slot int, rec []byte, present boo
 			}
 		}
 	}
-	v, err := tx.recordView(p)
+	v, err := tx.recordView(p, h)
 	if err != nil {
 		return err
 	}
 	defer tx.db.pool.Unpin(p)
+	st := tx.st
 	rid := page.RecordID{Page: p, Slot: slot}
-	if _, ok := tx.st.beforeRecords[rid]; !ok {
+	st.mu.Lock()
+	_, snapped := st.beforeRecords[rid]
+	st.mu.Unlock()
+	if !snapped {
 		img, err := v.Snapshot(slot)
 		if err != nil {
 			return err
 		}
-		tx.st.beforeRecords[rid] = img
-		tx.db.ensureBOT(tx.st)
+		st.mu.Lock()
+		st.beforeRecords[rid] = img
+		st.mu.Unlock()
+		tx.db.ensureBOT(st)
 		if !tx.db.cfg.RDA {
+			st.mu.Lock()
 			tx.db.log.Append(wal.Record{
-				Type: wal.TypeBeforeImage, Txn: tx.st.t.ID, Page: p, Slot: int32(slot),
+				Type: wal.TypeBeforeImage, Txn: st.t.ID, Page: p, Slot: int32(slot),
 				Image: record.EncodeImage(img),
 			})
-			tx.st.loggedRecords[rid] = true
+			st.loggedRecords[rid] = true
+			st.mu.Unlock()
 		}
 	}
 	if present {
@@ -365,49 +409,82 @@ func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
-	tx.db.mu.Lock()
-	if tx.db.crashed {
-		tx.db.mu.Unlock()
+	db := tx.db
+	err := db.commitAttempt(tx)
+	if err != nil && !errors.Is(err, ErrCrashed) && db.healWorld() {
+		// A disk loss mid-commit trips degraded mode; the retry re-runs
+		// EOT through the degraded protocol.  The lazy log appends are
+		// idempotent and a duplicated after-image is harmless (REDO
+		// replays images in order, so the last one wins).
+		err = db.commitAttempt(tx)
+	}
+	if errors.Is(err, ErrCrashed) {
 		tx.done = true
+		return ErrCrashed
+	}
+	if err != nil {
+		return err
+	}
+	tx.done = true
+	// The automatic action-consistent checkpoint flushes the whole pool,
+	// which needs the exclusive gate — taken after the commit's shared
+	// section ends.
+	ckptErr := db.maybeAutoCheckpoint()
+	tx.st.locks.ReleaseAll(tx.st.t.ID)
+	return ckptErr
+}
+
+// commitAttempt is one pass of EOT processing under the shared gate.
+// The transaction's modified groups are latched (all of them, ascending)
+// for the whole of EOT: that freezes the group's steal state — every
+// concurrent mutator of this transaction's bookkeeping (eviction steals,
+// demotions by group-sharers) runs under one of these latches — and makes
+// the flush + log + twin-flip sequence atomic with respect to every other
+// transaction touching the same groups.
+func (db *DB) commitAttempt(tx *Tx) error {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	if db.crashed {
 		return ErrCrashed
 	}
 	st := tx.st
 	t := st.t
 	updater := len(t.Modified) > 0
 
-	if updater && tx.db.cfg.EOT == Force {
+	h := db.latches.NewHeld()
+	defer h.ReleaseAll()
+	h.Acquire(db.groupsOf(t.Modified)...)
+
+	if updater && db.cfg.EOT == Force {
 		for _, p := range sortedPages(t.Modified) {
-			if err := tx.db.pool.FlushPage(p); err != nil {
-				tx.db.mu.Unlock()
+			if err := db.pool.FlushPage(p); err != nil {
 				return fmt.Errorf("rda: force at EOT: %w", err)
 			}
 		}
 	}
 	if updater {
-		tx.db.ensureBOT(st)
-		if err := tx.db.appendAfterImages(st); err != nil {
-			tx.db.mu.Unlock()
+		db.ensureBOT(st)
+		if err := db.appendAfterImages(st); err != nil {
 			return err
 		}
-		tx.db.log.Append(wal.Record{Type: wal.TypeEOT, Txn: t.ID, Slot: wal.NoSlot})
+		db.log.Append(wal.Record{Type: wal.TypeEOT, Txn: t.ID, Slot: wal.NoSlot})
 	}
 	// The EOT record is the commit point; everything after is volatile
-	// bookkeeping.
-	tx.db.store.CommitGroups(t)
-	tx.db.clearModifiers(t)
-	tx.db.tm.Finish(t.ID, txn.Committed)
-	delete(tx.db.states, t.ID)
-	tx.done = true
-	ckptErr := tx.db.maybeAutoCheckpoint()
-	tx.db.truncateLog()
-	tx.db.mu.Unlock()
-
-	if ckptErr != nil {
-		tx.db.locks.ReleaseAll(t.ID)
-		return ckptErr
-	}
-
-	tx.db.locks.ReleaseAll(t.ID)
+	// bookkeeping.  The serialization position is assigned while the
+	// groups are still latched, so it agrees with the order in which
+	// conflicting transactions passed their commit points.
+	st.commitSeq = db.commitSeq.Add(1)
+	func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		db.store.CommitGroups(t)
+	}()
+	db.clearModifiers(t)
+	db.tm.Finish(t.ID, txn.Committed)
+	db.mu.Lock()
+	delete(db.states, t.ID)
+	db.truncateLogLocked()
+	db.mu.Unlock()
 	return nil
 }
 
@@ -450,7 +527,8 @@ func (db *DB) appendAfterImages(st *txState) error {
 
 // currentImage returns the latest contents of page p: the buffered frame
 // when resident, the on-disk page otherwise (the page was stolen and not
-// re-referenced; the read is charged, as any I/O).
+// re-referenced; the read is charged, as any I/O).  The caller holds p's
+// group latch, which keeps the frame from being evicted or mutated.
 func (db *DB) currentImage(p page.PageID) (page.Buf, error) {
 	if f := db.pool.Frame(p); f != nil {
 		return f.Data.Clone(), nil
@@ -460,7 +538,8 @@ func (db *DB) currentImage(p page.PageID) (page.Buf, error) {
 
 // clearModifiers removes the finished transaction from every resident
 // frame's modifier set; frames still dirty afterwards carry committed
-// residue (see buffer.Frame.Residue).
+// residue (see buffer.Frame.Residue).  The caller holds the latches of
+// every modified group.
 func (db *DB) clearModifiers(t *txn.Txn) {
 	for p := range t.Modified {
 		f := db.pool.Frame(p)
@@ -490,45 +569,66 @@ func (tx *Tx) Abort() error {
 	if tx.done {
 		return ErrTxDone
 	}
-	tx.db.mu.Lock()
-	if tx.db.crashed {
-		tx.db.mu.Unlock()
-		tx.done = true
-		return ErrCrashed
-	}
-	st := tx.st
-	t := st.t
-
-	if err := tx.db.rollback(st); err != nil {
+	db := tx.db
+	err := db.abortAttempt(tx)
+	if err != nil && !errors.Is(err, ErrCrashed) && db.healWorld() {
 		// A disk loss mid-rollback trips degraded mode; the retry runs
 		// the remaining undo through the degraded protocol (groups the
 		// first pass finished are already clean, and the health sync
 		// demoted any dirty group on the lost disk to the idempotent
 		// logged-restore path).
-		if tx.db.syncHealth() {
-			err = tx.db.rollback(st)
-		}
-		if err != nil {
-			tx.db.mu.Unlock()
-			return fmt.Errorf("rda: abort txn %d: %w", t.ID, err)
-		}
+		err = db.abortAttempt(tx)
 	}
-	if st.botLSN != 0 {
-		// Charged backward read of the log to the BOT record (the
-		// model's c_b component).
-		tx.db.log.ChargeScan(st.botLSN, wal.LSN(tx.db.log.Len()))
-		tx.db.log.Append(wal.Record{Type: wal.TypeAbort, Txn: t.ID, Slot: wal.NoSlot})
+	if errors.Is(err, ErrCrashed) {
+		tx.done = true
+		return ErrCrashed
 	}
-	tx.db.tm.Finish(t.ID, txn.Aborted)
-	delete(tx.db.states, t.ID)
+	if err != nil {
+		return fmt.Errorf("rda: abort txn %d: %w", tx.st.t.ID, err)
+	}
 	tx.done = true
-	tx.db.mu.Unlock()
-
-	tx.db.locks.ReleaseAll(t.ID)
+	tx.st.locks.ReleaseAll(tx.st.t.ID)
 	return nil
 }
 
-// rollback performs the disk- and buffer-level undo for an abort.
+// abortAttempt is one pass of rollback under the shared gate, holding
+// the latches of every modified group for the same atomicity reasons as
+// commitAttempt.
+func (db *DB) abortAttempt(tx *Tx) error {
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	if db.crashed {
+		return ErrCrashed
+	}
+	st := tx.st
+	t := st.t
+
+	h := db.latches.NewHeld()
+	defer h.ReleaseAll()
+	h.Acquire(db.groupsOf(t.Modified)...)
+
+	if err := db.rollback(st); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	bot := st.botLSN
+	st.mu.Unlock()
+	if bot != 0 {
+		// Charged backward read of the log to the BOT record (the
+		// model's c_b component).
+		db.log.ChargeScan(bot, wal.LSN(db.log.Len()))
+		db.log.Append(wal.Record{Type: wal.TypeAbort, Txn: t.ID, Slot: wal.NoSlot})
+	}
+	db.tm.Finish(t.ID, txn.Aborted)
+	db.mu.Lock()
+	delete(db.states, t.ID)
+	db.mu.Unlock()
+	return nil
+}
+
+// rollback performs the disk- and buffer-level undo for an abort.  The
+// caller holds the latches of every group the transaction modified, so
+// the steal bookkeeping read here is frozen.
 func (db *DB) rollback(st *txState) error {
 	t := st.t
 
@@ -544,9 +644,17 @@ func (db *DB) rollback(st *txState) error {
 		}
 	}
 
+	st.mu.Lock()
+	stolenLogged := sortedBoolPages(st.stolenLogged)
+	viaParity := make(map[page.PageID]bool, len(st.stolenBefore))
+	for p := range st.stolenBefore {
+		viaParity[p] = true
+	}
+	st.mu.Unlock()
+
 	// 2. Write-through restore of pages stolen via the logging path, in
 	// page order so abort I/O sequences are deterministic.
-	for _, p := range sortedBoolPages(st.stolenLogged) {
+	for _, p := range stolenLogged {
 		restored, err := db.restoreStolenLogged(st, p)
 		if err != nil {
 			return err
@@ -576,10 +684,13 @@ func (db *DB) rollback(st *txState) error {
 
 	// 3. In-buffer repair of modified pages never stolen.
 	for p := range t.Modified {
-		if _, viaParity := st.stolenBefore[p]; viaParity {
+		if viaParity[p] {
 			continue
 		}
-		if st.stolenLogged[p] {
+		st.mu.Lock()
+		logged := st.stolenLogged[p]
+		st.mu.Unlock()
+		if logged {
 			continue
 		}
 		f := db.pool.Frame(p)
@@ -636,7 +747,9 @@ func sortedRecordIDs(set map[page.RecordID]struct{}) []page.RecordID {
 // and returns the restored disk image.
 func (db *DB) restoreStolenLogged(st *txState, p page.PageID) (page.Buf, error) {
 	if db.cfg.Logging == PageLogging {
+		st.mu.Lock()
 		img, ok := st.beforePages[p]
+		st.mu.Unlock()
 		if !ok {
 			return nil, fmt.Errorf("rda: missing before-image for page %d", p)
 		}
@@ -653,6 +766,8 @@ func (db *DB) restoreStolenLogged(st *txState, p page.PageID) (page.Buf, error) 
 	if err != nil {
 		return nil, err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for rid, img := range st.beforeRecords {
 		if rid.Page != p {
 			continue
@@ -668,6 +783,8 @@ func (db *DB) restoreStolenLogged(st *txState, p page.PageID) (page.Buf, error) 
 // the whole page in page mode, only this transaction's records in record
 // mode (other transactions' changes stay).
 func (db *DB) repairFrameData(st *txState, f *buffer.Frame) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if db.cfg.Logging == PageLogging {
 		img, ok := st.beforePages[f.Page]
 		if !ok {

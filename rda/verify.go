@@ -30,8 +30,8 @@ import (
 //
 // All reads are uncharged verification I/O.
 func (db *DB) VerifyRecovered() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.gate.Lock()
+	defer db.gate.Unlock()
 	if db.crashed {
 		return errors.New("rda: VerifyRecovered on a crashed database; run Recover first")
 	}
