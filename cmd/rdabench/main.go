@@ -14,6 +14,13 @@
 //
 //	rdabench -fig 9 -transient-rate 50 -faildisk-at 2000
 //
+// The integrity flag measures the verified-read/scrub plane the same
+// way: a background bit-flip rate on block writes, online scrubbing
+// beside the workload, and the repair counters plus transfer overhead
+// against the fault-free baseline:
+//
+//	rdabench -fig 9 -bitflip-rate 200
+//
 // The output is a table per figure with one row per x value (communality
 // C, or transaction size s for Figure 13), giving the throughput without
 // and with RDA recovery and the percentage gain — the same series the
@@ -38,6 +45,7 @@ func main() {
 	budget := flag.Int64("budget", 150000, "transfer budget per live measurement point")
 	seed := flag.Int64("seed", 42, "workload seed for the live measurement")
 	transientRate := flag.Int64("transient-rate", 0, "self-healing run: fail every n-th disk access with a transient error (0 = off)")
+	bitflipRate := flag.Int64("bitflip-rate", 0, "integrity run: silently flip one payload bit on every n-th block write (0 = off); measures the verified-read and scrub repair overhead (aggressive rates can exceed single-parity redundancy)")
 	faildiskAt := flag.Int64("faildisk-at", -1, "self-healing run: fail-stop disk 0 after this many block writes (-1 = off)")
 	workersList := flag.String("workers", "", "concurrency bench: comma-separated worker counts (e.g. 1,8); runs the group-striped throughput bench and exits")
 	ioDelay := flag.Duration("iodelay", 150*time.Microsecond, "concurrency bench: simulated per-transfer disk service time")
@@ -97,6 +105,12 @@ func main() {
 	if *transientRate > 0 || *faildiskAt >= 0 {
 		if err := selfHealBench(*transientRate, *faildiskAt, *budget, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "rdabench: self-healing measurement: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *bitflipRate > 0 {
+		if err := integrityBench(*bitflipRate, *budget, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "rdabench: integrity measurement: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -244,6 +258,98 @@ func selfHealBench(transientRate, faildiskAt, budget, seed int64) error {
 		post.RebuiltGroups, post.RebuiltGroups-st.RebuiltGroups, steps,
 		post.DiskReads+post.DiskWrites-pre.DiskReads-pre.DiskWrites)
 	fmt.Printf("  final health          : %v\n", db.Health())
+	fmt.Println()
+	return nil
+}
+
+// integrityBench measures the live engine under a background silent-
+// corruption rate against a fault-free baseline of the same seeded
+// workload: every n-th block write has one payload bit flipped after it
+// lands, the online scrubber cycles concurrently with the transactions,
+// and every flipped block must be transparently repaired from parity —
+// on the read path or by the scrubber — before any transaction sees it.
+// It prints the committed-transaction cost of the verification and
+// repair traffic and the integrity counters that explain it.
+func integrityBench(rate, budget, seed int64) error {
+	fmt.Println("== Integrity plane: live engine under background bit flips (page logging FORCE/TOC, RDA, C=0.9) ==")
+	run := func(inject bool) (sim.Result, *rda.DB, error) {
+		cfg := rda.DefaultConfig()
+		cfg.Logging = rda.PageLogging
+		cfg.EOT = rda.Force
+		cfg.RDA = true
+		cfg.PageSize = 256
+		db, err := rda.Open(cfg)
+		if err != nil {
+			return sim.Result{}, nil, err
+		}
+		if inject {
+			plane := fault.NewPlane(nil)
+			plane.SetBitFlipEvery(rate)
+			db.SetInjector(plane)
+		}
+		// The scrubber cycles continuously beside the workload, as it
+		// would in production; the stop channel ends it with the run.
+		stop := make(chan struct{})
+		scrubDone := make(chan error, 1)
+		go func() {
+			for {
+				res := <-db.StartScrub()
+				if res.Err != nil {
+					scrubDone <- res.Err
+					return
+				}
+				select {
+				case <-stop:
+					scrubDone <- nil
+					return
+				default:
+				}
+			}
+		}()
+		res, err := sim.Run(db, sim.Workload{
+			Concurrency:    6,
+			PagesPerTx:     10,
+			UpdateFraction: 0.8,
+			UpdateProb:     0.9,
+			AbortProb:      0.01,
+			Communality:    0.9,
+			Seed:           seed,
+		}, sim.Options{Transfers: budget})
+		close(stop)
+		if serr := <-scrubDone; err == nil && serr != nil {
+			err = fmt.Errorf("online scrub: %w", serr)
+		}
+		return res, db, err
+	}
+	base, _, err := run(false)
+	if err != nil {
+		return err
+	}
+	faulted, db, err := run(true)
+	if err != nil {
+		return err
+	}
+	// Stop the corruption, sweep the residue with one full scrub cycle,
+	// and prove the array is whole again.
+	db.SetInjector(nil)
+	if res := <-db.StartScrub(); res.Err != nil {
+		return fmt.Errorf("final scrub: %w", res.Err)
+	}
+	if err := db.VerifyParity(); err != nil {
+		return fmt.Errorf("parity after repairs: %w", err)
+	}
+	st := db.Stats()
+	fmt.Printf("  injected faults       : one payload bit flipped every %d block write(s)\n", rate)
+	fmt.Printf("  committed             : %d faulted vs %d fault-free (%.1f%%)\n",
+		faulted.Committed, base.Committed, 100*float64(faulted.Committed)/float64(base.Committed))
+	fmt.Printf("  detection             : %d corrupt block(s) caught by verified reads and scrubbing\n",
+		st.CorruptBlocksDetected)
+	fmt.Printf("  repair                : %d read repair(s) on the hot path, %d parity repair(s), %d scrub repair(s), %d group(s) scrubbed\n",
+		st.ReadRepairs, st.ParityRepairs, st.ScrubRepairs, st.ScrubbedGroups)
+	fmt.Printf("  transfer overhead     : %d faulted vs %d fault-free array transfers (%.1f%%)\n",
+		faulted.Stats.DiskReads+faulted.Stats.DiskWrites, base.Stats.DiskReads+base.Stats.DiskWrites,
+		100*float64(faulted.Stats.DiskReads+faulted.Stats.DiskWrites)/float64(base.Stats.DiskReads+base.Stats.DiskWrites))
+	fmt.Printf("  unrecoverable         : %d (double faults beyond single parity)\n", st.UnrecoverableCorruption)
 	fmt.Println()
 	return nil
 }

@@ -25,10 +25,19 @@
 //
 //	rdacrash -degraded
 //
+// Corrupt mode is the silent-corruption soak: every run plants a bit
+// flip, lost write or misdirected write at a random write index (half
+// the runs crash afterwards too) while online scrub steps interleave
+// with the workload, and every read is held to the integrity plane's
+// oracle — committed data is never served corrupt:
+//
+//	rdacrash -corrupt -seed 7 -iters 100
+//
 // Every failure prints its seed and schedule; replay one with:
 //
 //	rdacrash -seed <seed> -sched "crash@w12"
 //	rdacrash -degraded -seed <seed> -sched "faildisk[0]@w0 crash@w13"
+//	rdacrash -corrupt -seed <seed> -sched "misdirected[21]@w6 crash@w9"
 //
 // The exit status is non-zero if any run violated a recovery invariant.
 package main
@@ -48,6 +57,7 @@ func main() {
 		explore  = flag.Bool("explore", false, "exhaustively crash at every write index")
 		degraded = flag.Bool("degraded", false, "exhaustive crash sweep with one disk down: crashes across the degraded workload, the online rebuild, and coinciding with the disk death itself")
 		soak     = flag.Bool("soak", false, "randomized crash points over derived seeds")
+		corrupt  = flag.Bool("corrupt", false, "silent-corruption soak: random bit flips, lost and misdirected writes (half crashed on top) with online scrubbing interleaved")
 		mix      = flag.Bool("mix", false, "self-healing soak: transient faults everywhere, alternating crashes and mid-run disk deaths")
 		trans    = flag.Int64("transient", 50, "mix mode: fail every n-th disk access with a transient error (0 disables)")
 		torn     = flag.Bool("torn", false, "tear the crashed write (half payload persists) instead of dropping it")
@@ -92,6 +102,10 @@ func main() {
 			// original -transient rate) to the replay command line.
 			var err error
 			switch {
+			case *corrupt:
+				o := opts(l)
+				o.Scrub = true
+				_, err = crashcheck.RunCorruptSchedule(o, s)
 			case *degraded:
 				var rep *rda.RecoveryReport
 				rep, err = crashcheck.RunDegradedSchedule(opts(l), s)
@@ -144,6 +158,18 @@ func main() {
 				os.Exit(1)
 			}
 			report(l, res, "")
+			failed = failed || len(res.Violations) > 0
+		}
+	case *corrupt:
+		for _, l := range lays {
+			res, err := crashcheck.CorruptSoak(opts(l), *iters)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdacrash: %v\n", err)
+				os.Exit(1)
+			}
+			report(l, res, "-corrupt ")
+			fmt.Printf("%v: integrity: %d corrupt block(s) detected, %d read repair(s), %d scrub repair(s), %d group(s) scrubbed, %d unrecoverable\n",
+				l, res.CorruptBlocksDetected, res.ReadRepairs, res.ScrubRepairs, res.ScrubbedGroups, res.UnrecoverableCorruption)
 			failed = failed || len(res.Violations) > 0
 		}
 	case *mix:

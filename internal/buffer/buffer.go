@@ -419,6 +419,23 @@ func (bp *Pool) Discard(p page.PageID) {
 	}
 }
 
+// DiscardClean drops page p from the pool only if its frame is clean and
+// unpinned.  The scrubber uses it after rewriting a block on the platter:
+// a clean frame may predate the repair and must be refetched, while a
+// dirty frame holds newer contents that will overwrite the platter on
+// steal anyway, and a pinned frame is in active use under a group latch
+// that excludes the scrubber in the first place.  Returns true if the
+// frame was dropped.
+func (bp *Pool) DiscardClean(p page.PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[p]; ok && !f.Dirty && f.pins == 0 {
+		bp.remove(f)
+		return true
+	}
+	return false
+}
+
 // RestoreDiskVersion rewinds the frame of page p to its disk version and
 // marks it clean.  It returns true if the frame was resident and had a
 // disk version to restore.  Used by abort for modified-but-never-stolen

@@ -84,34 +84,23 @@ func NewStore(arr *diskarray.Array, log *wal.Log, tm *txn.Manager) *Store {
 // RDA reports whether RDA recovery is active.
 func (s *Store) RDA() bool { return s.Twins != nil }
 
-// ReadPage reads a data page, charging one transfer.  If the page's disk
-// is down, the read is served by on-the-fly reconstruction instead.
+// ReadPage reads a data page, charging one transfer.  Every read is
+// verified end to end: if the page's disk is down the read is served by
+// on-the-fly reconstruction, and if the stored block fails verification
+// (checksum, location stamp or write ledger) it is repaired in place from
+// the group's redundancy before being returned — see ReadPageRepair.
 func (s *Store) ReadPage(p page.PageID) (page.Buf, error) {
-	if s.pageUnavailable(p) {
-		return s.readDegraded(p)
-	}
-	b, _, err := s.Arr.ReadData(p)
-	if err != nil {
-		return nil, fmt.Errorf("core: read page %d: %w", p, err)
-	}
-	return b, nil
+	return s.ReadPageRepair(p)
 }
 
 // oldOnDisk returns the page's current on-disk contents, using the
 // caller-provided copy when available (the paper's a=3 case) and reading
-// from the array otherwise (a=4).
+// from the array otherwise (a=4), verified and repaired like every read.
 func (s *Store) oldOnDisk(p page.PageID, cached page.Buf) (page.Buf, error) {
 	if cached != nil {
 		return cached, nil
 	}
-	if s.pageUnavailable(p) {
-		return s.readDegraded(p)
-	}
-	b, _, err := s.Arr.ReadData(p)
-	if err != nil {
-		return nil, fmt.Errorf("core: read old contents of page %d: %w", p, err)
-	}
-	return b, nil
+	return s.ReadPageRepair(p)
 }
 
 // currentTwin returns the index of the current parity twin for group g
@@ -434,7 +423,31 @@ func (s *Store) undoViaTwins(g page.GroupID, p page.PageID, workingTwin int) (pa
 	}
 	dNew, _, err := s.Arr.ReadData(p)
 	if err != nil {
-		return nil, fmt.Errorf("core: read page %d: %w", p, err)
+		if !disk.IsCorrupt(err) {
+			return nil, fmt.Errorf("core: read page %d: %w", p, err)
+		}
+		// The dirty page's on-disk (new) version is corrupt, so the
+		// Figure 6 identity has nothing to XOR against — but the committed
+		// twin still describes the pre-transaction group, whose other
+		// members are untouched, so the before-image comes out directly:
+		// D_old = P_cmt ⊕ (other data pages).
+		s.deg.corruptDetected.Add(1)
+		dOld, rerr := s.ReconstructData(g, p, 1-workingTwin)
+		if rerr != nil {
+			if disk.IsCorrupt(rerr) || errors.Is(rerr, disk.ErrFailed) {
+				s.deg.unrecoverable.Add(1)
+				return nil, fmt.Errorf("core: undo of corrupt page %d: %v: %w", p, rerr, ErrUnrecoverableCorruption)
+			}
+			return nil, fmt.Errorf("core: undo of corrupt page %d: %w", p, rerr)
+		}
+		if err := s.writeData(p, dOld, disk.Meta{}); err != nil {
+			return nil, err
+		}
+		s.deg.readRepairs.Add(1)
+		if err := s.Twins.Invalidate(g, workingTwin); err != nil {
+			return nil, err
+		}
+		return dOld, nil
 	}
 	dOld := page.Buf(xorparity.UndoTwin(p0, p1, dNew))
 	if err := s.writeData(p, dOld, disk.Meta{}); err != nil {
@@ -502,7 +515,27 @@ func (s *Store) ScanWorkingTwins() ([]WorkingTwinInfo, error) {
 func (s *Store) CrashUndoWorkingTwin(w WorkingTwinInfo) error {
 	_, meta, err := s.Arr.ReadData(w.Page)
 	if err != nil {
-		return fmt.Errorf("core: read tagged page %d: %w", w.Page, err)
+		if !disk.IsCorrupt(err) {
+			return fmt.Errorf("core: read tagged page %d: %w", w.Page, err)
+		}
+		// The tagged page is corrupt, so its header cannot arbitrate.  The
+		// loser's page must end up holding the before-image either way, and
+		// the committed twin supplies it regardless of how far the steal
+		// got: D_old = P_cmt ⊕ (other data pages).
+		s.deg.corruptDetected.Add(1)
+		dOld, rerr := s.ReconstructData(w.Group, w.Page, 1-w.Twin)
+		if rerr != nil {
+			if disk.IsCorrupt(rerr) || errors.Is(rerr, disk.ErrFailed) {
+				s.deg.unrecoverable.Add(1)
+				return fmt.Errorf("core: undo of corrupt tagged page %d: %v: %w", w.Page, rerr, ErrUnrecoverableCorruption)
+			}
+			return fmt.Errorf("core: undo of corrupt tagged page %d: %w", w.Page, rerr)
+		}
+		if err := s.writeData(w.Page, dOld, disk.Meta{}); err != nil {
+			return err
+		}
+		s.deg.readRepairs.Add(1)
+		return s.Twins.Invalidate(w.Group, w.Twin)
 	}
 	if meta.Txn != w.Txn {
 		// Already restored by a previous, interrupted recovery, or the
@@ -550,6 +583,101 @@ func (s *Store) ReconstructData(g page.GroupID, p page.PageID, twin int) (page.B
 		blocks = append(blocks, b)
 	}
 	return page.Buf(xorparity.Reconstruct(s.Arr.PageSize(), blocks...)), nil
+}
+
+// DescribingTwin picks the parity twin a corrupt data page p must be
+// reconstructed from, judged by headers alone.  The key is the *newest*
+// valid twin — the group's latest acked parity write — NOT the Figure 7
+// current twin: Figure 7 resolves ownership (a loser's working twin is
+// never current), but a loser's parity still describes the platter once
+// its steal's data write landed, and that is all reconstruction needs.
+// What recovery then DOES with the group (undo, launder) is a separate
+// question answered by the other passes.
+//
+// Both the flip and the steal protocols write parity BEFORE data, so the
+// newest twin may describe a data write that never reached the platter.
+// The pairing echo arbitrates — both protocols stamp the named data page
+// with the parity's own timestamp:
+//
+//   - The newest twin names p itself.  Its payload is the only surviving
+//     copy of the acked write to p — parity-as-redo — and it is the
+//     reconstruction source precisely BECAUSE the platter disagrees: the
+//     stale or missing on-disk image is the fault under repair.  (If the
+//     writer is a known loser the write must instead be undone, so the
+//     sibling is returned; the torn-repair pass normally handles that
+//     case before calling here.)
+//   - The newest twin names some other page q (p is a bystander).  A
+//     matching header on q proves the twin's data write landed and its
+//     payload matches the platter.  A broken echo means the twin ran
+//     ahead; reconstructing p from it would XOR the phantom q-delta into
+//     the repaired page, so the sibling — the parity the on-disk bytes
+//     still satisfy — is used instead.
+func (s *Store) DescribingTwin(g page.GroupID, p page.PageID, committed func(page.TxID) bool) (int, error) {
+	if s.Twins == nil {
+		return 0, nil
+	}
+	var metas [2]disk.Meta
+	for twin := 0; twin < 2; twin++ {
+		m, err := s.Arr.ReadParityMeta(g, twin)
+		if err != nil {
+			return 0, fmt.Errorf("core: describing twin of group %d: %w", g, err)
+		}
+		metas[twin] = m
+	}
+	valid := func(m disk.Meta) bool {
+		switch m.State {
+		case disk.StateCommitted, disk.StateObsolete, disk.StateWorking:
+			return true
+		}
+		return false
+	}
+	newest := 0
+	switch {
+	case valid(metas[0]) && valid(metas[1]):
+		if metas[1].Timestamp > metas[0].Timestamp {
+			newest = 1
+		}
+	case valid(metas[1]):
+		newest = 1
+	case !valid(metas[0]):
+		return 0, fmt.Errorf("core: describing twin of group %d: no valid parity twin", g)
+	}
+	m := metas[newest]
+	if m.State != disk.StateWorking && !m.PairedSet {
+		// Names no page (formatted or wholesale-recomputed parity):
+		// nothing can have run ahead of the data.
+		return newest, nil
+	}
+	if m.DirtyPage == p {
+		if m.State == disk.StateWorking && committed != nil && !committed(m.Txn) && valid(metas[1-newest]) {
+			return 1 - newest, nil // loser's steal: undo from the sibling
+		}
+		return newest, nil // parity-as-redo: the newest twin defines p
+	}
+	// Bystander repair: check the pairing echo on the named page.  The
+	// raw header is deliberately used — arbitration is about which bytes
+	// sit on the platter, not whether they verify.
+	loc := s.Arr.DataLoc(m.DirtyPage)
+	dm, err := s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
+	if err == nil && dm.Timestamp == m.Timestamp {
+		return newest, nil
+	}
+	// Broken echo: the newest twin's data write never landed.  Before
+	// falling back to the sibling, make sure the sibling does not predate
+	// a *landed* write to the named page: a re-steal refreshes the
+	// working twin in place, so if its data write was then cut, the twin
+	// version that described the platter (the first steal's) has been
+	// destroyed by the rewrite.  The named page's on-disk timestamp sitting
+	// above the sibling's betrays exactly that — neither twin matches the
+	// platter and p's contents exceed the surviving redundancy.
+	if err == nil && dm.Timestamp > metas[1-newest].Timestamp {
+		s.deg.unrecoverable.Add(1)
+		return 0, fmt.Errorf("core: repair page %d of group %d: %w: twin %d ran ahead of its data write and the platter-consistent parity version was overwritten in place", p, g, ErrUnrecoverableCorruption, newest)
+	}
+	if valid(metas[1-newest]) {
+		return 1 - newest, nil
+	}
+	return newest, nil
 }
 
 // ResyncParity makes every group's current parity twin equal the XOR of
@@ -603,6 +731,26 @@ func (s *Store) resyncGroup(gid page.GroupID) (bool, error) {
 	if ok {
 		return false, nil
 	}
+	// Rule out silent corruption before interpreting the mismatch as an
+	// interrupted read-modify-write.  A write the crash cut off was never
+	// acknowledged, so every member still passes the verified read; a
+	// lost, misdirected or rotted block trips a detector and must be
+	// rebuilt from the current twin's redundancy first — demoting to the
+	// twin that matches the stale block, or recomputing parity over it,
+	// would launder a committed update away.
+	fixed, err := s.repairSilentDamage(gid, cur)
+	if err != nil {
+		return false, err
+	}
+	if fixed {
+		ok, err = s.Arr.VerifyGroup(gid, cur)
+		if err != nil {
+			return false, fmt.Errorf("core: resync group %d: %w", gid, err)
+		}
+		if ok {
+			return true, nil
+		}
+	}
 	if s.Twins != nil {
 		other := 1 - cur
 		okOther, err := s.Arr.VerifyGroup(gid, other)
@@ -630,6 +778,86 @@ func (s *Store) resyncGroup(gid page.GroupID) (bool, error) {
 	if err := s.Arr.RecomputeParity(gid, cur, meta); err != nil {
 		return false, fmt.Errorf("core: resync group %d: %w", gid, err)
 	}
+	return true, nil
+}
+
+// repairSilentDamage runs a verified scan of group g — every member
+// checked against its checksum, location stamp and the write ledger —
+// and rebuilds at most one silently corrupt block from the current
+// twin's redundancy.  resyncGroup calls it when a group fails the XOR
+// identity, because the ledger is what distinguishes a crash from a
+// lie: a write the crash cut off was never acknowledged, so the ledger
+// still matches the old contents and the scan finds nothing, whereas a
+// lost or misdirected write WAS acknowledged — the transaction that
+// issued it may have committed — and the stale block trips a detector.
+// Reports whether anything was rewritten.
+func (s *Store) repairSilentDamage(g page.GroupID, twin int) (bool, error) {
+	pages := s.Arr.GroupPages(g)
+	data := make([]page.Buf, len(pages))
+	bad := -1
+	for i, p := range pages {
+		b, _, err := s.Arr.ReadData(p)
+		switch {
+		case err == nil:
+			data[i] = b
+		case disk.IsCorrupt(err):
+			s.deg.corruptDetected.Add(1)
+			if bad >= 0 {
+				s.deg.unrecoverable.Add(1)
+				return false, fmt.Errorf("core: resync group %d has two corrupt data blocks (%v): %w", g, err, ErrUnrecoverableCorruption)
+			}
+			bad = i
+		default:
+			return false, fmt.Errorf("core: resync group %d: %w", g, err)
+		}
+	}
+
+	parity, pMeta, perr := s.Arr.ReadParity(g, twin)
+	if perr != nil {
+		if !disk.IsCorrupt(perr) {
+			return false, fmt.Errorf("core: resync group %d parity: %w", g, perr)
+		}
+		s.deg.corruptDetected.Add(1)
+		if bad >= 0 {
+			s.deg.unrecoverable.Add(1)
+			return false, fmt.Errorf("core: resync group %d lost both a data block and its parity (%v): %w", g, perr, ErrUnrecoverableCorruption)
+		}
+		// The parity itself is the lie.  Recompute it from the (all
+		// verified) data; the persisted header survives a payload-only
+		// checksum failure, otherwise synthesize a fresh committed one.
+		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		if errors.Is(perr, disk.ErrChecksum) {
+			if m, merr := s.Arr.PeekParityMeta(g, twin); merr == nil {
+				meta = m
+			}
+		}
+		if err := s.recomputeParityFrom(g, twin, data, meta); err != nil {
+			return false, err
+		}
+		s.deg.readRepairs.Add(1)
+		return true, nil
+	}
+
+	if bad < 0 {
+		return false, nil
+	}
+	// Rebuild the flagged data block from parity + survivors, restoring
+	// a flip-pairing header if the parity names this page.
+	survivors := [][]byte{parity}
+	for i, b := range data {
+		if i != bad {
+			survivors = append(survivors, b)
+		}
+	}
+	meta := disk.Meta{}
+	if pMeta.PairedSet && pMeta.DirtyPage == pages[bad] {
+		meta = disk.Meta{Timestamp: pMeta.Timestamp}
+	}
+	rebuilt := xorparity.Reconstruct(s.Arr.PageSize(), survivors...)
+	if err := s.Arr.WriteData(pages[bad], rebuilt, meta); err != nil {
+		return false, fmt.Errorf("core: resync repair page %d: %w", pages[bad], err)
+	}
+	s.deg.readRepairs.Add(1)
 	return true, nil
 }
 

@@ -35,15 +35,22 @@ type DegradedStats struct {
 	RebuiltGroups uint64
 }
 
-// degCounters is the live form of DegradedStats.  The hot-path counters
-// (degraded reads/writes, latent parity repairs) are bumped by ordinary
-// page operations running concurrently under the engine's shared gate,
-// so they are atomics rather than fields behind a lock.
+// degCounters is the live form of DegradedStats and IntegrityStats.  The
+// hot-path counters are bumped by ordinary page operations running
+// concurrently under the engine's shared gate, so they are atomics rather
+// than fields behind a lock.
 type degCounters struct {
 	degradedReads  atomic.Uint64
 	degradedWrites atomic.Uint64
 	parityRepairs  atomic.Uint64
 	rebuiltGroups  atomic.Uint64
+
+	// Integrity plane (see integrity.go).
+	corruptDetected atomic.Uint64
+	readRepairs     atomic.Uint64
+	unrecoverable   atomic.Uint64
+	scrubbedGroups  atomic.Uint64
+	scrubRepairs    atomic.Uint64
 }
 
 // EnterDegraded records that disk d is down: reads and writes touching
@@ -210,6 +217,15 @@ func (s *Store) readDegraded(p page.PageID) (page.Buf, error) {
 	g := s.Arr.GroupOf(p)
 	b, err := s.ReconstructData(g, p, s.describingTwin(g))
 	if err != nil {
+		if disk.IsCorrupt(err) {
+			// A survivor (or the describing parity) of an already-degraded
+			// group failed verification: the group has lost two blocks and
+			// XOR cannot solve for either.  Surface the typed loss instead
+			// of reconstructing garbage.
+			s.deg.corruptDetected.Add(1)
+			s.deg.unrecoverable.Add(1)
+			return nil, fmt.Errorf("core: degraded read of page %d: %v: %w", p, err, ErrUnrecoverableCorruption)
+		}
 		return nil, fmt.Errorf("core: degraded read of page %d: %w", p, err)
 	}
 	s.deg.degradedReads.Add(1)

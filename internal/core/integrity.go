@@ -1,0 +1,58 @@
+// The integrity plane: verified reads with in-place read-repair.
+//
+// Every payload read the store issues is verified end to end — the drive
+// checks the sector CRC, the disk layer checks the self-describing
+// location stamp, and the array checks the NVRAM write ledger (see
+// internal/disk and internal/diskarray).  A read that fails any of those
+// checks (disk.IsCorrupt) never surfaces its bytes; instead the store
+// reconstructs the block in place from the group's redundancy, exactly
+// like the scrub pass would, and only the rebuilt contents are returned.
+// When the group's redundancy is already consumed — a member is dead, or
+// a second block of the group is corrupt — the typed
+// ErrUnrecoverableCorruption is returned instead of garbage, and the
+// explicit-loss machinery upstream decides what to do.
+package core
+
+import (
+	"errors"
+)
+
+// ErrUnrecoverableCorruption reports a corrupt block in a group whose
+// redundancy cannot reconstruct it: a second group member is dead or
+// corrupt, so single-parity XOR is out of equations.  The block's bytes
+// are never returned — callers see this error instead of garbage.
+var ErrUnrecoverableCorruption = errors.New("core: corrupt block unrecoverable, group redundancy exhausted")
+
+// IntegrityStats is a snapshot of the integrity plane's counters (see
+// IntegrityCounters).
+type IntegrityStats struct {
+	// CorruptBlocksDetected is the number of reads that failed
+	// verification (checksum, location stamp or write ledger) — each one
+	// a block of silent corruption that was NOT served to a caller.
+	CorruptBlocksDetected uint64
+	// ReadRepairs is the number of data blocks reconstructed in place
+	// from group redundancy on the read path.
+	ReadRepairs uint64
+	// UnrecoverableCorruption is the number of corrupt reads whose group
+	// redundancy could not reconstruct them (ErrUnrecoverableCorruption
+	// returned instead of garbage).
+	UnrecoverableCorruption uint64
+	// ScrubbedGroups is the number of parity groups fully verified by the
+	// online scrub (skipped dirty/degraded groups are not counted).
+	ScrubbedGroups uint64
+	// ScrubRepairs is the number of blocks (data or parity) the scrub
+	// rewrote from redundancy.
+	ScrubRepairs uint64
+}
+
+// IntegrityCounters returns a snapshot of the cumulative integrity-plane
+// counters.
+func (s *Store) IntegrityCounters() IntegrityStats {
+	return IntegrityStats{
+		CorruptBlocksDetected:   s.deg.corruptDetected.Load(),
+		ReadRepairs:             s.deg.readRepairs.Load(),
+		UnrecoverableCorruption: s.deg.unrecoverable.Load(),
+		ScrubbedGroups:          s.deg.scrubbedGroups.Load(),
+		ScrubRepairs:            s.deg.scrubRepairs.Load(),
+	}
+}

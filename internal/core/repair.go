@@ -13,24 +13,38 @@ import (
 // redundancy — the valid parity view plus the other members — writes it
 // back, and returns the contents.  For a dirty group the working twin is
 // the parity of the on-disk data; for a clean group the current twin is.
-// The dirty page's crash-undo transaction tag is restored in its header.
+// The rebuilt page's header is restored from what the parity header
+// records: a dirty page gets its crash-undo transaction tag (and the
+// working twin's timestamp, so the re-steal detection keeps working), and
+// a page named by a committed flip pairing gets the pairing timestamp
+// back (so a later degraded restart does not mistake the completed flip
+// for a broken one).
+//
+// A survivor that is itself unreachable or corrupt means the group has
+// lost two blocks: the rebuild fails with ErrUnrecoverableCorruption
+// rather than fabricating contents.
 func (s *Store) RebuildDataPage(p page.PageID) (page.Buf, error) {
 	g := s.Arr.GroupOf(p)
 	twin := 0
-	meta := disk.Meta{}
+	var dirtyTxn page.TxID
+	isDirtyPage := false
 	if s.Twins != nil {
 		twin = s.Twins.Current(g)
 		if s.Dirty != nil {
 			if e, dirty := s.Dirty.Lookup(g); dirty {
 				twin = e.WorkingTwin
 				if e.Page == p {
-					meta.Txn = e.Txn
+					isDirtyPage = true
+					dirtyTxn = e.Txn
 				}
 			}
 		}
 	}
-	parity, _, err := s.ReadParityRepair(g, twin)
+	parity, pm, err := s.ReadParityRepair(g, twin)
 	if err != nil {
+		if disk.IsCorrupt(err) || errors.Is(err, disk.ErrFailed) {
+			return nil, fmt.Errorf("core: rebuild page %d: read parity: %v: %w", p, err, ErrUnrecoverableCorruption)
+		}
 		return nil, fmt.Errorf("core: rebuild page %d: read parity: %w", p, err)
 	}
 	survivors := [][]byte{parity}
@@ -38,11 +52,24 @@ func (s *Store) RebuildDataPage(p page.PageID) (page.Buf, error) {
 		if q == p {
 			continue
 		}
+		if s.pageUnavailable(q) {
+			return nil, fmt.Errorf("core: rebuild page %d: survivor %d unreachable: %w", p, q, ErrUnrecoverableCorruption)
+		}
 		b, _, err := s.Arr.ReadData(q)
 		if err != nil {
+			if disk.IsCorrupt(err) || errors.Is(err, disk.ErrFailed) {
+				return nil, fmt.Errorf("core: rebuild page %d: read survivor %d: %v: %w", p, q, err, ErrUnrecoverableCorruption)
+			}
 			return nil, fmt.Errorf("core: rebuild page %d: read survivor %d: %w", p, q, err)
 		}
 		survivors = append(survivors, b)
+	}
+	meta := disk.Meta{}
+	switch {
+	case isDirtyPage:
+		meta = disk.Meta{Txn: dirtyTxn, Timestamp: pm.Timestamp}
+	case pm.PairedSet && pm.DirtyPage == p:
+		meta = disk.Meta{Timestamp: pm.Timestamp}
 	}
 	rebuilt := page.Buf(xorparity.Reconstruct(s.Arr.PageSize(), survivors...))
 	if err := s.Arr.WriteData(p, rebuilt, meta); err != nil {
@@ -51,10 +78,13 @@ func (s *Store) RebuildDataPage(p page.PageID) (page.Buf, error) {
 	return rebuilt, nil
 }
 
-// ReadPageRepair reads a data page, transparently repairing a latent
-// sector error (checksum mismatch) from the group's redundancy — the
-// inline counterpart of the Scrub pass, so a single bad sector never
-// surfaces as an application error on a redundant array.
+// ReadPageRepair reads a data page verified end to end, transparently
+// repairing any silent corruption (checksum mismatch, misdirected-write
+// stamp, lost-write ledger) from the group's redundancy — the inline
+// counterpart of the scrub pass, so a single bad block never surfaces as
+// an application error, and corrupt bytes are never served.  When the
+// redundancy cannot reconstruct the block, ErrUnrecoverableCorruption is
+// returned instead.
 func (s *Store) ReadPageRepair(p page.PageID) (page.Buf, error) {
 	if s.pageUnavailable(p) {
 		return s.readDegraded(p)
@@ -63,38 +93,82 @@ func (s *Store) ReadPageRepair(p page.PageID) (page.Buf, error) {
 	if err == nil {
 		return b, nil
 	}
-	if !errors.Is(err, disk.ErrChecksum) {
+	if !disk.IsCorrupt(err) {
 		return nil, fmt.Errorf("core: read page %d: %w", p, err)
 	}
+	s.deg.corruptDetected.Add(1)
 	rebuilt, rerr := s.RebuildDataPage(p)
 	if rerr != nil {
+		if errors.Is(rerr, ErrUnrecoverableCorruption) {
+			s.deg.unrecoverable.Add(1)
+		}
 		return nil, fmt.Errorf("core: read repair of page %d failed: %w (original: %v)", p, rerr, err)
 	}
+	s.deg.readRepairs.Add(1)
 	return rebuilt, nil
 }
 
-// ReadParityRepair reads parity twin `twin` of group g, transparently
-// repairing a latent checksum error by recomputing the parity from the
-// group's data pages — but only when this twin is the one describing the
-// on-disk data (the current twin of a clean group, or the working twin
-// of a dirty one).  The other twin holds *history* — the committed
-// pre-transaction parity of a dirty group, or an obsolete version — that
-// the data cannot regenerate, so its errors surface to the caller.
+// ReadParityRepair reads parity twin `twin` of group g verified end to
+// end, transparently repairing silent corruption by recomputing the
+// parity from the group's data pages — but only when this twin is the one
+// describing the on-disk data (the current twin of a clean group, or the
+// working twin of a dirty one).  The other twin holds *history* — the
+// committed pre-transaction parity of a dirty group, or an obsolete
+// version — that the data cannot regenerate, so its errors surface to the
+// caller.
+//
+// The repaired twin's header: when only the payload was damaged
+// (checksum mismatch — bit rot or a torn write keep the block's own
+// header) the persisted header is reused; when the header itself is gone
+// (a misdirected write deposited a foreign one, or a lost write left a
+// stale old version) it is resynthesized from the store's in-memory
+// state — a working header with the dirty entry's tag for a dirty group,
+// a fresh committed header for a clean one.
 func (s *Store) ReadParityRepair(g page.GroupID, twin int) (page.Buf, disk.Meta, error) {
 	b, m, err := s.Arr.ReadParity(g, twin)
-	if err == nil || !errors.Is(err, disk.ErrChecksum) {
+	if err == nil || !disk.IsCorrupt(err) {
 		return b, m, err
 	}
+	s.deg.corruptDetected.Add(1)
 	if twin != s.describingTwin(g) {
 		return nil, disk.Meta{}, fmt.Errorf("core: read twin %d of group %d: %w", twin, g, err)
 	}
-	meta, merr := s.Arr.PeekParityMeta(g, twin)
-	if merr != nil {
-		return nil, disk.Meta{}, fmt.Errorf("core: read twin %d of group %d: %w", twin, g, err)
+	var meta disk.Meta
+	if errors.Is(err, disk.ErrChecksum) {
+		pm, merr := s.Arr.PeekParityMeta(g, twin)
+		if merr != nil {
+			return nil, disk.Meta{}, fmt.Errorf("core: read twin %d of group %d: %w", twin, g, err)
+		}
+		meta = pm
+	} else {
+		meta = s.synthesizeParityMeta(g, twin)
 	}
 	if rerr := s.Arr.RecomputeParity(g, twin, meta); rerr != nil {
+		if disk.IsCorrupt(rerr) || errors.Is(rerr, disk.ErrFailed) {
+			s.deg.unrecoverable.Add(1)
+			return nil, disk.Meta{}, fmt.Errorf("core: parity repair of group %d twin %d: %v: %w", g, twin, rerr, ErrUnrecoverableCorruption)
+		}
 		return nil, disk.Meta{}, fmt.Errorf("core: parity repair of group %d twin %d failed: %w (original: %v)", g, twin, rerr, err)
 	}
 	s.deg.parityRepairs.Add(1)
 	return s.Arr.ReadParity(g, twin)
+}
+
+// synthesizeParityMeta rebuilds the header of the describing parity twin
+// of group g from in-memory state, for repairs where the on-platter
+// header cannot be trusted (misdirected or lost writes).  A dirty group's
+// working twin gets a working header carrying the dirty entry's
+// transaction and covered page; a clean group's current twin gets a fresh
+// committed header (the pairing bits are dropped — conservative, the pair
+// check simply does not fire).
+func (s *Store) synthesizeParityMeta(g page.GroupID, twin int) disk.Meta {
+	if s.Dirty != nil {
+		if e, dirty := s.Dirty.Lookup(g); dirty && e.WorkingTwin == twin {
+			return disk.Meta{
+				State: disk.StateWorking, Timestamp: s.TM.NextTimestamp(),
+				Txn: e.Txn, DirtyPage: e.Page,
+			}
+		}
+	}
+	return disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
 }

@@ -13,96 +13,180 @@ import (
 type ScrubReport struct {
 	// GroupsScanned is the number of parity groups examined.
 	GroupsScanned int
-	// LatentErrors is the number of blocks whose stored checksum no
-	// longer matched their contents (latent sector errors).
+	// GroupsSkipped is the number of groups left for a later pass because
+	// they were dirty or degraded at the time (online scrubbing only).
+	GroupsSkipped int
+	// LatentErrors is the number of blocks whose stored contents no
+	// longer passed verification (checksum, location stamp or write
+	// ledger) — latent silent corruption.
 	LatentErrors int
 	// Repaired is the number of blocks rebuilt from group redundancy.
 	Repaired int
 	// ParityRewritten counts parity pages recomputed because they no
 	// longer matched their group's data.
 	ParityRewritten int
+	// RepairedPages lists the data pages whose platter contents were
+	// rewritten, so callers can invalidate exactly the buffer frames that
+	// went stale (parity rewrites are invisible to the buffer pool).
+	RepairedPages []page.PageID
+}
+
+// GroupScrub is the outcome of scrubbing a single parity group.
+type GroupScrub struct {
+	// Skipped reports that the group was not verified: it was dirty (a
+	// no-log steal is in flight and the twin views are in motion) or
+	// degraded (its redundancy is already consumed by a dead disk).  The
+	// online scrubber retries it on the next cycle.
+	Skipped bool
+	// LatentErrors, Repaired and ParityRewritten are as in ScrubReport.
+	LatentErrors    int
+	Repaired        int
+	ParityRewritten int
+	// RepairedPages lists data pages rewritten on the platter.
+	RepairedPages []page.PageID
 }
 
 // Scrub walks every parity group, verifying that each valid parity page
-// equals the XOR of its data pages and that every block still passes its
-// checksum.  Latent sector errors — the silent corruption that
-// motivates periodic scrubbing of redundant arrays — are repaired from
-// the group's surviving redundancy; mismatched parity is recomputed.
+// equals the XOR of its data pages and that every block still passes
+// end-to-end verification.  Latent silent corruption — checksum rot,
+// misdirected writes, lost writes — is repaired from the group's
+// surviving redundancy; mismatched parity is recomputed.
 //
-// Scrub must run on a quiesced store: no parity group may be dirty
-// (scrubbing would not know which twin view to repair toward).  It is
-// the paper's "background process that runs during the idle periods of
-// the system" (Section 4.2) extended from bitmap reconstruction to full
-// redundancy verification.
+// Scrub requires a quiesced store: no parity group may be dirty
+// (scrubbing would not know which twin view to repair toward).  Online,
+// incremental scrubbing of a live store goes through ScrubGroup, which
+// skips in-motion groups instead.  This is the paper's "background
+// process that runs during the idle periods of the system" (Section 4.2)
+// extended from bitmap reconstruction to full redundancy verification.
 func (s *Store) Scrub() (*ScrubReport, error) {
 	if s.Dirty != nil && s.Dirty.Len() > 0 {
 		return nil, fmt.Errorf("core: scrub requires a quiesced store (%d dirty groups)", s.Dirty.Len())
 	}
 	rep := &ScrubReport{}
 	for g := 0; g < s.Arr.NumGroups(); g++ {
-		gid := page.GroupID(g)
-		if err := s.scrubGroup(gid, rep); err != nil {
+		res, err := s.ScrubGroup(page.GroupID(g))
+		rep.merge(res)
+		if err != nil {
 			return rep, err
 		}
-		rep.GroupsScanned++
 	}
 	return rep, nil
 }
 
-// scrubGroup verifies and repairs one group.
-func (s *Store) scrubGroup(g page.GroupID, rep *ScrubReport) error {
+// merge folds one group's scrub outcome into the pass report.
+func (rep *ScrubReport) merge(res GroupScrub) {
+	if res.Skipped {
+		rep.GroupsSkipped++
+		return
+	}
+	rep.GroupsScanned++
+	rep.LatentErrors += res.LatentErrors
+	rep.Repaired += res.Repaired
+	rep.ParityRewritten += res.ParityRewritten
+	rep.RepairedPages = append(rep.RepairedPages, res.RepairedPages...)
+}
+
+// ScrubGroup verifies and repairs one parity group, the unit of work of
+// the online scrubber.  A dirty or degraded group is skipped (not an
+// error — it is retried on the next scrub cycle); everything else is
+// verified end to end and silently corrupt blocks are rewritten from the
+// group's redundancy.  Two corrupt blocks in one group exceed
+// single-parity XOR and return ErrUnrecoverableCorruption.
+//
+// Repairs restore block headers: a rebuilt data page named by the
+// parity's committed-flip pairing gets the pairing timestamp back (so a
+// later degraded restart does not mistake the completed flip for a
+// broken one), and a repaired current parity twin keeps its persisted
+// header when only the payload rotted (checksum failure) or gets a fresh
+// committed header when the header itself is untrustworthy (misdirected
+// or lost write).
+func (s *Store) ScrubGroup(g page.GroupID) (GroupScrub, error) {
+	var res GroupScrub
+	if s.GroupDegraded(g) {
+		res.Skipped = true
+		return res, nil
+	}
+	if s.Dirty != nil {
+		if _, dirty := s.Dirty.Lookup(g); dirty {
+			res.Skipped = true
+			return res, nil
+		}
+	}
+
 	pages := s.Arr.GroupPages(g)
 	data := make([]page.Buf, len(pages))
-	metas := make([]disk.Meta, len(pages))
 	bad := -1
 	for i, p := range pages {
-		b, m, err := s.Arr.ReadData(p)
+		b, _, err := s.Arr.ReadData(p)
 		switch {
 		case err == nil:
-			data[i], metas[i] = b, m
-		case errors.Is(err, disk.ErrChecksum):
-			rep.LatentErrors++
+			data[i] = b
+		case disk.IsCorrupt(err):
+			res.LatentErrors++
+			s.deg.corruptDetected.Add(1)
 			if bad >= 0 {
-				return fmt.Errorf("core: group %d has two latent errors; unrecoverable", g)
+				s.deg.unrecoverable.Add(1)
+				return res, fmt.Errorf("core: group %d has two corrupt data blocks (%v): %w", g, err, ErrUnrecoverableCorruption)
 			}
 			bad = i
 		default:
-			return fmt.Errorf("core: scrub group %d: %w", g, err)
+			return res, fmt.Errorf("core: scrub group %d: %w", g, err)
 		}
 	}
 
 	twin := s.currentTwin(g)
 	parity, pMeta, perr := s.Arr.ReadParity(g, twin)
-	if perr != nil && !errors.Is(perr, disk.ErrChecksum) {
-		return fmt.Errorf("core: scrub group %d parity: %w", g, perr)
+	if perr != nil {
+		if !disk.IsCorrupt(perr) {
+			return res, fmt.Errorf("core: scrub group %d parity: %w", g, perr)
+		}
+		res.LatentErrors++
+		s.deg.corruptDetected.Add(1)
 	}
 
 	switch {
 	case bad >= 0 && perr != nil:
-		return fmt.Errorf("core: group %d lost both a data block and its parity; unrecoverable", g)
+		s.deg.unrecoverable.Add(1)
+		return res, fmt.Errorf("core: group %d lost both a data block and its parity (%v): %w", g, perr, ErrUnrecoverableCorruption)
 	case bad >= 0:
-		// Rebuild the corrupt data block from parity + survivors.
+		// Rebuild the corrupt data block from parity + survivors,
+		// restoring a flip-pairing header if the parity names this page.
 		survivors := [][]byte{parity}
 		for i, b := range data {
 			if i != bad {
 				survivors = append(survivors, b)
 			}
 		}
-		rebuilt := xorparity.Reconstruct(s.Arr.PageSize(), survivors...)
-		if err := s.Arr.WriteData(pages[bad], rebuilt, disk.Meta{}); err != nil {
-			return fmt.Errorf("core: scrub repair page %d: %w", pages[bad], err)
+		meta := disk.Meta{}
+		if pMeta.PairedSet && pMeta.DirtyPage == pages[bad] {
+			meta = disk.Meta{Timestamp: pMeta.Timestamp}
 		}
-		rep.Repaired++
+		rebuilt := xorparity.Reconstruct(s.Arr.PageSize(), survivors...)
+		if err := s.Arr.WriteData(pages[bad], rebuilt, meta); err != nil {
+			return res, fmt.Errorf("core: scrub repair page %d: %w", pages[bad], err)
+		}
+		res.Repaired++
+		res.RepairedPages = append(res.RepairedPages, pages[bad])
+		s.deg.scrubRepairs.Add(1)
 		data[bad] = rebuilt
 	case perr != nil:
-		// Rebuild the corrupt parity page from the data.
-		rep.LatentErrors++
+		// Rebuild the corrupt parity page from the data.  The persisted
+		// header survives a payload-only checksum failure; a misdirected
+		// or lost write leaves an untrustworthy header, so synthesize a
+		// fresh committed one (the group is clean here).
 		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
-		if err := s.recomputeParityFrom(g, twin, data, meta); err != nil {
-			return err
+		if errors.Is(perr, disk.ErrChecksum) {
+			if m, merr := s.Arr.PeekParityMeta(g, twin); merr == nil {
+				meta = m
+			}
 		}
-		rep.Repaired++
-		return nil
+		if err := s.recomputeParityFrom(g, twin, data, meta); err != nil {
+			return res, err
+		}
+		res.Repaired++
+		s.deg.scrubRepairs.Add(1)
+		s.deg.scrubbedGroups.Add(1)
+		return res, nil
 	}
 
 	// Verify parity correctness and rewrite if stale.
@@ -112,25 +196,28 @@ func (s *Store) scrubGroup(g page.GroupID, rep *ScrubReport) error {
 	}
 	if !xorparity.Verify(parity, raw...) {
 		if err := s.recomputeParityFrom(g, twin, data, pMeta); err != nil {
-			return err
+			return res, err
 		}
-		rep.ParityRewritten++
+		res.ParityRewritten++
 	}
 
 	// The obsolete twin of a twinned array is also checked for latent
 	// errors; its contents are free to rewrite (it is obsolete).
 	if s.Twins != nil {
 		other := 1 - twin
-		if _, _, err := s.Arr.ReadParity(g, other); errors.Is(err, disk.ErrChecksum) {
-			rep.LatentErrors++
+		if _, _, err := s.Arr.ReadParity(g, other); disk.IsCorrupt(err) {
+			res.LatentErrors++
+			s.deg.corruptDetected.Add(1)
 			meta := disk.Meta{State: disk.StateObsolete, Timestamp: 0}
 			if err := s.recomputeParityFrom(g, other, data, meta); err != nil {
-				return err
+				return res, err
 			}
-			rep.Repaired++
+			res.Repaired++
+			s.deg.scrubRepairs.Add(1)
 		}
 	}
-	return nil
+	s.deg.scrubbedGroups.Add(1)
+	return res, nil
 }
 
 func (s *Store) recomputeParityFrom(g page.GroupID, twin int, data []page.Buf, meta disk.Meta) error {

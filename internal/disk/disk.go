@@ -43,10 +43,29 @@ var (
 	// and an immediate retry may succeed.  The fault plane injects it;
 	// the array's retry layer is responsible for masking it.
 	ErrTransient = errors.New("disk: transient I/O error")
+	// ErrStamp reports that a block's self-describing location stamp
+	// names a different array position than the one read: the sector was
+	// written for another LBA (a misdirected write landed here).
+	ErrStamp = errors.New("disk: block location stamp mismatch")
+	// ErrLostWrite reports that a block's contents differ from the last
+	// write the drive acknowledged for it.  The disk itself cannot tell —
+	// the stored checksum is self-consistent — so this error is produced
+	// by the array's NVRAM write ledger (see diskarray).
+	ErrLostWrite = errors.New("disk: block does not match last acknowledged write")
 )
 
 // IsTransient reports whether err is a transient, retryable I/O error.
 func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsCorrupt reports whether err is one of the silent-corruption classes a
+// verified read detects: a checksum mismatch (bit rot, torn write), a
+// location stamp mismatch (misdirected write) or a write-ledger mismatch
+// (lost or misdirected write).  Every one of them means the block's
+// stored bytes must not be trusted and the page should be reconstructed
+// from group redundancy.
+func IsCorrupt(err error) bool {
+	return errors.Is(err, ErrChecksum) || errors.Is(err, ErrStamp) || errors.Is(err, ErrLostWrite)
+}
 
 // ParityState is the lifecycle state of a twin parity page, stored in the
 // block header (Figure 8 of the paper).  Data blocks leave it at
@@ -139,7 +158,12 @@ type block struct {
 	data []byte
 	meta Meta
 	sum  uint32
-	bad  bool // corruption injected
+	// stamp is the self-describing location stamp, written out of band
+	// with the header: the array position the sector was intended for.
+	// A read whose stamp does not match the addressed position surfaces
+	// ErrStamp — the signature of a misdirected write.
+	stamp page.Stamp
+	bad   bool // corruption injected
 }
 
 // Disk is one simulated drive.  It is safe for concurrent use.
@@ -173,6 +197,7 @@ func New(id, numBlocks, blockSize int) *Disk {
 	for i := range d.blocks {
 		d.blocks[i].data = make([]byte, blockSize)
 		d.blocks[i].sum = page.Buf(d.blocks[i].data).Checksum()
+		d.blocks[i].stamp = page.MakeStamp(id, i)
 	}
 	return d
 }
@@ -223,6 +248,9 @@ func (d *Disk) Read(blockNum int) (page.Buf, Meta, error) {
 	if b.bad || page.Buf(b.data).Checksum() != b.sum {
 		return nil, Meta{}, fmt.Errorf("disk %d block %d: %w", d.id, blockNum, ErrChecksum)
 	}
+	if !b.stamp.Matches(d.id, blockNum) {
+		return nil, Meta{}, fmt.Errorf("disk %d block %d: carries %v: %w", d.id, blockNum, b.stamp, ErrStamp)
+	}
 	return page.Buf(b.data).Clone(), b.meta, nil
 }
 
@@ -251,7 +279,28 @@ func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
 		panic(dec.Panic)
 	}
 	d.stats.Writes++
+	if dec.LostWrite {
+		// The drive acknowledges the write but the sector never reaches
+		// the platter: the old contents — payload, header and stamp —
+		// survive untouched and remain internally consistent, so the
+		// disk's own checksum cannot tell.  Only the array's write ledger
+		// exposes the loss.
+		return nil
+	}
 	b := &d.blocks[blockNum]
+	if dec.Redirect {
+		// The whole sector lands at the wrong LBA on the same drive:
+		// payload, header and stamp all overwrite the victim block, while
+		// the intended block keeps its stale contents.  The stamp still
+		// names the *intended* position, which is what makes the
+		// misdirection detectable when the victim is read; the stale
+		// intended block is the write ledger's job.
+		victim := dec.RedirectBlock % len(d.blocks)
+		if victim < 0 {
+			victim += len(d.blocks)
+		}
+		b = &d.blocks[victim]
+	}
 	if dec.Torn {
 		// The header travels out of band and persists; only half of the
 		// payload does.  The stored checksum stays stale, so reads return
@@ -272,6 +321,7 @@ func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
 	copy(b.data, data)
 	b.meta = meta
 	b.sum = page.Buf(b.data).Checksum()
+	b.stamp = page.MakeStamp(d.id, blockNum)
 	b.bad = false
 	if dec.FlipBit {
 		bit := dec.FlipBitOffset % (d.blockSize * 8)
@@ -353,6 +403,7 @@ func (d *Disk) Repair() {
 		d.blocks[i].data = make([]byte, d.blockSize)
 		d.blocks[i].meta = Meta{}
 		d.blocks[i].sum = page.Buf(d.blocks[i].data).Checksum()
+		d.blocks[i].stamp = page.MakeStamp(d.id, i)
 		d.blocks[i].bad = false
 	}
 	d.failed = false

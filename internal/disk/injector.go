@@ -74,6 +74,16 @@ type Decision struct {
 	// corruption for scrub tests.
 	FlipBit       bool
 	FlipBitOffset int
+	// LostWrite, on OpWrite, acknowledges the write without persisting
+	// anything: the old block contents survive, internally consistent.
+	// The transfer is still charged (the drive believes it happened).
+	LostWrite bool
+	// Redirect, on OpWrite, lands the whole sector — payload, header and
+	// location stamp — at block RedirectBlock (modulo the disk size) on
+	// the same drive instead of the addressed block.  The stamp keeps the
+	// intended position, so reads of the victim surface ErrStamp.
+	Redirect      bool
+	RedirectBlock int
 	// Panic, when non-nil, is panicked with: before the operation applies
 	// (a clean crash between block writes), or after the torn mutation
 	// when Torn is set.  The harness recovers the sentinel.

@@ -126,6 +126,19 @@ type Array struct {
 	down    int   // failed/rebuilding disk, -1 when none
 	consec  []int // consecutive errored attempts per disk
 	healing HealingStats
+
+	// NVRAM write ledger: ledger[d][blk] is the CRC-32C of the payload of
+	// the last write disk d acknowledged for block blk.  It models the
+	// battery-backed controller NVRAM real arrays keep write intent in, so
+	// it SURVIVES crashes (the crash harness resets only volatile state)
+	// and is cleared per disk only when a fresh zeroed drive is swapped in
+	// (RepairDisk, BeginRebuild).  A verified read compares the stored
+	// payload against the ledger entry; a mismatch means the drive
+	// acknowledged a write it never applied here — a lost write, or the
+	// stale intended block of a misdirected one — and surfaces
+	// disk.ErrLostWrite.  Header-only I/O leaves the ledger untouched.
+	ledmu  sync.Mutex
+	ledger [][]uint32
 }
 
 // New builds and formats an array.  Formatting establishes the all-zero
@@ -186,11 +199,55 @@ func New(cfg Config) (*Array, error) {
 	a.numGroups = groups
 	a.disks = make([]*disk.Disk, numDisks)
 	a.consec = make([]int, numDisks)
+	a.ledger = make([][]uint32, numDisks)
 	for d := range a.disks {
 		a.disks[d] = disk.New(d, blocksPerDisk, cfg.PageSize)
+		a.ledger[d] = freshLedger(blocksPerDisk, cfg.PageSize)
 	}
 	a.format()
 	return a, nil
+}
+
+// freshLedger returns the write-ledger column of a fresh zeroed drive:
+// every block's last acknowledged payload is all zeroes.
+func freshLedger(blocks, pageSize int) []uint32 {
+	zeroSum := page.NewBuf(pageSize).Checksum()
+	out := make([]uint32, blocks)
+	for i := range out {
+		out[i] = zeroSum
+	}
+	return out
+}
+
+// noteWrite records an acknowledged payload write in the NVRAM ledger.
+// Called only after the drive returned success — a crash panic unwinds
+// before it, so a write the platter never acked is never ledgered.
+func (a *Array) noteWrite(loc Loc, b page.Buf) {
+	a.ledmu.Lock()
+	a.ledger[loc.Disk][loc.Block] = b.Checksum()
+	a.ledmu.Unlock()
+}
+
+// checkLedger verifies a successfully read payload against the NVRAM
+// ledger, converting a silent lost or misdirected write into a typed
+// error in the disk.IsCorrupt class.
+func (a *Array) checkLedger(loc Loc, b page.Buf) error {
+	a.ledmu.Lock()
+	want := a.ledger[loc.Disk][loc.Block]
+	a.ledmu.Unlock()
+	if b.Checksum() != want {
+		return fmt.Errorf("disk %d block %d: stored payload differs from last acknowledged write: %w",
+			loc.Disk, loc.Block, disk.ErrLostWrite)
+	}
+	return nil
+}
+
+// resetLedger re-initializes disk d's ledger column for a fresh zeroed
+// replacement drive.
+func (a *Array) resetLedger(d int) {
+	a.ledmu.Lock()
+	a.ledger[d] = freshLedger(a.disks[d].NumBlocks(), a.cfg.PageSize)
+	a.ledmu.Unlock()
 }
 
 // format marks twin 0 of every group committed.  A fresh array is
@@ -442,7 +499,9 @@ func (a *Array) ParityLoc(g page.GroupID, twin int) Loc {
 // deterministic backoff, per-disk error accounting trips automatic
 // fail-stops, and hard failures advance the array health machine.
 
-// ReadData reads logical data page p, charging one transfer.
+// ReadData reads logical data page p, charging one transfer.  The read is
+// verified: a payload that differs from the last write the drive
+// acknowledged for the block (NVRAM ledger) fails with disk.ErrLostWrite.
 func (a *Array) ReadData(p page.PageID) (page.Buf, disk.Meta, error) {
 	loc := a.DataLoc(p)
 	var b page.Buf
@@ -452,18 +511,26 @@ func (a *Array) ReadData(p page.PageID) (page.Buf, disk.Meta, error) {
 		b, m, err = a.disks[loc.Disk].Read(loc.Block)
 		return err
 	})
+	if err == nil {
+		err = a.checkLedger(loc, b)
+	}
 	return b, m, err
 }
 
 // WriteData writes logical data page p, charging one transfer.
 func (a *Array) WriteData(p page.PageID, b page.Buf, meta disk.Meta) error {
 	loc := a.DataLoc(p)
-	return a.do(loc.Disk, func() error {
+	err := a.do(loc.Disk, func() error {
 		return a.disks[loc.Disk].Write(loc.Block, b, meta)
 	})
+	if err == nil {
+		a.noteWrite(loc, b)
+	}
+	return err
 }
 
 // ReadParity reads the group's parity page, charging one transfer.
+// Verified against the NVRAM write ledger like ReadData.
 func (a *Array) ReadParity(g page.GroupID, twin int) (page.Buf, disk.Meta, error) {
 	loc := a.ParityLoc(g, twin)
 	var b page.Buf
@@ -473,15 +540,22 @@ func (a *Array) ReadParity(g page.GroupID, twin int) (page.Buf, disk.Meta, error
 		b, m, err = a.disks[loc.Disk].Read(loc.Block)
 		return err
 	})
+	if err == nil {
+		err = a.checkLedger(loc, b)
+	}
 	return b, m, err
 }
 
 // WriteParity writes the group's parity page, charging one transfer.
 func (a *Array) WriteParity(g page.GroupID, twin int, b page.Buf, meta disk.Meta) error {
 	loc := a.ParityLoc(g, twin)
-	return a.do(loc.Disk, func() error {
+	err := a.do(loc.Disk, func() error {
 		return a.disks[loc.Disk].Write(loc.Block, b, meta)
 	})
+	if err == nil {
+		a.noteWrite(loc, b)
+	}
+	return err
 }
 
 // WriteParityMeta rewrites only the parity page's header (state,
@@ -551,6 +625,7 @@ func (a *Array) RepairDisk(d int) error {
 		return fmt.Errorf("diskarray: no disk %d", d)
 	}
 	a.disks[d].Repair()
+	a.resetLedger(d)
 	a.recomputeHealth()
 	return nil
 }

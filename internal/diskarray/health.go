@@ -102,8 +102,10 @@ func (a *Array) Healing() HealingStats {
 // engine — and the error converts to the ErrFailed class so the layers
 // above serve the request degraded instead of surfacing a spurious
 // failure.  Hard errors (ErrFailed) feed the health machine; data errors
-// (ErrChecksum, ErrOutOfRange) pass through untouched, as they indicate
-// bad blocks rather than a bad drive.
+// (ErrChecksum, ErrStamp, ErrOutOfRange) pass through untouched, as they
+// indicate bad blocks rather than a bad drive — retrying would re-read
+// the same bad bytes, and the verified-read layer above repairs them
+// from group redundancy instead.
 func (a *Array) do(d int, op func() error) error {
 	for attempt := 1; ; attempt++ {
 		err := op()
@@ -226,6 +228,7 @@ func (a *Array) BeginRebuild(d int) error {
 		return fmt.Errorf("diskarray: no disk %d", d)
 	}
 	a.disks[d].Repair()
+	a.resetLedger(d)
 	a.hmu.Lock()
 	defer a.hmu.Unlock()
 	a.health = Rebuilding

@@ -23,6 +23,12 @@
 //     fail-stops at its next access (read or write), modelling a disk
 //     dying mid-workload — e.g. a second failure during a rebuild that
 //     is only reading the survivors.
+//   - LostWrite(n): write n is acknowledged but never persisted — the old
+//     block contents survive, internally consistent, detectable only by
+//     the array's write ledger.
+//   - Misdirected(n, b): write n lands whole at block b of the same drive
+//     instead of the addressed block; the location stamp it carries names
+//     the intended position, which is what betrays it.
 //
 // Schedules are pure data: deterministic, comparable, printable via
 // String, and replayable — running the same workload under the same
@@ -79,13 +85,15 @@ func AsCrash(r any) (*Crash, bool) {
 // RuleKind classifies a schedule rule.
 type RuleKind uint8
 
-// The five schedule rule kinds.
+// The schedule rule kinds.
 const (
 	KindCrash RuleKind = iota
 	KindTorn
 	KindTransient
 	KindBitFlip
 	KindFailDisk
+	KindLostWrite
+	KindMisdirected
 )
 
 // Rule is one deterministic fault in a schedule.  Counting rules trigger
@@ -106,6 +114,9 @@ type Rule struct {
 	// Bit is the payload bit a BitFlip rule flips (byte = Bit/8 within
 	// the block, bit = Bit%8).
 	Bit int
+	// Block is the victim block a Misdirected rule redirects the write to
+	// (modulo the drive's size).
+	Block int
 
 	fired bool
 }
@@ -127,6 +138,10 @@ func (r Rule) String() string {
 		return fmt.Sprintf("bitflip[%d]@w%d", r.Bit, r.After)
 	case KindFailDisk:
 		return fmt.Sprintf("faildisk[%d]@w%d", r.Disk, r.After)
+	case KindLostWrite:
+		return fmt.Sprintf("lostwrite@w%d", r.After)
+	case KindMisdirected:
+		return fmt.Sprintf("misdirected[%d]@w%d", r.Block, r.After)
 	default:
 		return fmt.Sprintf("rule(kind=%d)", r.Kind)
 	}
@@ -152,6 +167,18 @@ func BitFlip(n int64, bit int) Rule { return Rule{Kind: KindBitFlip, After: n, B
 // once n block writes have been applied.
 func FailDisk(d int, n int64) Rule { return Rule{Kind: KindFailDisk, After: n, Disk: d} }
 
+// LostWrite builds a rule that makes the drive acknowledge write n
+// without persisting it: the old block contents survive, internally
+// consistent, so only the array's write ledger can tell.
+func LostWrite(n int64) Rule { return Rule{Kind: KindLostWrite, After: n} }
+
+// Misdirected builds a rule that lands write n — payload, header and
+// location stamp — at block `block` (modulo the drive size) of the same
+// drive instead of the addressed block.
+func Misdirected(n int64, block int) Rule {
+	return Rule{Kind: KindMisdirected, After: n, Block: block}
+}
+
 // Schedule is an ordered set of rules.
 type Schedule []Rule
 
@@ -171,7 +198,7 @@ func (s Schedule) String() string {
 // space-separated rules of the forms
 //
 //	crash@wN  torn[head|tail]@wN  transient[read|write|readmeta|writemeta]@N
-//	bitflip[B]@wN  faildisk[D]@wN
+//	bitflip[B]@wN  faildisk[D]@wN  lostwrite@wN  misdirected[B]@wN
 //
 // It is the inverse of String, so a schedule printed by a failing soak
 // run can be fed back verbatim to reproduce it.
@@ -268,6 +295,25 @@ func parseRule(tok string) (Rule, error) {
 			return bad()
 		}
 		return FailDisk(d, n), nil
+	case "lostwrite":
+		if arg != "" {
+			return bad()
+		}
+		n, ok := parseAfter(true)
+		if !ok {
+			return bad()
+		}
+		return LostWrite(n), nil
+	case "misdirected":
+		block, err := strconv.Atoi(arg)
+		if err != nil || block < 0 {
+			return bad()
+		}
+		n, ok := parseAfter(true)
+		if !ok {
+			return bad()
+		}
+		return Misdirected(n, block), nil
 	default:
 		return bad()
 	}
@@ -286,6 +332,11 @@ type Plane struct {
 	// per access where an equivalent rule list would be O(rate·accesses).
 	transientEvery int64
 	accesses       int64 // all observed accesses, applied or not
+	// bitFlipEvery, when positive, silently flips one payload bit of
+	// every n-th block write (rotating the flipped bit with the write
+	// count) — a deterministic background corruption rate for integrity
+	// benchmarks, O(1) per access like transientEvery.
+	bitFlipEvery int64
 }
 
 // NewPlane builds a plane executing the given schedule.  An empty
@@ -333,6 +384,16 @@ func (p *Plane) SetTransientEvery(n int64) {
 	p.transientEvery = n
 }
 
+// SetBitFlipEvery makes the plane silently flip one payload bit of every
+// n-th block write, independent of the schedule (0 disables).  The
+// flipped bit index rotates with the write count so the damage is spread
+// across the page.
+func (p *Plane) SetBitFlipEvery(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bitFlipEvery = n
+}
+
 // Observe implements disk.Injector.
 func (p *Plane) Observe(a disk.Access) disk.Decision {
 	p.mu.Lock()
@@ -341,6 +402,10 @@ func (p *Plane) Observe(a disk.Access) disk.Decision {
 	p.accesses++
 	if p.transientEvery > 0 && p.accesses%p.transientEvery == 0 {
 		dec.Err = ErrTransient
+	}
+	if p.bitFlipEvery > 0 && a.Op == disk.OpWrite && (p.writes+1)%p.bitFlipEvery == 0 {
+		dec.FlipBit = true
+		dec.FlipBitOffset = int(p.writes % 257) // rotate through bit offsets
 	}
 	for i := range p.rules {
 		r := &p.rules[i]
@@ -378,6 +443,17 @@ func (p *Plane) Observe(a disk.Access) disk.Decision {
 			if a.Disk == r.Disk && p.writes >= r.After {
 				r.fired = true
 				dec.FailDisk = true
+			}
+		case KindLostWrite:
+			if a.Op == disk.OpWrite && p.writes == r.After {
+				r.fired = true
+				dec.LostWrite = true
+			}
+		case KindMisdirected:
+			if a.Op == disk.OpWrite && p.writes == r.After {
+				r.fired = true
+				dec.Redirect = true
+				dec.RedirectBlock = r.Block
 			}
 		}
 	}

@@ -168,9 +168,67 @@ func TestFailDisk(t *testing.T) {
 	}
 }
 
+// TestLostWrite checks the silent-drop semantics: the drive acknowledges
+// the write, the old contents survive internally consistent, and the
+// disk's own read path cannot tell — detection is the write ledger's job.
+func TestLostWrite(t *testing.T) {
+	d := newDisk(t)
+	if err := d.Write(3, buf(0x11), disk.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlane(Schedule{LostWrite(0)})
+	d.SetInjector(p)
+	if err := d.Write(3, buf(0x77), disk.Meta{Timestamp: 9}); err != nil {
+		t.Fatalf("lost write surfaced an error: %v", err)
+	}
+	got, m, err := d.Read(3)
+	if err != nil {
+		t.Fatalf("read after lost write: %v (the disk itself must not notice)", err)
+	}
+	if got[0] != 0x11 || m.Timestamp != 0 {
+		t.Fatalf("block 3 = %#x ts=%d, want the pre-loss contents", got[0], m.Timestamp)
+	}
+	if p.Writes() != 1 {
+		t.Fatalf("Writes() = %d, want 1 (an acknowledged lost write counts)", p.Writes())
+	}
+}
+
+// TestMisdirectedWrite checks that the whole sector — payload, header
+// and location stamp — lands at the victim block, where the stamp naming
+// the intended position betrays it, while the intended block silently
+// keeps its stale contents.
+func TestMisdirectedWrite(t *testing.T) {
+	d := newDisk(t)
+	if err := d.Write(2, buf(0x11), disk.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlane(Schedule{Misdirected(0, 5)})
+	d.SetInjector(p)
+	if err := d.Write(2, buf(0x9A), disk.Meta{Timestamp: 4}); err != nil {
+		t.Fatalf("misdirected write surfaced an error: %v", err)
+	}
+	if _, _, err := d.Read(5); !errors.Is(err, disk.ErrStamp) {
+		t.Fatalf("read of victim block: %v, want ErrStamp", err)
+	}
+	landed, err := d.PeekData(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if landed[0] != 0x9A {
+		t.Fatalf("victim payload = %#x, want the misdirected payload", landed[0])
+	}
+	got, m, err := d.Read(2)
+	if err != nil {
+		t.Fatalf("read of intended block: %v (stale but self-consistent)", err)
+	}
+	if got[0] != 0x11 || m.Timestamp != 0 {
+		t.Fatalf("intended block = %#x ts=%d, want stale contents", got[0], m.Timestamp)
+	}
+}
+
 func TestScheduleString(t *testing.T) {
-	s := Schedule{CrashAfterNWrites(9), TornWrite(3, false), TransientError(disk.OpWrite, 2), BitFlip(5, 7), FailDisk(2, 11)}
-	want := "crash@w9 torn[tail]@w3 transient[write]@2 bitflip[7]@w5 faildisk[2]@w11"
+	s := Schedule{CrashAfterNWrites(9), TornWrite(3, false), TransientError(disk.OpWrite, 2), BitFlip(5, 7), FailDisk(2, 11), LostWrite(4), Misdirected(6, 21)}
+	want := "crash@w9 torn[tail]@w3 transient[write]@2 bitflip[7]@w5 faildisk[2]@w11 lostwrite@w4 misdirected[21]@w6"
 	if got := s.String(); got != want {
 		t.Fatalf("Schedule.String() = %q, want %q", got, want)
 	}
@@ -181,7 +239,10 @@ func TestScheduleString(t *testing.T) {
 	if back.String() != want {
 		t.Fatalf("round trip = %q, want %q", back.String(), want)
 	}
-	for _, bad := range []string{"crash@9", "torn@w3", "torn[half]@w3", "bitflip[x]@w1", "frob@w1", "crash@w-1"} {
+	for _, bad := range []string{
+		"crash@9", "torn@w3", "torn[half]@w3", "bitflip[x]@w1", "frob@w1", "crash@w-1",
+		"lostwrite[1]@w3", "lostwrite@3", "misdirected@w4", "misdirected[-1]@w2", "misdirected[z]@w2",
+	} {
 		if _, err := ParseSchedule(bad); err == nil {
 			t.Fatalf("ParseSchedule(%q) accepted", bad)
 		}

@@ -123,6 +123,41 @@ func (b Buf) Checksum() uint32 {
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Stamp is a self-describing block location stamp: the array position a
+// block was written for, echoed in its out-of-band header.  A drive that
+// lands a sector at the wrong LBA (a misdirected write) produces a block
+// whose payload checksum is valid but whose stamp names a different
+// location — the stamp check turns that silent corruption into a typed
+// error, the same way the sector CRC turns bit rot into one.
+//
+// The high bit marks a stamp as set, so the zero Stamp (a block that was
+// never stamped) never matches any location.
+type Stamp uint64
+
+const stampValid Stamp = 1 << 63
+
+// MakeStamp returns the stamp for block `block` of disk `disk`.
+func MakeStamp(disk, block int) Stamp {
+	return stampValid | Stamp(uint64(uint32(disk))<<32) | Stamp(uint32(block))
+}
+
+// Matches reports whether the stamp names the given array position.
+func (s Stamp) Matches(disk, block int) bool { return s == MakeStamp(disk, block) }
+
+// Disk returns the drive the stamp names.
+func (s Stamp) Disk() int { return int(uint32(s >> 32 & 0x7FFFFFFF)) }
+
+// Block returns the block number the stamp names.
+func (s Stamp) Block() int { return int(uint32(s)) }
+
+// String implements fmt.Stringer.
+func (s Stamp) String() string {
+	if s&stampValid == 0 {
+		return "stamp(unset)"
+	}
+	return fmt.Sprintf("stamp(disk %d block %d)", s.Disk(), s.Block())
+}
+
 // GroupOf returns the parity group that holds page p when groups are N
 // pages wide.  Both array organizations in the paper (data striping,
 // Figure 4, and parity striping, Figure 5) group N consecutive logical

@@ -39,6 +39,7 @@ package recovery
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 
 	"repro/internal/core"
@@ -538,14 +539,23 @@ func loseGroup(s *core.Store, g page.GroupID, zero []page.PageID) ([]page.PageID
 	return lost, nil
 }
 
-// repairTorn scans every block for a torn write — checksum mismatch
-// under an intact out-of-band header — and rebuilds its payload from the
-// group's redundancy.  A torn write IS the crash, so at most one block
-// per restart is torn, but the scan handles any number.  The scan's
-// reads are charged, like every recovery pass.  On a degraded array the
-// scan skips the dead disk's blocks; a torn block in a group that ALSO
-// lost a member to the disk is repaired from what survives, or reported
-// lost when the tear and the loss together exceed the redundancy.
+// repairTorn scans every block for silent corruption — a torn write's
+// checksum mismatch, a misdirected write's stamp mismatch, or a lost
+// write's ledger mismatch — and rebuilds its payload from the group's
+// redundancy, so every later pass can read every block.  A torn write IS
+// the crash, so at most one block per restart is torn, but the scan
+// handles any number (latent faults accumulate).  The scan's reads are
+// charged, like every recovery pass.  On a degraded array the scan skips
+// the dead disk's blocks; a corrupt block in a group that ALSO lost a
+// member to the disk is repaired from what survives, or reported lost
+// when the two together exceed the redundancy.
+//
+// Each finding records whether the block's own header is still
+// trustworthy: a checksum failure damages only the payload (the header is
+// out-of-band and the block's own), while a misdirected write deposits a
+// foreign header and a lost write leaves a stale one — those repairs must
+// resynthesize the header from the rest of the group.
+//
 // The scan — a charged read of every live block — is the expensive part
 // and touches nothing shared, so it fans out across the store's Workers,
 // each worker filling its own group's slot of the findings table.  The
@@ -554,9 +564,10 @@ func loseGroup(s *core.Store, g page.GroupID, zero []page.PageID) ([]page.PageID
 // the twin bitmap.
 func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 	type torn struct {
-		parity bool
-		p      page.PageID // data page, when !parity
-		twin   int         // parity twin, when parity
+		parity   bool
+		p        page.PageID // data page, when !parity
+		twin     int         // parity twin, when parity
+		headerOK bool        // the block's own header survived the fault
 	}
 	found := make([][]torn, s.Arr.NumGroups())
 	err := workpool.Run(s.Workers, s.Arr.NumGroups(), func(g int) error {
@@ -569,10 +580,10 @@ func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 			if err == nil {
 				continue
 			}
-			if !errors.Is(err, disk.ErrChecksum) {
+			if !disk.IsCorrupt(err) {
 				return fmt.Errorf("recovery: torn scan page %d: %w", p, err)
 			}
-			found[g] = append(found[g], torn{p: p})
+			found[g] = append(found[g], torn{p: p, headerOK: errors.Is(err, disk.ErrChecksum)})
 		}
 		for twin := 0; twin < s.Arr.ParityPages(); twin++ {
 			if !s.TwinReadable(gid, twin) {
@@ -582,10 +593,10 @@ func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 			if err == nil {
 				continue
 			}
-			if !errors.Is(err, disk.ErrChecksum) {
+			if !disk.IsCorrupt(err) {
 				return fmt.Errorf("recovery: torn scan group %d twin %d: %w", g, twin, err)
 			}
-			found[g] = append(found[g], torn{parity: true, twin: twin})
+			found[g] = append(found[g], torn{parity: true, twin: twin, headerOK: errors.Is(err, disk.ErrChecksum)})
 		}
 		return nil
 	})
@@ -597,11 +608,11 @@ func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 		gid := page.GroupID(g)
 		for _, it := range items {
 			if it.parity {
-				if err := repairTornParity(s, a, gid, it.twin, rep); err != nil {
+				if err := repairTornParity(s, a, gid, it.twin, it.headerOK, rep); err != nil {
 					return repaired, err
 				}
 			} else {
-				if err := repairTornData(s, a, gid, it.p, rep); err != nil {
+				if err := repairTornData(s, a, gid, it.p, it.headerOK, rep); err != nil {
 					return repaired, err
 				}
 			}
@@ -611,19 +622,22 @@ func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 	return repaired, nil
 }
 
-// repairTornData rebuilds a torn data page.
+// repairTornData rebuilds a corrupt data page.
 //
-// If a loser's working twin covers the page, the tear interrupted a
+// If a loser's working twin covers the page, the fault interrupted a
 // no-UNDO steal: the committed twin still describes the pre-transaction
 // group, so the page is restored to its before-image with a cleared
 // header (the parity-undo pass then merely invalidates the twin).
-// Otherwise the tear interrupted a committed or logged write-back whose
-// parity update preceded it, so the Figure 7 current twin describes the
-// intended contents; the page is rebuilt from it under the header the
-// torn write itself persisted.
-func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, rep *Report) error {
+// Otherwise the fault hit a committed or logged write-back whose parity
+// update preceded it, so the Figure 7 current twin describes the intended
+// contents; the page is rebuilt from it under the header the torn write
+// itself persisted — or, when the fault destroyed the header too
+// (misdirected or lost write), under a resynthesized one: the flip
+// pairing echo is restored when the describing parity names this page,
+// and cleared otherwise.
+func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, headerOK bool, rep *Report) error {
 	if s.GroupDegraded(g) {
-		return repairTornDataDegraded(s, a, g, p, rep)
+		return repairTornDataDegraded(s, a, g, p, headerOK, rep)
 	}
 	if s.RDA() {
 		for twin := 0; twin < 2; twin++ {
@@ -644,22 +658,65 @@ func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, r
 			return nil
 		}
 	}
-	twin := 0
-	if s.Twins != nil {
-		t, err := s.Twins.CurrentParityFromDisk(g, a.Committed)
-		if err != nil {
-			return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+	// Reconstruct from the twin that describes the on-disk data, which is
+	// NOT always the Figure 7 winner: parity precedes data in both the
+	// flip and steal protocols, so at crash time the newest twin may
+	// describe a data write that never landed, and reconstructing an
+	// innocent bystander from it would XOR the phantom delta into the
+	// repaired page — silent corruption under a perfectly valid header.
+	// DescribingTwin arbitrates via the pairing echo.
+	twin, err := s.DescribingTwin(g, p, a.Committed)
+	if err != nil {
+		return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+	}
+	if os.Getenv("TRACE_FAULT") != "" {
+		fmt.Printf("TRACE tornrepair page %d group %d from twin %d (headerOK=%v)\n", p, g, twin, headerOK)
+		for tw := 0; tw < 2; tw++ {
+			m, _ := s.Arr.PeekParityMeta(g, tw)
+			fmt.Printf("TRACE   twin %d meta: state=%v ts=%d txn=%d dirty=%d paired=%v committed=%v\n", tw, m.State, m.Timestamp, m.Txn, m.DirtyPage, m.PairedSet, a.Committed(m.Txn))
 		}
-		twin = t
+		for _, q := range s.Arr.GroupPages(g) {
+			loc := s.Arr.DataLoc(q)
+			dm, _ := s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
+			b, _ := s.Arr.PeekData(q)
+			fmt.Printf("TRACE   page %d meta: ts=%d txn=%d chain=%v data=%x\n", q, dm.Timestamp, dm.Txn, dm.ChainSet, b[:8])
+		}
+		for tw := 0; tw < 2; tw++ {
+			r, err := s.ReconstructData(g, p, tw)
+			if err != nil {
+				fmt.Printf("TRACE   reconstruct p from twin %d: err %v\n", tw, err)
+			} else {
+				fmt.Printf("TRACE   reconstruct p from twin %d = %x\n", tw, r[:8])
+			}
+		}
 	}
 	data, err := s.ReconstructData(g, p, twin)
 	if err != nil {
 		return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
 	}
-	loc := s.Arr.DataLoc(p)
-	hdr, err := s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
-	if err != nil {
-		return err
+	var hdr disk.Meta
+	if headerOK {
+		loc := s.Arr.DataLoc(p)
+		hdr, err = s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
+		if err != nil {
+			return err
+		}
+	} else {
+		pm, err := s.Arr.PeekParityMeta(g, twin)
+		if err != nil {
+			return err
+		}
+		switch {
+		case pm.State == disk.StateWorking && pm.DirtyPage == p:
+			// Parity-as-redo from a steal twin whose acked data write was
+			// lost: restore the steal's echo header.  The true ChainPrev
+			// is unrecoverable, but chains are only ever walked for
+			// losers and only a committed writer's twin can be the
+			// reconstruction source here.
+			hdr = disk.Meta{Txn: pm.Txn, Timestamp: pm.Timestamp, ChainSet: true}
+		case pm.PairedSet && pm.DirtyPage == p:
+			hdr = disk.Meta{Timestamp: pm.Timestamp}
+		}
 	}
 	if err := s.Arr.WriteData(p, data, hdr); err != nil {
 		return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
@@ -667,11 +724,11 @@ func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, r
 	return nil
 }
 
-// repairTornDataDegraded repairs a torn data page in a group that also
+// repairTornDataDegraded repairs a corrupt data page in a group that also
 // lost a block to the dead disk.  Only the cases where the surviving
 // redundancy still pins the page down are repairable; anything else is
 // explicit, reported loss via loseGroup.
-func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, rep *Report) error {
+func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, headerOK bool, rep *Report) error {
 	dead := s.DeadTwin(g)
 	if dead < 0 || s.Twins == nil {
 		// The group also lost a data page (or a single-parity array lost
@@ -719,8 +776,8 @@ func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.P
 			}
 			_, qm, err := s.Arr.ReadData(q)
 			if err != nil {
-				if errors.Is(err, disk.ErrChecksum) {
-					continue // a second tear; reconstruction below fails loudly
+				if disk.IsCorrupt(err) {
+					continue // a second corrupt block; reconstruction below fails loudly
 				}
 				return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
 			}
@@ -737,10 +794,15 @@ func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.P
 		if err != nil {
 			return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
 		}
-		loc := s.Arr.DataLoc(p)
-		hdr, err := s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
-		if err != nil {
-			return err
+		var hdr disk.Meta
+		if headerOK {
+			loc := s.Arr.DataLoc(p)
+			hdr, err = s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
+			if err != nil {
+				return err
+			}
+		} else if m.PairedSet && m.DirtyPage == p {
+			hdr = disk.Meta{Timestamp: m.Timestamp}
 		}
 		if err := s.Arr.WriteData(p, data, hdr); err != nil {
 			return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
@@ -757,7 +819,7 @@ func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.P
 	return nil
 }
 
-// repairTornParity rebuilds a torn parity twin.
+// repairTornParity rebuilds a corrupt parity twin.
 //
 // A torn twin in the working state whose writer lost means the tear
 // interrupted the steal's parity write itself.  If the covered data page
@@ -767,9 +829,16 @@ func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.P
 // obsolete, or a stale working header whose writer committed — belongs to
 // an in-place read-modify-write that ran ahead of its data write: the
 // payload is recomputed from the on-disk data under the persisted header.
-func repairTornParity(s *core.Store, a *Analysis, g page.GroupID, twin int, rep *Report) error {
+//
+// A twin whose header did NOT survive the fault (misdirected or lost
+// write) cannot make those decisions from its own header; see
+// repairHeaderlessParity.
+func repairTornParity(s *core.Store, a *Analysis, g page.GroupID, twin int, headerOK bool, rep *Report) error {
 	if s.GroupDegraded(g) {
-		return repairTornParityDegraded(s, a, g, twin, rep)
+		return repairTornParityDegraded(s, a, g, twin, headerOK, rep)
+	}
+	if !headerOK {
+		return repairHeaderlessParity(s, a, g, twin, rep)
 	}
 	hdr, err := s.Arr.PeekParityMeta(g, twin)
 	if err != nil {
@@ -802,6 +871,77 @@ func repairTornParity(s *core.Store, a *Analysis, g page.GroupID, twin int, rep 
 	return nil
 }
 
+// repairHeaderlessParity rebuilds a parity twin whose header cannot be
+// trusted — a misdirected write deposited a foreign one, or a lost write
+// left a stale one.  The decision the header would have made is
+// reconstructed from the rest of the group:
+//
+//   - the OTHER twin holds a loser's working header: this twin was the
+//     committed pre-steal parity, the only carrier of D_old.  If the
+//     steal was also logged the log determines D_old — demote the steal
+//     (invalidate the working twin) and recompute this twin over the
+//     on-disk data; otherwise the before-image is genuinely gone and the
+//     group is abandoned to explicit, reported loss;
+//   - a member page carries an unresolved loser tag: the steal's parity
+//     write is ordered before its data write, so a landed tag under a
+//     corrupt twin means THIS twin was the loser's working parity.  The
+//     page restores from the other (committed) twin and this twin is
+//     invalidated;
+//   - otherwise the on-disk data is authoritative: the twin recomputes
+//     as fresh committed parity (the Figure 7 rebuild then orders it).
+func repairHeaderlessParity(s *core.Store, a *Analysis, g page.GroupID, twin int, rep *Report) error {
+	if s.Twins != nil {
+		om, err := s.Arr.ReadParityMeta(g, 1-twin)
+		if err != nil {
+			return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
+		}
+		if om.State == disk.StateWorking && !a.Committed(om.Txn) {
+			if hasLoggedImage(a, om.Txn, om.DirtyPage) {
+				meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+				if err := s.Arr.RecomputeParity(g, twin, meta); err != nil {
+					return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
+				}
+				return s.Twins.Invalidate(g, 1-twin)
+			}
+			lost, err := loseGroup(s, g, []page.PageID{om.DirtyPage})
+			if err != nil {
+				return err
+			}
+			rep.LostPages = append(rep.LostPages, lost...)
+			return nil
+		}
+		for _, q := range s.Arr.GroupPages(g) {
+			_, qm, err := s.Arr.ReadData(q)
+			if err != nil {
+				if disk.IsCorrupt(err) {
+					continue // a second corrupt block; reconstruction fails loudly
+				}
+				return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
+			}
+			if !qm.ChainSet || a.Outcomes[qm.Txn] != OutcomeLoser || hasLoggedImage(a, qm.Txn, q) {
+				continue
+			}
+			dOld, err := s.ReconstructData(g, q, 1-twin)
+			if err != nil {
+				return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
+			}
+			if err := s.Arr.WriteData(q, dOld, disk.Meta{}); err != nil {
+				return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
+			}
+			zero := make(page.Buf, s.Arr.PageSize())
+			if err := s.Arr.WriteParity(g, twin, zero, disk.Meta{State: disk.StateInvalid}); err != nil {
+				return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
+			}
+			return nil
+		}
+	}
+	meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+	if err := s.Arr.RecomputeParity(g, twin, meta); err != nil {
+		return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
+	}
+	return nil
+}
+
 // repairTornParityDegraded repairs a torn parity twin in a group that
 // also lost a block to the dead disk.
 //
@@ -813,13 +953,43 @@ func repairTornParity(s *core.Store, a *Analysis, g page.GroupID, twin int, rep 
 // payload would need the dead page: the torn twin is invalidated when
 // the other twin describes the on-disk group, and the group is declared
 // lost when the torn twin was the only describing one.
-func repairTornParityDegraded(s *core.Store, a *Analysis, g page.GroupID, twin int, rep *Report) error {
+func repairTornParityDegraded(s *core.Store, a *Analysis, g page.GroupID, twin int, headerOK bool, rep *Report) error {
 	hdr, err := s.Arr.PeekParityMeta(g, twin)
 	if err != nil {
 		return err
 	}
+	if !headerOK {
+		// The persisted header is foreign or stale (misdirected/lost
+		// write): treat it as carrying no information.  Loser steals are
+		// instead detected by their data tags below; the zero-value header
+		// never matches the working-loser or otherDescribes tests.
+		hdr = disk.Meta{State: disk.StateInvalid}
+	}
 	dead := s.DeadTwin(g)
 	if dead >= 0 && s.Twins != nil {
+		if !headerOK {
+			// Whichever twin was the loser's working parity, the committed
+			// one is corrupt or dead: an unresolved loser tag means D_old
+			// is beyond the surviving redundancy.
+			for _, q := range s.Arr.GroupPages(g) {
+				_, qm, err := s.Arr.ReadData(q)
+				if err != nil {
+					if disk.IsCorrupt(err) {
+						continue // a second corrupt block; recompute below fails loudly
+					}
+					return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
+				}
+				if !qm.ChainSet || a.Outcomes[qm.Txn] != OutcomeLoser || hasLoggedImage(a, qm.Txn, q) {
+					continue
+				}
+				lost, err := loseGroup(s, g, []page.PageID{q})
+				if err != nil {
+					return err
+				}
+				rep.LostPages = append(rep.LostPages, lost...)
+				return nil
+			}
+		}
 		if hdr.State == disk.StateWorking && !a.Committed(hdr.Txn) {
 			p := hdr.DirtyPage
 			_, dMeta, err := s.Arr.ReadData(p)

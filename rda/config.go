@@ -152,6 +152,13 @@ type Config struct {
 	// batches favour transaction latency, larger ones rebuild speed —
 	// the classic rebuild-rate trade-off.
 	RebuildBatchGroups int
+	// ScrubBatchGroups throttles the online scrub worker the same way:
+	// each ScrubStep verifies at most this many parity groups before
+	// releasing its latches to live transactions (default 8).  Unlike the
+	// rebuild the scrubber runs under the shared gate, so the batch size
+	// only bounds how long individual group latches are cycled, not how
+	// long transactions stall.
+	ScrubBatchGroups int
 
 	// Workers bounds the engine's internal parallelism for the
 	// embarrassingly parallel disk loops: rebuild batches, recovery-time
@@ -196,6 +203,7 @@ func DefaultConfig() Config {
 		RetryAttempts:      4,
 		FailStopAfter:      3,
 		RebuildBatchGroups: 8,
+		ScrubBatchGroups:   8,
 		Workers:            1,
 	}
 }
@@ -235,6 +243,9 @@ func (c Config) validate() (Config, error) {
 	}
 	if c.RebuildBatchGroups == 0 {
 		c.RebuildBatchGroups = def.RebuildBatchGroups
+	}
+	if c.ScrubBatchGroups == 0 {
+		c.ScrubBatchGroups = def.ScrubBatchGroups
 	}
 	if c.Workers < 1 {
 		c.Workers = 1

@@ -41,6 +41,7 @@ package crashcheck
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -75,6 +76,11 @@ type Options struct {
 	// invariants under many interleavings rather than replaying one.
 	// 0 means the engine default (1, fully deterministic).
 	Workers int
+	// Scrub interleaves the online scrubber with the workload: one
+	// ScrubStep after every transaction, so verification reads (and the
+	// repair writes they trigger) mix with live commits and schedule
+	// rules can land inside scrub I/O.  Used by the corruption soak.
+	Scrub bool
 }
 
 func (o *Options) fill() {
@@ -136,6 +142,25 @@ type Result struct {
 	DataLossRuns int
 	// LostPages is the total number of pages those runs reported lost.
 	LostPages int
+
+	// Integrity-plane aggregates (CorruptSoak only): the engine's
+	// corruption counters summed over every run, evidence that the soak's
+	// planted faults were actually detected and repaired rather than
+	// never touched.
+	CorruptBlocksDetected   int64
+	ReadRepairs             int64
+	ScrubRepairs            int64
+	ScrubbedGroups          int64
+	UnrecoverableCorruption int64
+}
+
+// absorbStats folds one run's integrity counters into the aggregates.
+func (r *Result) absorbStats(s rda.Stats) {
+	r.CorruptBlocksDetected += s.CorruptBlocksDetected
+	r.ReadRepairs += s.ReadRepairs
+	r.ScrubRepairs += s.ScrubRepairs
+	r.ScrubbedGroups += s.ScrubbedGroups
+	r.UnrecoverableCorruption += s.UnrecoverableCorruption
 }
 
 // absorb folds one run's recovery report into the sweep aggregates.
@@ -225,8 +250,23 @@ func (d *driver) run() (crash *fault.Crash, err error) {
 		for op := 0; op < d.opts.OpsPerTx; op++ {
 			p := rda.PageID(d.rng.Intn(npages))
 			if d.rng.Intn(4) == 0 {
-				if _, err := tx.ReadPage(p); err != nil {
+				got, err := tx.ReadPage(p)
+				if err != nil {
 					return nil, fmt.Errorf("txn %d read page %d: %w", t, p, err)
+				}
+				// Per-read oracle: the workload is single-threaded, so
+				// every successful read has exactly one legal value — the
+				// transaction's own pending write, else the last committed
+				// image, else the formatted zero page.  Serving anything
+				// else (a stale lost-write ghost, a misdirected payload, a
+				// rotted block) is the silent corruption the integrity
+				// plane exists to make impossible.
+				want, ok := d.pending[p]
+				if !ok {
+					want = d.expected(p)
+				}
+				if !bytes.Equal(got, want) {
+					return nil, fmt.Errorf("txn %d read of page %d served corrupt data", t, p)
 				}
 				continue
 			}
@@ -252,6 +292,11 @@ func (d *driver) run() (crash *fault.Crash, err error) {
 			d.committed[p] = img
 		}
 		d.pending = nil
+		if d.opts.Scrub {
+			if _, _, err := d.db.ScrubStep(1); err != nil {
+				return nil, fmt.Errorf("scrub step after txn %d: %w", t, err)
+			}
+		}
 	}
 	return nil, nil
 }
@@ -763,6 +808,217 @@ func MixSoak(opts Options, iters int, transientEvery int64) (*Result, error) {
 		}
 		res.Runs++
 		if err := RunMixSchedule(o, sched, transientEvery); err != nil {
+			res.Violations = append(res.Violations, Violation{Seed: o.Seed, Schedule: sched, Err: err})
+		}
+	}
+	return res, nil
+}
+
+// schedSilentFault reports whether the schedule plants silent corruption
+// (a bitflip, lost write or misdirected write).
+func schedSilentFault(sched fault.Schedule) bool {
+	for _, r := range sched {
+		switch r.Kind {
+		case fault.KindBitFlip, fault.KindLostWrite, fault.KindMisdirected:
+			return true
+		}
+	}
+	return false
+}
+
+// schedHasMisdirected reports whether the schedule misdirects a write.
+func schedHasMisdirected(sched fault.Schedule) bool {
+	for _, r := range sched {
+		if r.Kind == fault.KindMisdirected {
+			return true
+		}
+	}
+	return false
+}
+
+// pumpScrub drives one full online scrub cycle — NumGroups cursor
+// slots, so every group is visited even when the workload's interleaved
+// steps left the shared cursor mid-array — converting a crash-rule
+// panic (a crash point landing inside a scrub repair write) into a
+// returned sentinel, like pumpRebuild.
+func pumpScrub(db *rda.DB) (crash *fault.Crash, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := fault.AsCrash(r)
+			if !ok {
+				panic(r)
+			}
+			crash = c
+		}
+	}()
+	for covered := 0; covered < db.NumGroups(); {
+		rep, _, err := db.ScrubStep(0)
+		if rep != nil {
+			covered += rep.GroupsScanned + rep.GroupsSkipped
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// RunCorruptSchedule performs one silent-corruption crash-and-recover
+// cycle: the seeded workload (with online scrub steps interleaved when
+// opts.Scrub is set) under a schedule of bitflip/lostwrite/misdirected
+// rules, optionally crashed; then recovery, a full online scrub cycle,
+// and the oracle and probe checks.  The property verified is the
+// integrity plane's contract: committed data is never *served* corrupt —
+// every read returns the oracle image or a typed error, planted damage
+// is repaired from redundancy on first contact (hot-path read, scrub or
+// recovery), and damage beyond the redundancy surfaces as
+// ErrUnrecoverableCorruption or explicit zeroed loss, never as garbage
+// bytes.
+//
+// Two outcomes are legal only because the fault demands them: a
+// misdirected write that lands in its target's own parity group damages
+// two blocks of one group — beyond single parity — so
+// ErrUnrecoverableCorruption anywhere in the run ends it as a pass; and
+// a silent fault that destroys the only copy of a loser's before-image
+// (e.g. the committed twin of a dirty group) may surface as explicit
+// recovery-reported loss, which the oracle then requires to be zeroed.
+func RunCorruptSchedule(opts Options, sched fault.Schedule) (*rda.RecoveryReport, error) {
+	rep, _, err := runCorruptSchedule(opts, sched)
+	return rep, err
+}
+
+// runCorruptSchedule is RunCorruptSchedule plus the engine's final stats
+// snapshot, so the soak can aggregate the integrity-plane counters.
+func runCorruptSchedule(opts Options, sched fault.Schedule) (*rda.RecoveryReport, rda.Stats, error) {
+	opts.fill()
+	db, err := rda.Open(dbConfig(opts))
+	if err != nil {
+		return nil, rda.Stats{}, err
+	}
+	rep, err := runCorruptOn(db, opts, sched)
+	return rep, db.Stats(), err
+}
+
+func runCorruptOn(db *rda.DB, opts Options, sched fault.Schedule) (*rda.RecoveryReport, error) {
+	plane := fault.NewPlane(sched)
+	db.SetInjector(plane)
+	d := newDriver(db, opts)
+	silent := schedSilentFault(sched)
+	misdirected := schedHasMisdirected(sched)
+	legalDoubleFault := func(err error) bool {
+		return misdirected && errors.Is(err, rda.ErrUnrecoverableCorruption)
+	}
+	crash, err := d.run()
+	if err != nil {
+		if legalDoubleFault(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	var total *rda.RecoveryReport
+	for round := 0; ; round++ {
+		if crash != nil {
+			if round > len(sched)+1 {
+				return total, fmt.Errorf("crash recovery did not converge after %d rounds", round)
+			}
+			db.CrashHard()
+			rep, err := db.Recover()
+			if err != nil {
+				if legalDoubleFault(err) {
+					return total, nil
+				}
+				return total, fmt.Errorf("recover after %v: %w", crash, err)
+			}
+			if total == nil {
+				total = rep
+			} else {
+				total.LostPages = append(total.LostPages, rep.LostPages...)
+			}
+			if len(rep.LostPages) > 0 {
+				if !silent {
+					return total, fmt.Errorf("recovery after %v lost pages %v with no silent fault in the schedule", crash, rep.LostPages)
+				}
+				d.noteLost(rep.LostPages)
+			}
+			if err := db.VerifyRecovered(); err != nil {
+				return total, fmt.Errorf("after %v: %w", crash, err)
+			}
+		}
+		// A full scrub cycle repairs whatever latent damage recovery (or
+		// an uncrashed workload) left on the platter, so the raw-peek
+		// verification below sees only clean blocks.
+		crash, err = pumpScrub(db)
+		if err != nil {
+			if legalDoubleFault(err) {
+				return total, nil
+			}
+			return total, fmt.Errorf("online scrub: %w", err)
+		}
+		if crash == nil {
+			break
+		}
+	}
+	if err := d.verify(); err != nil {
+		return total, fmt.Errorf("after %v: %w", sched, err)
+	}
+	if err := d.probe(); err != nil {
+		return total, fmt.Errorf("after %v: %w", sched, err)
+	}
+	return total, nil
+}
+
+// CorruptSoak performs iters randomized silent-corruption cycles — the
+// machine check behind the integrity plane.  Iterations rotate the
+// planted fault among a bit flip, a lost write and a misdirected write
+// at a random write index, half of them additionally crash at a random
+// later index, and every run interleaves online scrub steps with the
+// workload (opts.Scrub is forced on).  Each run must satisfy the
+// RunCorruptSchedule contract; like the other soaks, a whole run is
+// reproducible from one seed and any failure from its printed seed and
+// schedule.
+func CorruptSoak(opts Options, iters int) (*Result, error) {
+	opts.fill()
+	opts.Scrub = true
+	cfg := dbConfig(opts)
+	meta := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{}
+	for i := 0; i < iters; i++ {
+		o := opts
+		o.Seed = int64(meta.Uint64() >> 1)
+		total, err := CountWrites(o)
+		if err != nil {
+			return nil, err
+		}
+		if total == 0 {
+			continue
+		}
+		res.TotalWrites = total
+		k := meta.Int63n(total)
+		var rule fault.Rule
+		switch i % 3 {
+		case 0:
+			rule = fault.BitFlip(k, meta.Intn(cfg.PageSize*8))
+		case 1:
+			rule = fault.LostWrite(k)
+		default:
+			rule = fault.Misdirected(k, meta.Intn(cfg.NumPages))
+		}
+		sched := fault.Schedule{rule}
+		if meta.Intn(2) == 0 && total > k+1 {
+			// Crash strictly after the silent fault, so the damage is on
+			// the platter when recovery runs.  Strictly: the crash rule
+			// fires on any write-class op while the silent rules wait for
+			// a payload write at their exact clock, so a crash at the same
+			// index can consume the clock on a header write and leave the
+			// silent rule armed — it would then fire on recovery's own
+			// repair I/O instead of the workload's.
+			sched = append(sched, fault.CrashAfterNWrites(k+1+meta.Int63n(total-k-1)))
+		}
+		res.Runs++
+		rep, stats, err := runCorruptSchedule(o, sched)
+		res.absorb(rep)
+		res.absorbStats(stats)
+		if err != nil {
 			res.Violations = append(res.Violations, Violation{Seed: o.Seed, Schedule: sched, Err: err})
 		}
 	}

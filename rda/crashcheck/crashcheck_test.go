@@ -113,6 +113,57 @@ func TestSoak(t *testing.T) {
 	}
 }
 
+// TestCorruptSoak runs the silent-corruption soak in miniature: planted
+// bit flips, lost writes and misdirected writes — half the runs crashed
+// on top — with online scrub steps interleaved, all held to the
+// never-serve-corrupt-data oracle.
+func TestCorruptSoak(t *testing.T) {
+	iters := 24
+	if testing.Short() {
+		iters = 9
+	}
+	for _, layout := range []rda.Layout{rda.DataStriping, rda.ParityStriping} {
+		opts := small(layout)
+		opts.Seed = 11
+		res, err := CorruptSoak(opts, iters)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if res.Runs == 0 {
+			t.Fatalf("%v: soak ran nothing", layout)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v: %s", layout, v)
+		}
+	}
+}
+
+// TestCorruptScheduleReplay pins the replay contract for the silent
+// fault syntax: every silent rule kind round-trips through the printed
+// schedule and drives a passing run.
+func TestCorruptScheduleReplay(t *testing.T) {
+	opts := small(rda.DataStriping)
+	opts.Scrub = true
+	for _, s := range []string{
+		"bitflip[37]@w4",
+		"lostwrite@w9",
+		"misdirected[21]@w6",
+		"lostwrite@w3 crash@w12",
+		"bitflip[100]@w5 crash@w7",
+	} {
+		sched, err := fault.ParseSchedule(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched.String() != s {
+			t.Fatalf("round trip %q -> %q", s, sched.String())
+		}
+		if _, err := RunCorruptSchedule(opts, sched); err != nil {
+			t.Errorf("sched %q: %v", s, err)
+		}
+	}
+}
+
 // TestViolationReplay checks the failure-reproduction contract: a
 // violation's printed schedule parses back into a schedule that drives
 // the identical run.

@@ -50,6 +50,13 @@ var (
 	// was already degraded: parity redundancy is exhausted and affected
 	// groups cannot be served until RepairDisks runs.
 	ErrArrayFailed = diskarray.ErrArrayFailed
+	// ErrUnrecoverableCorruption reports that a block failed end-to-end
+	// verification and the group's redundancy could not reconstruct it
+	// (a second corrupt or dead block in the same group).  The engine
+	// returns this typed error rather than ever serving corrupt bytes;
+	// affected groups need media recovery (RepairDisks restores
+	// redundancy, losing the unreconstructable pages).
+	ErrUnrecoverableCorruption = core.ErrUnrecoverableCorruption
 )
 
 // txState is the engine-side volatile state of one active transaction.
@@ -120,7 +127,8 @@ type DB struct {
 	// latches is the per-parity-group latch table.
 	latches *latch.Table
 
-	// mu guards states, lastCkptTransfers, lastCkptLSN and recoveries.
+	// mu guards states, lastCkptTransfers, lastCkptLSN, recoveries and
+	// scrubCursor.
 	mu sync.Mutex
 
 	arr   *diskarray.Array
@@ -148,6 +156,10 @@ type DB struct {
 	lastCkptTransfers int64
 	lastCkptLSN       wal.LSN
 	recoveries        int64
+
+	// scrubCursor is the next parity group the online scrubber will
+	// verify; it wraps at NumGroups, marking a completed scrub cycle.
+	scrubCursor int
 }
 
 // Open creates (and formats) a database.
@@ -242,6 +254,10 @@ func (db *DB) NumPages() int { return db.arr.NumPages() }
 
 // PageSize returns the page size in bytes.
 func (db *DB) PageSize() int { return db.cfg.PageSize }
+
+// NumGroups returns the number of parity groups in the array — the unit
+// of redundancy, scrubbing and rebuild.
+func (db *DB) NumGroups() int { return db.arr.NumGroups() }
 
 // RecordsPerPage returns the record capacity of each page in record
 // mode, and 0 in page mode.

@@ -8,11 +8,16 @@ import (
 	"repro/internal/wal"
 )
 
-// ScrubReport summarizes a parity scrub (see Scrub).
+// ScrubReport summarizes a parity scrub (see Scrub and ScrubStep).
 type ScrubReport struct {
 	// GroupsScanned is the number of parity groups examined.
 	GroupsScanned int
-	// LatentErrors is the number of blocks found with checksum damage.
+	// GroupsSkipped is the number of groups left for a later cycle
+	// because they were dirty or degraded (online scrubbing only; the
+	// quiesced Scrub never skips).
+	GroupsSkipped int
+	// LatentErrors is the number of blocks that failed end-to-end
+	// verification — checksum, location stamp or write ledger.
 	LatentErrors int
 	// Repaired is the number of blocks rebuilt from redundancy.
 	Repaired int
@@ -28,7 +33,9 @@ var ErrBusy = errors.New("rda: operation requires a quiesced database")
 // sector errors (silent corruption) from the array's redundancy — the
 // background verification pass that keeps "media recovery will actually
 // work" true on a long-lived array.  The database must be quiescent: no
-// active transaction may have pages on disk awaiting undo.
+// active transaction may have pages on disk awaiting undo.  For
+// scrubbing a *live* database incrementally — without quiescing, under
+// the shared gate — see ScrubStep and StartScrub.
 func (db *DB) Scrub() (*ScrubReport, error) {
 	db.gate.Lock()
 	defer db.gate.Unlock()
@@ -52,11 +59,15 @@ func (db *DB) Scrub() (*ScrubReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rda: scrub: %w", err)
 	}
-	// Any buffered copies may now be stale relative to repaired blocks;
-	// drop clean frames conservatively.
-	db.pool.DropAll()
+	// Invalidate exactly the frames whose platter blocks were rewritten;
+	// everything else in the pool is still current (the flush above made
+	// every frame clean, so DiscardClean always applies).
+	for _, p := range rep.RepairedPages {
+		db.pool.DiscardClean(p)
+	}
 	return &ScrubReport{
 		GroupsScanned:   rep.GroupsScanned,
+		GroupsSkipped:   rep.GroupsSkipped,
 		LatentErrors:    rep.LatentErrors,
 		Repaired:        rep.Repaired,
 		ParityRewritten: rep.ParityRewritten,

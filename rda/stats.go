@@ -57,6 +57,21 @@ type Stats struct {
 	DegradedWrites int64
 	ParityRepairs  int64
 	RebuiltGroups  int64
+
+	// Integrity-plane counters (see DESIGN.md §"The integrity plane").
+	// CorruptBlocksDetected counts blocks that failed end-to-end
+	// verification (checksum, location stamp or write ledger) anywhere —
+	// hot-path reads, scrubbing or recovery; ReadRepairs counts data
+	// blocks transparently rebuilt from redundancy on the read path;
+	// UnrecoverableCorruption counts reads refused with
+	// ErrUnrecoverableCorruption because a second fault exhausted the
+	// group's redundancy; ScrubbedGroups and ScrubRepairs count parity
+	// groups fully verified and blocks rewritten by the scrubber.
+	CorruptBlocksDetected   int64
+	ReadRepairs             int64
+	UnrecoverableCorruption int64
+	ScrubbedGroups          int64
+	ScrubRepairs            int64
 }
 
 // TotalTransfers returns the model's cost measure: every page transfer
@@ -77,6 +92,7 @@ func (db *DB) Stats() Stats {
 	bs := db.pool.Stats()
 	hs := db.arr.Healing()
 	ds := db.store.DegradedCounters()
+	is := db.store.IntegrityCounters()
 	started, committed, aborted := db.tm.Counts()
 	db.mu.Lock()
 	recoveries := db.recoveries
@@ -102,6 +118,12 @@ func (db *DB) Stats() Stats {
 		DegradedWrites:    int64(ds.DegradedWrites),
 		ParityRepairs:     int64(ds.ParityRepairs),
 		RebuiltGroups:     int64(ds.RebuiltGroups),
+
+		CorruptBlocksDetected:   int64(is.CorruptBlocksDetected),
+		ReadRepairs:             int64(is.ReadRepairs),
+		UnrecoverableCorruption: int64(is.UnrecoverableCorruption),
+		ScrubbedGroups:          int64(is.ScrubbedGroups),
+		ScrubRepairs:            int64(is.ScrubRepairs),
 	}
 }
 
