@@ -31,10 +31,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/workload"
 	"repro/rda"
 	"repro/rda/model"
 )
@@ -43,7 +45,11 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 9, 10, 11, 12, 13, overhead, nsweep, reliability or all")
 	live := flag.Bool("live", false, "also measure the live engine (slower)")
 	budget := flag.Int64("budget", 150000, "transfer budget per live measurement point")
-	seed := flag.Int64("seed", 42, "workload seed for the live measurement")
+	seed := flag.Int64("seed", 42, "harness seed; one seed feeds named substreams (workload generation, fault placement) through a shared seeded source, so any run with the same flags and seed is bit-reproducible")
+	workloadSpecs := flag.String("workload", "", "workload sweep: semicolon-separated workload specs (uniform|zipfian|banking|scan[:k=v,...]); replays each over -geometries under all four algorithm families, prints measured vs model throughput, writes -workload-out, then exits")
+	geometries := flag.String("geometries", "raid5:8,paritystripe:8,mirror", "workload sweep: comma-separated array geometries name[:datadisks] (raid5, paritystripe, mirror)")
+	workloadTxns := flag.Int("workload-txns", 1200, "workload sweep: transactions per generated trace")
+	workloadOut := flag.String("workload-out", "BENCH_workloads.json", "workload sweep: output JSON path")
 	transientRate := flag.Int64("transient-rate", 0, "self-healing run: fail every n-th disk access with a transient error (0 = off)")
 	bitflipRate := flag.Int64("bitflip-rate", 0, "integrity run: silently flip one payload bit on every n-th block write (0 = off); measures the verified-read and scrub repair overhead (aggressive rates can exceed single-parity redundancy)")
 	faildiskAt := flag.Int64("faildisk-at", -1, "self-healing run: fail-stop disk 0 after this many block writes (-1 = off)")
@@ -51,6 +57,25 @@ func main() {
 	ioDelay := flag.Duration("iodelay", 150*time.Microsecond, "concurrency bench: simulated per-transfer disk service time")
 	benchOut := flag.String("bench-out", "BENCH_concurrency.json", "concurrency bench: output JSON path")
 	flag.Parse()
+
+	if *workloadSpecs != "" {
+		geoms, err := parseGeometries(*geometries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdabench: %v\n", err)
+			os.Exit(2)
+		}
+		var specs []string
+		for _, s := range strings.Split(*workloadSpecs, ";") {
+			if s = strings.TrimSpace(s); s != "" {
+				specs = append(specs, s)
+			}
+		}
+		if err := benchWorkloads(specs, geoms, *workloadTxns, *seed, *workloadOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rdabench: workload sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *workersList != "" {
 		levels, err := parseWorkersList(*workersList)
@@ -176,6 +201,11 @@ func printReliability() {
 // self-healing counters that explain it.
 func selfHealBench(transientRate, faildiskAt, budget, seed int64) error {
 	fmt.Println("== Self-healing: live engine under injected faults (page logging FORCE/TOC, RDA, C=0.9) ==")
+	// One harness seed, two named substreams: the workload and the fault
+	// placement derive from it independently, so the whole run — fault
+	// positions included — is bit-reproducible from -seed.
+	src := workload.NewSource(seed)
+	workloadSeed, faultSeed := src.Stream("workload"), src.Stream("fault")
 	run := func(inject bool) (sim.Result, *rda.DB, error) {
 		cfg := rda.DefaultConfig()
 		cfg.Logging = rda.PageLogging
@@ -195,6 +225,7 @@ func selfHealBench(transientRate, faildiskAt, budget, seed int64) error {
 			if transientRate > 0 {
 				plane.SetTransientEvery(transientRate)
 			}
+			plane.SetSeed(faultSeed)
 			db.SetInjector(plane)
 		}
 		res, err := sim.Run(db, sim.Workload{
@@ -204,7 +235,7 @@ func selfHealBench(transientRate, faildiskAt, budget, seed int64) error {
 			UpdateProb:     0.9,
 			AbortProb:      0.01,
 			Communality:    0.9,
-			Seed:           seed,
+			Seed:           workloadSeed,
 		}, sim.Options{Transfers: budget})
 		return res, db, err
 	}
@@ -272,6 +303,10 @@ func selfHealBench(transientRate, faildiskAt, budget, seed int64) error {
 // repair traffic and the integrity counters that explain it.
 func integrityBench(rate, budget, seed int64) error {
 	fmt.Println("== Integrity plane: live engine under background bit flips (page logging FORCE/TOC, RDA, C=0.9) ==")
+	// Same shared-source discipline as selfHealBench: workload and fault
+	// placement are independent substreams of the one harness seed.
+	src := workload.NewSource(seed)
+	workloadSeed, faultSeed := src.Stream("workload"), src.Stream("fault")
 	run := func(inject bool) (sim.Result, *rda.DB, error) {
 		cfg := rda.DefaultConfig()
 		cfg.Logging = rda.PageLogging
@@ -285,6 +320,7 @@ func integrityBench(rate, budget, seed int64) error {
 		if inject {
 			plane := fault.NewPlane(nil)
 			plane.SetBitFlipEvery(rate)
+			plane.SetSeed(faultSeed)
 			db.SetInjector(plane)
 		}
 		// The scrubber cycles continuously beside the workload, as it
@@ -313,7 +349,7 @@ func integrityBench(rate, budget, seed int64) error {
 			UpdateProb:     0.9,
 			AbortProb:      0.01,
 			Communality:    0.9,
-			Seed:           seed,
+			Seed:           workloadSeed,
 		}, sim.Options{Transfers: budget})
 		close(stop)
 		if serr := <-scrubDone; err == nil && serr != nil {

@@ -25,28 +25,14 @@ func main() {
 	useRDA := flag.Bool("rda", false, "enable RDA recovery")
 	flag.Parse()
 
-	var algo model.Algorithm
-	switch *algoName {
-	case "page-force":
-		algo = model.AlgoPageForceTOC
-	case "page-noforce":
-		algo = model.AlgoPageNoForceACC
-	case "record-force":
-		algo = model.AlgoRecordForceTOC
-	case "record-noforce":
-		algo = model.AlgoRecordNoForceACC
-	default:
-		fmt.Fprintf(os.Stderr, "rdamodel: unknown algorithm %q\n", *algoName)
+	algo, err := model.ParseAlgorithm(*algoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdamodel: %v\n", err)
 		os.Exit(2)
 	}
-	var p model.Params
-	switch *envName {
-	case "high-update":
-		p = model.HighUpdate()
-	case "high-retrieval":
-		p = model.HighRetrieval()
-	default:
-		fmt.Fprintf(os.Stderr, "rdamodel: unknown environment %q\n", *envName)
+	p, err := model.ParseEnvironment(*envName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdamodel: %v\n", err)
 		os.Exit(2)
 	}
 	if *c < 0 || *c >= 1 {

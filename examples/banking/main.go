@@ -2,185 +2,76 @@
 // engine — the workload class the paper's introduction motivates (large
 // scale transaction processing needing rapid recovery).
 //
-// Many tellers move money between accounts concurrently under record
-// locking (deadlock victims retry), the system crashes in the middle,
-// and after recovery the books must balance: the sum of all accounts is
-// invariant, because every transfer is atomic.
+// The transfers come from the workload plane's banking generator
+// (internal/workload): eight interleaved teller streams are planned into
+// a replayable trace whose funding prologue and transfer bodies carry
+// literal balances, and the trace is replayed through rda/trace.  The
+// generator keeps the book, so after the replay the on-disk balances
+// must match it account for account; the system then crashes mid-flight
+// with uncommitted riches in the buffer, and after recovery the books
+// must still balance — the sum of all accounts is invariant, because
+// every transfer is atomic.
 package main
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"log"
-	"math/rand"
-	"sync"
 
+	"repro/internal/workload"
 	"repro/rda"
+	"repro/rda/trace"
 )
 
 const (
 	numAccounts    = 400
 	initialBalance = 1000
 	tellers        = 8
-	transfersEach  = 150
+	transfers      = 1200
+	maxTransfer    = 200
 )
 
-// account i lives at (page, slot) = (i / perPage, i % perPage).
-type bank struct {
-	db      *rda.DB
-	perPage int
-}
-
-func (b *bank) loc(acct int) (rda.PageID, int) {
-	return rda.PageID(acct / b.perPage), acct % b.perPage
-}
-
-func (b *bank) read(tx *rda.Tx, acct int) (int64, error) {
-	p, slot := b.loc(acct)
-	raw, err := tx.ReadRecord(p, slot)
-	if err != nil {
-		return 0, err
-	}
-	return int64(binary.LittleEndian.Uint64(raw)), nil
-}
-
-func (b *bank) write(tx *rda.Tx, acct int, balance int64) error {
-	p, slot := b.loc(acct)
-	raw := make([]byte, 8)
-	binary.LittleEndian.PutUint64(raw, uint64(balance))
-	return tx.WriteRecord(p, slot, raw)
-}
-
-// transfer moves amount between two accounts atomically, retrying on
-// deadlock.  Accounts are locked in id order to keep retries rare.
-func (b *bank) transfer(from, to int, amount int64) error {
-	for {
-		tx, err := b.db.Begin()
-		if err != nil {
-			return err
-		}
-		err = func() error {
-			lo, hi := from, to
-			if lo > hi {
-				lo, hi = hi, lo
-			}
-			balLo, err := b.read(tx, lo)
-			if err != nil {
-				return err
-			}
-			balHi, err := b.read(tx, hi)
-			if err != nil {
-				return err
-			}
-			fromBal, toBal := balLo, balHi
-			if from != lo {
-				fromBal, toBal = balHi, balLo
-			}
-			if fromBal < amount {
-				return errInsufficient
-			}
-			if err := b.write(tx, from, fromBal-amount); err != nil {
-				return err
-			}
-			return b.write(tx, to, toBal+amount)
-		}()
-		switch {
-		case err == nil:
-			if err := tx.Commit(); err != nil {
-				return err
-			}
-			return nil
-		case errors.Is(err, errInsufficient):
-			return tx.Abort()
-		case errors.Is(err, rda.ErrDeadlock):
-			continue // victim already aborted; retry
-		default:
-			_ = tx.Abort()
-			return err
-		}
-	}
-}
-
-var errInsufficient = errors.New("insufficient funds")
-
-func (b *bank) totalBalance() int64 {
-	var total int64
-	tx, err := b.db.Begin()
-	if err != nil {
-		log.Fatal(err)
-	}
-	for a := 0; a < numAccounts; a++ {
-		bal, err := b.read(tx, a)
-		if err != nil {
-			log.Fatal(err)
-		}
-		total += bal
-	}
-	if err := tx.Commit(); err != nil {
-		log.Fatal(err)
-	}
-	return total
-}
-
 func main() {
-	cfg := rda.Config{
-		DataDisks:    8,
+	// Plan the whole workload first: a funding prologue plus `transfers`
+	// teller transactions interleaved over 8 streams, as a trace.
+	prof := workload.Profile{
+		Mode:         trace.ModeRecord,
+		Streams:      tellers,
+		Transactions: transfers,
+		AbortProb:    0.01, // the occasional teller changes their mind
 		NumPages:     512,
 		PageSize:     512,
-		BufferFrames: 64,
-		Layout:       rda.ParityStriping, // Gray's layout, as OLTP systems preferred
-		Logging:      rda.RecordLogging,
-		EOT:          rda.NoForce,
-		RDA:          true,
 		RecordSize:   16,
+		Seed:         7,
 	}
-	db, err := rda.Open(cfg)
+	bank, err := workload.NewBanking(prof, numAccounts, initialBalance, maxTransfer)
 	if err != nil {
 		log.Fatal(err)
 	}
-	b := &bank{db: db, perPage: db.RecordsPerPage()}
-	if numAccounts > db.NumPages()*b.perPage {
-		log.Fatal("database too small for the accounts")
-	}
-
-	// Fund the accounts.
-	setup, err := db.Begin()
+	t, err := workload.Generate(prof, bank)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for a := 0; a < numAccounts; a++ {
-		if err := b.write(setup, a, initialBalance); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := setup.Commit(); err != nil {
+	want := bank.ExpectedTotal()
+	fmt.Printf("planned %d transfers over %d teller streams (%d accounts x %d, total %d)\n",
+		transfers, tellers, numAccounts, initialBalance, want)
+
+	cfg := rda.DefaultConfig()
+	cfg.DataDisks = 8
+	cfg.BufferFrames = 64
+	cfg.Layout = rda.ParityStriping // Gray's layout, as OLTP systems preferred
+	cfg.EOT = rda.NoForce
+	cfg.RDA = true
+	db, err := rda.Open(t.Config(cfg))
+	if err != nil {
 		log.Fatal(err)
 	}
-	want := int64(numAccounts * initialBalance)
-	fmt.Printf("funded %d accounts with %d each (total %d)\n", numAccounts, initialBalance, want)
 
-	// Tellers hammer the bank concurrently.
-	var wg sync.WaitGroup
-	for tl := 0; tl < tellers; tl++ {
-		wg.Add(1)
-		go func(tl int) {
-			defer wg.Done()
-			r := rand.New(rand.NewSource(int64(tl) + 7))
-			for i := 0; i < transfersEach; i++ {
-				from, to := r.Intn(numAccounts), r.Intn(numAccounts)
-				if from == to {
-					continue
-				}
-				if err := b.transfer(from, to, int64(r.Intn(200)+1)); err != nil &&
-					!errors.Is(err, rda.ErrCrashed) {
-					log.Fatalf("teller %d: %v", tl, err)
-				}
-			}
-		}(tl)
+	res, err := trace.Replay(db, t, trace.Options{})
+	if err != nil {
+		log.Fatal(err)
 	}
-	wg.Wait()
-	fmt.Printf("%d tellers ran %d transfers each\n", tellers, transfersEach)
+	fmt.Printf("replayed %d ops: %d committed, %d aborted, %d transfers\n",
+		res.OpsApplied, res.Committed, res.Aborted, res.Transfers)
 
 	// Take an action-consistent checkpoint so crash recovery only has to
 	// replay work from here on.
@@ -188,17 +79,38 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("took an ACC checkpoint")
-	if got := b.totalBalance(); got != want {
-		log.Fatalf("books do not balance: %d != %d", got, want)
-	}
-	fmt.Println("books balance before the crash")
 
-	// Pull the plug mid-flight: start some transfers and crash.
+	// The generator's book is the oracle: every account, not just the sum.
+	if got, err := bank.TotalIn(db); err != nil || got != want {
+		log.Fatalf("books do not balance: %d != %d (%v)", got, want, err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for a, wantBal := range bank.Balances() {
+		got, err := bank.BalanceIn(tx, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got != wantBal {
+			log.Fatalf("account %d: balance %d, book says %d", a, got, wantBal)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("books balance before the crash (all accounts match the plan)")
+
+	// Pull the plug mid-flight: leave uncommitted riches in the buffer and
+	// crash.
 	hang, err := db.Begin()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := b.write(hang, 0, 1_000_000); err != nil { // uncommitted riches
+	payload := make([]byte, 16)
+	payload[0] = 0x42 // not a plausible balance; must vanish on recovery
+	if err := hang.WriteRecord(0, 0, payload); err != nil {
 		log.Fatal(err)
 	}
 	db.Crash()
@@ -209,8 +121,8 @@ func main() {
 	fmt.Printf("crash: %d loser(s) rolled back (%d via twin parity, %d via log, %d redone)\n",
 		rep.Losers, rep.UndoneViaParity, rep.UndoneViaLog, rep.Redone)
 
-	if got := b.totalBalance(); got != want {
-		log.Fatalf("books do not balance after recovery: %d != %d", got, want)
+	if got, err := bank.TotalIn(db); err != nil || got != want {
+		log.Fatalf("books do not balance after recovery: %d != %d (%v)", got, want, err)
 	}
 	fmt.Println("books balance after crash recovery")
 

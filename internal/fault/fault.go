@@ -337,6 +337,11 @@ type Plane struct {
 	// count) — a deterministic background corruption rate for integrity
 	// benchmarks, O(1) per access like transientEvery.
 	bitFlipEvery int64
+	// seed phase-shifts the background rates (which access in each
+	// period fails, which bit offset a flip starts from) without
+	// changing the rates themselves, so harness seeds vary the fault
+	// placement deterministically.  Zero is a valid seed.
+	seed uint64
 }
 
 // NewPlane builds a plane executing the given schedule.  An empty
@@ -394,18 +399,28 @@ func (p *Plane) SetBitFlipEvery(n int64) {
 	p.bitFlipEvery = n
 }
 
+// SetSeed phase-shifts the plane's background rates: with the same
+// rates and workload, different seeds hit different accesses and flip
+// different bits, while one seed always reproduces the same faults.
+// Scheduled rules are unaffected — they name exact access indices.
+func (p *Plane) SetSeed(seed int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seed = uint64(seed)
+}
+
 // Observe implements disk.Injector.
 func (p *Plane) Observe(a disk.Access) disk.Decision {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var dec disk.Decision
 	p.accesses++
-	if p.transientEvery > 0 && p.accesses%p.transientEvery == 0 {
+	if p.transientEvery > 0 && (p.accesses+int64(p.seed%uint64(p.transientEvery)))%p.transientEvery == 0 {
 		dec.Err = ErrTransient
 	}
 	if p.bitFlipEvery > 0 && a.Op == disk.OpWrite && (p.writes+1)%p.bitFlipEvery == 0 {
 		dec.FlipBit = true
-		dec.FlipBitOffset = int(p.writes % 257) // rotate through bit offsets
+		dec.FlipBitOffset = int((p.writes + int64(p.seed%257)) % 257) // rotate through bit offsets
 	}
 	for i := range p.rules {
 		r := &p.rules[i]

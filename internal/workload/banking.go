@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/rda"
+	"repro/rda/trace"
+)
+
+// Banking is the TPC-B-style transfer workload: money moves between
+// accounts in atomic read-read-write-write transactions, and the sum of
+// all balances is invariant — the oracle every banking run is checked
+// against.  It is the library form of what examples/banking used to
+// hand-roll, so the example, the property tests and the bench sweeps
+// all exercise identical transaction logic.
+//
+// The generator keeps the book: it tracks every account balance at plan
+// time and emits the *resulting* balances as literal write arguments
+// (the first 8 bytes of a write payload are the argument, little
+// endian — see trace.Payload).  Scripted aborts leave the book
+// untouched, exactly as the engine's rollback will.  After a replay,
+// the on-disk balances must equal the book and their sum must equal
+// Accounts × InitialBalance.
+//
+// In record mode account i lives at (page, slot) = (i / perPage,
+// i % perPage); in page mode each account owns page i with the balance
+// in the page's first 8 bytes.
+type Banking struct {
+	// Accounts is the number of accounts; InitialBalance funds each.
+	Accounts       int
+	InitialBalance int64
+	// MaxTransfer bounds a single transfer amount.
+	MaxTransfer int64
+	// AbortProb is the probability a transfer is scripted to abort.
+	AbortProb float64
+
+	mode     trace.Mode
+	perPage  int
+	balances []int64
+}
+
+// NewBanking builds the banking planner for a profile.  The profile's
+// mix knobs (UpdateFraction, UpdateProb) are ignored — every transfer
+// updates both its accounts — but AbortProb is honoured.
+func NewBanking(prof Profile, accounts int, initial, maxTransfer int64) (*Banking, error) {
+	b := &Banking{
+		Accounts:       accounts,
+		InitialBalance: initial,
+		MaxTransfer:    maxTransfer,
+		AbortProb:      prof.AbortProb,
+		mode:           prof.Mode,
+		perPage:        prof.recordsPerPage(),
+	}
+	if accounts < 2 {
+		return nil, fmt.Errorf("workload: banking needs at least 2 accounts")
+	}
+	if maxTransfer < 1 {
+		b.MaxTransfer = 100
+	}
+	capacity := prof.NumPages
+	if prof.Mode == trace.ModeRecord {
+		if prof.RecordSize < 8 {
+			return nil, fmt.Errorf("workload: banking needs records of at least 8 bytes for the balance")
+		}
+		capacity = prof.NumPages * b.perPage
+	}
+	if accounts > capacity {
+		return nil, fmt.Errorf("workload: %d accounts exceed database capacity %d", accounts, capacity)
+	}
+	b.balances = make([]int64, accounts)
+	for i := range b.balances {
+		b.balances[i] = initial
+	}
+	return b, nil
+}
+
+// Name implements Planner.
+func (b *Banking) Name() string { return fmt.Sprintf("banking:accounts=%d", b.Accounts) }
+
+// loc maps an account to its storage location.
+func (b *Banking) loc(acct int) (page uint32, slot uint16) {
+	if b.mode == trace.ModeRecord {
+		return uint32(acct / b.perPage), uint16(acct % b.perPage)
+	}
+	return uint32(acct), 0
+}
+
+// readOp and writeOp build the account access ops for the mode.
+func (b *Banking) readOp(acct int) trace.Op {
+	p, s := b.loc(acct)
+	if b.mode == trace.ModeRecord {
+		return trace.Op{Kind: trace.OpReadRecord, Page: p, Slot: s}
+	}
+	return trace.Op{Kind: trace.OpReadPage, Page: p}
+}
+
+func (b *Banking) writeOp(acct int, balance int64) trace.Op {
+	p, s := b.loc(acct)
+	if b.mode == trace.ModeRecord {
+		return trace.Op{Kind: trace.OpWriteRecord, Page: p, Slot: s, Arg: uint64(balance)}
+	}
+	return trace.Op{Kind: trace.OpWritePage, Page: p, Arg: uint64(balance)}
+}
+
+// Prologue implements Prologuer: one funding transaction writing every
+// account's initial balance.
+func (b *Banking) Prologue() []TxPlan {
+	var plan TxPlan
+	seen := make(map[uint32]bool)
+	for a := 0; a < b.Accounts; a++ {
+		plan.Body = append(plan.Body, b.writeOp(a, b.InitialBalance))
+		p, _ := b.loc(a)
+		if !seen[p] {
+			seen[p] = true
+			plan.Pages = append(plan.Pages, p)
+		}
+	}
+	return []TxPlan{plan}
+}
+
+// PlanTx implements Planner: one transfer between two distinct
+// accounts on pages no other stream holds.
+func (b *Banking) PlanTx(r *rand.Rand, busy func(uint32) bool) (TxPlan, bool) {
+	for attempt := 0; attempt < 32; attempt++ {
+		from, to := r.Intn(b.Accounts), r.Intn(b.Accounts)
+		if from == to {
+			continue
+		}
+		pf, _ := b.loc(from)
+		pt, _ := b.loc(to)
+		if busy(pf) || busy(pt) {
+			continue
+		}
+		amount := 1 + r.Int63n(b.MaxTransfer)
+		if b.balances[from] < amount {
+			amount = b.balances[from]
+		}
+		if amount == 0 {
+			continue // broke account; pick again
+		}
+		plan := TxPlan{
+			Body: []trace.Op{
+				b.readOp(from),
+				b.readOp(to),
+				b.writeOp(from, b.balances[from]-amount),
+				b.writeOp(to, b.balances[to]+amount),
+			},
+			Pages: []uint32{pf},
+			Abort: r.Float64() < b.AbortProb,
+		}
+		if pt != pf {
+			plan.Pages = append(plan.Pages, pt)
+		}
+		if !plan.Abort {
+			b.balances[from] -= amount
+			b.balances[to] += amount
+		}
+		return plan, true
+	}
+	return TxPlan{}, false
+}
+
+// ExpectedTotal is the invariant: the sum every replayed database must
+// show.
+func (b *Banking) ExpectedTotal() int64 {
+	return int64(b.Accounts) * b.InitialBalance
+}
+
+// Balances returns the book — the balance of every account after the
+// generated transactions, which a full replay must reproduce exactly.
+func (b *Banking) Balances() []int64 {
+	out := make([]int64, len(b.balances))
+	copy(out, b.balances)
+	return out
+}
+
+// TotalIn reads every account balance from a replayed database through
+// one retrieval transaction and returns the sum.
+func (b *Banking) TotalIn(db *rda.DB) (int64, error) {
+	tx, err := db.Begin()
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Abort() //nolint:errcheck // retrieval-only; abort releases locks
+	var total int64
+	for a := 0; a < b.Accounts; a++ {
+		bal, err := b.BalanceIn(tx, a)
+		if err != nil {
+			return 0, err
+		}
+		total += bal
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// BalanceIn reads one account's balance within an open transaction.
+func (b *Banking) BalanceIn(tx *rda.Tx, acct int) (int64, error) {
+	p, s := b.loc(acct)
+	var raw []byte
+	var err error
+	if b.mode == trace.ModeRecord {
+		raw, err = tx.ReadRecord(rda.PageID(p), int(s))
+	} else {
+		raw, err = tx.ReadPage(rda.PageID(p))
+	}
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(raw[:8])), nil
+}

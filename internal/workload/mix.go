@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/rda/trace"
+)
+
+// picker draws one page id for a transaction body.
+type picker interface {
+	pick(r *rand.Rand) uint32
+}
+
+// uniformPicker draws pages uniformly — the mix every earlier benchmark
+// in this repo used.
+type uniformPicker struct{ n int }
+
+func (u uniformPicker) pick(r *rand.Rand) uint32 { return uint32(r.Intn(u.n)) }
+
+// scanPicker walks the page space sequentially, shared across streams,
+// wrapping at the end — the sequential-scan access pattern.  The cursor
+// is generator state, so the trace is the scan.
+type scanPicker struct {
+	n      int
+	cursor int
+}
+
+func (s *scanPicker) pick(_ *rand.Rand) uint32 {
+	p := uint32(s.cursor % s.n)
+	s.cursor++
+	return p
+}
+
+// mixPlanner plans transactions of the model's shape — s page requests,
+// update fraction f_u, per-page update probability p_u, abort
+// probability p_b — over any page picker, with a recency window
+// realizing the communality knob.  Uniform, zipfian and scan workloads
+// are all mixPlanners; only the picker differs.
+type mixPlanner struct {
+	name    string
+	prof    Profile
+	pick    picker
+	perPage int // record slots per page (record mode)
+	// window is the recency ring approximating buffer residence; wpos
+	// is the next overwrite position.
+	window []uint32
+	wpos   int
+}
+
+func newMixPlanner(name string, prof Profile, pk picker) *mixPlanner {
+	return &mixPlanner{name: name, prof: prof, pick: pk, perPage: prof.recordsPerPage()}
+}
+
+// Name implements Planner.
+func (m *mixPlanner) Name() string { return m.name }
+
+// touch records a planned page in the recency window.
+func (m *mixPlanner) touch(p uint32) {
+	if len(m.window) < m.prof.Window {
+		m.window = append(m.window, p)
+		return
+	}
+	m.window[m.wpos] = p
+	m.wpos = (m.wpos + 1) % len(m.window)
+}
+
+// pickOne draws one conflict-free page: from the recency window with
+// probability Hot, from the picker otherwise, re-drawing up to 32 times
+// when the candidate is held by another stream.  Pages already in this
+// plan are always admissible (re-references hit the same transaction's
+// own locks).
+func (m *mixPlanner) pickOne(r *rand.Rand, busy func(uint32) bool, mine map[uint32]bool) (uint32, bool) {
+	for attempt := 0; attempt < 32; attempt++ {
+		var p uint32
+		if len(m.window) > 0 && r.Float64() < m.prof.Hot {
+			p = m.window[r.Intn(len(m.window))]
+		} else {
+			p = m.pick.pick(r)
+		}
+		if mine[p] || !busy(p) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// PlanTx implements Planner.
+func (m *mixPlanner) PlanTx(r *rand.Rand, busy func(uint32) bool) (TxPlan, bool) {
+	isUpdate := r.Float64() < m.prof.UpdateFraction
+	var plan TxPlan
+	plan.Abort = isUpdate && r.Float64() < m.prof.AbortProb
+	mine := make(map[uint32]bool, m.prof.PagesPerTx)
+	for i := 0; i < m.prof.PagesPerTx; i++ {
+		p, ok := m.pickOne(r, busy, mine)
+		if !ok {
+			break // contended; a shorter transaction is still a transaction
+		}
+		if !mine[p] {
+			mine[p] = true
+			plan.Pages = append(plan.Pages, p)
+		}
+		m.touch(p)
+		write := isUpdate && r.Float64() < m.prof.UpdateProb
+		var op trace.Op
+		if m.prof.Mode == trace.ModeRecord {
+			op = trace.Op{Page: p, Slot: uint16(r.Intn(m.perPage))}
+			if write {
+				op.Kind, op.Arg = trace.OpWriteRecord, r.Uint64()
+			} else {
+				op.Kind = trace.OpReadRecord
+			}
+		} else {
+			op = trace.Op{Page: p}
+			if write {
+				op.Kind, op.Arg = trace.OpWritePage, r.Uint64()
+			} else {
+				op.Kind = trace.OpReadPage
+			}
+		}
+		plan.Body = append(plan.Body, op)
+	}
+	if len(plan.Body) == 0 {
+		return TxPlan{}, false
+	}
+	return plan, true
+}

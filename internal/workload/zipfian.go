@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zipfian draws ranks 0..n-1 with the Zipf distribution of exponent
+// theta in (0,1): P(rank k) ∝ 1/(k+1)^theta.  This is Gray et al.'s
+// rejection-free quantile method as popularized by YCSB — Go's
+// rand.Zipf requires exponent > 1, so the YCSB range (theta 0.99)
+// needs its own generator.  Rank 0 is the hottest item.
+type zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	// scramble spreads the hot ranks across the key space with an
+	// FNV-style hash, so "hot" does not mean "clustered in the first
+	// parity group"; the frequency *distribution* is unchanged.
+	scramble bool
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n int, theta float64) float64 {
+	var z float64
+	for i := 1; i <= n; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+	}
+	return z
+}
+
+func newZipfian(n int, theta float64, scramble bool) *zipfian {
+	z := &zipfian{n: n, theta: theta, scramble: scramble}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// rank draws an unscrambled rank (0 = hottest).
+func (z *zipfian) rank(r *rand.Rand) int {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// pick implements picker: the drawn rank, scrambled over the key space
+// when enabled.
+func (z *zipfian) pick(r *rand.Rand) uint32 {
+	k := z.rank(r)
+	if k >= z.n {
+		k = z.n - 1
+	}
+	if !z.scramble {
+		return uint32(k)
+	}
+	// FNV-1a over the rank's bytes; modulo keeps it in range.  Distinct
+	// ranks may collide, which only sharpens the skew slightly — the
+	// standard YCSB trade-off.
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(k >> (8 * i)))
+		h *= 1099511628211
+	}
+	return uint32(h % uint64(z.n))
+}
+
+// probability returns the theoretical probability of the unscrambled
+// rank k (0-based) — the reference for the distribution property test.
+func (z *zipfian) probability(k int) float64 {
+	return 1 / (math.Pow(float64(k+1), z.theta) * z.zetan)
+}

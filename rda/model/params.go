@@ -1,0 +1,131 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Algorithms lists the four families in their Section 5 order — the
+// iteration set for sweeps that cover the whole design space.
+var Algorithms = []Algorithm{
+	AlgoPageForceTOC,
+	AlgoPageNoForceACC,
+	AlgoRecordForceTOC,
+	AlgoRecordNoForceACC,
+}
+
+// Key is the short machine-readable name of the family, as accepted by
+// ParseAlgorithm and used in artifact JSON.
+func (a Algorithm) Key() string {
+	switch a {
+	case AlgoPageForceTOC:
+		return "page-force"
+	case AlgoPageNoForceACC:
+		return "page-noforce"
+	case AlgoRecordForceTOC:
+		return "record-force"
+	case AlgoRecordNoForceACC:
+		return "record-noforce"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseAlgorithm maps a family key to its Algorithm.  It is the single
+// name table shared by rdamodel and the rdabench sweeps.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range Algorithms {
+		if name == a.Key() {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown algorithm %q (want %s)", name, strings.Join(AlgorithmKeys(), ", "))
+}
+
+// AlgorithmKeys returns the accepted family keys in order.
+func AlgorithmKeys() []string {
+	keys := make([]string, len(Algorithms))
+	for i, a := range Algorithms {
+		keys[i] = a.Key()
+	}
+	return keys
+}
+
+// ParseEnvironment maps an environment name to its parameter set:
+// "high-update" or "high-retrieval" (Section 5.2.1).
+func ParseEnvironment(name string) (Params, error) {
+	switch name {
+	case "high-update":
+		return HighUpdate(), nil
+	case "high-retrieval":
+		return HighRetrieval(), nil
+	default:
+		return Params{}, fmt.Errorf("model: unknown environment %q (want high-update or high-retrieval)", name)
+	}
+}
+
+// System describes a concrete engine configuration in the model's
+// system terms — the fields a measured run fixes independently of the
+// workload.
+type System struct {
+	// BufferFrames is B, NumPages is S, GroupWidth is N.
+	BufferFrames int
+	NumPages     int
+	GroupWidth   int
+	// Concurrency is P, the concurrent transaction streams.
+	Concurrency int
+	// Interval is T, the availability interval in page transfers; zero
+	// means the paper's 5·10⁶.
+	Interval float64
+}
+
+// Shape describes a workload's mix in the model's terms — the fields a
+// generator spec fixes.
+type Shape struct {
+	// PagesPerTx is s, UpdateFraction f_u, UpdateProb p_u, AbortProb p_b.
+	PagesPerTx     float64
+	UpdateFraction float64
+	UpdateProb     float64
+	AbortProb      float64
+	// Communality is C.  For model-vs-measured comparisons this is the
+	// *measured* buffer hit rate of the run being predicted, so the model
+	// is evaluated at the locality the engine actually saw.
+	Communality float64
+}
+
+// Compose builds the model parameters for a (system, shape) pair on the
+// record-logging length constants of the paper's environments (l_bc,
+// l_p, l_h, e and d scale with s as in HighUpdate/HighRetrieval).
+func Compose(sys System, shape Shape) Params {
+	p := HighUpdate()
+	if sys.BufferFrames > 0 {
+		p.B = sys.BufferFrames
+	}
+	if sys.NumPages > 0 {
+		p.S = sys.NumPages
+	}
+	if sys.GroupWidth > 0 {
+		p.N = sys.GroupWidth
+	}
+	if sys.Concurrency > 0 {
+		p.P = sys.Concurrency
+	}
+	if sys.Interval > 0 {
+		p.T = sys.Interval
+	}
+	if shape.PagesPerTx > 0 {
+		p.PagesPerTx = shape.PagesPerTx
+	}
+	p.UpdateFraction = shape.UpdateFraction
+	p.UpdateProb = shape.UpdateProb
+	p.AbortProb = shape.AbortProb
+	p.Communality = shape.Communality
+	// d, the update statements per transaction, scales with s in the
+	// paper's environments (3 of 10, 8 of 40); use the high-update
+	// ratio, which only affects record-logging log volume mildly.
+	p.UpdateStatements = 0.3 * p.PagesPerTx
+	if p.UpdateStatements < 1 {
+		p.UpdateStatements = 1
+	}
+	return p
+}
