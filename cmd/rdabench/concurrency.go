@@ -21,8 +21,16 @@ import (
 // tx/second; with per-group latches, workers on disjoint groups overlap
 // their I/O across the array's drives and throughput scales with W.
 
+// pipelineKnobs selects the async-pipeline configuration of the
+// measured curve: zero values mean the synchronous engine.
+type pipelineKnobs struct {
+	QueueDepth  int
+	QueueWindow int
+	GroupCommit time.Duration
+}
+
 // benchGeometry is the benchmark's fixed engine configuration.
-func benchGeometry(workers int, ioDelay time.Duration) rda.Config {
+func benchGeometry(workers int, ioDelay time.Duration, pipe pipelineKnobs) rda.Config {
 	cfg := rda.DefaultConfig()
 	cfg.DataDisks = 8
 	cfg.NumPages = 512
@@ -35,6 +43,9 @@ func benchGeometry(workers int, ioDelay time.Duration) rda.Config {
 	cfg.RDA = true
 	cfg.Workers = workers
 	cfg.IODelay = ioDelay
+	cfg.QueueDepth = pipe.QueueDepth
+	cfg.QueueWindow = pipe.QueueWindow
+	cfg.GroupCommitWindow = pipe.GroupCommit
 	return cfg
 }
 
@@ -55,33 +66,42 @@ type benchRun struct {
 	Speedup float64 `json:"speedup"`
 }
 
-// benchOutput is the BENCH_concurrency.json document.
+// benchOutput is the BENCH_concurrency.json document.  Runs is the
+// synchronous-drive baseline; PipelineRuns is the same workload with the
+// async I/O pipeline (per-drive request queues plus group commit).  Both
+// curves' Speedup is anchored to the BASELINE workers=1 throughput, so
+// the pipeline numbers state the end-to-end gain over the unoptimized
+// engine, not just its own scaling.
 type benchOutput struct {
 	Bench    string `json:"bench"`
 	Geometry struct {
-		DataDisks      int     `json:"data_disks"`
-		NumPages       int     `json:"num_pages"`
-		PageSize       int     `json:"page_size"`
-		BufferFrames   int     `json:"buffer_frames"`
-		EOT            string  `json:"eot"`
-		IODelayMicros  float64 `json:"io_delay_us"`
-		TxnsPerWorker  int     `json:"txns_per_worker"`
-		PagesPerTxn    int     `json:"pages_per_txn"`
-		DisjointGroups bool    `json:"disjoint_groups"`
+		DataDisks         int     `json:"data_disks"`
+		NumPages          int     `json:"num_pages"`
+		PageSize          int     `json:"page_size"`
+		BufferFrames      int     `json:"buffer_frames"`
+		EOT               string  `json:"eot"`
+		IODelayMicros     float64 `json:"io_delay_us"`
+		TxnsPerWorker     int     `json:"txns_per_worker"`
+		PagesPerTxn       int     `json:"pages_per_txn"`
+		DisjointGroups    bool    `json:"disjoint_groups"`
+		QueueDepth        int     `json:"queue_depth"`
+		QueueWindow       int     `json:"queue_window"`
+		GroupCommitMicros float64 `json:"group_commit_us"`
 	} `json:"geometry"`
-	Runs []benchRun `json:"runs"`
+	Runs         []benchRun `json:"runs"`
+	PipelineRuns []benchRun `json:"pipeline_runs,omitempty"`
 }
 
-// benchConcurrency measures every requested concurrency level and writes
-// the JSON artifact.
-func benchConcurrency(levels []int, ioDelay time.Duration, seed int64, outPath string) error {
+// benchConcurrency measures every requested concurrency level — first on
+// the synchronous engine, then with the async pipeline — and writes the
+// JSON artifact with both curves.
+func benchConcurrency(levels []int, ioDelay time.Duration, seed int64, outPath string, pipe pipelineKnobs) error {
 	fmt.Println("== Group-striped concurrency: wall-clock throughput vs transaction concurrency ==")
 	fmt.Printf("   (disjoint-group workload, %d txns x %d pages per worker, %v per block transfer)\n",
 		benchTxnsPerWorker, benchPagesPerTxn, ioDelay)
-	fmt.Printf("%8s %10s %12s %12s %9s\n", "workers", "committed", "elapsed", "tx/sec", "speedup")
 
 	out := benchOutput{Bench: "group-striped concurrency (disjoint parity groups)"}
-	g := benchGeometry(1, ioDelay)
+	g := benchGeometry(1, ioDelay, pipe)
 	out.Geometry.DataDisks = g.DataDisks
 	out.Geometry.NumPages = g.NumPages
 	out.Geometry.PageSize = g.PageSize
@@ -91,24 +111,47 @@ func benchConcurrency(levels []int, ioDelay time.Duration, seed int64, outPath s
 	out.Geometry.TxnsPerWorker = benchTxnsPerWorker
 	out.Geometry.PagesPerTxn = benchPagesPerTxn
 	out.Geometry.DisjointGroups = true
+	out.Geometry.QueueDepth = pipe.QueueDepth
+	out.Geometry.QueueWindow = pipe.QueueWindow
+	out.Geometry.GroupCommitMicros = float64(pipe.GroupCommit) / float64(time.Microsecond)
+
+	measure := func(title string, p pipelineKnobs, base *float64) ([]benchRun, error) {
+		fmt.Printf("-- %s --\n", title)
+		fmt.Printf("%8s %10s %12s %12s %9s\n", "workers", "committed", "elapsed", "tx/sec", "speedup")
+		var runs []benchRun
+		for _, w := range levels {
+			run, err := benchOneLevel(w, ioDelay, seed, p)
+			if err != nil {
+				return nil, fmt.Errorf("workers=%d: %w", w, err)
+			}
+			if w == 1 && *base == 0 {
+				*base = run.TxPerSec
+			}
+			if *base > 0 {
+				run.Speedup = run.TxPerSec / *base
+			} else {
+				run.Speedup = 1
+			}
+			fmt.Printf("%8d %10d %11.0fms %12.1f %8.2fx\n",
+				run.Workers, run.Committed, run.ElapsedMS, run.TxPerSec, run.Speedup)
+			runs = append(runs, run)
+		}
+		return runs, nil
+	}
 
 	var base float64
-	for _, w := range levels {
-		run, err := benchOneLevel(w, ioDelay, seed)
+	var err error
+	out.Runs, err = measure("synchronous drives (baseline)", pipelineKnobs{}, &base)
+	if err != nil {
+		return err
+	}
+	if pipe.QueueDepth > 1 {
+		out.PipelineRuns, err = measure(
+			fmt.Sprintf("async pipeline (queue depth %d, window %d, group commit %v); speedup vs baseline workers=1",
+				pipe.QueueDepth, pipe.QueueWindow, pipe.GroupCommit), pipe, &base)
 		if err != nil {
-			return fmt.Errorf("workers=%d: %w", w, err)
+			return err
 		}
-		if w == 1 && base == 0 {
-			base = run.TxPerSec
-		}
-		if base > 0 {
-			run.Speedup = run.TxPerSec / base
-		} else {
-			run.Speedup = 1
-		}
-		fmt.Printf("%8d %10d %11.0fms %12.1f %8.2fx\n",
-			run.Workers, run.Committed, run.ElapsedMS, run.TxPerSec, run.Speedup)
-		out.Runs = append(out.Runs, run)
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -126,8 +169,8 @@ func benchConcurrency(levels []int, ioDelay time.Duration, seed int64, outPath s
 // benchOneLevel opens a fresh engine and runs `workers` goroutines of
 // blind page writes over disjoint page ranges (each range an integral
 // number of parity groups), returning the measured throughput.
-func benchOneLevel(workers int, ioDelay time.Duration, seed int64) (benchRun, error) {
-	cfg := benchGeometry(workers, ioDelay)
+func benchOneLevel(workers int, ioDelay time.Duration, seed int64, pipe pipelineKnobs) (benchRun, error) {
+	cfg := benchGeometry(workers, ioDelay, pipe)
 	db, err := rda.Open(cfg)
 	if err != nil {
 		return benchRun{}, err

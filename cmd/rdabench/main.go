@@ -56,6 +56,9 @@ func main() {
 	workersList := flag.String("workers", "", "concurrency bench: comma-separated worker counts (e.g. 1,8); runs the group-striped throughput bench and exits")
 	ioDelay := flag.Duration("iodelay", 150*time.Microsecond, "concurrency bench: simulated per-transfer disk service time")
 	benchOut := flag.String("bench-out", "BENCH_concurrency.json", "concurrency bench: output JSON path")
+	queueDepth := flag.Int("queue-depth", 8, "concurrency bench: per-drive request queue depth for the pipeline curve (<= 1 skips the pipeline curve)")
+	queueWindow := flag.Int("queue-window", 8, "concurrency bench: elevator aging window for the pipeline curve")
+	groupCommit := flag.Duration("group-commit", 200*time.Microsecond, "concurrency bench: group-commit window for the pipeline curve (0 disables batched EOT forces)")
 	flag.Parse()
 
 	if *workloadSpecs != "" {
@@ -83,7 +86,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rdabench: %v\n", err)
 			os.Exit(2)
 		}
-		if err := benchConcurrency(levels, *ioDelay, *seed, *benchOut); err != nil {
+		pipe := pipelineKnobs{QueueDepth: *queueDepth, QueueWindow: *queueWindow, GroupCommit: *groupCommit}
+		if err := benchConcurrency(levels, *ioDelay, *seed, *benchOut, pipe); err != nil {
 			fmt.Fprintf(os.Stderr, "rdabench: concurrency bench: %v\n", err)
 			os.Exit(1)
 		}

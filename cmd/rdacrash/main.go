@@ -68,6 +68,7 @@ func main() {
 		sched    = flag.String("sched", "", `replay one schedule (e.g. "crash@w12" or "torn[head]@w3") and exit`)
 		layouts  = flag.String("layout", "both", "array layout: data, parity, or both")
 		workers  = flag.Int("workers", 0, "engine-internal parallelism for recovery/rebuild scans (0 = deterministic single worker)")
+		qdepth   = flag.Int("queue-depth", 0, "per-drive request queue depth; > 1 enables the async I/O pipeline, so crash sweeps land at every queue-DEQUEUE index (0/1 = synchronous, byte-replayable)")
 	)
 	flag.Parse()
 
@@ -85,7 +86,7 @@ func main() {
 	}
 
 	opts := func(l rda.Layout) crashcheck.Options {
-		return crashcheck.Options{Layout: l, Seed: *seed, Txns: *txns, OpsPerTx: *ops, Torn: *torn, Workers: *workers}
+		return crashcheck.Options{Layout: l, Seed: *seed, Txns: *txns, OpsPerTx: *ops, Torn: *torn, Workers: *workers, QueueDepth: *qdepth}
 	}
 
 	failed := false

@@ -390,6 +390,51 @@ func (bp *Pool) FlushPage(p page.PageID) error {
 	return nil
 }
 
+// FlushTogether writes a set of pages back as one combined unit,
+// bypassing the per-frame WriteBack callback: the caller's write
+// function receives every frame's contents (aligned with ps) and issues
+// whatever disk protocol covers them jointly — the engine's full-stripe
+// write uses this to fold a group's page flushes into a single parity
+// update.  Like FlushPage, the write runs outside the pool mutex with
+// every frame pinned; the caller must hold the pages' group latch so the
+// contents stay stable.
+//
+// The combined write only makes sense when the caller can see all the
+// data: if any page is not resident or not dirty, FlushTogether does
+// nothing and returns false so the caller falls back to per-page
+// flushing.  On success every frame is marked clean.
+func (bp *Pool) FlushTogether(ps []page.PageID, write func(datas []page.Buf) error) (bool, error) {
+	bp.mu.Lock()
+	frames := make([]*Frame, len(ps))
+	for i, p := range ps {
+		f, ok := bp.frames[p]
+		if !ok || !f.Dirty {
+			bp.mu.Unlock()
+			return false, nil
+		}
+		frames[i] = f
+	}
+	datas := make([]page.Buf, len(frames))
+	for i, f := range frames {
+		f.pins++
+		datas[i] = f.Data
+	}
+	bp.mu.Unlock()
+	err := write(datas)
+	bp.mu.Lock()
+	for _, f := range frames {
+		f.pins--
+		if err == nil {
+			bp.markClean(f)
+		}
+	}
+	bp.mu.Unlock()
+	if err != nil {
+		return true, fmt.Errorf("buffer: flush pages %v: %w", ps, err)
+	}
+	return true, nil
+}
+
 // FlushAll writes back every dirty frame accepted by filter (nil = all).
 func (bp *Pool) FlushAll(filter func(*Frame) bool) error {
 	for _, p := range bp.DirtyPages() {

@@ -57,6 +57,14 @@ type Store struct {
 	// order.  Set once by the engine at Open, before the store is shared.
 	Workers int
 
+	// Pipelined enables intra-operation transfer overlap: the small-write
+	// RMW issues its two reads (old data, old parity) concurrently — they
+	// live on different drives — and full-stripe writes fan their data
+	// transfers out across the group's drives.  Writes whose order the
+	// recovery protocol relies on (parity before data) stay sequential.
+	// Set once by the engine at Open, before the store is shared.
+	Pipelined bool
+
 	// Degraded-serving state (degraded.go).
 	degraded bool
 	downDisk int
@@ -188,13 +196,39 @@ func (s *Store) smallWriteParity(g page.GroupID, twin int, p page.PageID, cached
 	if s.Arr.GroupWidth() == 1 {
 		return data.Clone(), nil
 	}
-	oldData, err := s.oldOnDisk(p, cachedOld)
-	if err != nil {
-		return nil, err
-	}
-	cur, _, err := s.ReadParityRepair(g, twin)
-	if err != nil {
-		return nil, fmt.Errorf("core: read parity of group %d: %w", g, err)
+	var oldData, cur page.Buf
+	if s.Pipelined && cachedOld == nil {
+		// The a=4 case needs both reads and they target different
+		// drives: overlap them.  Reads commute, so this changes no
+		// recovery-visible ordering.
+		err := diskarray.Batch(
+			func() error {
+				var e error
+				oldData, e = s.oldOnDisk(p, nil)
+				return e
+			},
+			func() error {
+				var e error
+				cur, _, e = s.ReadParityRepair(g, twin)
+				if e != nil {
+					return fmt.Errorf("core: read parity of group %d: %w", g, e)
+				}
+				return nil
+			},
+		)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		oldData, err = s.oldOnDisk(p, cachedOld)
+		if err != nil {
+			return nil, err
+		}
+		cur, _, err = s.ReadParityRepair(g, twin)
+		if err != nil {
+			return nil, fmt.Errorf("core: read parity of group %d: %w", g, err)
+		}
 	}
 	return page.Buf(xorparity.SmallWrite(cur, oldData, data)), nil
 }
@@ -225,6 +259,25 @@ func (s *Store) CanStealNoLog(p page.PageID, tx page.TxID) bool {
 // (Section 4.3); the working parity header records tx, a fresh timestamp
 // and the covered page.
 func (s *Store) StealNoLog(p page.PageID, data, cachedOld page.Buf, t *txn.Txn) error {
+	if err := s.StealNoLogChained(p, data, cachedOld, t, t.ChainHead()); err != nil {
+		return err
+	}
+	if !t.InChain(p) {
+		t.StolenNoLog = append(t.StolenNoLog, p)
+	}
+	return nil
+}
+
+// StealNoLogChained is StealNoLog with the transaction-chain bookkeeping
+// hoisted to the caller: chainPrev is the log-chain pointer to record in
+// the data header, and the caller appends p to t.StolenNoLog (under its
+// own transaction mutex) once the steal succeeds.  The split lets a
+// pipelined commit overlap one transaction's steals across parity groups
+// — the disk transfers here touch only per-group state (twins, dirty
+// set, the group's drives), each already safe under the group latch the
+// caller holds — while the shared chain mutation stays serialized
+// outside the I/O.
+func (s *Store) StealNoLogChained(p page.PageID, data, cachedOld page.Buf, t *txn.Txn, chainPrev page.PageID) error {
 	if s.Dirty == nil {
 		return fmt.Errorf("core: StealNoLog without RDA recovery")
 	}
@@ -263,14 +316,11 @@ func (s *Store) StealNoLog(p page.PageID, data, cachedOld page.Buf, t *txn.Txn) 
 	// The data header carries the same timestamp as the working parity
 	// written above: after a crash the scan can tell whether this data
 	// write made it to disk before re-stealing rewrote the twin.
-	meta := disk.Meta{Txn: t.ID, Timestamp: ts, ChainPrev: t.ChainHead(), ChainSet: true}
+	meta := disk.Meta{Txn: t.ID, Timestamp: ts, ChainPrev: chainPrev, ChainSet: true}
 	if err := s.writeData(p, data, meta); err != nil {
 		return err
 	}
 	s.Dirty.MarkDirty(g, p, t.ID, twin)
-	if !t.InChain(p) {
-		t.StolenNoLog = append(t.StolenNoLog, p)
-	}
 	return nil
 }
 
@@ -305,6 +355,88 @@ func (s *Store) WriteLogged(p page.PageID, data, cachedOld page.Buf) error {
 		return err
 	}
 	return s.singleParityWrite(p, g, data, oldData, disk.Meta{})
+}
+
+// ErrNotStripe reports a WriteStripeLogged attempt outside its
+// preconditions; callers fall back to per-page writes.
+var ErrNotStripe = errors.New("core: group not eligible for a full-stripe write")
+
+// WriteStripeLogged writes every data page of one clean, healthy group
+// of a twinned array with a single parity update — the paper's
+// large-write case, reached when a committing transaction's flush covers
+// a whole stripe.  The new parity is the XOR of the new data alone, so
+// the k-transfer read-modify-write per page collapses to one parity
+// write plus k data writes and no reads.
+//
+// The caller must have the group's UNDO material durable on the log
+// (before-images of every page in the stripe, forced) before calling:
+// coalescing k deltas into one parity write destroys the per-page
+// crash-atomicity of flipCommitted — a crash inside the batch leaves a
+// mixed stripe that NO parity version describes, and a reconstruction
+// from either twin can hand back garbage for a member page.  That is
+// safe precisely because the stripe has no bystanders: every page a bad
+// reconstruction could touch belongs to the batch, the batch's writer
+// cannot have committed (its EOT is appended only after the flush
+// returns), and logged undo rewrites every member from its forced
+// before-image.  Partial-stripe batches have bystander pages with no
+// such cover, so they must not coalesce — hence ErrNotStripe.
+//
+// Write ordering inside the batch follows flipCommitted: parity first
+// (to the obsolete twin, committed state, naming the LAST page with the
+// pairing echo), then the unnamed data pages — overlapped across their
+// drives when the store is pipelined — and the named page physically
+// last, stamped with the parity timestamp.  An intact echo therefore
+// still proves the whole stripe landed.
+func (s *Store) WriteStripeLogged(g page.GroupID, pages []page.PageID, datas []page.Buf) error {
+	if s.Twins == nil || len(pages) == 0 || len(pages) != len(datas) {
+		return ErrNotStripe
+	}
+	if s.GroupDegraded(g) || (s.Dirty != nil && s.Dirty.IsDirty(g)) {
+		return ErrNotStripe
+	}
+	group := s.Arr.GroupPages(g)
+	if len(pages) != len(group) {
+		return ErrNotStripe
+	}
+	for i, p := range group {
+		if pages[i] != p {
+			return ErrNotStripe
+		}
+	}
+	blocks := make([][]byte, len(datas))
+	for i, d := range datas {
+		blocks[i] = d
+	}
+	newParity := page.Buf(xorparity.Compute(s.Arr.PageSize(), blocks...))
+	obsolete := s.Twins.Obsolete(g)
+	ts := s.TM.NextTimestamp()
+	last := len(pages) - 1
+	pMeta := disk.Meta{State: disk.StateCommitted, Timestamp: ts, DirtyPage: pages[last], PairedSet: true}
+	if err := s.Arr.WriteParity(g, obsolete, newParity, pMeta); err != nil {
+		return fmt.Errorf("core: write stripe parity of group %d: %w", g, err)
+	}
+	s.Twins.Promote(g, obsolete)
+	if last > 0 {
+		ops := make([]func() error, last)
+		for i := 0; i < last; i++ {
+			i := i
+			ops[i] = func() error {
+				return s.writeData(pages[i], datas[i], disk.Meta{Timestamp: ts})
+			}
+		}
+		if s.Pipelined {
+			if err := diskarray.Batch(ops...); err != nil {
+				return err
+			}
+		} else {
+			for _, op := range ops {
+				if err := op(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return s.writeData(pages[last], datas[last], disk.Meta{Timestamp: ts})
 }
 
 // singleParityWrite performs the classic small-write protocol against the

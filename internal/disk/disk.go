@@ -183,8 +183,11 @@ type Disk struct {
 	// requests to the same disk serialize while transfers on OTHER disks
 	// of the array overlap in wall-clock time.  That makes wall-clock
 	// throughput reflect how much array parallelism the caller actually
-	// achieves (zero for tests; benchmarks opt in).
+	// achieves (zero for tests; benchmarks opt in).  In pipelined mode
+	// the sleep happens when the scheduler dequeues the transfer.
 	latency atomic.Int64
+	// q is the drive's request queue (see queue.go); disabled by default.
+	q queue
 }
 
 // New creates a disk with the given identifier, number of blocks and block
@@ -225,8 +228,16 @@ func (d *Disk) serviceTime() {
 }
 
 // Read returns a copy of the block's data and its metadata, charging one
-// page transfer.
+// page transfer.  In pipelined mode (StartQueue) the request goes
+// through the drive's queue; otherwise it executes synchronously.
 func (d *Disk) Read(blockNum int) (page.Buf, Meta, error) {
+	if d.q.on.Load() {
+		return d.Submit(Request{Op: OpRead, Block: blockNum}).Wait()
+	}
+	return d.execRead(blockNum)
+}
+
+func (d *Disk) execRead(blockNum int) (page.Buf, Meta, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.serviceTime()
@@ -255,8 +266,16 @@ func (d *Disk) Read(blockNum int) (page.Buf, Meta, error) {
 }
 
 // Write atomically replaces the block's data and metadata, charging one
-// page transfer.
+// page transfer.  In pipelined mode the request goes through the drive's
+// queue; otherwise it executes synchronously.
 func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
+	if d.q.on.Load() {
+		return d.Submit(Request{Op: OpWrite, Block: blockNum, Data: data, Meta: meta}).Err()
+	}
+	return d.execWrite(blockNum, data, meta)
+}
+
+func (d *Disk) execWrite(blockNum int, data page.Buf, meta Meta) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.serviceTime()
@@ -338,6 +357,14 @@ func (d *Disk) Write(blockNum int, data page.Buf, meta Meta) error {
 // transfer (on the paper's hardware the header travels with the sector,
 // so a header read costs a full rotation just like a block read).
 func (d *Disk) ReadMeta(blockNum int) (Meta, error) {
+	if d.q.on.Load() {
+		_, meta, err := d.Submit(Request{Op: OpReadMeta, Block: blockNum}).Wait()
+		return meta, err
+	}
+	return d.execReadMeta(blockNum)
+}
+
+func (d *Disk) execReadMeta(blockNum int) (Meta, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.serviceTime()
@@ -363,6 +390,13 @@ func (d *Disk) ReadMeta(blockNum int) (Meta, error) {
 // still charges one page transfer: on the paper's hardware the header
 // travels with the sector.
 func (d *Disk) WriteMeta(blockNum int, meta Meta) error {
+	if d.q.on.Load() {
+		return d.Submit(Request{Op: OpWriteMeta, Block: blockNum, Meta: meta}).Err()
+	}
+	return d.execWriteMeta(blockNum, meta)
+}
+
+func (d *Disk) execWriteMeta(blockNum int, meta Meta) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.serviceTime()

@@ -1,0 +1,73 @@
+package diskarray
+
+// Pipelined-mode plumbing: queue lifecycle fan-out across the member
+// drives, and a small fork/join helper for overlapping the independent
+// transfers of one logical operation (the small-write RMW's two reads,
+// the per-group flush's data writes) across drives.
+
+// StartQueues enables the per-drive request queue on every member disk
+// (see disk.Disk.StartQueue).  depth is the per-drive queue depth,
+// window the elevator's starvation bound.  Rebuild replacements inherit
+// the queue: a rebuild reuses the repaired drive object.
+func (a *Array) StartQueues(depth, window int) {
+	for _, d := range a.disks {
+		d.StartQueue(depth, window)
+	}
+}
+
+// StopQueues drains and disables every per-drive queue.
+func (a *Array) StopQueues() {
+	for _, d := range a.disks {
+		d.StopQueue()
+	}
+}
+
+// ResetQueues clears crash poisoning on every per-drive queue after the
+// engine has wiped volatile state (see disk.Disk.ResetQueue).
+func (a *Array) ResetQueues() {
+	for _, d := range a.disks {
+		d.ResetQueue()
+	}
+}
+
+// Batch runs the given operations concurrently and joins them all.  It
+// exists for the transfers of ONE logical array operation whose members
+// are independent — never for writes whose order the recovery protocol
+// relies on (parity before data stays sequential).  The first non-nil
+// error in argument order is returned; if any operation panicked, the
+// earliest panic in argument order is re-raised on the caller's
+// goroutine after every branch has finished, so a crash injected into
+// one branch still produces a deterministic, fully-joined failure.
+func Batch(ops ...func() error) error {
+	if len(ops) == 1 {
+		return ops[0]()
+	}
+	errs := make([]error, len(ops))
+	panics := make([]any, len(ops))
+	done := make(chan int, len(ops))
+	for i, op := range ops {
+		go func(i int, op func() error) {
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+				done <- i
+			}()
+			errs[i] = op()
+		}(i, op)
+	}
+	for range ops {
+		<-done
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// Forcer batches concurrent log forces.  Callers that need a record
+// durable call Force(lsn); the first caller in an idle window becomes
+// the leader, sleeps the group-commit window so concurrent committers
+// can join, then issues one physical Log.Force covering the highest LSN
+// any member asked for.  Followers just wait for the leader's force to
+// complete — the log is sequential, so one force covers everyone below
+// its watermark.  No caller ever blocks on another transaction's force
+// longer than one window plus one log write.
+type Forcer struct {
+	log    *Log
+	window time.Duration
+
+	mu      sync.Mutex
+	leader  bool
+	maxLSN  LSN
+	batch   chan struct{}
+	batches int64
+	joins   int64
+}
+
+// NewForcer wraps l with a group-commit window.  A zero window still
+// batches whatever arrives while the leader is between its snapshot and
+// the physical force, it just doesn't wait for company.
+func NewForcer(l *Log, window time.Duration) *Forcer {
+	return &Forcer{log: l, window: window, batch: make(chan struct{})}
+}
+
+// Force blocks until every record with LSN <= upTo is durable.
+func (f *Forcer) Force(upTo LSN) {
+	f.mu.Lock()
+	f.joins++
+	if upTo > f.maxLSN {
+		f.maxLSN = upTo
+	}
+	if f.leader {
+		// A leader is collecting; our LSN is in its snapshot-to-be.
+		// Wait for its force.
+		ch := f.batch
+		f.mu.Unlock()
+		<-ch
+		return
+	}
+	f.leader = true
+	ch := f.batch
+	f.mu.Unlock()
+
+	if f.window > 0 {
+		time.Sleep(f.window)
+	}
+
+	f.mu.Lock()
+	lsn := f.maxLSN
+	f.maxLSN = 0
+	f.leader = false
+	f.batch = make(chan struct{})
+	f.batches++
+	f.mu.Unlock()
+
+	// Followers that joined before the snapshot are covered by lsn;
+	// anyone arriving after the reset starts a fresh batch on the new
+	// channel, so closing ch wakes exactly this cohort.
+	f.log.Force(lsn)
+	close(ch)
+}
+
+// Batches returns the number of physical forces issued.
+func (f *Forcer) Batches() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.batches
+}
+
+// Joins returns the number of Force calls served (batched or not).
+func (f *Forcer) Joins() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.joins
+}

@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/page"
+)
+
+func TestUnforcedAppendChargesOnForceOnce(t *testing.T) {
+	// Several unforced records packing into one log page must cost one
+	// page write when forced together — that is the group-commit fold-in.
+	l := New(Config{LogPageSize: 10000, WriteCost: 4})
+	for i := 0; i < 5; i++ {
+		l.AppendUnforced(Record{Type: TypeEOT, Txn: page.TxID(i + 1), Slot: NoSlot})
+	}
+	if got := l.Stats().Transfers; got != 0 {
+		t.Fatalf("unforced appends charged %d transfers, want 0", got)
+	}
+	if got := l.ForcedLSN(); got != 0 {
+		t.Fatalf("watermark = %d before any force, want 0", got)
+	}
+	charged := l.Force(5)
+	if charged != 4 {
+		t.Fatalf("folded force charged %d transfers, want 4 (one page)", charged)
+	}
+	if got := l.ForcedLSN(); got != 5 {
+		t.Fatalf("watermark = %d after Force(5), want 5", got)
+	}
+	// Compare with the always-forced policy: same records, 5 separate
+	// page writes.
+	lf := New(Config{LogPageSize: 10000, WriteCost: 4})
+	for i := 0; i < 5; i++ {
+		lf.Append(Record{Type: TypeEOT, Txn: page.TxID(i + 1), Slot: NoSlot})
+	}
+	if got := lf.Stats().Transfers; got != 20 {
+		t.Fatalf("forced appends charged %d, want 20", got)
+	}
+}
+
+func TestForceIsIdempotentAndPartial(t *testing.T) {
+	l := New(Config{LogPageSize: 100, WriteCost: 1})
+	for i := 0; i < 6; i++ {
+		l.AppendUnforced(Record{Type: TypeAfterImage, Txn: 1, Page: page.PageID(i), Slot: NoSlot, Image: make([]byte, 60)})
+	}
+	first := l.Force(3)
+	if first <= 0 {
+		t.Fatalf("partial force charged nothing")
+	}
+	if got := l.ForcedLSN(); got != 3 {
+		t.Fatalf("watermark = %d, want 3", got)
+	}
+	if re := l.Force(3); re != 0 {
+		t.Fatalf("re-forcing a covered LSN charged %d", re)
+	}
+	if re := l.Force(1); re != 0 {
+		t.Fatalf("forcing below the watermark charged %d", re)
+	}
+	rest := l.Force(100) // clamps to the tail
+	if rest <= 0 {
+		t.Fatalf("forcing the remainder charged nothing")
+	}
+	if got := l.ForcedLSN(); got != 6 {
+		t.Fatalf("watermark = %d, want tail 6", got)
+	}
+	// Splitting the force costs at most one extra page over forcing the
+	// stream in one go: the partially filled boundary page is rewritten
+	// when the second force covers the records appended into it.
+	whole := New(Config{LogPageSize: 100, WriteCost: 1})
+	for i := 0; i < 6; i++ {
+		whole.AppendUnforced(Record{Type: TypeAfterImage, Txn: 1, Page: page.PageID(i), Slot: NoSlot, Image: make([]byte, 60)})
+	}
+	wholeCharge := whole.Force(6)
+	if split := first + rest; split < wholeCharge || split > wholeCharge+1 {
+		t.Fatalf("split forces charged %d+%d, one force charges %d", first, rest, wholeCharge)
+	}
+}
+
+func TestForcedAppendDragsUnforcedPredecessors(t *testing.T) {
+	// The log is sequential: forcing record N writes everything below it.
+	l := New(DefaultConfig())
+	l.AppendUnforced(Record{Type: TypeEOT, Txn: 1, Slot: NoSlot})
+	l.AppendUnforced(Record{Type: TypeEOT, Txn: 2, Slot: NoSlot})
+	lsn := l.Append(Record{Type: TypeBOT, Txn: 3, Slot: NoSlot})
+	if got := l.ForcedLSN(); got != lsn {
+		t.Fatalf("watermark = %d after forced append, want %d", got, lsn)
+	}
+	if dropped := l.DropUnforced(); dropped != 0 {
+		t.Fatalf("DropUnforced dropped %d records covered by a forced append", dropped)
+	}
+}
+
+func TestDropUnforcedLosesOnlyTheTail(t *testing.T) {
+	l := New(DefaultConfig())
+	for i := 1; i <= 4; i++ {
+		l.Append(Record{Type: TypeBOT, Txn: page.TxID(i), Slot: NoSlot})
+	}
+	l.AppendUnforced(Record{Type: TypeEOT, Txn: 1, Slot: NoSlot}) // LSN 5
+	l.AppendUnforced(Record{Type: TypeEOT, Txn: 2, Slot: NoSlot}) // LSN 6
+	if dropped := l.DropUnforced(); dropped != 2 {
+		t.Fatalf("dropped %d records, want 2", dropped)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d after drop, want 4", l.Len())
+	}
+	if _, err := l.Read(5); err == nil {
+		t.Fatalf("dropped record must be unreadable")
+	}
+	if r, err := l.Read(4); err != nil || r.Txn != 4 {
+		t.Fatalf("forced record lost: %+v, %v", r, err)
+	}
+	// Appends resume at the watermark, reusing the dropped LSNs.
+	if got := l.Append(Record{Type: TypeEOT, Txn: 9, Slot: NoSlot}); got != 5 {
+		t.Fatalf("next LSN = %d after drop, want 5", got)
+	}
+}
+
+func TestTruncateClampsWatermark(t *testing.T) {
+	// Truncating past unforced records discards them for good;
+	// DropUnforced must not resurrect or double-drop anything.
+	l := New(DefaultConfig())
+	l.Append(Record{Type: TypeBOT, Txn: 1, Slot: NoSlot})
+	l.AppendUnforced(Record{Type: TypeEOT, Txn: 1, Slot: NoSlot})
+	l.AppendUnforced(Record{Type: TypeEOT, Txn: 2, Slot: NoSlot})
+	l.Truncate(3) // keeps only LSN 3, which is unforced
+	if dropped := l.DropUnforced(); dropped != 1 {
+		t.Fatalf("dropped %d, want 1 (the surviving unforced record)", dropped)
+	}
+	if l.FirstLSN() != 3 {
+		t.Fatalf("first LSN = %d, want 3", l.FirstLSN())
+	}
+	if dropped := l.DropUnforced(); dropped != 0 {
+		t.Fatalf("second drop removed %d records", dropped)
+	}
+}
+
+func TestForcerBatchesConcurrentForces(t *testing.T) {
+	l := New(Config{LogPageSize: 10000, WriteCost: 4})
+	f := NewForcer(l, 2*time.Millisecond)
+	const n = 16
+	lsns := make([]LSN, n)
+	for i := range lsns {
+		lsns[i] = l.AppendUnforced(Record{Type: TypeEOT, Txn: page.TxID(i + 1), Slot: NoSlot})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.Force(lsns[i])
+			// Durability must hold at the moment Force returns.
+			if got := l.ForcedLSN(); got < lsns[i] {
+				t.Errorf("Force(%d) returned with watermark %d", lsns[i], got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if f.Joins() != n {
+		t.Fatalf("joins = %d, want %d", f.Joins(), n)
+	}
+	if b := f.Batches(); b < 1 || b > n {
+		t.Fatalf("batches = %d, want within [1,%d]", b, n)
+	}
+	// All records shared one log page: however the cohorts formed, total
+	// transfers stay a single page per physical force at most.
+	if tr := l.Stats().Transfers; tr > f.Batches()*4 {
+		t.Fatalf("transfers = %d exceed one page per batch (%d batches)", tr, f.Batches())
+	}
+}
+
+func TestForcerZeroWindow(t *testing.T) {
+	l := New(DefaultConfig())
+	f := NewForcer(l, 0)
+	lsn := l.AppendUnforced(Record{Type: TypeEOT, Txn: 1, Slot: NoSlot})
+	f.Force(lsn)
+	if got := l.ForcedLSN(); got != lsn {
+		t.Fatalf("watermark = %d, want %d", got, lsn)
+	}
+}
+
+func TestForceDelaySleepsOncePerForce(t *testing.T) {
+	l := New(DefaultConfig())
+	l.SetForceDelay(5 * time.Millisecond)
+	for i := 0; i < 8; i++ {
+		l.AppendUnforced(Record{Type: TypeEOT, Txn: page.TxID(i + 1), Slot: NoSlot})
+	}
+	start := time.Now()
+	l.Force(8)
+	if took := time.Since(start); took < 5*time.Millisecond {
+		t.Fatalf("force returned in %v, want >= 5ms", took)
+	}
+	// Covered LSNs return without sleeping.
+	start = time.Now()
+	l.Force(8)
+	if took := time.Since(start); took > 4*time.Millisecond {
+		t.Fatalf("idempotent force slept (%v)", took)
+	}
+}

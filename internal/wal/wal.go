@@ -9,10 +9,17 @@
 // (Section 5.3) additionally logs record-granularity images addressed by
 // (page, slot).
 //
-// The log models stable storage: its contents survive DB.Crash().  Every
-// append is forced, honouring the write-ahead rule at the granularity the
-// engine needs (a before-image is appended, and therefore durable, before
-// the corresponding page write reaches the array).
+// The log models stable storage: its contents survive DB.Crash().  By
+// default every append is forced, honouring the write-ahead rule at the
+// granularity the engine needs (a before-image is appended, and therefore
+// durable, before the corresponding page write reaches the array).  Group
+// commit relaxes this for the records that do not carry undo material:
+// AppendUnforced leaves a record in the volatile log tail, Force makes
+// everything up to an LSN durable (charging the covered log pages once,
+// however many records they hold — the fold-in that makes concurrent
+// commits share one log write), and DropUnforced models a crash by
+// discarding the unforced tail.  The Forcer batches concurrent Force
+// calls within a configurable window.
 //
 // Cost accounting follows the paper's model, which charges every log
 // write like a small write to the disk array (4 page transfers: read old
@@ -26,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/page"
 )
@@ -148,7 +156,21 @@ type Log struct {
 	// baseOff is the absolute byte position of buf[0] in the log stream
 	// (bytes dropped by truncation so far).
 	baseOff int
-	stats   Stats
+	// forcedLSN is the durability watermark: every record with LSN <=
+	// forcedLSN has reached stable storage.  Forced appends advance it
+	// past themselves (dragging any unforced predecessors along — a log
+	// force is sequential); AppendUnforced leaves it behind.
+	forcedLSN LSN
+	// forcedOff is the absolute byte offset charged so far; the span
+	// [forcedOff, end of the forced record) is charged at force time,
+	// which is what lets records folded into one force share log pages.
+	forcedOff int
+	// forceDelay, when non-zero, is slept once per Force call — the
+	// simulated service time of the physical log write.  Zero (the
+	// default) keeps forces instantaneous, matching the pre-group-commit
+	// engine where log cost lives purely in the transfer accounting.
+	forceDelay time.Duration
+	stats      Stats
 }
 
 // New creates an empty log.
@@ -160,6 +182,14 @@ func New(cfg Config) *Log {
 		cfg.WriteCost = DefaultConfig().WriteCost
 	}
 	return &Log{cfg: cfg, firstLSN: 1}
+}
+
+// SetForceDelay sets the simulated wall-clock service time of one
+// physical log force (0 disables, the default).
+func (l *Log) SetForceDelay(d time.Duration) {
+	l.mu.Lock()
+	l.forceDelay = d
+	l.mu.Unlock()
 }
 
 // ErrCorrupt reports a malformed record frame during decoding.
@@ -229,29 +259,124 @@ func decode(buf []byte, off int) (Record, int, error) {
 }
 
 // Append writes r to stable storage, assigns its LSN, and charges page
-// transfers for the forced log page(s).
+// transfers for the forced log page(s).  A forced append also forces any
+// unforced predecessors — a log force is sequential — so the watermark
+// always ends up at this record's LSN.
 func (l *Log) Append(r Record) LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	lsn := l.appendLocked(&r)
+	l.forceLocked(lsn)
+	return lsn
+}
+
+// AppendUnforced appends r to the volatile log tail without forcing it.
+// The record is readable immediately (the engine reads its own log
+// buffer) but does not survive a crash until Force covers its LSN; no
+// transfers are charged until then.  Undo-critical records (BOT,
+// before-images, checkpoints) must use Append — the write-ahead rule
+// requires them durable before the disk writes they cover.
+func (l *Log) AppendUnforced(r Record) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(&r)
+}
+
+// appendLocked encodes r into the tail and assigns its LSN.
+func (l *Log) appendLocked(r *Record) LSN {
 	r.LSN = l.firstLSN + LSN(len(l.offsets))
 	startOff := len(l.buf)
 	l.offsets = append(l.offsets, startOff)
-	l.buf = encode(l.buf, &r)
-
+	l.buf = encode(l.buf, r)
 	l.stats.Records++
 	l.stats.Bytes += int64(len(l.buf) - startOff)
-	// Charge the forced tail page plus every additional page the frame
-	// spilled into; page positions stay absolute across truncation.
-	// Under the Packed policy only newly entered pages are charged.
-	firstPage := (l.baseOff + startOff) / l.cfg.LogPageSize
-	lastPage := (l.baseOff + len(l.buf) - 1) / l.cfg.LogPageSize
-	pagesTouched := int64(lastPage - firstPage + 1)
-	if l.cfg.Packed {
-		pagesTouched = int64(lastPage - firstPage)
-	}
-	l.stats.Transfers += pagesTouched * int64(l.cfg.WriteCost)
-	l.stats.LogPages = int64(lastPage + 1)
+	l.stats.LogPages = int64((l.baseOff+len(l.buf)-1)/l.cfg.LogPageSize + 1)
 	return r.LSN
+}
+
+// Force makes every record with LSN <= upTo durable, charging the log
+// pages between the previous watermark and the end of the covered span
+// once — however many records folded into them.  It returns the number
+// of page transfers charged.  When a force delay is configured the call
+// sleeps it once, modelling the physical log write; already-covered
+// LSNs return immediately without sleeping.
+func (l *Log) Force(upTo LSN) int64 {
+	l.mu.Lock()
+	if upTo <= l.forcedLSN {
+		l.mu.Unlock()
+		return 0
+	}
+	before := l.stats.Transfers
+	l.forceLocked(upTo)
+	charged := l.stats.Transfers - before
+	delay := l.forceDelay
+	l.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return charged
+}
+
+// ForcedLSN returns the durability watermark.
+func (l *Log) ForcedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forcedLSN
+}
+
+// forceLocked advances the watermark to min(upTo, tail) and charges the
+// newly forced span.  Charging by absolute byte span keeps the cost
+// accounting identical to the always-forced model when there is no
+// unforced backlog: the span then starts exactly at the appended frame.
+// Under the Packed policy only newly entered pages are charged.
+func (l *Log) forceLocked(upTo LSN) {
+	tail := l.firstLSN + LSN(len(l.offsets)) - 1
+	if upTo > tail {
+		upTo = tail
+	}
+	if upTo <= l.forcedLSN {
+		return
+	}
+	endOff := l.baseOff + len(l.buf)
+	if upTo < tail {
+		endOff = l.baseOff + l.offsets[upTo-l.firstLSN+1]
+	}
+	if endOff > l.forcedOff {
+		firstPage := l.forcedOff / l.cfg.LogPageSize
+		lastPage := (endOff - 1) / l.cfg.LogPageSize
+		pagesTouched := int64(lastPage - firstPage + 1)
+		if l.cfg.Packed {
+			pagesTouched = int64(lastPage - firstPage)
+		}
+		l.stats.Transfers += pagesTouched * int64(l.cfg.WriteCost)
+		l.forcedOff = endOff
+	}
+	l.forcedLSN = upTo
+}
+
+// DropUnforced models the crash loss of the volatile log tail: every
+// record above the durability watermark is discarded.  It returns the
+// number of records dropped.  With no unforced appends outstanding it is
+// a no-op, which is why pre-group-commit configurations are unaffected.
+func (l *Log) DropUnforced() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tail := l.firstLSN + LSN(len(l.offsets)) - 1
+	if l.forcedLSN >= tail {
+		return 0
+	}
+	keep := 0
+	if l.forcedLSN >= l.firstLSN {
+		keep = int(l.forcedLSN - l.firstLSN + 1)
+	}
+	dropped := len(l.offsets) - keep
+	if dropped <= 0 {
+		return 0
+	}
+	cut := l.offsets[keep]
+	l.buf = l.buf[:cut]
+	l.offsets = l.offsets[:keep]
+	return dropped
 }
 
 // Truncate discards every record with an LSN below keep, reclaiming
@@ -285,6 +410,15 @@ func (l *Log) Truncate(keep LSN) int {
 	l.offsets = newOffsets
 	l.baseOff += cut
 	l.firstLSN = keep
+	// Records dropped by truncation are gone whether or not they were
+	// ever forced; keep the watermark consistent so DropUnforced never
+	// resurrects a truncated range (and never charges discarded bytes).
+	if l.forcedLSN < l.firstLSN-1 {
+		l.forcedLSN = l.firstLSN - 1
+	}
+	if l.forcedOff < l.baseOff {
+		l.forcedOff = l.baseOff
+	}
 	return drop
 }
 

@@ -315,9 +315,17 @@ func TestSerializabilityOracleForce(t *testing.T) {
 // durably committed and any error means not committed — there is no
 // ambiguous outcome for the oracle (the fault-injection crash tests in
 // rda/crashcheck cover mid-commit crashes).
+//
+// Group commit reintroduces one ambiguity, in the safe direction only:
+// a transaction whose EOT reached the log tail (CommitSeq assigned) but
+// whose Commit then returned ErrCrashed may or may not have been covered
+// by a batched force before the crash.  Those transactions land in
+// ambig; the group-commit oracle accepts either outcome for them while
+// still holding every nil-return Commit to full durability.
 type crashHistory struct {
-	mu   sync.Mutex
-	txns []oracleTxn // delta reused as the image seed for blind writes
+	mu    sync.Mutex
+	txns  []oracleTxn // delta reused as the image seed for blind writes
+	ambig []oracleTxn // EOT appended, ack lost to the crash: may be durable
 }
 
 func runCrashWorkload(db *DB, workers int, seed int64, hist *crashHistory, stop <-chan struct{}) *sync.WaitGroup {
@@ -355,6 +363,14 @@ func runCrashWorkload(db *DB, workers int, seed int64, hist *crashHistory, stop 
 					continue
 				}
 				if err := tx.Commit(); err != nil {
+					if tx.CommitSeq() > 0 {
+						// The EOT was appended before the commit failed:
+						// under group commit the fold-in races the crash,
+						// so the transaction may silently be durable.
+						hist.mu.Lock()
+						hist.ambig = append(hist.ambig, oracleTxn{seq: tx.CommitSeq(), ops: ops})
+						hist.mu.Unlock()
+					}
 					continue
 				}
 				hist.mu.Lock()

@@ -183,6 +183,35 @@ type Config struct {
 	// sets it to make tx/second a meaningful measure of group-striped
 	// scaling.
 	IODelay time.Duration
+
+	// --- Async I/O pipeline knobs (see DESIGN.md §"The async I/O
+	// pipeline") ---
+
+	// QueueDepth, when greater than 1, gives every drive a request queue
+	// of that depth drained by a per-drive scheduler goroutine: transfers
+	// to one drive are reordered elevator-style over block addresses and
+	// overlap with transfers to other drives, and the engine issues the
+	// independent transfers of one operation (the small-write RMW's two
+	// reads, a full-stripe write's data writes) as concurrent batches.
+	// The default of 1 keeps the synchronous drive model: every transfer
+	// completes before the next is issued, in submission order — required
+	// for byte-replayable crash schedules.
+	QueueDepth int
+	// QueueWindow bounds the elevator's reordering: a queued request is
+	// passed over at most QueueWindow times before it is served next
+	// regardless of head position (default 8).  Only meaningful with
+	// QueueDepth > 1.
+	QueueWindow int
+	// GroupCommitWindow, when positive, batches EOT log forces: a
+	// committing transaction appends its after-images and EOT record
+	// without forcing, then waits — at most this window — for a shared
+	// force that folds every EOT appended in the window into one log
+	// write.  Commit still acknowledges only after the fold-in is
+	// durable.  While group commit is on, each physical log force also
+	// sleeps IODelay once, modelling the log device's service time.
+	// Zero — the default — forces every append immediately, the
+	// pre-group-commit behavior.
+	GroupCommitWindow time.Duration
 }
 
 // DefaultConfig returns the paper's model parameters.
@@ -252,6 +281,15 @@ func (c Config) validate() (Config, error) {
 	}
 	if c.IODelay < 0 {
 		c.IODelay = 0
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 1
+	}
+	if c.QueueWindow <= 0 {
+		c.QueueWindow = 8
+	}
+	if c.GroupCommitWindow < 0 {
+		c.GroupCommitWindow = 0
 	}
 	if c.DataDisks < 1 {
 		return c, fmt.Errorf("%w: DataDisks must be at least 1", ErrBadConfig)

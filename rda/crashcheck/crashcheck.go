@@ -81,6 +81,18 @@ type Options struct {
 	// repair writes they trigger) mix with live commits and schedule
 	// rules can land inside scrub I/O.  Used by the corruption soak.
 	Scrub bool
+	// QueueDepth sets the engine's per-drive request queue depth
+	// (rda.Config.QueueDepth).  With a depth > 1 the async pipeline is
+	// on: fault injectors observe transfers at queue-DEQUEUE time, so a
+	// CrashAfterNWrites(k) schedule crashes at the k-th *dequeued* write
+	// — the sweep then covers every dequeue index.  The pipeline's
+	// intra-operation batches (overlapped RMW reads, full-stripe data
+	// writes) make the dequeue interleaving scheduler-dependent, so as
+	// with Workers > 1 the sweep exercises the recovery invariants under
+	// many interleavings rather than replaying one byte-stable schedule.
+	// 0 or 1 keeps the synchronous drive model (dequeue order == submit
+	// order, byte-replayable).
+	QueueDepth int
 }
 
 func (o *Options) fill() {
@@ -108,6 +120,7 @@ func dbConfig(opts Options) rda.Config {
 		LogPageSize:  256,
 		LogWriteCost: 4,
 		Workers:      opts.Workers,
+		QueueDepth:   opts.QueueDepth,
 	}
 }
 

@@ -97,6 +97,10 @@ type txState struct {
 	// Under strict 2PL the commit order is a valid serialization order,
 	// which is what the concurrency oracle replays.
 	commitSeq int64
+	// eotLSN is the EOT record's LSN when it was appended unforced
+	// (group commit); Commit waits for the batched force to cover it
+	// before acknowledging.  0 when the EOT was forced inline.
+	eotLSN wal.LSN
 }
 
 // DB is a database instance.  It is safe for concurrent use by multiple
@@ -134,7 +138,13 @@ type DB struct {
 	arr   *diskarray.Array
 	store *core.Store
 	log   *wal.Log
-	tm    *txn.Manager
+	// forcer batches EOT log forces; non-nil exactly when
+	// Config.GroupCommitWindow > 0.  After-images and EOT records are
+	// then appended unforced and Commit waits on the forcer before
+	// acknowledging.  Undo-critical records (BOT, before-images,
+	// checkpoints, aborts) are always forced inline regardless.
+	forcer *wal.Forcer
+	tm     *txn.Manager
 	// locks and pool are replaced by Recover; operations read them under
 	// the shared gate, Recover writes them under the exclusive gate.
 	locks  *lock.Manager
@@ -198,6 +208,17 @@ func Open(cfg Config) (*DB, error) {
 	db.store = core.NewStore(arr, db.log, db.tm)
 	db.store.Workers = cfg.Workers
 	arr.SetLatency(cfg.IODelay)
+	if cfg.QueueDepth > 1 {
+		arr.StartQueues(cfg.QueueDepth, cfg.QueueWindow)
+		db.store.Pipelined = true
+	}
+	if cfg.GroupCommitWindow > 0 {
+		db.forcer = wal.NewForcer(db.log, cfg.GroupCommitWindow)
+		// With batching on, each physical log force costs one device
+		// service time; without it, log cost stays purely in the
+		// transfer accounting, as the seed model had it.
+		db.log.SetForceDelay(cfg.IODelay)
+	}
 	db.pool = db.newPool()
 	if cfg.Logging == RecordLogging {
 		if err := db.formatRecordPages(); err != nil {
@@ -423,17 +444,29 @@ func (db *DB) writeBack(f *buffer.Frame) error {
 					return err
 				}
 			}
-			return func() error {
-				st.mu.Lock()
-				defer st.mu.Unlock()
-				if _, ok := st.stolenBefore[f.Page]; !ok {
-					st.stolenBefore[f.Page] = oldOnDisk.Clone()
-				}
-				// StealNoLog grows the owner's no-logging chain; st.mu
-				// orders it against concurrent steals of the owner's
-				// other pages and against demotions.
-				return db.store.StealNoLog(f.Page, f.Data, oldOnDisk, st.t)
-			}()
+			// The chain bookkeeping (stolenBefore, StolenNoLog) is
+			// shared across the owner's goroutines and serializes under
+			// st.mu; the steal's disk transfers touch only per-group
+			// state and run outside it, so a pipelined commit's
+			// per-group flushes overlap.  Recovery identifies stolen
+			// pages by header scan (ChainSet + Txn), never by walking
+			// ChainPrev, so concurrent steals reading the same chain
+			// head are harmless.
+			st.mu.Lock()
+			if _, ok := st.stolenBefore[f.Page]; !ok {
+				st.stolenBefore[f.Page] = oldOnDisk.Clone()
+			}
+			chainPrev := st.t.ChainHead()
+			st.mu.Unlock()
+			if err := db.store.StealNoLogChained(f.Page, f.Data, oldOnDisk, st.t, chainPrev); err != nil {
+				return err
+			}
+			st.mu.Lock()
+			if !st.t.InChain(f.Page) {
+				st.t.StolenNoLog = append(st.t.StolenNoLog, f.Page)
+			}
+			st.mu.Unlock()
+			return nil
 		}
 	}
 
@@ -520,6 +553,40 @@ func (db *DB) ensureUndoLogged(st *txState, p page.PageID) {
 		st.loggedRecords[rid] = true
 	}
 	st.t.LoggedUndo[p] = struct{}{}
+}
+
+// ensureUndoUnforced appends p's before-image to the volatile log tail
+// (page mode only) and returns its LSN, or 0 when the image is already
+// logged or the transaction never modified p.  The caller MUST force the
+// log past the returned LSN before any disk write the image covers —
+// the full-stripe flush does, with a single force for the whole batch,
+// which is what folds k before-image forces into one log write.
+func (db *DB) ensureUndoUnforced(st *txState, p page.PageID) wal.LSN {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, done := st.t.LoggedUndo[p]; done {
+		return 0
+	}
+	img, ok := st.beforePages[p]
+	if !ok {
+		return 0
+	}
+	lsn := db.log.AppendUnforced(wal.Record{
+		Type: wal.TypeBeforeImage, Txn: st.t.ID, Page: p, Slot: wal.NoSlot,
+		Image: img.Clone(),
+	})
+	st.t.LoggedUndo[p] = struct{}{}
+	return lsn
+}
+
+// logRedo appends a REDO-side record (after-image or EOT): unforced
+// under group commit — Commit's force-wait makes it durable before the
+// acknowledgement — and forced inline otherwise.
+func (db *DB) logRedo(r wal.Record) wal.LSN {
+	if db.forcer != nil {
+		return db.log.AppendUnforced(r)
+	}
+	return db.log.Append(r)
 }
 
 // demoteNoLogSteal converts a page's no-UNDO-logging steal into a logged
@@ -674,6 +741,14 @@ func (db *DB) crashLocked() {
 	db.store.ResetVolatile()
 	db.locks.Close()
 	db.tm.Reset()
+	// The unforced log tail is main memory: a crash loses it.  Commits
+	// waiting on a batched force observe db.crashed afterwards and report
+	// ErrCrashed instead of success.
+	db.log.DropUnforced()
+	// Clear per-drive queue poisoning so recovery's I/O is served; the
+	// exclusive gate guarantees the queues are idle here (every submitted
+	// request is awaited by its issuer before the gate is released).
+	db.arr.ResetQueues()
 	db.mu.Lock()
 	db.states = make(map[page.TxID]*txState)
 	db.mu.Unlock()

@@ -426,6 +426,21 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	tx.done = true
+	if db.forcer != nil && tx.st.eotLSN != 0 {
+		// Group commit: wait (outside the gate and all latches, so other
+		// transactions keep running) for a batched force to cover the
+		// EOT.  If a crash slipped in between the latched EOT section and
+		// the force, the unforced tail is gone and the transaction is a
+		// loser — report ErrCrashed, never success, so no transaction is
+		// acknowledged whose fold-in missed the platter.
+		db.forcer.Force(tx.st.eotLSN)
+		db.gate.RLock()
+		crashed := db.crashed
+		db.gate.RUnlock()
+		if crashed {
+			return ErrCrashed
+		}
+	}
 	// The automatic action-consistent checkpoint flushes the whole pool,
 	// which needs the exclusive gate — taken after the commit's shared
 	// section ends.
@@ -456,10 +471,8 @@ func (db *DB) commitAttempt(tx *Tx) error {
 	h.Acquire(db.groupsOf(t.Modified)...)
 
 	if updater && db.cfg.EOT == Force {
-		for _, p := range sortedPages(t.Modified) {
-			if err := db.pool.FlushPage(p); err != nil {
-				return fmt.Errorf("rda: force at EOT: %w", err)
-			}
+		if err := db.flushForce(st); err != nil {
+			return fmt.Errorf("rda: force at EOT: %w", err)
 		}
 	}
 	if updater {
@@ -467,7 +480,32 @@ func (db *DB) commitAttempt(tx *Tx) error {
 		if err := db.appendAfterImages(st); err != nil {
 			return err
 		}
-		db.log.Append(wal.Record{Type: wal.TypeEOT, Txn: t.ID, Slot: wal.NoSlot})
+		eot := wal.Record{Type: wal.TypeEOT, Txn: t.ID, Slot: wal.NoSlot}
+		if db.forcer != nil {
+			// Group commit: the EOT lands in the volatile log tail and
+			// Commit waits for a batched force to cover it before
+			// acknowledging.  The commit point moves to that force — a
+			// crash beforehand drops the record and the transaction is a
+			// loser.
+			st.eotLSN = db.log.AppendUnforced(eot)
+			if db.store.Dirty != nil && len(db.store.Dirty.GroupsOf(t.ID)) > 0 {
+				// The transaction owns parity-covered (no-UNDO-logging)
+				// steals.  CommitGroups below promotes their working twins,
+				// which surrenders the twin-pair undo path — and once the
+				// group reads clean, a sharer's RMW may overwrite the old
+				// committed twin.  If the crash then dropped the unforced
+				// EOT, the demoted loser would have neither parity nor log
+				// undo cover.  So this commit point must be durable before
+				// promotion: force inline and skip the batched wait.  Only
+				// clean-group commits — buffered ¬FORCE transactions and
+				// full-stripe FORCE flushes, the common cases the window
+				// targets — ride the batched force.
+				db.log.Force(st.eotLSN)
+				st.eotLSN = 0
+			}
+		} else {
+			db.log.Append(eot)
+		}
 	}
 	// The EOT record is the commit point; everything after is volatile
 	// bookkeeping.  The serialization position is assigned while the
@@ -498,7 +536,7 @@ func (db *DB) appendAfterImages(st *txState) error {
 			if err != nil {
 				return err
 			}
-			db.log.Append(wal.Record{
+			db.logRedo(wal.Record{
 				Type: wal.TypeAfterImage, Txn: t.ID, Page: p, Slot: wal.NoSlot, Image: img,
 			})
 		}
@@ -517,7 +555,7 @@ func (db *DB) appendAfterImages(st *txState) error {
 		if err != nil {
 			return err
 		}
-		db.log.Append(wal.Record{
+		db.logRedo(wal.Record{
 			Type: wal.TypeAfterImage, Txn: t.ID, Page: rid.Page, Slot: int32(rid.Slot),
 			Image: record.EncodeImage(snap),
 		})
