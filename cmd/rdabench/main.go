@@ -21,6 +21,13 @@
 //
 //	rdabench -fig 9 -bitflip-rate 200
 //
+// The P+Q flag measures the dual-failure-tolerant array: the small-write
+// transfer overhead of the second redundancy page against single parity,
+// and the rebuild bill for one- and two-drive losses, written to
+// BENCH_pq.json:
+//
+//	rdabench -qparity
+//
 // The output is a table per figure with one row per x value (communality
 // C, or transaction size s for Figure 13), giving the throughput without
 // and with RDA recovery and the percentage gain — the same series the
@@ -59,7 +66,17 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 8, "concurrency bench: per-drive request queue depth for the pipeline curve (<= 1 skips the pipeline curve)")
 	queueWindow := flag.Int("queue-window", 8, "concurrency bench: elevator aging window for the pipeline curve")
 	groupCommit := flag.Duration("group-commit", 200*time.Microsecond, "concurrency bench: group-commit window for the pipeline curve (0 disables batched EOT forces)")
+	qparity := flag.Bool("qparity", false, "P+Q bench: measure the second redundancy page's small-write overhead vs single parity, and the one- vs two-drive rebuild cost; writes -pq-out and exits")
+	pqOut := flag.String("pq-out", "BENCH_pq.json", "P+Q bench: output JSON path")
 	flag.Parse()
+
+	if *qparity {
+		if err := benchQParity(*budget, *seed, *pqOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rdabench: p+q bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *workloadSpecs != "" {
 		geoms, err := parseGeometries(*geometries)

@@ -25,6 +25,13 @@
 //
 //	rdacrash -degraded
 //
+// Double mode is the same sweep against a P+Q (RAID-6 style) array with
+// TWO disks down: one family runs with both disks dead from the start
+// (crash points spanning the double-degraded workload and the two-drive
+// rebuild), the other kills the second disk at the crash write itself:
+//
+//	rdacrash -double
+//
 // Corrupt mode is the silent-corruption soak: every run plants a bit
 // flip, lost write or misdirected write at a random write index (half
 // the runs crash afterwards too) while online scrub steps interleave
@@ -37,6 +44,7 @@
 //
 //	rdacrash -seed <seed> -sched "crash@w12"
 //	rdacrash -degraded -seed <seed> -sched "faildisk[0]@w0 crash@w13"
+//	rdacrash -double -seed <seed> -sched "faildisk[0]@w0 faildisk[3]@w9 crash@w9"
 //	rdacrash -corrupt -seed <seed> -sched "misdirected[21]@w6 crash@w9"
 //
 // The exit status is non-zero if any run violated a recovery invariant.
@@ -56,6 +64,7 @@ func main() {
 	var (
 		explore  = flag.Bool("explore", false, "exhaustively crash at every write index")
 		degraded = flag.Bool("degraded", false, "exhaustive crash sweep with one disk down: crashes across the degraded workload, the online rebuild, and coinciding with the disk death itself")
+		double   = flag.Bool("double", false, "exhaustive double-fault crash sweep on a P+Q array: two disks dead from the start, plus a second death coinciding with the crash write")
 		soak     = flag.Bool("soak", false, "randomized crash points over derived seeds")
 		corrupt  = flag.Bool("corrupt", false, "silent-corruption soak: random bit flips, lost and misdirected writes (half crashed on top) with online scrubbing interleaved")
 		mix      = flag.Bool("mix", false, "self-healing soak: transient faults everywhere, alternating crashes and mid-run disk deaths")
@@ -107,9 +116,11 @@ func main() {
 				o := opts(l)
 				o.Scrub = true
 				_, err = crashcheck.RunCorruptSchedule(o, s)
-			case *degraded:
+			case *degraded, *double:
+				o := opts(l)
+				o.QParity = *double
 				var rep *rda.RecoveryReport
-				rep, err = crashcheck.RunDegradedSchedule(opts(l), s)
+				rep, err = crashcheck.RunDegradedSchedule(o, s)
 				if rep != nil {
 					fmt.Printf("%v: recovery report: losers=%d undoneViaParity=%d undoneViaLog=%d undoneViaReconstruction=%d deferredParityGroups=%d lostPages=%d\n",
 						l, rep.Losers, rep.UndoneViaParity, rep.UndoneViaLog,
@@ -126,6 +137,21 @@ func main() {
 			} else {
 				fmt.Printf("%v: ok seed=%d sched=%q\n", l, *seed, s)
 			}
+		}
+	case *double:
+		for _, l := range lays {
+			res, err := crashcheck.ExploreDouble(opts(l), func(done, total int64) {
+				if done%64 == 0 || done == total {
+					fmt.Printf("\r%v: double-fault crash %d/%d", l, done, total)
+				}
+			})
+			fmt.Println()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdacrash: %v\n", err)
+				os.Exit(1)
+			}
+			report(l, res, "-double ")
+			failed = failed || len(res.Violations) > 0
 		}
 	case *degraded:
 		for _, l := range lays {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/disk"
+	"repro/internal/erasure"
 	"repro/internal/page"
 	"repro/internal/workpool"
 	"repro/internal/xorparity"
@@ -117,6 +118,14 @@ func (s *Store) bulkStripe(g page.GroupID, covered func(page.PageID) (page.Buf, 
 		twin = s.Twins.Obsolete(g)
 	}
 	meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+	if s.Arr.HasQ() && twin < s.Arr.QParityPages() {
+		// Lockstep invariant: the Q partner holds ComputeQ of the same
+		// state, written just before P so P remains the arbiter.
+		q := erasure.ComputeQ(s.Arr.PageSize(), raw...)
+		if err := s.Arr.WriteQ(g, twin, q, meta); err != nil {
+			return fmt.Errorf("core: bulk write Q of group %d: %w", g, err)
+		}
+	}
 	if err := s.Arr.WriteParity(g, twin, parity, meta); err != nil {
 		return fmt.Errorf("core: bulk write parity of group %d: %w", g, err)
 	}

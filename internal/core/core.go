@@ -34,6 +34,7 @@ import (
 	"repro/internal/dirtyset"
 	"repro/internal/disk"
 	"repro/internal/diskarray"
+	"repro/internal/erasure"
 	"repro/internal/page"
 	"repro/internal/twinpage"
 	"repro/internal/txn"
@@ -67,7 +68,10 @@ type Store struct {
 
 	// Degraded-serving state (degraded.go).
 	degraded bool
-	downDisk int
+	// down is the set of down disks being served around, oldest loss
+	// first; at most one entry on single-redundancy arrays, up to two
+	// with QParity.
+	down []int
 	// restored[g] is set once the rebuild worker has reconstructed
 	// group g's block on the down disk; nil outside degraded mode.
 	restored []bool
@@ -81,7 +85,7 @@ type Store struct {
 // NewStore wires a store over the given array.  RDA recovery is enabled
 // iff the array is twinned (the engine validates the combination).
 func NewStore(arr *diskarray.Array, log *wal.Log, tm *txn.Manager) *Store {
-	s := &Store{Arr: arr, Log: log, TM: tm, downDisk: -1}
+	s := &Store{Arr: arr, Log: log, TM: tm}
 	if arr.Twinned() {
 		s.Twins = twinpage.New(arr)
 		s.Dirty = dirtyset.New()
@@ -140,7 +144,7 @@ func (s *Store) WriteCommitted(p page.PageID, data, cachedOld page.Buf) error {
 		if err != nil {
 			return err
 		}
-		if err := s.updateBothTwins(g, oldData, data); err != nil {
+		if err := s.updateBothTwins(g, p, oldData, data); err != nil {
 			return err
 		}
 		return s.writeData(p, data, disk.Meta{})
@@ -165,14 +169,25 @@ func (s *Store) WriteCommitted(p page.PageID, data, cachedOld page.Buf) error {
 // loss) can still tell whether the flip's data write reached disk: a
 // broken pair means the parity ran ahead and the untouched other twin
 // still describes the on-disk data.
+//
+// On a QParity array the target index's Q page is written first, with
+// the SAME header: whenever a P twin describes data state S, its Q
+// partner already holds ComputeQ(S) (the lockstep invariant, see
+// DESIGN.md), so recovery's Figure 7 arbitration over P headers alone
+// also selects a usable Q.
 func (s *Store) flipCommitted(g page.GroupID, p page.PageID, data, cachedOld page.Buf) error {
-	newParity, err := s.smallWriteParity(g, s.currentTwin(g), p, cachedOld, data)
+	newParity, newQ, err := s.smallWriteParity(g, s.currentTwin(g), p, cachedOld, data)
 	if err != nil {
 		return err
 	}
 	obsolete := s.Twins.Obsolete(g)
 	ts := s.TM.NextTimestamp()
 	meta := disk.Meta{State: disk.StateCommitted, Timestamp: ts, DirtyPage: p, PairedSet: true}
+	if newQ != nil {
+		if err := s.Arr.WriteQ(g, obsolete, newQ, meta); err != nil {
+			return fmt.Errorf("core: write committed Q of group %d: %w", g, err)
+		}
+	}
 	if err := s.Arr.WriteParity(g, obsolete, newParity, meta); err != nil {
 		return fmt.Errorf("core: write committed parity of group %d: %w", g, err)
 	}
@@ -189,48 +204,66 @@ func (s *Store) oldForSmallWrite(p page.PageID, cachedOld page.Buf) (page.Buf, e
 	return s.oldOnDisk(p, cachedOld)
 }
 
-// smallWriteParity computes the parity image for writing `data` over
-// page p on the given twin: P_new = P ⊕ D_old ⊕ D_new, or simply a copy
-// of the data on width-1 (mirrored) groups, where no reads are needed.
-func (s *Store) smallWriteParity(g page.GroupID, twin int, p page.PageID, cachedOld, data page.Buf) (page.Buf, error) {
+// smallWriteParity computes the redundancy images for writing `data`
+// over page p from the given twin index: P_new = P ⊕ D_old ⊕ D_new and,
+// on QParity arrays, Q_new = Q ⊕ g^i·(D_old ⊕ D_new) from the same
+// index's Q page (nil otherwise).  Width-1 (mirrored) groups copy the
+// data with no reads at all.  The reads all target different drives, so
+// a pipelined store overlaps them.
+func (s *Store) smallWriteParity(g page.GroupID, twin int, p page.PageID, cachedOld, data page.Buf) (page.Buf, page.Buf, error) {
+	hasQ := s.Arr.HasQ()
 	if s.Arr.GroupWidth() == 1 {
-		return data.Clone(), nil
+		if hasQ {
+			return data.Clone(), data.Clone(), nil
+		}
+		return data.Clone(), nil, nil
 	}
-	var oldData, cur page.Buf
+	var oldData, cur, curQ page.Buf
+	reads := []func() error{
+		func() error {
+			var e error
+			oldData, e = s.oldOnDisk(p, cachedOld)
+			return e
+		},
+		func() error {
+			var e error
+			cur, _, e = s.ReadParityRepair(g, twin)
+			if e != nil {
+				return fmt.Errorf("core: read parity of group %d: %w", g, e)
+			}
+			return nil
+		},
+	}
+	if hasQ {
+		reads = append(reads, func() error {
+			var e error
+			curQ, _, e = s.Arr.ReadQ(g, twin)
+			if e != nil {
+				return fmt.Errorf("core: read Q of group %d: %w", g, e)
+			}
+			return nil
+		})
+	}
 	if s.Pipelined && cachedOld == nil {
-		// The a=4 case needs both reads and they target different
+		// The a=4 case needs every read and they target different
 		// drives: overlap them.  Reads commute, so this changes no
 		// recovery-visible ordering.
-		err := diskarray.Batch(
-			func() error {
-				var e error
-				oldData, e = s.oldOnDisk(p, nil)
-				return e
-			},
-			func() error {
-				var e error
-				cur, _, e = s.ReadParityRepair(g, twin)
-				if e != nil {
-					return fmt.Errorf("core: read parity of group %d: %w", g, e)
-				}
-				return nil
-			},
-		)
-		if err != nil {
-			return nil, err
+		if err := diskarray.Batch(reads...); err != nil {
+			return nil, nil, err
 		}
 	} else {
-		var err error
-		oldData, err = s.oldOnDisk(p, cachedOld)
-		if err != nil {
-			return nil, err
-		}
-		cur, _, err = s.ReadParityRepair(g, twin)
-		if err != nil {
-			return nil, fmt.Errorf("core: read parity of group %d: %w", g, err)
+		for _, r := range reads {
+			if err := r(); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
-	return page.Buf(xorparity.SmallWrite(cur, oldData, data)), nil
+	newP := page.Buf(xorparity.SmallWrite(cur, oldData, data))
+	var newQ page.Buf
+	if hasQ {
+		newQ = page.Buf(erasure.QSmallWrite(curQ, oldData, data, s.groupIndexOf(g, p)))
+	}
+	return newP, newQ, nil
 }
 
 // ErrMustLog reports a StealNoLog attempt that the Dirty_Set forbids;
@@ -296,16 +329,25 @@ func (s *Store) StealNoLogChained(p page.PageID, data, cachedOld page.Buf, t *tx
 		// working twin in place.  The committed twin is untouched, so
 		// P ⊕ P′ keeps equalling D_committed ⊕ D_current.
 		twin = entry.WorkingTwin
-		newParity, err := s.smallWriteParity(g, twin, p, cachedOld, data)
+		newParity, newQ, err := s.smallWriteParity(g, twin, p, cachedOld, data)
 		if err != nil {
+			return err
+		}
+		if err := s.writeWorkingQ(g, twin, newQ, t.ID, ts, p); err != nil {
 			return err
 		}
 		if err := s.Twins.RewriteWorking(g, twin, newParity, t.ID, ts, p); err != nil {
 			return err
 		}
 	} else {
-		newParity, err := s.smallWriteParity(g, s.Twins.Current(g), p, cachedOld, data)
+		newParity, newQ, err := s.smallWriteParity(g, s.Twins.Current(g), p, cachedOld, data)
 		if err != nil {
+			return err
+		}
+		// The steal lands on the obsolete index; its Q partner is written
+		// first so the lockstep invariant holds the moment the P header
+		// switches to working (Q before P before data).
+		if err := s.writeWorkingQ(g, s.Twins.Obsolete(g), newQ, t.ID, ts, p); err != nil {
 			return err
 		}
 		twin, err = s.Twins.WriteWorking(g, newParity, t.ID, ts, p)
@@ -321,6 +363,21 @@ func (s *Store) StealNoLogChained(p page.PageID, data, cachedOld page.Buf, t *tx
 		return err
 	}
 	s.Dirty.MarkDirty(g, p, t.ID, twin)
+	return nil
+}
+
+// writeWorkingQ writes the Q partner of a working parity twin with the
+// same header WriteWorking/RewriteWorking stamps on the P twin, keeping
+// the lockstep invariant.  No-op on arrays without Q redundancy (nil
+// newQ).
+func (s *Store) writeWorkingQ(g page.GroupID, twin int, newQ page.Buf, tx page.TxID, ts page.Timestamp, dirtyPage page.PageID) error {
+	if newQ == nil {
+		return nil
+	}
+	meta := disk.Meta{State: disk.StateWorking, Timestamp: ts, Txn: tx, DirtyPage: dirtyPage}
+	if err := s.Arr.WriteQ(g, twin, newQ, meta); err != nil {
+		return fmt.Errorf("core: write working Q of group %d: %w", g, err)
+	}
 	return nil
 }
 
@@ -342,7 +399,7 @@ func (s *Store) WriteLogged(p page.PageID, data, cachedOld page.Buf) error {
 		if err != nil {
 			return err
 		}
-		if err := s.updateBothTwins(g, oldData, data); err != nil {
+		if err := s.updateBothTwins(g, p, oldData, data); err != nil {
 			return err
 		}
 		return s.writeData(p, data, disk.Meta{})
@@ -412,6 +469,12 @@ func (s *Store) WriteStripeLogged(g page.GroupID, pages []page.PageID, datas []p
 	ts := s.TM.NextTimestamp()
 	last := len(pages) - 1
 	pMeta := disk.Meta{State: disk.StateCommitted, Timestamp: ts, DirtyPage: pages[last], PairedSet: true}
+	if s.Arr.HasQ() {
+		newQ := page.Buf(erasure.ComputeQ(s.Arr.PageSize(), blocks...))
+		if err := s.Arr.WriteQ(g, obsolete, newQ, pMeta); err != nil {
+			return fmt.Errorf("core: write stripe Q of group %d: %w", g, err)
+		}
+	}
 	if err := s.Arr.WriteParity(g, obsolete, newParity, pMeta); err != nil {
 		return fmt.Errorf("core: write stripe parity of group %d: %w", g, err)
 	}
@@ -470,10 +533,28 @@ func (s *Store) singleParityWrite(p page.PageID, g page.GroupID, data, oldData p
 }
 
 // updateBothTwins applies the delta of one data page write to both parity
-// twins of a dirty group, preserving each twin's view.
-func (s *Store) updateBothTwins(g page.GroupID, oldData, data page.Buf) error {
+// twins of a dirty group, preserving each twin's view.  On a QParity
+// array the Q twins get the field-scaled delta g^i·(D_old ⊕ D_new), each
+// written just before its P partner so the lockstep invariant holds at
+// every header the crash can expose.
+func (s *Store) updateBothTwins(g page.GroupID, p page.PageID, oldData, data page.Buf) error {
 	delta := xorparity.Xor(oldData, data)
+	var qDelta []byte
+	if s.Arr.HasQ() {
+		qDelta = make([]byte, len(delta))
+		erasure.MulAddInto(qDelta, delta, erasure.Exp(s.groupIndexOf(g, p)))
+	}
 	for twin := 0; twin < 2; twin++ {
+		if qDelta != nil {
+			q, qMeta, err := s.Arr.ReadQ(g, twin)
+			if err != nil {
+				return fmt.Errorf("core: read twin %d Q of group %d: %w", twin, g, err)
+			}
+			xorparity.XorInto(q, qDelta)
+			if err := s.Arr.WriteQ(g, twin, q, qMeta); err != nil {
+				return fmt.Errorf("core: write twin %d Q of group %d: %w", twin, g, err)
+			}
+		}
 		parity, meta, err := s.ReadParityRepair(g, twin)
 		if err != nil {
 			return fmt.Errorf("core: read twin %d parity of group %d: %w", twin, g, err)
@@ -564,7 +645,7 @@ func (s *Store) undoViaTwins(g page.GroupID, p page.PageID, workingTwin int) (pa
 		// members are untouched, so the before-image comes out directly:
 		// D_old = P_cmt ⊕ (other data pages).
 		s.deg.corruptDetected.Add(1)
-		dOld, rerr := s.ReconstructData(g, p, 1-workingTwin)
+		dOld, rerr := s.ReconstructDataAny(g, p, 1-workingTwin)
 		if rerr != nil {
 			if disk.IsCorrupt(rerr) || errors.Is(rerr, disk.ErrFailed) {
 				s.deg.unrecoverable.Add(1)
@@ -576,7 +657,7 @@ func (s *Store) undoViaTwins(g page.GroupID, p page.PageID, workingTwin int) (pa
 			return nil, err
 		}
 		s.deg.readRepairs.Add(1)
-		if err := s.Twins.Invalidate(g, workingTwin); err != nil {
+		if err := s.InvalidateIndexAlive(g, workingTwin); err != nil {
 			return nil, err
 		}
 		return dOld, nil
@@ -585,7 +666,7 @@ func (s *Store) undoViaTwins(g page.GroupID, p page.PageID, workingTwin int) (pa
 	if err := s.writeData(p, dOld, disk.Meta{}); err != nil {
 		return nil, err
 	}
-	if err := s.Twins.Invalidate(g, workingTwin); err != nil {
+	if err := s.InvalidateIndexAlive(g, workingTwin); err != nil {
 		return nil, err
 	}
 	return dOld, nil
@@ -620,7 +701,7 @@ func (s *Store) ScanWorkingTwins() ([]WorkingTwinInfo, error) {
 		for twin := 0; twin < 2; twin++ {
 			if s.degraded && !s.replacement &&
 				(s.restored == nil || !s.restored[gid]) &&
-				s.Arr.ParityLoc(gid, twin).Disk == s.downDisk {
+				s.isDown(s.Arr.ParityLoc(gid, twin).Disk) {
 				continue
 			}
 			meta, err := s.Arr.ReadParityMeta(gid, twin)
@@ -655,7 +736,7 @@ func (s *Store) CrashUndoWorkingTwin(w WorkingTwinInfo) error {
 		// the committed twin supplies it regardless of how far the steal
 		// got: D_old = P_cmt ⊕ (other data pages).
 		s.deg.corruptDetected.Add(1)
-		dOld, rerr := s.ReconstructData(w.Group, w.Page, 1-w.Twin)
+		dOld, rerr := s.ReconstructDataAny(w.Group, w.Page, 1-w.Twin)
 		if rerr != nil {
 			if disk.IsCorrupt(rerr) || errors.Is(rerr, disk.ErrFailed) {
 				s.deg.unrecoverable.Add(1)
@@ -667,13 +748,13 @@ func (s *Store) CrashUndoWorkingTwin(w WorkingTwinInfo) error {
 			return err
 		}
 		s.deg.readRepairs.Add(1)
-		return s.Twins.Invalidate(w.Group, w.Twin)
+		return s.InvalidateIndexAlive(w.Group, w.Twin)
 	}
 	if meta.Txn != w.Txn {
 		// Already restored by a previous, interrupted recovery, or the
 		// crash fell between the working-parity write and the data write:
 		// either way the page holds no state of this writer.
-		return s.Twins.Invalidate(w.Group, w.Twin)
+		return s.InvalidateIndexAlive(w.Group, w.Twin)
 	}
 	if meta.Timestamp != w.Timestamp {
 		// The crash fell inside a re-steal, between rewriting the working
@@ -681,14 +762,14 @@ func (s *Store) CrashUndoWorkingTwin(w WorkingTwinInfo) error {
 		// than the one on disk, so P ⊕ P′ ⊕ D would yield garbage.  The
 		// committed twin still describes the pre-transaction group, giving
 		// the before-image directly: D_old = P_cmt ⊕ (other data pages).
-		dOld, err := s.ReconstructData(w.Group, w.Page, 1-w.Twin)
+		dOld, err := s.ReconstructDataAny(w.Group, w.Page, 1-w.Twin)
 		if err != nil {
 			return err
 		}
 		if err := s.writeData(w.Page, dOld, disk.Meta{}); err != nil {
 			return err
 		}
-		return s.Twins.Invalidate(w.Group, w.Twin)
+		return s.InvalidateIndexAlive(w.Group, w.Twin)
 	}
 	_, err = s.undoViaTwins(w.Group, w.Page, w.Twin)
 	return err
@@ -715,6 +796,47 @@ func (s *Store) ReconstructData(g page.GroupID, p page.PageID, twin int) (page.B
 		blocks = append(blocks, b)
 	}
 	return page.Buf(xorparity.Reconstruct(s.Arr.PageSize(), blocks...)), nil
+}
+
+// ReconstructDataAny rebuilds data page p of group g as described by
+// redundancy index `twin`, preferring the cheap P (XOR) equation and
+// falling back to the index's Q partner when the P slot is on a down
+// disk — the route that lets crash undo recover a before-image even
+// after the disk holding the committed parity twin died.
+func (s *Store) ReconstructDataAny(g page.GroupID, p page.PageID, twin int) (page.Buf, error) {
+	if s.paritySlotAlive(g, twin) {
+		return s.ReconstructData(g, p, twin)
+	}
+	if s.qSlotAlive(g, twin) {
+		return s.reconstructDataViaQ(g, p, twin)
+	}
+	return nil, fmt.Errorf("core: reconstruct page %d of group %d: redundancy index %d unreachable: %w",
+		p, g, twin, disk.ErrFailed)
+}
+
+// reconstructDataViaQ solves data page p from the given index's Q page
+// and the group's other data pages (charged reads):
+// D_i = g^{-i}·(Q ⊕ Σ_{k≠i} g^k·D_k).
+func (s *Store) reconstructDataViaQ(g page.GroupID, p page.PageID, twin int) (page.Buf, error) {
+	q, _, err := s.Arr.ReadQ(g, twin)
+	if err != nil {
+		return nil, fmt.Errorf("core: read Q twin %d of group %d: %w", twin, g, err)
+	}
+	pages := s.Arr.GroupPages(g)
+	raw := make([][]byte, len(pages))
+	idx := -1
+	for i, pg := range pages {
+		if pg == p {
+			idx = i
+			continue
+		}
+		b, _, err := s.Arr.ReadData(pg)
+		if err != nil {
+			return nil, fmt.Errorf("core: read page %d: %w", pg, err)
+		}
+		raw[i] = b
+	}
+	return page.Buf(erasure.ReconstructOneQ(q, raw, idx)), nil
 }
 
 // DescribingTwin picks the parity twin a corrupt data page p must be
@@ -841,8 +963,9 @@ func (s *Store) ResyncParity() (int, error) {
 	return int(fixed.Load()), err
 }
 
-// resyncGroup verifies one group's current parity twin against its data
-// pages and repairs a mismatch, reporting whether a repair happened.
+// resyncGroup verifies one group's current parity twin (and, with
+// QParity, its Q partner) against its data pages and repairs mismatches,
+// reporting whether a repair happened.
 func (s *Store) resyncGroup(gid page.GroupID) (bool, error) {
 	if s.GroupDegraded(gid) {
 		// A degraded group cannot be verified against all its
@@ -855,6 +978,16 @@ func (s *Store) resyncGroup(gid page.GroupID) (bool, error) {
 		// redundancy.
 		return false, nil
 	}
+	didP, err := s.resyncGroupP(gid)
+	if err != nil {
+		return didP, err
+	}
+	didQ, err := s.resyncGroupQ(gid)
+	return didP || didQ, err
+}
+
+// resyncGroupP is the P (XOR) half of resyncGroup.
+func (s *Store) resyncGroupP(gid page.GroupID) (bool, error) {
 	cur := s.currentTwin(gid)
 	ok, err := s.Arr.VerifyGroup(gid, cur)
 	if err != nil {
@@ -896,7 +1029,7 @@ func (s *Store) resyncGroup(gid page.GroupID) (bool, error) {
 			}
 			if om.State == disk.StateCommitted {
 				s.Twins.Promote(gid, other)
-				if err := s.Twins.Invalidate(gid, cur); err != nil {
+				if err := s.InvalidateIndexAlive(gid, cur); err != nil {
 					return false, err
 				}
 				return true, nil
@@ -909,6 +1042,34 @@ func (s *Store) resyncGroup(gid page.GroupID) (bool, error) {
 	}
 	if err := s.Arr.RecomputeParity(gid, cur, meta); err != nil {
 		return false, fmt.Errorf("core: resync group %d: %w", gid, err)
+	}
+	return true, nil
+}
+
+// resyncGroupQ verifies the current index's Q page against the data and
+// recomputes it in place on a mismatch — the Q half of resyncGroup.  A
+// cut small write can leave Q ahead of P (Q is written first) or the
+// pair ahead of the data write; a wholesale recompute from the platter
+// restores the lockstep invariant either way.  The rewritten Q mirrors
+// the P twin's (already resynced) header, as lockstep requires.
+func (s *Store) resyncGroupQ(gid page.GroupID) (bool, error) {
+	if !s.Arr.HasQ() {
+		return false, nil
+	}
+	cur := s.currentTwin(gid)
+	ok, err := s.Arr.VerifyGroupQ(gid, cur)
+	if err != nil {
+		return false, fmt.Errorf("core: resync Q of group %d: %w", gid, err)
+	}
+	if ok {
+		return false, nil
+	}
+	meta, err := s.Arr.PeekParityMeta(gid, cur)
+	if err != nil {
+		return false, err
+	}
+	if err := s.Arr.RecomputeQ(gid, cur, meta); err != nil {
+		return false, fmt.Errorf("core: resync Q of group %d: %w", gid, err)
 	}
 	return true, nil
 }
@@ -963,7 +1124,7 @@ func (s *Store) repairSilentDamage(g page.GroupID, twin int) (bool, error) {
 				meta = m
 			}
 		}
-		if err := s.recomputeParityFrom(g, twin, data, meta); err != nil {
+		if _, err := s.recomputeParityFrom(g, twin, data, meta); err != nil {
 			return false, err
 		}
 		s.deg.readRepairs.Add(1)
@@ -1026,22 +1187,28 @@ func (s *Store) RebuildAfterCrashDegraded(committed func(page.TxID) bool) (int, 
 		// Single parity keeps no bitmap; just count the groups whose
 		// parity block is gone so the caller can report them deferred.
 		for g := 0; g < s.Arr.NumGroups(); g++ {
-			if s.degraded && s.Arr.ParityLoc(page.GroupID(g), 0).Disk == s.downDisk {
+			if s.degraded && s.isDown(s.Arr.ParityLoc(page.GroupID(g), 0).Disk) {
 				deferred++
 			}
 		}
 		return deferred, nil
 	}
+	hasQ := s.Arr.HasQ()
 	for g := 0; g < s.Arr.NumGroups(); g++ {
 		gid := page.GroupID(g)
-		dead := s.deadTwin(gid)
-		if dead < 0 {
+		deadSlots := false
+		for t := 0; t < 2; t++ {
+			if !s.paritySlotAlive(gid, t) || (hasQ && !s.qSlotAlive(gid, t)) {
+				deadSlots = true
+			}
+		}
+		if !deadSlots {
 			cur, err := s.Twins.CurrentParityFromDisk(gid, committed)
 			if err != nil {
 				return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
 			}
 			if s.GroupDegraded(gid) {
-				// The group's lost block is a data page, so the parity
+				// The group's lost block(s) are data pages, so the parity
 				// cannot be verified by recomputation (ResyncParity skips
 				// it); check the flip pairing instead and fall back to the
 				// older twin when the Figure 7 winner's data write never
@@ -1055,27 +1222,271 @@ func (s *Store) RebuildAfterCrashDegraded(committed func(page.TxID) bool) (int, 
 			continue
 		}
 		deferred++
-		alive := 1 - dead
-		m, err := s.Arr.ReadParityMeta(gid, alive)
+		lostData := false
+		for _, p := range s.Arr.GroupPages(gid) {
+			if s.pageUnavailable(p) {
+				lostData = true
+				break
+			}
+		}
+		if !lostData {
+			// Every data page is readable: establish the index with the
+			// most surviving redundancy as the group's sole authority —
+			// verified against the on-disk data and recomputed wholesale
+			// in the committed state when it does not match (the dead
+			// slot may have held the only describing parity).  The dead
+			// slots themselves are deferred to the restarted rebuild.
+			target := s.bestAliveIndex(gid)
+			if err := s.establishIndex(gid, target); err != nil {
+				return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
+			}
+			s.Twins.Promote(gid, target)
+			if err := s.launderAliveWorking(gid, target, committed); err != nil {
+				return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
+			}
+			continue
+		}
+		// Two overlapping losses hit both a data page and a redundancy
+		// slot (QParity array): nothing can be recomputed, so arbitrate
+		// the describing index from the surviving headers alone.
+		cur, err := s.degradedCurrentIndex(gid, committed)
 		if err != nil {
 			return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
 		}
+		s.Twins.Promote(gid, cur)
+		if err := s.launderAliveWorking(gid, cur, committed); err != nil {
+			return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
+		}
+	}
+	return deferred, nil
+}
+
+// launderAliveWorking finishes Figure 8 for a dead-slot group after its
+// describing index is settled: any alive slot still carrying a working
+// header is laundered in place.  The normal post-bitmap laundering pass
+// skips dead-slot groups (their re-establishment is wholesale), but a
+// dead-slot group that kept its steal-era headers — arbitration in
+// degradedCurrentIndex promotes a committed winner's working twin
+// without rewriting it, and establishIndex only touches the one target
+// index — would otherwise surface working state after restart.  The
+// promoted index's header becomes committed under its own timestamp (its
+// writer committed, or arbitration would not have picked it); any other
+// index's working slot describes a superseded steal — a committed
+// winner's older state or a loser already unwound by the undo passes —
+// and is invalidated, the abort transition.
+func (s *Store) launderAliveWorking(g page.GroupID, cur int, committed func(page.TxID) bool) error {
+	hasQ := s.Arr.HasQ()
+	for t := 0; t < 2; t++ {
+		slots := []struct {
+			alive bool
+			read  func() (disk.Meta, error)
+			write func(disk.Meta) error
+		}{
+			{s.paritySlotAlive(g, t),
+				func() (disk.Meta, error) { return s.Arr.ReadParityMeta(g, t) },
+				func(m disk.Meta) error { return s.Arr.WriteParityMeta(g, t, m) }},
+			{hasQ && s.qSlotAlive(g, t),
+				func() (disk.Meta, error) { return s.Arr.ReadQMeta(g, t) },
+				func(m disk.Meta) error { return s.Arr.WriteQMeta(g, t, m) }},
+		}
+		for _, sl := range slots {
+			if !sl.alive {
+				continue
+			}
+			m, err := sl.read()
+			if err != nil {
+				return err
+			}
+			if m.State != disk.StateWorking {
+				continue
+			}
+			out := disk.Meta{State: disk.StateInvalid, Timestamp: 0}
+			if t == cur && committed != nil && committed(m.Txn) {
+				out = disk.Meta{State: disk.StateCommitted, Timestamp: m.Timestamp, Txn: m.Txn}
+			}
+			if err := sl.write(out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bestAliveIndex returns the redundancy index with the most reachable
+// slots, weighting a live P above a live Q (reads solve through the
+// cheap XOR equation).  Ties favour index 0, matching the formatted
+// state.
+func (s *Store) bestAliveIndex(g page.GroupID) int {
+	hasQ := s.Arr.HasQ()
+	score := func(t int) int {
+		n := 0
+		if s.paritySlotAlive(g, t) {
+			n += 2
+		}
+		if hasQ && s.qSlotAlive(g, t) {
+			n++
+		}
+		return n
+	}
+	if score(1) > score(0) {
+		return 1
+	}
+	return 0
+}
+
+// establishIndex makes index t's reachable slots describe the on-disk
+// data: each alive slot is kept when its header is committed and its
+// payload verifies, and recomputed committed with a fresh timestamp
+// otherwise.  Every data page of the group must be readable.
+func (s *Store) establishIndex(g page.GroupID, t int) error {
+	var freshTS page.Timestamp
+	fresh := func() disk.Meta {
+		if freshTS == 0 {
+			freshTS = s.TM.NextTimestamp()
+		}
+		return disk.Meta{State: disk.StateCommitted, Timestamp: freshTS}
+	}
+	if s.paritySlotAlive(g, t) {
+		m, err := s.Arr.ReadParityMeta(g, t)
+		if err != nil {
+			return err
+		}
 		ok := false
 		if m.State == disk.StateCommitted {
-			ok, err = s.Arr.VerifyGroup(gid, alive)
+			ok, err = s.Arr.VerifyGroup(g, t)
 			if err != nil {
-				return deferred, fmt.Errorf("core: degraded bitmap rebuild of group %d: %w", g, err)
+				return err
 			}
 		}
 		if !ok {
-			meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
-			if err := s.Arr.RecomputeParity(gid, alive, meta); err != nil {
-				return deferred, fmt.Errorf("core: recompute surviving twin of group %d: %w", g, err)
+			if err := s.Arr.RecomputeParity(g, t, fresh()); err != nil {
+				return fmt.Errorf("core: recompute surviving twin of group %d: %w", g, err)
 			}
 		}
-		s.Twins.Promote(gid, alive)
 	}
-	return deferred, nil
+	if s.Arr.HasQ() && s.qSlotAlive(g, t) {
+		m, err := s.Arr.ReadQMeta(g, t)
+		if err != nil {
+			return err
+		}
+		ok := false
+		if m.State == disk.StateCommitted {
+			ok, err = s.Arr.VerifyGroupQ(g, t)
+			if err != nil {
+				return err
+			}
+		}
+		if !ok {
+			// Mirror the P partner's committed header when it survived —
+			// the lockstep invariant — else stamp fresh committed.
+			meta := fresh()
+			if s.paritySlotAlive(g, t) {
+				if pm, perr := s.Arr.PeekParityMeta(g, t); perr == nil && pm.State == disk.StateCommitted {
+					meta = pm
+				}
+			}
+			if err := s.Arr.RecomputeQ(g, t, meta); err != nil {
+				return fmt.Errorf("core: recompute surviving Q of group %d: %w", g, err)
+			}
+		}
+	}
+	return nil
+}
+
+// degradedCurrentIndex arbitrates the describing index of a group that
+// lost both a data page and a redundancy slot (two overlapping losses
+// on a QParity array).  Each index is judged by whatever header of it
+// survives — its P twin's when alive, else its Q partner's, which
+// mirrors it (the lockstep invariant).  The Figure 7 rules apply
+// (committed/obsolete valid, working valid when the writer committed,
+// larger timestamp wins), followed by the paired-flip echo check
+// against the named data page when it is readable: a committed flip
+// whose data write never landed must not define the lost page's value
+// when the other index is usable, so a broken echo launders the other
+// index to committed on its alive slots and demotes the winner.
+func (s *Store) degradedCurrentIndex(g page.GroupID, committed func(page.TxID) bool) (int, error) {
+	var metas [2]disk.Meta
+	var have [2]bool
+	for t := 0; t < 2; t++ {
+		switch {
+		case s.paritySlotAlive(g, t):
+			m, err := s.Arr.ReadParityMeta(g, t)
+			if err != nil {
+				return 0, err
+			}
+			metas[t], have[t] = m, true
+		case s.qSlotAlive(g, t):
+			m, err := s.Arr.ReadQMeta(g, t)
+			if err != nil {
+				return 0, err
+			}
+			metas[t], have[t] = m, true
+		}
+	}
+	valid := func(t int) bool {
+		if !have[t] {
+			return false
+		}
+		switch metas[t].State {
+		case disk.StateCommitted, disk.StateObsolete:
+			return true
+		case disk.StateWorking:
+			return committed != nil && committed(metas[t].Txn)
+		}
+		return false
+	}
+	var cur int
+	switch {
+	case valid(0) && valid(1):
+		cur = 0
+		if metas[1].Timestamp > metas[0].Timestamp {
+			cur = 1
+		}
+	case valid(0):
+		cur = 0
+	case valid(1):
+		cur = 1
+	default:
+		return 0, fmt.Errorf("core: group %d has no valid redundancy index", g)
+	}
+	m := metas[cur]
+	if m.State != disk.StateCommitted || !m.PairedSet || s.pageUnavailable(m.DirtyPage) || !valid(1-cur) {
+		return cur, nil
+	}
+	_, dm, err := s.Arr.ReadData(m.DirtyPage)
+	if err != nil {
+		// The named page cannot arbitrate; keep the winner rather than
+		// promote on a guess.
+		return cur, nil
+	}
+	if dm.Timestamp == m.Timestamp {
+		return cur, nil
+	}
+	if metas[1-cur].State != disk.StateCommitted {
+		lm := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		if s.qSlotAlive(g, 1-cur) {
+			if err := s.Arr.WriteQMeta(g, 1-cur, lm); err != nil {
+				return cur, err
+			}
+		}
+		if s.paritySlotAlive(g, 1-cur) {
+			if err := s.Arr.WriteParityMeta(g, 1-cur, lm); err != nil {
+				return cur, err
+			}
+		}
+	}
+	inv := disk.Meta{State: disk.StateInvalid, Timestamp: 0}
+	if s.qSlotAlive(g, cur) {
+		if err := s.Arr.WriteQMeta(g, cur, inv); err != nil {
+			return cur, err
+		}
+	}
+	if s.paritySlotAlive(g, cur) {
+		if err := s.Arr.WriteParityMeta(g, cur, inv); err != nil {
+			return cur, err
+		}
+	}
+	return 1 - cur, nil
 }
 
 // checkPairedFlip validates the Figure 7 winner of a degraded group
@@ -1132,11 +1543,16 @@ func (s *Store) checkPairedFlip(g page.GroupID, cur int, committed func(page.TxI
 	}
 	if om.State != disk.StateCommitted {
 		m := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+		if s.Arr.HasQ() {
+			if err := s.Arr.WriteQMeta(g, 1-cur, m); err != nil {
+				return cur, err
+			}
+		}
 		if err := s.Arr.WriteParityMeta(g, 1-cur, m); err != nil {
 			return cur, err
 		}
 	}
-	if err := s.Twins.Invalidate(g, cur); err != nil {
+	if err := s.InvalidateIndexAlive(g, cur); err != nil {
 		return cur, err
 	}
 	return 1 - cur, nil
@@ -1165,21 +1581,48 @@ func (s *Store) ResetVolatile() {
 // page's value and the platter under the dead position holds stale bits
 // the Peek I/O must not be compared against.
 func (s *Store) VerifyParityInvariant() error {
+	hasQ := s.Arr.HasQ()
 	for g := 0; g < s.Arr.NumGroups(); g++ {
 		gid := page.GroupID(g)
 		if s.GroupDegraded(gid) {
-			dead := s.deadTwin(gid)
-			if dead < 0 || s.Twins == nil {
-				// Lost block is a data page, or a single-parity array
-				// lost its parity block: nothing verifiable remains.
+			if s.Twins == nil {
+				// A single-parity array lost its parity block or a data
+				// page: nothing verifiable remains.
 				continue
 			}
-			ok, err := s.Arr.VerifyGroup(gid, 1-dead)
-			if err != nil {
-				return err
+			lostData := false
+			for _, p := range s.Arr.GroupPages(gid) {
+				if s.pageUnavailable(p) {
+					lostData = true
+					break
+				}
 			}
-			if !ok {
-				return fmt.Errorf("core: degraded group %d parity invariant violated (surviving twin %d)", g, 1-dead)
+			if lostData {
+				// The redundancy *defines* the lost pages' values and the
+				// platter under the dead positions holds stale bits the
+				// Peek I/O must not be compared against.
+				continue
+			}
+			// Only redundancy slots are lost: the established index's
+			// surviving slots must describe the (fully readable) data.
+			t := s.currentTwin(gid)
+			if s.paritySlotAlive(gid, t) {
+				ok, err := s.Arr.VerifyGroup(gid, t)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("core: degraded group %d parity invariant violated (surviving twin %d)", g, t)
+				}
+			}
+			if hasQ && s.qSlotAlive(gid, t) {
+				ok, err := s.Arr.VerifyGroupQ(gid, t)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("core: degraded group %d Q invariant violated (surviving Q twin %d)", g, t)
+				}
 			}
 			continue
 		}
@@ -1198,6 +1641,15 @@ func (s *Store) VerifyParityInvariant() error {
 		}
 		if !ok {
 			return fmt.Errorf("core: group %d parity invariant violated (twin %d)", g, twin)
+		}
+		if hasQ {
+			ok, err = s.Arr.VerifyGroupQ(gid, twin)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("core: group %d Q invariant violated (twin %d)", g, twin)
+			}
 		}
 	}
 	return nil

@@ -1,10 +1,13 @@
-// Degraded-mode serving: with one disk down, every parity group has lost
-// at most one block (the array organizations place at most one block of a
-// group per disk), so reads of the lost block reconstruct on the fly from
-// parity + survivors and writes maintain parity without the dead member.
+// Degraded-mode serving: with disks down, every parity group has lost
+// at most one block per down disk (the array organizations place at most
+// one block of a group per disk), so reads of lost blocks reconstruct on
+// the fly from the group's redundancy equations and writes maintain the
+// reachable redundancy without the dead members.  Single-parity and
+// twinned arrays tolerate one down disk; QParity arrays solve the P and
+// Q equations together (internal/erasure) and tolerate two.
 //
 // The paper-faithful twist is the steal policy: a group whose redundancy
-// is consumed by the disk loss cannot also fund transaction recovery, so
+// is consumed by a disk loss cannot also fund transaction recovery, so
 // CanStealNoLog refuses degraded groups and the engine falls back to
 // UNDO logging until the rebuild restores them (see DESIGN.md).
 package core
@@ -14,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/disk"
+	"repro/internal/erasure"
 	"repro/internal/page"
 	"repro/internal/xorparity"
 )
@@ -53,30 +57,37 @@ type degCounters struct {
 	scrubRepairs    atomic.Uint64
 }
 
-// EnterDegraded records that disk d is down: reads and writes touching
-// its blocks are served from redundancy until LeaveDegraded.  The engine
-// calls it (with its mutex held) when the array health machine leaves
-// Healthy, after demoting any dirty groups that touch the disk.
-func (s *Store) EnterDegraded(d int) {
+// EnterDegraded records that the given disks are down: reads and writes
+// touching their blocks are served from redundancy until LeaveDegraded.
+// The engine calls it (with its mutex held) when the array health
+// machine leaves Healthy, after demoting any dirty groups that touch the
+// disks.  A second call with a grown down set (a second death while
+// single-degraded) resets the restored map: the restarted rebuild must
+// revisit every group.
+func (s *Store) EnterDegraded(ds ...int) {
+	if len(ds) == 0 {
+		s.LeaveDegraded()
+		return
+	}
 	s.degraded = true
-	s.downDisk = d
+	s.down = append([]int(nil), ds...)
 	s.restored = make([]bool, s.Arr.NumGroups())
 	s.replacement = false
 	s.deg.rebuiltGroups.Store(0)
 }
 
 // LeaveDegraded returns the store to normal serving: every block is
-// reachable again (the disk was rebuilt online or media recovery ran).
+// reachable again (the disks were rebuilt online or media recovery ran).
 func (s *Store) LeaveDegraded() {
 	s.degraded = false
-	s.downDisk = -1
+	s.down = nil
 	s.restored = nil
 	s.replacement = false
 }
 
-// SetReplacementPresent records whether the down disk's slot holds a
-// fresh replacement drive (array health Rebuilding) rather than the dead
-// drive itself.  Crash recovery uses this: a replacement drive is
+// SetReplacementPresent records whether the down disks' slots hold fresh
+// replacement drives (array health Rebuilding) rather than the dead
+// drives themselves.  Crash recovery uses this: a replacement drive is
 // physically readable, and a parity twin it holds in any state other
 // than StateNone was genuinely written after the swap (rebuild restores
 // or post-restore steals), so recovery may trust it even though the
@@ -84,24 +95,27 @@ func (s *Store) LeaveDegraded() {
 func (s *Store) SetReplacementPresent(ok bool) { s.replacement = ok }
 
 // PageUnavailable reports whether data page p must not be read from its
-// platter: it lives on the down disk and its group has not been restored.
+// platter: it lives on a down disk and its group has not been restored.
 // During crash recovery this is always position-keyed — even when a
 // replacement drive is present the page's content is untrustworthy
 // (a rebuilt page is indistinguishable from an unrestored zeroed one).
 func (s *Store) PageUnavailable(p page.PageID) bool { return s.pageUnavailable(p) }
 
-// DeadTwin returns the parity twin of group g on the down disk, or -1.
+// DeadTwin returns a parity twin of group g on a down disk, or -1.
 func (s *Store) DeadTwin(g page.GroupID) int { return s.deadTwin(g) }
 
+// DeadQTwin returns a Q twin of group g on a down disk, or -1.
+func (s *Store) DeadQTwin(g page.GroupID) int { return s.deadQTwin(g) }
+
 // TwinReadable reports whether parity twin `twin` of group g holds
-// trustworthy bits.  Twins off the down disk always do.  A twin on the
+// trustworthy bits.  Twins off the down disks always do.  A twin on a
 // down disk is gone while the dead drive is still in place; once a
 // replacement drive is spinning (SetReplacementPresent), a header state
 // other than StateNone proves the slot was written after the swap and
 // the twin may be used.  The header probe is a charged read, like every
 // recovery decision that touches disk.
 func (s *Store) TwinReadable(g page.GroupID, twin int) bool {
-	if !s.degraded || s.Arr.ParityLoc(g, twin).Disk != s.downDisk {
+	if !s.degraded || !s.isDown(s.Arr.ParityLoc(g, twin).Disk) {
 		return true
 	}
 	if s.restored != nil && s.restored[g] {
@@ -114,18 +128,79 @@ func (s *Store) TwinReadable(g page.GroupID, twin int) bool {
 	return err == nil && m.State != disk.StateNone
 }
 
+// QTwinReadable is TwinReadable for the group's Q twin of the same
+// index.  Always false on arrays without Q redundancy.
+func (s *Store) QTwinReadable(g page.GroupID, twin int) bool {
+	if twin >= s.Arr.QParityPages() {
+		return false
+	}
+	if !s.degraded || !s.isDown(s.Arr.QLoc(g, twin).Disk) {
+		return true
+	}
+	if s.restored != nil && s.restored[g] {
+		return true
+	}
+	if !s.replacement {
+		return false
+	}
+	m, err := s.Arr.ReadQMeta(g, twin)
+	return err == nil && m.State != disk.StateNone
+}
+
+// InvalidateIndexAlive invalidates redundancy index `twin` of group g on
+// its reachable slots only — Q first, like twinpage.Invalidate — so that
+// recovery and undo paths can retire a twin even when one of the index's
+// slots sits on a down disk.  On a healthy array it is exactly
+// twinpage.Invalidate.
+func (s *Store) InvalidateIndexAlive(g page.GroupID, twin int) error {
+	meta := disk.Meta{State: disk.StateInvalid, Timestamp: 0}
+	if s.Arr.HasQ() && s.qSlotAlive(g, twin) {
+		if err := s.Arr.WriteQMeta(g, twin, meta); err != nil {
+			return fmt.Errorf("core: invalidate Q twin %d of group %d: %w", twin, g, err)
+		}
+	}
+	if s.paritySlotAlive(g, twin) {
+		if err := s.Arr.WriteParityMeta(g, twin, meta); err != nil {
+			return fmt.Errorf("core: invalidate twin %d of group %d: %w", twin, g, err)
+		}
+	}
+	return nil
+}
+
 // Degraded reports whether the store is serving in degraded mode.
 func (s *Store) Degraded() bool { return s.degraded }
 
-// DownDisk returns the disk being served around, or -1.
+// DownDisk returns the oldest disk being served around, or -1.  With two
+// disks down (QParity arrays) use DownDisks for the full set.
 func (s *Store) DownDisk() int {
-	if !s.degraded {
+	if !s.degraded || len(s.down) == 0 {
 		return -1
 	}
-	return s.downDisk
+	return s.down[0]
 }
 
-// MarkRestored records that group g's block on the down disk has been
+// DownDisks returns the disks being served around (nil when healthy).
+func (s *Store) DownDisks() []int {
+	if !s.degraded {
+		return nil
+	}
+	return append([]int(nil), s.down...)
+}
+
+// isDown reports whether disk d is in the down set.
+func (s *Store) isDown(d int) bool {
+	if !s.degraded {
+		return false
+	}
+	for _, x := range s.down {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkRestored records that group g's blocks on the down disks have been
 // reconstructed by the rebuild worker: the group serves normally again.
 func (s *Store) MarkRestored(g page.GroupID) {
 	if s.restored != nil && !s.restored[g] {
@@ -147,16 +222,21 @@ func (s *Store) DegradedCounters() DegradedStats {
 
 // GroupDegraded reports whether group g currently has an unreachable
 // block: the store is degraded, the group has not been restored by the
-// rebuild worker, and one of its blocks lives on the down disk.
+// rebuild worker, and one of its blocks lives on a down disk.
 func (s *Store) GroupDegraded(g page.GroupID) bool {
 	if !s.degraded || (s.restored != nil && s.restored[g]) {
 		return false
 	}
-	return s.GroupOnDisk(g, s.downDisk)
+	for _, d := range s.down {
+		if s.GroupOnDisk(g, d) {
+			return true
+		}
+	}
+	return false
 }
 
-// GroupOnDisk reports whether group g keeps a block (data or parity) on
-// disk d.
+// GroupOnDisk reports whether group g keeps a block (data, parity or Q)
+// on disk d.
 func (s *Store) GroupOnDisk(g page.GroupID, d int) bool {
 	for _, p := range s.Arr.GroupPages(g) {
 		if s.Arr.DataLoc(p).Disk == d {
@@ -168,11 +248,16 @@ func (s *Store) GroupOnDisk(g page.GroupID, d int) bool {
 			return true
 		}
 	}
+	for twin := 0; twin < s.Arr.QParityPages(); twin++ {
+		if s.Arr.QLoc(g, twin).Disk == d {
+			return true
+		}
+	}
 	return false
 }
 
 // pageUnavailable reports whether data page p is currently unreachable
-// (it lives on the down disk and its group has not been restored).
+// (it lives on a down disk and its group has not been restored).
 func (s *Store) pageUnavailable(p page.PageID) bool {
 	if !s.degraded {
 		return false
@@ -180,20 +265,69 @@ func (s *Store) pageUnavailable(p page.PageID) bool {
 	if g := s.Arr.GroupOf(p); s.restored != nil && s.restored[g] {
 		return false
 	}
-	return s.Arr.DataLoc(p).Disk == s.downDisk
+	return s.isDown(s.Arr.DataLoc(p).Disk)
 }
 
-// deadTwin returns the parity twin of group g on the down disk, or -1.
+// deadTwin returns a parity twin of group g on a down disk, or -1.
 func (s *Store) deadTwin(g page.GroupID) int {
 	if !s.degraded || (s.restored != nil && s.restored[g]) {
 		return -1
 	}
 	for twin := 0; twin < s.Arr.ParityPages(); twin++ {
-		if s.Arr.ParityLoc(g, twin).Disk == s.downDisk {
+		if s.isDown(s.Arr.ParityLoc(g, twin).Disk) {
 			return twin
 		}
 	}
 	return -1
+}
+
+// deadQTwin returns a Q twin of group g on a down disk, or -1.
+func (s *Store) deadQTwin(g page.GroupID) int {
+	if !s.degraded || (s.restored != nil && s.restored[g]) {
+		return -1
+	}
+	for twin := 0; twin < s.Arr.QParityPages(); twin++ {
+		if s.isDown(s.Arr.QLoc(g, twin).Disk) {
+			return twin
+		}
+	}
+	return -1
+}
+
+// ParitySlotAlive reports whether the P slot of redundancy index `twin`
+// of group g can be read and written (its disk is up, or the group has
+// been restored by the rebuild worker).  Unlike TwinReadable it says
+// nothing about the slot's header — only whether the platter answers.
+func (s *Store) ParitySlotAlive(g page.GroupID, twin int) bool {
+	return s.paritySlotAlive(g, twin)
+}
+
+// QSlotAlive is ParitySlotAlive for the Q slot of the same index; false
+// on arrays without Q redundancy.
+func (s *Store) QSlotAlive(g page.GroupID, twin int) bool {
+	return s.qSlotAlive(g, twin)
+}
+
+// paritySlotAlive reports whether the P slot of redundancy index `twin`
+// of group g can be read and written (its disk is up, or the group has
+// been restored by the rebuild worker).
+func (s *Store) paritySlotAlive(g page.GroupID, twin int) bool {
+	if !s.degraded || (s.restored != nil && s.restored[g]) {
+		return true
+	}
+	return !s.isDown(s.Arr.ParityLoc(g, twin).Disk)
+}
+
+// qSlotAlive is paritySlotAlive for the Q slot of the same index; false
+// on arrays without Q redundancy.
+func (s *Store) qSlotAlive(g page.GroupID, twin int) bool {
+	if twin >= s.Arr.QParityPages() {
+		return false
+	}
+	if !s.degraded || (s.restored != nil && s.restored[g]) {
+		return true
+	}
+	return !s.isDown(s.Arr.QLoc(g, twin).Disk)
 }
 
 // describingTwin returns the twin whose parity describes the group's
@@ -208,120 +342,262 @@ func (s *Store) describingTwin(g page.GroupID) int {
 	return s.currentTwin(g)
 }
 
+// SolveGroup returns the data values of every member of group g as
+// described by redundancy index `twin`, treating unreachable and
+// silently corrupt members as erasures and solving them from the P
+// and/or Q equations of that index.  The data members are read first and
+// the equations lazily — none at zero erasures, P alone at one (Q only
+// when the P slot is itself dead or corrupt), both at two — so the
+// transfer counts of the classic single-loss paths are unchanged by the
+// Q machinery.  Erasures beyond what the reachable equations can solve
+// surface as ErrUnrecoverableCorruption.
+func (s *Store) SolveGroup(g page.GroupID, twin int) ([]page.Buf, error) {
+	pages := s.Arr.GroupPages(g)
+	vals := make([]page.Buf, len(pages))
+	var missing []int
+	for i, p := range pages {
+		if s.pageUnavailable(p) {
+			missing = append(missing, i)
+			continue
+		}
+		b, _, err := s.Arr.ReadData(p)
+		if err != nil {
+			if !disk.IsCorrupt(err) {
+				return nil, fmt.Errorf("core: solve group %d: read page %d: %w", g, p, err)
+			}
+			s.deg.corruptDetected.Add(1)
+			missing = append(missing, i)
+			continue
+		}
+		vals[i] = b
+	}
+	if len(missing) == 0 {
+		return vals, nil
+	}
+	raw := make([][]byte, len(vals))
+	for i, v := range vals {
+		raw[i] = v
+	}
+	var pBuf []byte
+	if s.paritySlotAlive(g, twin) {
+		b, _, err := s.Arr.ReadParity(g, twin)
+		switch {
+		case err == nil:
+			pBuf = b
+		case disk.IsCorrupt(err):
+			s.deg.corruptDetected.Add(1)
+		default:
+			return nil, fmt.Errorf("core: solve group %d: read parity twin %d: %w", g, twin, err)
+		}
+	}
+	if len(missing) == 1 && pBuf != nil {
+		i := missing[0]
+		blocks := append([][]byte{pBuf}, raw[:i]...)
+		blocks = append(blocks, raw[i+1:]...)
+		vals[i] = page.Buf(xorparity.Reconstruct(s.Arr.PageSize(), blocks...))
+		return vals, nil
+	}
+	var qBuf []byte
+	if s.qSlotAlive(g, twin) {
+		b, _, err := s.Arr.ReadQ(g, twin)
+		switch {
+		case err == nil:
+			qBuf = b
+		case disk.IsCorrupt(err):
+			s.deg.corruptDetected.Add(1)
+		default:
+			return nil, fmt.Errorf("core: solve group %d: read Q twin %d: %w", g, twin, err)
+		}
+	}
+	switch {
+	case len(missing) == 1 && qBuf != nil:
+		i := missing[0]
+		vals[i] = page.Buf(erasure.ReconstructOneQ(qBuf, raw, i))
+		return vals, nil
+	case len(missing) == 2 && pBuf != nil && qBuf != nil:
+		i, j := missing[0], missing[1]
+		di, dj := erasure.ReconstructTwo(pBuf, qBuf, raw, i, j)
+		vals[i], vals[j] = page.Buf(di), page.Buf(dj)
+		return vals, nil
+	}
+	s.deg.unrecoverable.Add(1)
+	return nil, fmt.Errorf("core: solve group %d: %d erased members exceed the reachable redundancy of index %d: %w",
+		g, len(missing), twin, ErrUnrecoverableCorruption)
+}
+
 // readDegraded serves a read of an unreachable data page by on-the-fly
-// reconstruction: D = P ⊕ (other data pages), using the twin that
-// describes the on-disk data.  Both twins are reachable here — the
-// group's only lost block is p itself — so the describing twin always is.
-// Nothing is written back; the rebuild worker restores the block.
+// reconstruction from the describing index's redundancy equations: P
+// alone for one lost member, P and Q together for two.  Nothing is
+// written back; the rebuild worker restores the block.
 func (s *Store) readDegraded(p page.PageID) (page.Buf, error) {
 	g := s.Arr.GroupOf(p)
-	b, err := s.ReconstructData(g, p, s.describingTwin(g))
+	vals, err := s.SolveGroup(g, s.describingTwin(g))
 	if err != nil {
-		if disk.IsCorrupt(err) {
-			// A survivor (or the describing parity) of an already-degraded
-			// group failed verification: the group has lost two blocks and
-			// XOR cannot solve for either.  Surface the typed loss instead
-			// of reconstructing garbage.
-			s.deg.corruptDetected.Add(1)
-			s.deg.unrecoverable.Add(1)
-			return nil, fmt.Errorf("core: degraded read of page %d: %v: %w", p, err, ErrUnrecoverableCorruption)
-		}
 		return nil, fmt.Errorf("core: degraded read of page %d: %w", p, err)
 	}
 	s.deg.degradedReads.Add(1)
-	return b, nil
+	return vals[s.groupIndexOf(g, p)], nil
+}
+
+// groupIndexOf returns page p's index within its group's member list —
+// the position that fixes its Q-equation coefficient g^i.
+func (s *Store) groupIndexOf(g page.GroupID, p page.PageID) int {
+	for i, q := range s.Arr.GroupPages(g) {
+		if q == p {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: page %d not in group %d", p, g))
 }
 
 // writeDegradedNeeded reports whether writing page p of degraded group g
-// needs the special degraded protocol.  When the group's lost block is a
-// *different* data page, the ordinary small-write protocol never touches
-// it (it reads p's old contents and the parity, both reachable), so the
-// normal paths stay in force.
+// needs the special degraded protocol.  When the group's only lost
+// blocks are *different* data pages, the ordinary small-write protocol
+// never touches them (it reads p's old contents and the redundancy, all
+// reachable), so the normal paths stay in force.
 func (s *Store) writeDegradedNeeded(g page.GroupID, p page.PageID) bool {
 	if !s.GroupDegraded(g) {
 		return false
 	}
-	return s.pageUnavailable(p) || s.deadTwin(g) >= 0
+	return s.pageUnavailable(p) || s.deadTwin(g) >= 0 || s.deadQTwin(g) >= 0
 }
 
-// writeDegraded writes data page p of a group with an unreachable block.
+// writeDegraded writes data page p of a group with unreachable blocks.
 //
 // Degraded groups are always clean — the engine demotes their no-log
-// steals when the disk goes down and CanStealNoLog refuses new ones — so
-// there is no working twin to preserve and the write may recompute
-// parity wholesale, which also launders any partial parity state left by
-// the failure moment.  Two cases:
-//
-//   - p itself is lost: its new contents are folded into parity only
-//     (P = D_new ⊕ other data); reads reconstruct them on the fly and
-//     the rebuild materializes them.  Both twins are reachable; the new
-//     parity goes to the obsolete twin committed with a fresh timestamp
-//     and the bitmap flips, as in WriteCommitted.
-//   - a parity twin is lost: every data page is reachable, so the
-//     surviving twin is fully recomputed from data (committed, fresh
-//     timestamp) and promoted, then the data page is written.  On a
-//     single-parity array whose parity block is lost there is nothing to
-//     maintain: the data write alone suffices and the rebuild recomputes
-//     parity.
+// steals when a disk goes down and CanStealNoLog refuses new ones — so
+// there is no working twin to preserve and the write may recompute the
+// redundancy wholesale, which also launders any partial parity state
+// left by the failure moment.  The group's new data values (p's new
+// contents plus every other member, lost members solved from the
+// describing index first) yield fresh P and Q images; they go to the
+// obsolete index whenever any of its slots survive — never the current
+// one, exactly WriteCommitted's flip discipline, because the current
+// index may be the *only* description of a dead sibling page and a crash
+// mid-write would destroy it — Q first, then P, both committed under one
+// fresh timestamp, and the bitmap flips.  Only when the obsolete index
+// lost every slot does the write overwrite the current index in place;
+// the group then has no dead data page (two losses are already spent on
+// the obsolete index), so a crash-torn overwrite is recoverable wholesale
+// from the readable data (establishIndex).  When p is
+// reachable the redundancy carries the flip pairing (DirtyPage +
+// PairedSet) and the data write echoes the timestamp, exactly like
+// flipCommitted: the redundancy is written ahead of the data, so a crash
+// between them leaves equations describing a data value that never
+// reached the platter — without the echo, recovery would keep that index
+// as the Figure 7 winner and any later wholesale recompute would launder
+// the discrepancy into the solved value of a dead sibling page.  A lost
+// p gets no pairing (there is no data write to echo); it lives on in the
+// redundancy alone (parity-as-redo) until the rebuild materializes it,
+// which is self-consistent because solving always treats p as missing.
 func (s *Store) writeDegraded(p page.PageID, data page.Buf) error {
 	g := s.Arr.GroupOf(p)
 	s.deg.degradedWrites.Add(1)
-	if s.pageUnavailable(p) {
-		parity, err := s.parityWithout(g, p, data)
-		if err != nil {
-			return err
+	pages := s.Arr.GroupPages(g)
+	idx := -1
+	othersLost := false
+	for i, q := range pages {
+		if q == p {
+			idx = i
+		} else if s.pageUnavailable(q) {
+			othersLost = true
 		}
-		if s.Twins == nil {
+	}
+	var vals []page.Buf
+	if othersLost {
+		// A second data member is also gone (double-degraded): its old
+		// value is needed for the wholesale recompute, so solve the whole
+		// group from the describing index first.
+		old, err := s.SolveGroup(g, s.describingTwin(g))
+		if err != nil {
+			return fmt.Errorf("core: degraded write of page %d: %w", p, err)
+		}
+		vals = old
+	} else {
+		vals = make([]page.Buf, len(pages))
+		for i, q := range pages {
+			if q == p {
+				continue
+			}
+			b, _, err := s.Arr.ReadData(q)
+			if err != nil {
+				return fmt.Errorf("core: degraded parity of group %d: read page %d: %w", g, q, err)
+			}
+			vals[i] = b
+		}
+	}
+	vals[idx] = data
+	raw := make([][]byte, len(vals))
+	for i, v := range vals {
+		raw[i] = v
+	}
+	newP := page.Buf(xorparity.Compute(s.Arr.PageSize(), raw...))
+
+	if s.Twins == nil {
+		if s.pageUnavailable(p) {
 			pMeta, err := s.Arr.PeekParityMeta(g, 0)
 			if err != nil {
 				return fmt.Errorf("core: degraded write of page %d: %w", p, err)
 			}
-			if err := s.Arr.WriteParity(g, 0, parity, pMeta); err != nil {
+			if err := s.Arr.WriteParity(g, 0, newP, pMeta); err != nil {
 				return fmt.Errorf("core: degraded write of page %d: %w", p, err)
 			}
 			return nil
 		}
-		obsolete := s.Twins.Obsolete(g)
-		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
-		if err := s.Arr.WriteParity(g, obsolete, parity, meta); err != nil {
-			return fmt.Errorf("core: degraded write of page %d: %w", p, err)
-		}
-		s.Twins.Promote(g, obsolete)
-		return nil
-	}
-	dead := s.deadTwin(g)
-	if s.Twins == nil {
 		// Single-parity array with its parity block lost: write the data
 		// alone; redundancy for this group returns with the rebuild.
 		return s.writeData(p, data, disk.Meta{})
 	}
-	alive := 1 - dead
-	parity, err := s.parityWithout(g, p, data)
-	if err != nil {
-		return err
-	}
-	meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
-	if err := s.Arr.WriteParity(g, alive, parity, meta); err != nil {
-		return fmt.Errorf("core: degraded write of page %d: %w", p, err)
-	}
-	s.Twins.Promote(g, alive)
-	return s.writeData(p, data, disk.Meta{})
-}
 
-// parityWithout computes the group's parity with page p's contents taken
-// from `data` instead of disk: XOR of data and every other member page.
-// Every other member is reachable in both degraded-write cases.
-func (s *Store) parityWithout(g page.GroupID, p page.PageID, data page.Buf) (page.Buf, error) {
-	blocks := [][]byte{data}
-	for _, q := range s.Arr.GroupPages(g) {
-		if q == p {
-			continue
-		}
-		b, _, err := s.Arr.ReadData(q)
-		if err != nil {
-			return nil, fmt.Errorf("core: degraded parity of group %d: read page %d: %w", g, q, err)
-		}
-		blocks = append(blocks, b)
+	hasQ := s.Arr.HasQ()
+	var newQ page.Buf
+	if hasQ {
+		newQ = page.Buf(erasure.ComputeQ(s.Arr.PageSize(), raw...))
 	}
-	return page.Buf(xorparity.Compute(s.Arr.PageSize(), blocks...)), nil
+	score := func(t int) int {
+		n := 0
+		if s.paritySlotAlive(g, t) {
+			n++
+		}
+		if hasQ && s.qSlotAlive(g, t) {
+			n++
+		}
+		return n
+	}
+	obsolete := s.Twins.Obsolete(g)
+	target := obsolete
+	if score(obsolete) == 0 {
+		target = 1 - obsolete
+	}
+	if score(target) == 0 {
+		// Both of the index's slots are on down disks (and so are the
+		// other index's — scores tie at zero only then).  Only the data
+		// write can carry the group; the rebuild recomputes redundancy.
+		if s.pageUnavailable(p) {
+			s.deg.unrecoverable.Add(1)
+			return fmt.Errorf("core: degraded write of page %d: no reachable redundancy: %w", p, ErrUnrecoverableCorruption)
+		}
+		return s.writeData(p, data, disk.Meta{})
+	}
+	ts := s.TM.NextTimestamp()
+	meta := disk.Meta{State: disk.StateCommitted, Timestamp: ts}
+	if !s.pageUnavailable(p) {
+		meta.DirtyPage = p
+		meta.PairedSet = true
+	}
+	if hasQ && s.qSlotAlive(g, target) {
+		if err := s.Arr.WriteQ(g, target, newQ, meta); err != nil {
+			return fmt.Errorf("core: degraded write of page %d: %w", p, err)
+		}
+	}
+	if s.paritySlotAlive(g, target) {
+		if err := s.Arr.WriteParity(g, target, newP, meta); err != nil {
+			return fmt.Errorf("core: degraded write of page %d: %w", p, err)
+		}
+	}
+	s.Twins.Promote(g, target)
+	if s.pageUnavailable(p) {
+		return nil
+	}
+	return s.writeData(p, data, disk.Meta{Timestamp: ts})
 }

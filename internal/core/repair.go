@@ -43,6 +43,11 @@ func (s *Store) RebuildDataPage(p page.PageID) (page.Buf, error) {
 	parity, pm, err := s.ReadParityRepair(g, twin)
 	if err != nil {
 		if disk.IsCorrupt(err) || errors.Is(err, disk.ErrFailed) {
+			if s.Arr.HasQ() {
+				// The P equation is gone; the index's Q partner solves the
+				// same data state (lockstep).
+				return s.rebuildDataPageViaSolve(g, p, twin, isDirtyPage, dirtyTxn)
+			}
 			return nil, fmt.Errorf("core: rebuild page %d: read parity: %v: %w", p, err, ErrUnrecoverableCorruption)
 		}
 		return nil, fmt.Errorf("core: rebuild page %d: read parity: %w", p, err)
@@ -53,11 +58,19 @@ func (s *Store) RebuildDataPage(p page.PageID) (page.Buf, error) {
 			continue
 		}
 		if s.pageUnavailable(q) {
+			if s.Arr.HasQ() {
+				// p plus a dead sibling are two erasures: P and Q together.
+				return s.rebuildDataPageViaSolve(g, p, twin, isDirtyPage, dirtyTxn)
+			}
 			return nil, fmt.Errorf("core: rebuild page %d: survivor %d unreachable: %w", p, q, ErrUnrecoverableCorruption)
 		}
 		b, _, err := s.Arr.ReadData(q)
 		if err != nil {
 			if disk.IsCorrupt(err) || errors.Is(err, disk.ErrFailed) {
+				if s.Arr.HasQ() && disk.IsCorrupt(err) {
+					// p plus a corrupt sibling: solve both from P and Q.
+					return s.rebuildDataPageViaSolve(g, p, twin, isDirtyPage, dirtyTxn)
+				}
 				return nil, fmt.Errorf("core: rebuild page %d: read survivor %d: %v: %w", p, q, err, ErrUnrecoverableCorruption)
 			}
 			return nil, fmt.Errorf("core: rebuild page %d: read survivor %d: %w", p, q, err)
@@ -72,6 +85,43 @@ func (s *Store) RebuildDataPage(p page.PageID) (page.Buf, error) {
 		meta = disk.Meta{Timestamp: pm.Timestamp}
 	}
 	rebuilt := page.Buf(xorparity.Reconstruct(s.Arr.PageSize(), survivors...))
+	if err := s.Arr.WriteData(p, rebuilt, meta); err != nil {
+		return nil, fmt.Errorf("core: rebuild page %d: write: %w", p, err)
+	}
+	return rebuilt, nil
+}
+
+// rebuildDataPageViaSolve is RebuildDataPage's fallback on QParity arrays
+// when the plain P route runs out of equations: the group is solved
+// through the describing index's P and Q equations together (unreachable
+// and corrupt members are erasures) and page p's value written back under
+// a header restored from the index's surviving redundancy header — P's if
+// readable, else its Q mirror.
+func (s *Store) rebuildDataPageViaSolve(g page.GroupID, p page.PageID, twin int, isDirtyPage bool, dirtyTxn page.TxID) (page.Buf, error) {
+	vals, err := s.SolveGroup(g, twin)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuild page %d: %w", p, err)
+	}
+	var hdr disk.Meta
+	haveHdr := false
+	if s.paritySlotAlive(g, twin) {
+		if m, merr := s.Arr.ReadParityMeta(g, twin); merr == nil {
+			hdr, haveHdr = m, true
+		}
+	}
+	if !haveHdr && s.qSlotAlive(g, twin) {
+		if m, merr := s.Arr.ReadQMeta(g, twin); merr == nil {
+			hdr = m
+		}
+	}
+	meta := disk.Meta{}
+	switch {
+	case isDirtyPage:
+		meta = disk.Meta{Txn: dirtyTxn, Timestamp: hdr.Timestamp}
+	case hdr.PairedSet && hdr.DirtyPage == p:
+		meta = disk.Meta{Timestamp: hdr.Timestamp}
+	}
+	rebuilt := vals[s.groupIndexOf(g, p)]
 	if err := s.Arr.WriteData(p, rebuilt, meta); err != nil {
 		return nil, fmt.Errorf("core: rebuild page %d: write: %w", p, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/disk"
+	"repro/internal/erasure"
 	"repro/internal/page"
 	"repro/internal/xorparity"
 )
@@ -35,8 +36,11 @@ type ScrubReport struct {
 type GroupScrub struct {
 	// Skipped reports that the group was not verified: it was dirty (a
 	// no-log steal is in flight and the twin views are in motion) or
-	// degraded (its redundancy is already consumed by a dead disk).  The
-	// online scrubber retries it on the next cycle.
+	// degraded beyond what its spare redundancy can still check.  A
+	// degraded group on a QParity array is NOT skipped wholesale — its
+	// spare equation can still repair latent corruption on the readable
+	// members (scrubGroupDegraded).  The online scrubber retries skipped
+	// groups on the next cycle.
 	Skipped bool
 	// LatentErrors, Repaired and ParityRewritten are as in ScrubReport.
 	LatentErrors    int
@@ -87,11 +91,16 @@ func (rep *ScrubReport) merge(res GroupScrub) {
 }
 
 // ScrubGroup verifies and repairs one parity group, the unit of work of
-// the online scrubber.  A dirty or degraded group is skipped (not an
-// error — it is retried on the next scrub cycle); everything else is
-// verified end to end and silently corrupt blocks are rewritten from the
-// group's redundancy.  Two corrupt blocks in one group exceed
-// single-parity XOR and return ErrUnrecoverableCorruption.
+// the online scrubber.  A dirty group is skipped (not an error — it is
+// retried on the next scrub cycle); so is a degraded group on a
+// single-redundancy array, whose only equation is already consumed by
+// the dead disk.  A degraded group on a QParity array is instead handed
+// to scrubGroupDegraded: as long as the down disks leave a spare
+// equation, latent corruption on the readable members is still
+// repairable.  Everything else is verified end to end and silently
+// corrupt blocks are rewritten from the group's redundancy.  Corrupt
+// blocks beyond what the redundancy equations can solve return
+// ErrUnrecoverableCorruption.
 //
 // Repairs restore block headers: a rebuilt data page named by the
 // parity's committed-flip pairing gets the pairing timestamp back (so a
@@ -99,10 +108,14 @@ func (rep *ScrubReport) merge(res GroupScrub) {
 // broken one), and a repaired current parity twin keeps its persisted
 // header when only the payload rotted (checksum failure) or gets a fresh
 // committed header when the header itself is untrustworthy (misdirected
-// or lost write).
+// or lost write).  Q pages mirror their P partner's header (the
+// lockstep invariant).
 func (s *Store) ScrubGroup(g page.GroupID) (GroupScrub, error) {
 	var res GroupScrub
 	if s.GroupDegraded(g) {
+		if s.Arr.HasQ() {
+			return s.scrubGroupDegraded(g)
+		}
 		res.Skipped = true
 		return res, nil
 	}
@@ -146,8 +159,46 @@ func (s *Store) ScrubGroup(g page.GroupID) (GroupScrub, error) {
 
 	switch {
 	case bad >= 0 && perr != nil:
-		s.deg.unrecoverable.Add(1)
-		return res, fmt.Errorf("core: group %d lost both a data block and its parity (%v): %w", g, perr, ErrUnrecoverableCorruption)
+		// Both a data block and its P page rotted.  Single parity is out
+		// of equations; with a Q partner the data block solves through
+		// the Q equation, and P recomputes behind it under the Q header
+		// (the lockstep mirror of the header P lost).
+		if !s.Arr.HasQ() {
+			s.deg.unrecoverable.Add(1)
+			return res, fmt.Errorf("core: group %d lost both a data block and its parity (%v): %w", g, perr, ErrUnrecoverableCorruption)
+		}
+		qBuf, qMeta, qerr := s.Arr.ReadQ(g, twin)
+		if qerr != nil {
+			s.deg.unrecoverable.Add(1)
+			return res, fmt.Errorf("core: group %d lost a data block, its parity (%v) and its Q page (%v): %w", g, perr, qerr, ErrUnrecoverableCorruption)
+		}
+		raw := make([][]byte, len(data))
+		for i, b := range data {
+			raw[i] = b
+		}
+		rebuilt := page.Buf(erasure.ReconstructOneQ(qBuf, raw, bad))
+		meta := disk.Meta{}
+		if qMeta.PairedSet && qMeta.DirtyPage == pages[bad] {
+			meta = disk.Meta{Timestamp: qMeta.Timestamp}
+		}
+		if err := s.Arr.WriteData(pages[bad], rebuilt, meta); err != nil {
+			return res, fmt.Errorf("core: scrub repair page %d: %w", pages[bad], err)
+		}
+		data[bad] = rebuilt
+		pMeta = qMeta
+		if errors.Is(perr, disk.ErrChecksum) {
+			if m, merr := s.Arr.PeekParityMeta(g, twin); merr == nil {
+				pMeta = m
+			}
+		}
+		newP, err := s.recomputeParityFrom(g, twin, data, pMeta)
+		if err != nil {
+			return res, err
+		}
+		parity = newP
+		res.Repaired += 2
+		res.RepairedPages = append(res.RepairedPages, pages[bad])
+		s.deg.scrubRepairs.Add(2)
 	case bad >= 0:
 		// Rebuild the corrupt data block from parity + survivors,
 		// restoring a flip-pairing header if the parity names this page.
@@ -180,13 +231,13 @@ func (s *Store) ScrubGroup(g page.GroupID) (GroupScrub, error) {
 				meta = m
 			}
 		}
-		if err := s.recomputeParityFrom(g, twin, data, meta); err != nil {
+		newP, err := s.recomputeParityFrom(g, twin, data, meta)
+		if err != nil {
 			return res, err
 		}
 		res.Repaired++
 		s.deg.scrubRepairs.Add(1)
-		s.deg.scrubbedGroups.Add(1)
-		return res, nil
+		parity, pMeta = newP, meta
 	}
 
 	// Verify parity correctness and rewrite if stale.
@@ -195,10 +246,34 @@ func (s *Store) ScrubGroup(g page.GroupID) (GroupScrub, error) {
 		raw[i] = b
 	}
 	if !xorparity.Verify(parity, raw...) {
-		if err := s.recomputeParityFrom(g, twin, data, pMeta); err != nil {
+		if _, err := s.recomputeParityFrom(g, twin, data, pMeta); err != nil {
 			return res, err
 		}
 		res.ParityRewritten++
+	}
+
+	// The Q pages of a QParity array: the current index's Q must solve
+	// the same data state as its P partner; latent corruption and stale
+	// payloads are rewritten under the partner's header (lockstep).
+	if s.Arr.HasQ() {
+		qBuf, _, qerr := s.Arr.ReadQ(g, twin)
+		switch {
+		case qerr != nil && !disk.IsCorrupt(qerr):
+			return res, fmt.Errorf("core: scrub group %d Q: %w", g, qerr)
+		case qerr != nil:
+			res.LatentErrors++
+			s.deg.corruptDetected.Add(1)
+			if err := s.recomputeQFrom(g, twin, data, pMeta); err != nil {
+				return res, err
+			}
+			res.Repaired++
+			s.deg.scrubRepairs.Add(1)
+		case !erasure.VerifyQ(qBuf, raw...):
+			if err := s.recomputeQFrom(g, twin, data, pMeta); err != nil {
+				return res, err
+			}
+			res.ParityRewritten++
+		}
 	}
 
 	// The obsolete twin of a twinned array is also checked for latent
@@ -209,25 +284,176 @@ func (s *Store) ScrubGroup(g page.GroupID) (GroupScrub, error) {
 			res.LatentErrors++
 			s.deg.corruptDetected.Add(1)
 			meta := disk.Meta{State: disk.StateObsolete, Timestamp: 0}
-			if err := s.recomputeParityFrom(g, other, data, meta); err != nil {
+			if _, err := s.recomputeParityFrom(g, other, data, meta); err != nil {
 				return res, err
 			}
 			res.Repaired++
 			s.deg.scrubRepairs.Add(1)
+		}
+		if other < s.Arr.QParityPages() {
+			if _, _, err := s.Arr.ReadQ(g, other); disk.IsCorrupt(err) {
+				res.LatentErrors++
+				s.deg.corruptDetected.Add(1)
+				meta := disk.Meta{State: disk.StateObsolete, Timestamp: 0}
+				if err := s.recomputeQFrom(g, other, data, meta); err != nil {
+					return res, err
+				}
+				res.Repaired++
+				s.deg.scrubRepairs.Add(1)
+			}
 		}
 	}
 	s.deg.scrubbedGroups.Add(1)
 	return res, nil
 }
 
-func (s *Store) recomputeParityFrom(g page.GroupID, twin int, data []page.Buf, meta disk.Meta) error {
+// scrubGroupDegraded scrubs a group that has blocks on down disks, on a
+// QParity array.  Unreachable members are the rebuild's job and are not
+// touched; the scrub's value while degraded is the spare equation: a
+// READABLE member that rotted is still two erasures (the dead block plus
+// the corrupt one) against the P and Q equations, which the solver
+// handles — the repair that turns a would-be ErrUnrecoverableCorruption
+// read into a served one.  Equation payloads of the current index are
+// likewise repaired when corrupt and their slots are alive.  No
+// consistency verification is attempted beyond what the solve itself
+// proves: with members missing, a surviving equation cannot be checked
+// against the data without consuming the other one.
+func (s *Store) scrubGroupDegraded(g page.GroupID) (GroupScrub, error) {
+	var res GroupScrub
+	if s.Dirty != nil {
+		if _, dirty := s.Dirty.Lookup(g); dirty {
+			res.Skipped = true
+			return res, nil
+		}
+	}
+	twin := s.currentTwin(g)
+	pages := s.Arr.GroupPages(g)
+
+	// Probe the readable members and the current index's alive equation
+	// slots for latent corruption.
+	var corrupt []int
+	for i, p := range pages {
+		if s.pageUnavailable(p) {
+			continue
+		}
+		if _, _, err := s.Arr.ReadData(p); err != nil {
+			if !disk.IsCorrupt(err) {
+				return res, fmt.Errorf("core: scrub group %d: %w", g, err)
+			}
+			res.LatentErrors++
+			corrupt = append(corrupt, i)
+		}
+	}
+	pCorrupt, qCorrupt := false, false
+	var pErr, qErr error
+	if s.paritySlotAlive(g, twin) {
+		if _, _, err := s.Arr.ReadParity(g, twin); disk.IsCorrupt(err) {
+			res.LatentErrors++
+			pCorrupt, pErr = true, err
+		}
+	}
+	if s.qSlotAlive(g, twin) {
+		if _, _, err := s.Arr.ReadQ(g, twin); disk.IsCorrupt(err) {
+			res.LatentErrors++
+			s.deg.corruptDetected.Add(1)
+			qCorrupt, qErr = true, err
+		}
+	}
+	if len(corrupt) == 0 && !pCorrupt && !qCorrupt {
+		return res, nil
+	}
+
+	// Solve the group through the current index.  SolveGroup treats the
+	// unreachable members, the corrupt readable ones and a corrupt P as
+	// erasures; if the count exceeds the reachable equations the typed
+	// ErrUnrecoverableCorruption propagates.
+	vals, err := s.SolveGroup(g, twin)
+	if err != nil {
+		return res, fmt.Errorf("core: scrub group %d: %w", g, err)
+	}
+
+	// Header for pairing restoration and equation rewrites: P's if its
+	// slot is alive and its header survived the fault (a checksum failure
+	// keeps the block's own header; a misdirected or lost write leaves a
+	// foreign or stale one), else the Q mirror, else a fresh committed
+	// header (the group is clean while degraded).
+	var hdr disk.Meta
+	haveHdr := false
+	if s.paritySlotAlive(g, twin) && (!pCorrupt || errors.Is(pErr, disk.ErrChecksum)) {
+		if m, merr := s.Arr.ReadParityMeta(g, twin); merr == nil {
+			hdr, haveHdr = m, true
+		}
+	}
+	if !haveHdr && s.qSlotAlive(g, twin) && (!qCorrupt || errors.Is(qErr, disk.ErrChecksum)) {
+		if m, merr := s.Arr.ReadQMeta(g, twin); merr == nil {
+			hdr, haveHdr = m, true
+		}
+	}
+	if !haveHdr {
+		hdr = disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
+	}
+
+	for _, i := range corrupt {
+		meta := disk.Meta{}
+		if hdr.PairedSet && hdr.DirtyPage == pages[i] {
+			meta = disk.Meta{Timestamp: hdr.Timestamp}
+		}
+		if err := s.Arr.WriteData(pages[i], vals[i], meta); err != nil {
+			return res, fmt.Errorf("core: scrub repair page %d: %w", pages[i], err)
+		}
+		res.Repaired++
+		res.RepairedPages = append(res.RepairedPages, pages[i])
+		s.deg.scrubRepairs.Add(1)
+	}
+	raw := make([][]byte, len(vals))
+	for i, v := range vals {
+		raw[i] = v
+	}
+	if pCorrupt {
+		newP := xorparity.Compute(s.Arr.PageSize(), raw...)
+		if err := s.Arr.WriteParity(g, twin, newP, hdr); err != nil {
+			return res, fmt.Errorf("core: scrub rewrite parity of group %d: %w", g, err)
+		}
+		res.Repaired++
+		s.deg.scrubRepairs.Add(1)
+	}
+	if qCorrupt {
+		newQ := erasure.ComputeQ(s.Arr.PageSize(), raw...)
+		if err := s.Arr.WriteQ(g, twin, newQ, hdr); err != nil {
+			return res, fmt.Errorf("core: scrub rewrite Q of group %d: %w", g, err)
+		}
+		res.Repaired++
+		s.deg.scrubRepairs.Add(1)
+	}
+	s.deg.scrubbedGroups.Add(1)
+	return res, nil
+}
+
+// recomputeParityFrom rewrites parity twin `twin` of group g as the XOR
+// of the given data values under the given header, returning the payload
+// written.
+func (s *Store) recomputeParityFrom(g page.GroupID, twin int, data []page.Buf, meta disk.Meta) (page.Buf, error) {
 	raw := make([][]byte, len(data))
 	for i, b := range data {
 		raw[i] = b
 	}
-	parity := xorparity.Compute(s.Arr.PageSize(), raw...)
+	parity := page.Buf(xorparity.Compute(s.Arr.PageSize(), raw...))
 	if err := s.Arr.WriteParity(g, twin, parity, meta); err != nil {
-		return fmt.Errorf("core: scrub rewrite parity of group %d: %w", g, err)
+		return nil, fmt.Errorf("core: scrub rewrite parity of group %d: %w", g, err)
+	}
+	return parity, nil
+}
+
+// recomputeQFrom rewrites Q page `twin` of group g over the given data
+// values under the given header (normally the P partner's — lockstep).
+func (s *Store) recomputeQFrom(g page.GroupID, twin int, data []page.Buf, meta disk.Meta) error {
+	raw := make([][]byte, len(data))
+	for i, b := range data {
+		raw[i] = b
+	}
+	q := erasure.ComputeQ(s.Arr.PageSize(), raw...)
+	if err := s.Arr.WriteQ(g, twin, q, meta); err != nil {
+		return fmt.Errorf("core: scrub rewrite Q of group %d: %w", g, err)
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/erasure"
 	"repro/internal/page"
 	"repro/internal/xorparity"
 )
@@ -76,8 +77,17 @@ func (k Kind) Striped() bool { return k == RAID5 || k == RAID5Twin }
 type Config struct {
 	Kind Kind
 	// DataDisks is N: the number of data pages per parity group.  The
-	// array uses N+1 disks (single parity) or N+2 disks (twin parity).
+	// array uses N+1 disks (single parity) or N+2 disks (twin parity);
+	// QParity adds one more disk per parity page for the Q redundancy.
 	DataDisks int
+	// QParity adds a second redundancy equation per group: alongside each
+	// P parity page the group keeps a Q page computed over GF(2^8)
+	// (internal/erasure), RAID-6 style, so any TWO missing members of a
+	// group are recoverable.  Twinned kinds twin Q exactly like P (same
+	// twin indexes, promoted in lockstep), so the no-log steal/flip
+	// protocols keep their crash-cut detection.  Off by default; existing
+	// geometries are untouched unless set.
+	QParity bool
 	// NumPages is S: the number of logical data pages requested.  The
 	// array may round capacity up to fill whole groups/areas.
 	NumPages int
@@ -114,7 +124,8 @@ type Array struct {
 	cfg       Config
 	disks     []*disk.Disk
 	numGroups int
-	parities  int // parity pages per group: 1 or 2
+	parities  int // P parity pages per group: 1 or 2
+	qparities int // Q redundancy pages per group: 0, or == parities with QParity
 
 	// Parity striping geometry (unused for RAID5 kinds).
 	areas    int // areas per disk = disks
@@ -123,7 +134,7 @@ type Array struct {
 	// Self-healing state (health.go).
 	hmu     sync.Mutex
 	health  Health
-	down    int   // failed/rebuilding disk, -1 when none
+	downd   []int // failed/rebuilding disks, oldest loss first
 	consec  []int // consecutive errored attempts per disk
 	healing HealingStats
 
@@ -160,7 +171,7 @@ func New(cfg Config) (*Array, error) {
 	if cfg.PageSize < page.MinSize {
 		return nil, fmt.Errorf("%w: page size %d below minimum %d", ErrBadConfig, cfg.PageSize, page.MinSize)
 	}
-	a := &Array{cfg: cfg, down: -1}
+	a := &Array{cfg: cfg}
 	if a.cfg.RetryAttempts <= 0 {
 		a.cfg.RetryAttempts = 4
 	}
@@ -176,7 +187,12 @@ func New(cfg Config) (*Array, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadConfig, int(cfg.Kind))
 	}
-	numDisks := n + a.parities
+	if cfg.QParity {
+		// Q mirrors P's twinning: one Q page per P page, each on its own
+		// disk, so any two member losses stay inside the redundancy.
+		a.qparities = a.parities
+	}
+	numDisks := n + a.parities + a.qparities
 	groups := (cfg.NumPages + n - 1) / n
 
 	var blocksPerDisk int
@@ -250,30 +266,29 @@ func (a *Array) resetLedger(d int) {
 	a.ledmu.Unlock()
 }
 
-// format marks twin 0 of every group committed.  A fresh array is
-// all-zero, so zero parity is already correct for every group; only the
+// format marks twin 0 of every group committed (for both the P and, when
+// configured, the Q redundancy page).  A fresh array is all-zero, so zero
+// parity — P and Q alike — is already correct for every group; only the
 // twin metadata needs initializing.  Statistics are reset afterwards so
 // formatting is free, like factory formatting.
 func (a *Array) format() {
-	if a.parities == 2 {
-		for g := 0; g < a.numGroups; g++ {
-			loc := a.ParityLoc(page.GroupID(g), 0)
-			meta := disk.Meta{State: disk.StateCommitted, Timestamp: 0}
-			if err := a.disks[loc.Disk].WriteMeta(loc.Block, meta); err != nil {
-				panic(fmt.Sprintf("diskarray: format: %v", err))
-			}
-			loc = a.ParityLoc(page.GroupID(g), 1)
-			meta = disk.Meta{State: disk.StateObsolete, Timestamp: 0}
-			if err := a.disks[loc.Disk].WriteMeta(loc.Block, meta); err != nil {
-				panic(fmt.Sprintf("diskarray: format: %v", err))
-			}
+	write := func(loc Loc, meta disk.Meta) {
+		if err := a.disks[loc.Disk].WriteMeta(loc.Block, meta); err != nil {
+			panic(fmt.Sprintf("diskarray: format: %v", err))
 		}
-	} else {
-		for g := 0; g < a.numGroups; g++ {
-			loc := a.ParityLoc(page.GroupID(g), 0)
-			meta := disk.Meta{State: disk.StateCommitted, Timestamp: 0}
-			if err := a.disks[loc.Disk].WriteMeta(loc.Block, meta); err != nil {
-				panic(fmt.Sprintf("diskarray: format: %v", err))
+	}
+	committed := disk.Meta{State: disk.StateCommitted, Timestamp: 0}
+	obsolete := disk.Meta{State: disk.StateObsolete, Timestamp: 0}
+	for g := 0; g < a.numGroups; g++ {
+		gid := page.GroupID(g)
+		write(a.ParityLoc(gid, 0), committed)
+		if a.parities == 2 {
+			write(a.ParityLoc(gid, 1), obsolete)
+		}
+		if a.qparities > 0 {
+			write(a.QLoc(gid, 0), committed)
+			if a.qparities == 2 {
+				write(a.QLoc(gid, 1), obsolete)
 			}
 		}
 	}
@@ -300,18 +315,27 @@ func (a *Array) GroupWidth() int { return a.cfg.DataDisks }
 // which is at least the requested capacity).
 func (a *Array) NumPages() int { return a.numGroups * a.cfg.DataDisks }
 
-// ParityPages returns the number of parity pages per group (1 or 2).
+// ParityPages returns the number of P parity pages per group (1 or 2).
 func (a *Array) ParityPages() int { return a.parities }
+
+// QParityPages returns the number of Q redundancy pages per group (0
+// without QParity, else equal to ParityPages).
+func (a *Array) QParityPages() int { return a.qparities }
+
+// HasQ reports whether the array keeps Q redundancy pages.
+func (a *Array) HasQ() bool { return a.qparities > 0 }
 
 // Twinned reports whether the array keeps twin parity pages.
 func (a *Array) Twinned() bool { return a.parities == 2 }
 
-// StorageOverhead returns the fraction of raw capacity spent on parity:
-// 1/(N+1) for single parity, 2/(N+2) for twin parity.  The paper quotes
-// the overhead relative to the database size as about (100/N)% per parity
+// StorageOverhead returns the fraction of raw capacity spent on
+// redundancy: 1/(N+1) for single parity, 2/(N+2) for twin parity, with
+// the Q pages added on top when QParity is set.  The paper quotes the
+// overhead relative to the database size as about (100/N)% per parity
 // copy (Section 6).
 func (a *Array) StorageOverhead() float64 {
-	return float64(a.parities) / float64(a.cfg.DataDisks+a.parities)
+	r := a.parities + a.qparities
+	return float64(r) / float64(a.cfg.DataDisks+r)
 }
 
 // --- Address mapping -----------------------------------------------------
@@ -337,28 +361,40 @@ func (a *Array) StorageOverhead() float64 {
 // same relative position of different disks — so all group navigation
 // must go through GroupOf/GroupPages rather than arithmetic on page ids.
 
-// parityDisks returns the disks holding the group's parity page(s).
-func (a *Array) parityDisks(g int) [2]int {
+// redundancies returns the number of redundancy pages per group: the P
+// twins plus, with QParity, the Q twins.
+func (a *Array) redundancies() int { return a.parities + a.qparities }
+
+// redundancyDisk returns the disk holding the group's j-th redundancy
+// page, j in [0, redundancies): P twins first (j < parities), then Q
+// twins.  Rotated placement puts consecutive redundancy pages of a group
+// on consecutive disks, generalizing the paper's P/P′ twin placement.
+func (a *Array) redundancyDisk(g, j int) int {
 	nd := len(a.disks)
 	switch a.cfg.Kind {
 	case RAID5, RAID5Twin:
-		p0 := g % nd
-		return [2]int{p0, (p0 + 1) % nd}
+		return (g + j) % nd
 	case ParityStripe, ParityStripeTwin:
 		area := g / a.areaSize
-		return [2]int{area, (area + 1) % nd}
+		return (area + j) % nd
 	}
 	panic("diskarray: unknown kind")
 }
 
-// isParityArea reports whether area a of disk d is reserved for parity.
+// parityDisks returns the disks holding the group's P parity page(s).
+func (a *Array) parityDisks(g int) [2]int {
+	return [2]int{a.redundancyDisk(g, 0), a.redundancyDisk(g, 1)}
+}
+
+// isParityArea reports whether area `area` of disk d is reserved for
+// redundancy (a P or Q page): disk d holds redundancy page j of the
+// groups in area (d-j) mod numDisks, for each j in [0, redundancies).
 func (a *Array) isParityArea(d, area int) bool {
-	if area == d {
-		return true
-	}
-	if a.parities == 2 {
-		nd := len(a.disks)
-		return area == (d+nd-1)%nd
+	nd := len(a.disks)
+	for j := 0; j < a.redundancies(); j++ {
+		if area == (d-j+nd)%nd {
+			return true
+		}
 	}
 	return false
 }
@@ -393,16 +429,23 @@ func (a *Array) dataAreaRank(d, area int) int {
 
 // stripeDataDisk returns the disk holding the i-th data page of stripe g
 // in the data striping organizations: the i-th disk, in increasing order,
-// that does not hold one of the stripe's parity pages.
+// that does not hold one of the stripe's redundancy pages.
 func (a *Array) stripeDataDisk(g, i int) int {
-	pd := a.parityDisks(g)
-	skip0, skip1 := pd[0], -1
-	if a.parities == 2 {
-		skip1 = pd[1]
+	var skip [4]int
+	r := a.redundancies()
+	for j := 0; j < r; j++ {
+		skip[j] = a.redundancyDisk(g, j)
 	}
 	count := 0
 	for d := 0; d < len(a.disks); d++ {
-		if d == skip0 || d == skip1 {
+		isRed := false
+		for j := 0; j < r; j++ {
+			if d == skip[j] {
+				isRed = true
+				break
+			}
+		}
+		if isRed {
 			continue
 		}
 		if count == i {
@@ -478,18 +521,21 @@ func (a *Array) ParityLoc(g page.GroupID, twin int) Loc {
 	if twin < 0 || twin >= a.parities {
 		panic(fmt.Sprintf("diskarray: twin %d out of range for %s", twin, a.cfg.Kind))
 	}
-	pd := a.parityDisks(int(g))
-	d := pd[twin]
-	switch a.cfg.Kind {
-	case RAID5, RAID5Twin:
-		return Loc{Disk: d, Block: int(g)}
-	case ParityStripe, ParityStripeTwin:
-		// A group's coordinate (area, offset) addresses the same block
-		// number on every disk that participates in it, including the
-		// parity disks: block = area·areaSize + offset.
-		return Loc{Disk: d, Block: int(g)}
+	// A group's redundancy pages live at the group's own block number on
+	// their rotated disks; for parity striping the coordinate
+	// (area, offset) addresses the same block number on every
+	// participating disk: block = area·areaSize + offset = g.
+	return Loc{Disk: a.redundancyDisk(int(g), twin), Block: int(g)}
+}
+
+// QLoc returns the physical location of the group's Q redundancy page.
+// twin must be in [0, QParityPages); Q twin t lives alongside P twin t
+// and is promoted/invalidated in lockstep with it.
+func (a *Array) QLoc(g page.GroupID, twin int) Loc {
+	if twin < 0 || twin >= a.qparities {
+		panic(fmt.Sprintf("diskarray: Q twin %d out of range for %s", twin, a.cfg.Kind))
 	}
-	panic("diskarray: unknown kind")
+	return Loc{Disk: a.redundancyDisk(int(g), a.parities+twin), Block: int(g)}
 }
 
 // --- Raw I/O ---------------------------------------------------------------
@@ -601,10 +647,76 @@ func (a *Array) PeekParity(g page.GroupID, twin int) (page.Buf, error) {
 	return a.disks[loc.Disk].PeekData(loc.Block)
 }
 
+// ReadQ reads the group's Q redundancy page, charging one transfer.
+// Verified against the NVRAM write ledger like ReadData.
+func (a *Array) ReadQ(g page.GroupID, twin int) (page.Buf, disk.Meta, error) {
+	loc := a.QLoc(g, twin)
+	var b page.Buf
+	var m disk.Meta
+	err := a.do(loc.Disk, func() error {
+		var err error
+		b, m, err = a.disks[loc.Disk].Read(loc.Block)
+		return err
+	})
+	if err == nil {
+		err = a.checkLedger(loc, b)
+	}
+	return b, m, err
+}
+
+// WriteQ writes the group's Q redundancy page, charging one transfer.
+func (a *Array) WriteQ(g page.GroupID, twin int, b page.Buf, meta disk.Meta) error {
+	loc := a.QLoc(g, twin)
+	err := a.do(loc.Disk, func() error {
+		return a.disks[loc.Disk].Write(loc.Block, b, meta)
+	})
+	if err == nil {
+		a.noteWrite(loc, b)
+	}
+	return err
+}
+
+// WriteQMeta rewrites only the Q page's header, charging one transfer.
+func (a *Array) WriteQMeta(g page.GroupID, twin int, meta disk.Meta) error {
+	loc := a.QLoc(g, twin)
+	return a.do(loc.Disk, func() error {
+		return a.disks[loc.Disk].WriteMeta(loc.Block, meta)
+	})
+}
+
+// ReadQMeta reads only the Q page's header, charging one transfer.
+func (a *Array) ReadQMeta(g page.GroupID, twin int) (disk.Meta, error) {
+	loc := a.QLoc(g, twin)
+	var m disk.Meta
+	err := a.do(loc.Disk, func() error {
+		var err error
+		m, err = a.disks[loc.Disk].ReadMeta(loc.Block)
+		return err
+	})
+	return m, err
+}
+
+// PeekQ returns a copy of a Q page without charging a transfer
+// (verification aid).
+func (a *Array) PeekQ(g page.GroupID, twin int) (page.Buf, error) {
+	loc := a.QLoc(g, twin)
+	return a.disks[loc.Disk].PeekData(loc.Block)
+}
+
+// PeekQMeta returns Q-page metadata without charging a transfer
+// (verification aid).
+func (a *Array) PeekQMeta(g page.GroupID, twin int) (disk.Meta, error) {
+	loc := a.QLoc(g, twin)
+	return a.disks[loc.Disk].PeekMeta(loc.Block)
+}
+
 // --- Failure handling ------------------------------------------------------
 
 // FailDisk injects a fail-stop failure on disk d and advances the health
-// machine exactly as an organically detected failure would.
+// machine exactly as an organically detected failure would.  The
+// injection itself always succeeds — a loss beyond the redundancy budget
+// fails the array, and subsequent operations surface the typed
+// ErrArrayFailed.
 func (a *Array) FailDisk(d int) error {
 	if d < 0 || d >= len(a.disks) {
 		return fmt.Errorf("diskarray: no disk %d", d)
@@ -708,6 +820,22 @@ func (a *Array) RecomputeParity(g page.GroupID, twin int, meta disk.Meta) error 
 	return a.WriteParity(g, twin, parity, meta)
 }
 
+// RecomputeQ reads the whole group and rewrites the given Q twin with the
+// freshly computed GF(2^8) redundancy and the supplied metadata — the Q
+// counterpart of RecomputeParity.
+func (a *Array) RecomputeQ(g page.GroupID, twin int, meta disk.Meta) error {
+	blocks, err := a.ReadGroup(g)
+	if err != nil {
+		return err
+	}
+	raw := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		raw[i] = b
+	}
+	q := erasure.ComputeQ(a.cfg.PageSize, raw...)
+	return a.WriteQ(g, twin, q, meta)
+}
+
 // VerifyGroup reports whether the given twin's parity equals the XOR of
 // the group's data pages.  Uses Peek I/O so it is free; verification aid.
 func (a *Array) VerifyGroup(g page.GroupID, twin int) (bool, error) {
@@ -725,6 +853,26 @@ func (a *Array) VerifyGroup(g page.GroupID, twin int) (bool, error) {
 		return false, err
 	}
 	return xorparity.Verify(parity, raw...), nil
+}
+
+// VerifyGroupQ reports whether the given twin's Q page equals the
+// GF(2^8) redundancy of the group's data pages — the Q counterpart of
+// VerifyGroup.  Uses Peek I/O so it is free; verification aid.
+func (a *Array) VerifyGroupQ(g page.GroupID, twin int) (bool, error) {
+	pages := a.GroupPages(g)
+	raw := make([][]byte, len(pages))
+	for i, p := range pages {
+		b, err := a.PeekData(p)
+		if err != nil {
+			return false, err
+		}
+		raw[i] = b
+	}
+	q, err := a.PeekQ(g, twin)
+	if err != nil {
+		return false, err
+	}
+	return erasure.VerifyQ(q, raw...), nil
 }
 
 // ReconstructDisk rebuilds every block of a failed-and-replaced disk from
@@ -759,6 +907,20 @@ func (a *Array) ReconstructDisk(d int, validTwin func(page.GroupID) int, metaFor
 			}
 			if err := a.RecomputeParity(gid, twin, meta); err != nil {
 				return fmt.Errorf("diskarray: rebuild parity of group %d: %w", g, err)
+			}
+		}
+		// Rebuild Q blocks that lived on d.
+		for twin := 0; twin < a.qparities; twin++ {
+			loc := a.QLoc(gid, twin)
+			if loc.Disk != d {
+				continue
+			}
+			meta := disk.Meta{State: disk.StateCommitted, Timestamp: 0}
+			if metaFor != nil {
+				meta = metaFor(gid, twin)
+			}
+			if err := a.RecomputeQ(gid, twin, meta); err != nil {
+				return fmt.Errorf("diskarray: rebuild Q of group %d: %w", g, err)
 			}
 		}
 		// Rebuild the data block of g that lived on d, if any.

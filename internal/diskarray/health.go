@@ -11,10 +11,12 @@ import (
 //
 //	Healthy → Degraded → Rebuilding → Healthy
 //
-// as disks fail-stop and are rebuilt online, and drops to Failed when a
-// second disk is lost while the first is still down — at that point some
-// parity groups have lost two blocks and XOR redundancy cannot recover
-// them without a media-recovery pass (RepairDisks).
+// as disks fail-stop and are rebuilt online.  Without QParity a second
+// overlapping loss drops the array to Failed — some parity groups have
+// lost two blocks and XOR redundancy cannot recover them without a
+// media-recovery pass (RepairDisks).  With QParity the second loss is
+// still inside the redundancy (DoubleDegraded); only a THIRD overlapping
+// loss fails the array.
 type Health int
 
 const (
@@ -23,13 +25,18 @@ const (
 	// Degraded: exactly one disk is down; reads of its blocks must be
 	// reconstructed from parity + survivors.
 	Degraded
-	// Rebuilding: the down disk has been replaced by a fresh drive and a
-	// rebuild worker is reconstructing its blocks; unrestored blocks must
-	// still be served degraded.
+	// Rebuilding: the down disk(s) have been replaced by fresh drives and
+	// a rebuild worker is reconstructing their blocks; unrestored blocks
+	// must still be served degraded.
 	Rebuilding
-	// Failed: two or more disks lost while redundancy was already
-	// consumed.  I/O errors are wrapped in ErrArrayFailed.
+	// Failed: overlapping disk losses exceed the array's redundancy
+	// (two for single parity, three with QParity).  I/O errors are
+	// wrapped in ErrArrayFailed.
 	Failed
+	// DoubleDegraded: exactly two disks are down on a QParity array;
+	// reads of their blocks must be reconstructed from the P and Q
+	// equations together (internal/erasure).
+	DoubleDegraded
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +46,8 @@ func (h Health) String() string {
 		return "healthy"
 	case Degraded:
 		return "degraded"
+	case DoubleDegraded:
+		return "double-degraded"
 	case Rebuilding:
 		return "rebuilding"
 	case Failed:
@@ -48,11 +57,11 @@ func (h Health) String() string {
 	}
 }
 
-// ErrArrayFailed reports that a second disk failed while the array was
-// already degraded: single-parity redundancy is exhausted and affected
-// groups cannot be served.  Media recovery (RepairDisks) is the only way
-// out.
-var ErrArrayFailed = errors.New("diskarray: array failed, overlapping disk losses exceed parity redundancy")
+// ErrArrayFailed reports that overlapping disk losses exceed the array's
+// redundancy: a second loss on a single-parity array, a third on a
+// QParity array.  Affected groups cannot be served; media recovery
+// (RepairDisks) is the only way out.
+var ErrArrayFailed = errors.New("diskarray: array failed, overlapping disk losses exceed redundancy")
 
 // HealingStats counts the work done by the self-healing retry layer.
 type HealingStats struct {
@@ -76,12 +85,47 @@ func (a *Array) Health() Health {
 }
 
 // DownDisk returns the disk currently down (Degraded) or being rebuilt
-// (Rebuilding), or -1 when the array is Healthy.  When Failed it returns
-// the first lost disk.
+// (Rebuilding), or -1 when the array is Healthy.  When several disks are
+// down (DoubleDegraded, Failed) it returns the oldest loss; use DownDisks
+// for the full set.
 func (a *Array) DownDisk() int {
 	a.hmu.Lock()
 	defer a.hmu.Unlock()
-	return a.down
+	if len(a.downd) == 0 {
+		return -1
+	}
+	return a.downd[0]
+}
+
+// DownDisks returns the disks currently down or being rebuilt, oldest
+// loss first (empty when Healthy).
+func (a *Array) DownDisks() []int {
+	a.hmu.Lock()
+	defer a.hmu.Unlock()
+	out := make([]int, len(a.downd))
+	copy(out, a.downd)
+	return out
+}
+
+// lossBudget is the number of overlapping disk losses the redundancy can
+// absorb: one per redundancy equation.
+func (a *Array) lossBudget() int {
+	if a.qparities > 0 {
+		return 2
+	}
+	return 1
+}
+
+// healthFor returns the non-failed health state for n down disks.
+func healthFor(n int) Health {
+	switch n {
+	case 0:
+		return Healthy
+	case 1:
+		return Degraded
+	default:
+		return DoubleDegraded
+	}
 }
 
 // Healing returns the cumulative self-healing counters.
@@ -143,26 +187,35 @@ func (a *Array) do(d int, op func() error) error {
 }
 
 // noteFailed records that disk d returned a hard failure and advances the
-// health machine.  The first loss degrades the array; a loss of a second,
-// different disk while the first is still down fails it, and from then on
-// every hard error is wrapped in ErrArrayFailed so callers get a typed
-// double-failure signal instead of a raw disk error.
+// health machine.  Losses inside the redundancy budget degrade the array
+// (Degraded, then DoubleDegraded on QParity arrays); a loss beyond the
+// budget fails it, and from then on every hard error is wrapped in
+// ErrArrayFailed so callers get a typed signal instead of a raw disk
+// error.
 func (a *Array) noteFailed(d int, err error) error {
 	a.hmu.Lock()
 	defer a.hmu.Unlock()
+	known := false
+	for _, x := range a.downd {
+		if x == d {
+			known = true
+			break
+		}
+	}
 	switch {
 	case a.health == Failed:
 		// Already failed; keep wrapping below.
-	case a.down == -1:
-		a.down = d
-		a.health = Degraded
-	case a.down == d:
-		// The down disk (or its mid-rebuild replacement) erred again;
-		// fall back from Rebuilding to Degraded, still one disk down.
+	case known:
+		// A down disk (or its mid-rebuild replacement) erred again; fall
+		// back from Rebuilding to the degraded state for the same losses.
 		if a.health == Rebuilding {
-			a.health = Degraded
+			a.health = healthFor(len(a.downd))
 		}
+	case len(a.downd) < a.lossBudget():
+		a.downd = append(a.downd, d)
+		a.health = healthFor(len(a.downd))
 	default:
+		a.downd = append(a.downd, d)
 		a.health = Failed
 	}
 	if a.health == Failed && !errors.Is(err, ErrArrayFailed) {
@@ -173,7 +226,7 @@ func (a *Array) noteFailed(d int, err error) error {
 
 // recomputeHealth re-derives the health state from the disks' actual
 // fail-stop flags.  Called after a repair; a Rebuilding state is
-// preserved (its down disk is already replaced, hence not Failed()).
+// preserved (its down disks are already replaced, hence not Failed()).
 func (a *Array) recomputeHealth() {
 	a.hmu.Lock()
 	defer a.hmu.Unlock()
@@ -186,18 +239,18 @@ func (a *Array) recomputeHealth() {
 	for i := range a.consec {
 		a.consec[i] = 0
 	}
-	switch len(failed) {
-	case 0:
+	switch {
+	case len(failed) == 0:
 		if a.health != Rebuilding {
 			a.health = Healthy
-			a.down = -1
+			a.downd = nil
 		}
-	case 1:
-		a.health = Degraded
-		a.down = failed[0]
+	case len(failed) <= a.lossBudget():
+		a.health = healthFor(len(failed))
+		a.downd = failed
 	default:
 		a.health = Failed
-		a.down = failed[0]
+		a.downd = failed
 	}
 }
 
@@ -218,21 +271,26 @@ func (a *Array) ProbeDisks() {
 	}
 }
 
-// BeginRebuild swaps a fresh zeroed drive in for down disk d and marks
-// the array Rebuilding.  The caller owns reconstructing the drive's
+// BeginRebuild swaps fresh zeroed drives in for the given down disks and
+// marks the array Rebuilding.  The caller owns reconstructing the drives'
 // blocks (stripe by stripe, online) and must call FinishRebuild when
 // done; until then reads of unrestored blocks return zeroes and must be
-// served degraded by the layers above.
-func (a *Array) BeginRebuild(d int) error {
-	if d < 0 || d >= len(a.disks) {
-		return fmt.Errorf("diskarray: no disk %d", d)
+// served degraded by the layers above.  A QParity array rebuilds up to
+// two drives in one pass — the two-drive rebuild.
+func (a *Array) BeginRebuild(ds ...int) error {
+	for _, d := range ds {
+		if d < 0 || d >= len(a.disks) {
+			return fmt.Errorf("diskarray: no disk %d", d)
+		}
 	}
-	a.disks[d].Repair()
-	a.resetLedger(d)
+	for _, d := range ds {
+		a.disks[d].Repair()
+		a.resetLedger(d)
+	}
 	a.hmu.Lock()
 	defer a.hmu.Unlock()
 	a.health = Rebuilding
-	a.down = d
+	a.downd = append([]int(nil), ds...)
 	for i := range a.consec {
 		a.consec[i] = 0
 	}
@@ -246,6 +304,6 @@ func (a *Array) FinishRebuild() {
 	defer a.hmu.Unlock()
 	if a.health == Rebuilding {
 		a.health = Healthy
-		a.down = -1
+		a.downd = nil
 	}
 }

@@ -1,0 +1,183 @@
+package erasure_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/erasure"
+	"repro/internal/xorparity"
+)
+
+// TestFieldAxioms spot-checks the ring structure the reconstruction
+// algebra relies on: commutativity, associativity and distributivity
+// over XOR addition.
+func TestFieldAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 10000; n++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if erasure.Mul(a, b) != erasure.Mul(b, a) {
+			t.Fatalf("ab != ba for %#x %#x", a, b)
+		}
+		if erasure.Mul(erasure.Mul(a, b), c) != erasure.Mul(a, erasure.Mul(b, c)) {
+			t.Fatalf("(ab)c != a(bc) for %#x %#x %#x", a, b, c)
+		}
+		if erasure.Mul(a, b^c) != erasure.Mul(a, b)^erasure.Mul(a, c) {
+			t.Fatalf("a(b+c) != ab+ac for %#x %#x %#x", a, b, c)
+		}
+	}
+}
+
+// randStripe builds k random data blocks of the given size.
+func randStripe(rng *rand.Rand, k, size int) [][]byte {
+	blocks := make([][]byte, k)
+	for i := range blocks {
+		blocks[i] = make([]byte, size)
+		rng.Read(blocks[i])
+	}
+	return blocks
+}
+
+// TestXorPathByteIdentical pins the satellite contract: the P equation of
+// the erasure code is byte-for-byte the XOR parity the engine has always
+// computed, and the xorparity facade returns identical results through
+// every entry point.
+func TestXorPathByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(12)
+		size := 16 + rng.Intn(64)
+		blocks := randStripe(rng, k, size)
+		plain := make([]byte, size)
+		for _, b := range blocks {
+			for i := range plain {
+				plain[i] ^= b[i]
+			}
+		}
+		if got := erasure.ComputeP(size, blocks...); !bytes.Equal(got, plain) {
+			t.Fatalf("ComputeP diverges from plain XOR")
+		}
+		if got := xorparity.Compute(size, blocks...); !bytes.Equal(got, plain) {
+			t.Fatalf("xorparity.Compute diverges from plain XOR")
+		}
+		if !xorparity.Verify(plain, blocks...) {
+			t.Fatalf("xorparity.Verify rejects its own parity")
+		}
+		dNew := make([]byte, size)
+		rng.Read(dNew)
+		sw := xorparity.SmallWrite(plain, blocks[0], dNew)
+		want := make([]byte, size)
+		for i := range want {
+			want[i] = plain[i] ^ blocks[0][i] ^ dNew[i]
+		}
+		if !bytes.Equal(sw, want) {
+			t.Fatalf("xorparity.SmallWrite diverges from plain XOR")
+		}
+	}
+}
+
+// TestQSmallWriteMatchesRecompute checks the incremental Q update against
+// a full recomputation for every group index.
+func TestQSmallWriteMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(10)
+		size := 32
+		blocks := randStripe(rng, k, size)
+		q := erasure.ComputeQ(size, blocks...)
+		idx := rng.Intn(k)
+		dNew := make([]byte, size)
+		rng.Read(dNew)
+		got := erasure.QSmallWrite(q, blocks[idx], dNew, idx)
+		blocks[idx] = dNew
+		want := erasure.ComputeQ(size, blocks...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("erasure.QSmallWrite(idx=%d, k=%d) diverges from recompute", idx, k)
+		}
+		if !erasure.VerifyQ(got, blocks...) {
+			t.Fatalf("VerifyQ rejects recomputed Q")
+		}
+	}
+}
+
+// TestAnyTwoErasures fuzzes the central claim: for random stripes, ANY
+// two missing data blocks are recovered exactly from P and Q, and any
+// single missing block is recovered from Q alone.
+func TestAnyTwoErasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		k := 2 + rng.Intn(14)
+		size := 16 + rng.Intn(48)
+		blocks := randStripe(rng, k, size)
+		p := erasure.ComputeP(size, blocks...)
+		q := erasure.ComputeQ(size, blocks...)
+		i := rng.Intn(k)
+		j := rng.Intn(k)
+		for j == i {
+			j = rng.Intn(k)
+		}
+		holed := make([][]byte, k)
+		copy(holed, blocks)
+		holed[i], holed[j] = nil, nil
+		di, dj := erasure.ReconstructTwo(p, q, holed, i, j)
+		if !bytes.Equal(di, blocks[i]) || !bytes.Equal(dj, blocks[j]) {
+			t.Fatalf("two-erasure recovery wrong for (i=%d, j=%d, k=%d)", i, j, k)
+		}
+		holed[j] = blocks[j]
+		if got := erasure.ReconstructOneQ(q, holed, i); !bytes.Equal(got, blocks[i]) {
+			t.Fatalf("one-erasure-from-Q recovery wrong for (i=%d, k=%d)", i, k)
+		}
+	}
+}
+
+// TestAllErasurePairsExhaustive walks every (i, j) pair of one stripe so
+// no coefficient pair is left to sampling luck.
+func TestAllErasurePairsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const k, size = 12, 32
+	blocks := randStripe(rng, k, size)
+	p := erasure.ComputeP(size, blocks...)
+	q := erasure.ComputeQ(size, blocks...)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			holed := make([][]byte, k)
+			copy(holed, blocks)
+			holed[i], holed[j] = nil, nil
+			di, dj := erasure.ReconstructTwo(p, q, holed, i, j)
+			if !bytes.Equal(di, blocks[i]) || !bytes.Equal(dj, blocks[j]) {
+				t.Fatalf("pair (%d,%d) not recovered", i, j)
+			}
+		}
+	}
+}
+
+// FuzzTwoErasure is the CI smoke fuzz target: derive a stripe from the
+// fuzzed bytes, knock out two blocks, demand exact recovery.
+func FuzzTwoErasure(f *testing.F) {
+	f.Add([]byte("seed corpus stripe material, long enough to slice"), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, a, b uint8) {
+		const size = 8
+		k := 2 + int(a%14)
+		if len(raw) < k*size {
+			return
+		}
+		blocks := make([][]byte, k)
+		for i := range blocks {
+			blocks[i] = raw[i*size : (i+1)*size]
+		}
+		i := int(a) % k
+		j := int(b) % k
+		if i == j {
+			j = (j + 1) % k
+		}
+		p := erasure.ComputeP(size, blocks...)
+		q := erasure.ComputeQ(size, blocks...)
+		holed := make([][]byte, k)
+		copy(holed, blocks)
+		holed[i], holed[j] = nil, nil
+		di, dj := erasure.ReconstructTwo(p, q, holed, i, j)
+		if !bytes.Equal(di, blocks[i]) || !bytes.Equal(dj, blocks[j]) {
+			t.Fatalf("two-erasure recovery wrong for (i=%d, j=%d, k=%d)", i, j, k)
+		}
+	})
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dirtyset"
 	"repro/internal/disk"
+	"repro/internal/erasure"
 	"repro/internal/page"
 	"repro/internal/record"
 	"repro/internal/wal"
@@ -258,14 +259,23 @@ func CrashRecover(s *core.Store, redo, hard bool) (*Report, error) {
 			if !a.Committed(w.Txn) {
 				continue
 			}
-			if degraded && s.DeadTwin(w.Group) >= 0 {
+			if degraded && (s.DeadTwin(w.Group) >= 0 || s.DeadQTwin(w.Group) >= 0) {
 				// The degraded bitmap pass re-established this group's
-				// surviving twin wholesale (committed, fresh timestamp);
-				// re-stamping the old working header would resurrect
-				// stale state.  The dead slot is the rebuild's job.
+				// surviving redundancy wholesale (committed, fresh
+				// timestamp); re-stamping the old working header would
+				// resurrect stale state.  The dead slots are the
+				// rebuild's job.
 				continue
 			}
 			meta := disk.Meta{State: disk.StateCommitted, Timestamp: w.Timestamp, Txn: w.Txn}
+			if s.Arr.HasQ() {
+				// Q headers mirror their P twin (the lockstep invariant);
+				// the group's slots are all reachable here — dead-slot
+				// groups were skipped above.
+				if err := s.Arr.WriteQMeta(w.Group, w.Twin, meta); err != nil {
+					return nil, fmt.Errorf("recovery: launder Q twin of group %d: %w", w.Group, err)
+				}
+			}
 			if err := s.Arr.WriteParityMeta(w.Group, w.Twin, meta); err != nil {
 				return nil, fmt.Errorf("recovery: launder twin of group %d: %w", w.Group, err)
 			}
@@ -362,19 +372,23 @@ func CrashRecover(s *core.Store, redo, hard bool) (*Report, error) {
 //     the working one — the committed parity now *defines* the page's
 //     before-image, served by reconstruction and materialized by the
 //     rebuild (Figure 6 without the data write);
-//   - the committed twin: (P ⊕ P′) ⊕ D_new has nothing to XOR against,
-//     so fall back to the logged before-image that the eager demotion's
-//     log-first ordering guarantees whenever the disk's death was
-//     observed before the crash.  If the death was *unobserved* (it
-//     coincided with the crash) no demotion ever ran and D_old existed
-//     only on the dead twin: explicit, reported data loss;
+//   - the committed twin's P page: (P ⊕ P′) ⊕ D_new has nothing to XOR
+//     against — but on a QParity array the committed index's Q partner
+//     mirrors it (the lockstep invariant) and supplies D_old through the
+//     Q equation.  Only when that is gone too does the undo fall back to
+//     the logged before-image that the eager demotion's log-first
+//     ordering guarantees whenever the disk's death was observed before
+//     the crash.  If the death was *unobserved* (it coincided with the
+//     crash) no demotion ever ran and D_old existed only on the dead
+//     twin: explicit, reported data loss;
 //   - a sibling data page: the undo's own reads never touch it — except
 //     when the crash fell inside a re-steal (twin timestamp ahead of the
 //     data page), whose recovery needs every other data page.  W ⊕ C
-//     cancels the dead sibling but leaves two unknowns in one equation:
+//     cancels the dead sibling but leaves two unknowns in one equation;
+//     with a Q partner the second equation resolves them, otherwise
 //     both pages are lost, explicitly.
 func crashUndoWorking(s *core.Store, a *Analysis, w core.WorkingTwinInfo, rep *Report) error {
-	if !s.Degraded() || !s.GroupOnDisk(w.Group, s.DownDisk()) {
+	if !s.GroupDegraded(w.Group) {
 		if err := s.CrashUndoWorkingTwin(w); err != nil {
 			return err
 		}
@@ -384,12 +398,30 @@ func crashUndoWorking(s *core.Store, a *Analysis, w core.WorkingTwinInfo, rep *R
 	switch {
 	case s.PageUnavailable(w.Page):
 		s.Twins.Promote(w.Group, 1-w.Twin)
-		if err := s.Twins.Invalidate(w.Group, w.Twin); err != nil {
+		if err := s.InvalidateIndexAlive(w.Group, w.Twin); err != nil {
 			return err
 		}
 		rep.UndoneViaReconstruction++
 		return nil
 	case !s.TwinReadable(w.Group, 1-w.Twin):
+		if s.QTwinReadable(w.Group, 1-w.Twin) {
+			// The committed P twin died with its disk, but its Q partner
+			// survives and describes the same pre-transaction state:
+			// D_old solves through the Q equation directly.
+			dOld, err := s.ReconstructDataAny(w.Group, w.Page, 1-w.Twin)
+			if err == nil {
+				if err := s.Arr.WriteData(w.Page, dOld, disk.Meta{}); err != nil {
+					return fmt.Errorf("recovery: undo page %d via Q: %w", w.Page, err)
+				}
+				if err := s.InvalidateIndexAlive(w.Group, w.Twin); err != nil {
+					return err
+				}
+				rep.UndoneViaReconstruction++
+				return nil
+			}
+			// The Q route needs every other data page; a second loss in
+			// the group falls through to the logged image or to loss.
+		}
 		if hasLoggedImage(a, w.Txn, w.Page) {
 			// The demotion's log append completed before the crash; the
 			// logged-undo pass restores D_old, and its degraded write
@@ -411,7 +443,21 @@ func crashUndoWorking(s *core.Store, a *Analysis, w core.WorkingTwinInfo, rep *R
 		return fmt.Errorf("recovery: read tagged page %d: %w", w.Page, err)
 	}
 	if m.Txn == w.Txn && m.Timestamp != w.Timestamp {
-		// Re-steal entanglement: two unknowns, one surviving equation.
+		// Re-steal entanglement: the working twin describes a newer page
+		// version than the platter, so the undo needs the committed index
+		// — against two unknowns, the before-image and the dead sibling.
+		// The committed P and Q together solve both; with single twin
+		// parity it is one surviving equation and the group is lost.
+		if dOld, ok := undoResteal(s, w); ok {
+			if err := s.Arr.WriteData(w.Page, dOld, disk.Meta{}); err != nil {
+				return fmt.Errorf("recovery: undo page %d via P+Q: %w", w.Page, err)
+			}
+			if err := s.InvalidateIndexAlive(w.Group, w.Twin); err != nil {
+				return err
+			}
+			rep.UndoneViaReconstruction++
+			return nil
+		}
 		lost, err := loseGroup(s, w.Group, []page.PageID{w.Page})
 		if err != nil {
 			return err
@@ -424,6 +470,68 @@ func crashUndoWorking(s *core.Store, a *Analysis, w core.WorkingTwinInfo, rep *R
 	}
 	rep.UndoneViaParity++
 	return nil
+}
+
+// undoResteal solves the before-image of a re-stolen page whose group
+// also lost a sibling data page to a down disk, using the committed
+// index's P and Q equations together — two equations, two unknowns (the
+// before-image and the dead sibling's value).  Reports false when the
+// array has no Q redundancy or the committed index's slots do not both
+// survive.
+func undoResteal(s *core.Store, w core.WorkingTwinInfo) (page.Buf, bool) {
+	return solvePairFromIndex(s, w.Group, w.Page, 1-w.Twin)
+}
+
+// solvePairFromIndex solves data page p of group g from index `from`'s P
+// and Q equations, treating p itself AND the group's one dead data page
+// as the two unknowns — the value returned for p is whatever `from`
+// describes, regardless of p's platter contents.  Reports false when the
+// array has no Q redundancy, either of the index's slots is dead, or a
+// third unknown exceeds the two equations.
+func solvePairFromIndex(s *core.Store, g page.GroupID, p page.PageID, from int) (page.Buf, bool) {
+	if !s.Arr.HasQ() {
+		return nil, false
+	}
+	if !s.TwinReadable(g, from) || !s.QTwinReadable(g, from) {
+		return nil, false
+	}
+	pBuf, _, err := s.Arr.ReadParity(g, from)
+	if err != nil {
+		return nil, false
+	}
+	qBuf, _, err := s.Arr.ReadQ(g, from)
+	if err != nil {
+		return nil, false
+	}
+	pages := s.Arr.GroupPages(g)
+	raw := make([][]byte, len(pages))
+	i, j := -1, -1
+	for k, q := range pages {
+		switch {
+		case q == p:
+			i = k
+		case s.PageUnavailable(q):
+			if j >= 0 {
+				return nil, false // a third unknown exceeds the equations
+			}
+			j = k
+		default:
+			b, _, rerr := s.Arr.ReadData(q)
+			if rerr != nil {
+				return nil, false
+			}
+			raw[k] = b
+		}
+	}
+	if i < 0 || j < 0 {
+		return nil, false
+	}
+	if i > j {
+		_, dj := erasure.ReconstructTwo(pBuf, qBuf, raw, j, i)
+		return page.Buf(dj), true
+	}
+	di, _ := erasure.ReconstructTwo(pBuf, qBuf, raw, i, j)
+	return page.Buf(di), true
 }
 
 // undoDeadTwinLosers finds loser steals whose working twin sat on the
@@ -463,7 +571,46 @@ func undoDeadTwinLosers(s *core.Store, a *Analysis, handled map[page.GroupID]boo
 			if hasLoggedImage(a, m.Txn, p) {
 				continue
 			}
-			dOld, err := s.ReconstructData(gid, p, 1-dead)
+			// The surviving index is normally the other twin; when BOTH P
+			// slots are down (double-degraded) the Q headers — mirrors of
+			// their P partners — arbitrate which index is the committed
+			// one: the one NOT carrying the loser's working state.
+			undoFrom := 1 - dead
+			if !s.TwinReadable(gid, undoFrom) {
+				for t := 0; t < 2; t++ {
+					if !s.QTwinReadable(gid, t) {
+						continue
+					}
+					qm, qerr := s.Arr.ReadQMeta(gid, t)
+					if qerr == nil && !(qm.State == disk.StateWorking && qm.Txn == m.Txn) {
+						undoFrom = t
+						break
+					}
+				}
+			}
+			// When the group also lost a data sibling, one equation is not
+			// enough: solve the before-image AND the dead sibling together
+			// from the surviving index's P and Q.  The platter is restored
+			// directly — the index's equations already describe exactly the
+			// restored state, so no recompute may touch them (a recompute
+			// would consult the reset twin bitmap this early in recovery).
+			if deadSib := groupLostData(s, gid, p); deadSib {
+				dOld, ok := solvePairFromIndex(s, gid, p, undoFrom)
+				if !ok {
+					lost, lerr := loseGroup(s, gid, []page.PageID{p})
+					if lerr != nil {
+						return lerr
+					}
+					rep.LostPages = append(rep.LostPages, lost...)
+					break
+				}
+				if err := s.Arr.WriteData(p, dOld, disk.Meta{}); err != nil {
+					return fmt.Errorf("recovery: tag undo of page %d: %w", p, err)
+				}
+				rep.UndoneViaReconstruction++
+				continue
+			}
+			dOld, err := s.ReconstructDataAny(gid, p, undoFrom)
 			if err != nil {
 				return fmt.Errorf("recovery: tag undo of page %d: %w", p, err)
 			}
@@ -474,6 +621,17 @@ func undoDeadTwinLosers(s *core.Store, a *Analysis, handled map[page.GroupID]boo
 		}
 	}
 	return nil
+}
+
+// groupLostData reports whether group g has a data page other than p on
+// a down disk.
+func groupLostData(s *core.Store, g page.GroupID, p page.PageID) bool {
+	for _, q := range s.Arr.GroupPages(g) {
+		if q != p && s.PageUnavailable(q) {
+			return true
+		}
+	}
+	return false
 }
 
 // hasLoggedImage reports whether analysis found a logged before-image of
@@ -492,9 +650,10 @@ func hasLoggedImage(a *Analysis, tx page.TxID, p page.PageID) bool {
 // loseGroup abandons state the surviving redundancy can no longer
 // determine: the listed readable pages are zeroed (cleared headers), the
 // group's unreachable data pages are recorded as lost (they rebuild as
-// whatever the recomputed parity implies — zero), and every *readable*
-// parity twin is rewritten consistent with the remaining data (first
-// committed with a fresh timestamp and promoted, the rest obsolete).
+// whatever the recomputed redundancy implies — zero), and every
+// *readable* redundancy page is rewritten consistent with the remaining
+// data (the first reachable index committed with a fresh timestamp and
+// promoted, the rest obsolete; a Q page mirrors its index's P header).
 // The returned list feeds Report.LostPages — the explicit data-loss
 // event a DBA answers with an archive restore, mirroring the
 // RecoverMediaMulti contract for losses beyond redundancy.
@@ -505,8 +664,10 @@ func loseGroup(s *core.Store, g page.GroupID, zero []page.PageID) ([]page.PageID
 			return nil, fmt.Errorf("recovery: zero lost page %d: %w", p, err)
 		}
 	}
+	pages := s.Arr.GroupPages(g)
+	vals := make([][]byte, len(pages))
 	var blocks [][]byte
-	for _, q := range s.Arr.GroupPages(g) {
+	for i, q := range pages {
 		if s.PageUnavailable(q) {
 			lost = append(lost, q)
 			continue
@@ -515,20 +676,35 @@ func loseGroup(s *core.Store, g page.GroupID, zero []page.PageID) ([]page.PageID
 		if err != nil {
 			return nil, fmt.Errorf("recovery: read lost group %d page %d: %w", g, q, err)
 		}
+		vals[i] = b
 		blocks = append(blocks, b)
 	}
 	parity := page.Buf(xorparity.Compute(s.Arr.PageSize(), blocks...))
+	var qParity page.Buf
+	if s.Arr.HasQ() {
+		// Positional: a lost member contributes zero to its coefficient.
+		qParity = page.Buf(erasure.ComputeQ(s.Arr.PageSize(), vals...))
+	}
 	first := true
 	for twin := 0; twin < s.Arr.ParityPages(); twin++ {
-		if !s.TwinReadable(g, twin) {
+		pOK := s.TwinReadable(g, twin)
+		qOK := s.Arr.HasQ() && s.QTwinReadable(g, twin)
+		if !pOK && !qOK {
 			continue
 		}
 		meta := disk.Meta{State: disk.StateObsolete}
 		if first {
 			meta = disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
 		}
-		if err := s.Arr.WriteParity(g, twin, parity, meta); err != nil {
-			return nil, fmt.Errorf("recovery: reset parity of lost group %d: %w", g, err)
+		if qOK {
+			if err := s.Arr.WriteQ(g, twin, qParity, meta); err != nil {
+				return nil, fmt.Errorf("recovery: reset Q of lost group %d: %w", g, err)
+			}
+		}
+		if pOK {
+			if err := s.Arr.WriteParity(g, twin, parity, meta); err != nil {
+				return nil, fmt.Errorf("recovery: reset parity of lost group %d: %w", g, err)
+			}
 		}
 		if s.Twins != nil && first {
 			s.Twins.Promote(g, twin)
@@ -565,8 +741,9 @@ func loseGroup(s *core.Store, g page.GroupID, zero []page.PageID) ([]page.PageID
 func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 	type torn struct {
 		parity   bool
-		p        page.PageID // data page, when !parity
-		twin     int         // parity twin, when parity
+		qparity  bool
+		p        page.PageID // data page, when !parity && !qparity
+		twin     int         // parity/Q twin, when parity or qparity
 		headerOK bool        // the block's own header survived the fault
 	}
 	found := make([][]torn, s.Arr.NumGroups())
@@ -598,6 +775,21 @@ func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 			}
 			found[g] = append(found[g], torn{parity: true, twin: twin, headerOK: errors.Is(err, disk.ErrChecksum)})
 		}
+		// Q pages last: their repair reuses the group's P partner as the
+		// authority, which the earlier items of the same group restore.
+		for twin := 0; twin < s.Arr.QParityPages(); twin++ {
+			if !s.QTwinReadable(gid, twin) {
+				continue
+			}
+			_, _, err := s.Arr.ReadQ(gid, twin)
+			if err == nil {
+				continue
+			}
+			if !disk.IsCorrupt(err) {
+				return fmt.Errorf("recovery: torn scan group %d Q twin %d: %w", g, twin, err)
+			}
+			found[g] = append(found[g], torn{qparity: true, twin: twin, headerOK: errors.Is(err, disk.ErrChecksum)})
+		}
 		return nil
 	})
 	if err != nil {
@@ -607,11 +799,16 @@ func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 	for g, items := range found {
 		gid := page.GroupID(g)
 		for _, it := range items {
-			if it.parity {
+			switch {
+			case it.qparity:
+				if err := repairTornQ(s, gid, it.twin); err != nil {
+					return repaired, err
+				}
+			case it.parity:
 				if err := repairTornParity(s, a, gid, it.twin, it.headerOK, rep); err != nil {
 					return repaired, err
 				}
-			} else {
+			default:
 				if err := repairTornData(s, a, gid, it.p, it.headerOK, rep); err != nil {
 					return repaired, err
 				}
@@ -620,6 +817,91 @@ func repairTorn(s *core.Store, a *Analysis, rep *Report) (int, error) {
 		}
 	}
 	return repaired, nil
+}
+
+// repairTornQ rebuilds a corrupt Q page.  Its P partner — alive (dead
+// slots are excluded by the scan) and already repaired by the earlier
+// items of the same group — is the authority for which data state S the
+// index describes: if the partner's payload verifies against the on-disk
+// data, S is the data itself; otherwise S differs in exactly one member,
+// the page named by the partner's own header (a working steal or a flip
+// pairing) or by the other twin's unresolved working header (this index
+// is then the committed partner of an in-flight steal), and that member
+// solves as P ⊕ (other data).  The rewritten Q mirrors the partner's
+// header (the lockstep invariant).  When no authority can be
+// established — the P partner unreadable, a group member unreachable, or
+// no header naming the differing member — the Q page is zeroed invalid:
+// honest erasure, never a silently wrong equation.
+func repairTornQ(s *core.Store, g page.GroupID, twin int) error {
+	invalidate := func() error {
+		zero := make(page.Buf, s.Arr.PageSize())
+		if err := s.Arr.WriteQ(g, twin, zero, disk.Meta{State: disk.StateInvalid}); err != nil {
+			return fmt.Errorf("recovery: invalidate torn Q of group %d: %w", g, err)
+		}
+		return nil
+	}
+	if !s.TwinReadable(g, twin) {
+		return invalidate()
+	}
+	pBuf, pm, err := s.Arr.ReadParity(g, twin)
+	if err != nil {
+		return invalidate()
+	}
+	pages := s.Arr.GroupPages(g)
+	raw := make([][]byte, len(pages))
+	for i, p := range pages {
+		if s.PageUnavailable(p) {
+			return invalidate()
+		}
+		b, _, rerr := s.Arr.ReadData(p)
+		if rerr != nil {
+			return invalidate()
+		}
+		raw[i] = b
+	}
+	if xorparity.Verify(pBuf, raw...) {
+		q := erasure.ComputeQ(s.Arr.PageSize(), raw...)
+		if err := s.Arr.WriteQ(g, twin, q, pm); err != nil {
+			return fmt.Errorf("recovery: repair torn Q of group %d: %w", g, err)
+		}
+		return nil
+	}
+	var named page.PageID
+	foundNamed := false
+	if pm.State == disk.StateWorking || pm.PairedSet {
+		named, foundNamed = pm.DirtyPage, true
+	} else if s.Twins != nil {
+		if om, oerr := s.Arr.ReadParityMeta(g, 1-twin); oerr == nil && om.State == disk.StateWorking {
+			named, foundNamed = om.DirtyPage, true
+		}
+	}
+	if !foundNamed {
+		return invalidate()
+	}
+	idx := -1
+	for i, p := range pages {
+		if p == named {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return invalidate()
+	}
+	others := make([][]byte, 0, len(raw))
+	others = append(others, pBuf)
+	for i, b := range raw {
+		if i != idx {
+			others = append(others, b)
+		}
+	}
+	described := make([][]byte, len(raw))
+	copy(described, raw)
+	described[idx] = xorparity.Reconstruct(s.Arr.PageSize(), others...)
+	q := erasure.ComputeQ(s.Arr.PageSize(), described...)
+	if err := s.Arr.WriteQ(g, twin, q, pm); err != nil {
+		return fmt.Errorf("recovery: repair torn Q of group %d: %w", g, err)
+	}
+	return nil
 }
 
 // repairTornData rebuilds a corrupt data page.
@@ -730,10 +1012,18 @@ func repairTornData(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, h
 // explicit, reported loss via loseGroup.
 func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, headerOK bool, rep *Report) error {
 	dead := s.DeadTwin(g)
-	if dead < 0 || s.Twins == nil {
-		// The group also lost a data page (or a single-parity array lost
-		// its only parity block): a tear plus a dead member is two
-		// unknowns against at most one surviving equation.
+	if dead < 0 || s.Twins == nil || !s.TwinReadable(g, 1-dead) {
+		// No alive parity twin to arbitrate from: the group lost a data
+		// page or a Q slot (dead < 0), or — double-degraded — both P
+		// slots.  On a single-parity array a tear plus a dead member is
+		// two unknowns against at most one surviving equation; with Q
+		// redundancy the group may still be fully determined.
+		if s.Arr.HasQ() && s.Twins != nil {
+			done, err := repairTornDataViaSolve(s, a, g, p, headerOK)
+			if done || err != nil {
+				return err
+			}
+		}
 		lost, err := loseGroup(s, g, []page.PageID{p})
 		if err != nil {
 			return err
@@ -748,8 +1038,8 @@ func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.P
 	}
 	if m.State == disk.StateWorking && !a.Committed(m.Txn) && m.DirtyPage == p {
 		// The tear interrupted a no-log steal whose committed twin died
-		// with the disk: D_old survives only on the log, and only if the
-		// eager demotion got there before the crash.
+		// with the disk: D_old survives on the log (if the eager demotion
+		// got there before the crash) or in the dead index's Q partner.
 		if hasLoggedImage(a, m.Txn, p) {
 			// Zero placeholder; the logged-undo pass restores D_old and
 			// its degraded write re-establishes the surviving parity.
@@ -757,6 +1047,16 @@ func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.P
 				return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
 			}
 			return nil
+		}
+		if s.Arr.HasQ() && s.QTwinReadable(g, dead) {
+			// The dead committed twin's Q partner still describes the
+			// pre-steal group: undo the steal directly from it.
+			if dOld, rerr := s.ReconstructDataAny(g, p, dead); rerr == nil {
+				if err := s.Arr.WriteData(p, dOld, disk.Meta{}); err != nil {
+					return fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+				}
+				return s.InvalidateIndexAlive(g, alive)
+			}
 		}
 		lost, err := loseGroup(s, g, []page.PageID{p})
 		if err != nil {
@@ -819,6 +1119,103 @@ func repairTornDataDegraded(s *core.Store, a *Analysis, g page.GroupID, p page.P
 	return nil
 }
 
+// repairTornDataViaSolve repairs a torn data page in a degraded group by
+// solving the group through a describing index's surviving P/Q
+// equations.  The describing index is picked from the readable headers —
+// alive P slots first, Q mirrors as proxies for dead ones — by the
+// Figure 7 rule: newest committed index, a working index whose writer
+// committed counting as laundered-committed.  Unresolved no-log steals
+// are declined (their before-images belong to the undo machinery, not a
+// blanket solve) and fall back to the caller's explicit loss path, as
+// does a group with fewer surviving equations than erasures.  Returns
+// done=false when the caller must fall back.
+func repairTornDataViaSolve(s *core.Store, a *Analysis, g page.GroupID, p page.PageID, headerOK bool) (bool, error) {
+	var metas [2]disk.Meta
+	var have [2]bool
+	for t := 0; t < 2; t++ {
+		if s.TwinReadable(g, t) {
+			if m, err := s.Arr.ReadParityMeta(g, t); err == nil {
+				metas[t], have[t] = m, true
+				continue
+			}
+		}
+		if s.QTwinReadable(g, t) {
+			if m, err := s.Arr.ReadQMeta(g, t); err == nil {
+				metas[t], have[t] = m, true
+			}
+		}
+	}
+	idx := -1
+	var best disk.Meta
+	for t := 0; t < 2; t++ {
+		if !have[t] {
+			continue
+		}
+		m := metas[t]
+		if m.State == disk.StateWorking {
+			if !a.Committed(m.Txn) {
+				return false, nil
+			}
+			m.State = disk.StateCommitted
+		}
+		if m.State != disk.StateCommitted {
+			continue
+		}
+		if idx < 0 || m.Timestamp > best.Timestamp {
+			idx, best = t, m
+		}
+	}
+	if idx < 0 {
+		return false, nil
+	}
+	// A member tag of an unresolved no-log steal means the committed
+	// index predates the steal's data write: the solved value for the
+	// stolen page would be stale.  Decline, like the plain degraded path.
+	for _, q := range s.Arr.GroupPages(g) {
+		if q == p || s.PageUnavailable(q) {
+			continue
+		}
+		_, qm, err := s.Arr.ReadData(q)
+		if err != nil {
+			if disk.IsCorrupt(err) {
+				continue // another erasure; SolveGroup accounts for it
+			}
+			return false, fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+		}
+		if qm.ChainSet && a.Outcomes[qm.Txn] == OutcomeLoser && !hasLoggedImage(a, qm.Txn, q) {
+			return false, nil
+		}
+	}
+	vals, err := s.SolveGroup(g, idx)
+	if err != nil {
+		if errors.Is(err, core.ErrUnrecoverableCorruption) {
+			return false, nil
+		}
+		return false, err
+	}
+	var data page.Buf
+	for i, q := range s.Arr.GroupPages(g) {
+		if q == p {
+			data = vals[i]
+		}
+	}
+	hdr := disk.Meta{}
+	if headerOK {
+		loc := s.Arr.DataLoc(p)
+		m, err := s.Arr.Disk(loc.Disk).PeekMeta(loc.Block)
+		if err != nil {
+			return false, err
+		}
+		hdr = m
+	} else if best.PairedSet && best.DirtyPage == p {
+		hdr = disk.Meta{Timestamp: best.Timestamp}
+	}
+	if err := s.Arr.WriteData(p, data, hdr); err != nil {
+		return false, fmt.Errorf("recovery: repair torn page %d: %w", p, err)
+	}
+	return true, nil
+}
+
 // repairTornParity rebuilds a corrupt parity twin.
 //
 // A torn twin in the working state whose writer lost means the tear
@@ -863,10 +1260,26 @@ func repairTornParity(s *core.Store, a *Analysis, g page.GroupID, twin int, head
 		if err := s.Arr.WriteParity(g, twin, zero, disk.Meta{State: disk.StateInvalid}); err != nil {
 			return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
 		}
-		return nil
+		return s.InvalidateIndexAlive(g, twin)
 	}
-	if err := s.Arr.RecomputeParity(g, twin, hdr); err != nil {
+	if err := recomputeIndex(s, g, twin, hdr); err != nil {
 		return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+	}
+	return nil
+}
+
+// recomputeIndex rewrites redundancy index `twin` of group g from the
+// on-disk data — Q first, then P, under the same header (the lockstep
+// invariant).  Dead slots are skipped; the rebuild worker re-derives
+// them once the drive is replaced.
+func recomputeIndex(s *core.Store, g page.GroupID, twin int, meta disk.Meta) error {
+	if s.Arr.HasQ() && s.QSlotAlive(g, twin) {
+		if err := s.Arr.RecomputeQ(g, twin, meta); err != nil {
+			return err
+		}
+	}
+	if s.ParitySlotAlive(g, twin) {
+		return s.Arr.RecomputeParity(g, twin, meta)
 	}
 	return nil
 }
@@ -898,10 +1311,10 @@ func repairHeaderlessParity(s *core.Store, a *Analysis, g page.GroupID, twin int
 		if om.State == disk.StateWorking && !a.Committed(om.Txn) {
 			if hasLoggedImage(a, om.Txn, om.DirtyPage) {
 				meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
-				if err := s.Arr.RecomputeParity(g, twin, meta); err != nil {
+				if err := recomputeIndex(s, g, twin, meta); err != nil {
 					return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
 				}
-				return s.Twins.Invalidate(g, 1-twin)
+				return s.InvalidateIndexAlive(g, 1-twin)
 			}
 			lost, err := loseGroup(s, g, []page.PageID{om.DirtyPage})
 			if err != nil {
@@ -932,11 +1345,11 @@ func repairHeaderlessParity(s *core.Store, a *Analysis, g page.GroupID, twin int
 			if err := s.Arr.WriteParity(g, twin, zero, disk.Meta{State: disk.StateInvalid}); err != nil {
 				return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
 			}
-			return nil
+			return s.InvalidateIndexAlive(g, twin)
 		}
 	}
 	meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
-	if err := s.Arr.RecomputeParity(g, twin, meta); err != nil {
+	if err := recomputeIndex(s, g, twin, meta); err != nil {
 		return fmt.Errorf("recovery: repair corrupt twin of group %d: %w", g, err)
 	}
 	return nil
@@ -998,22 +1411,36 @@ func repairTornParityDegraded(s *core.Store, a *Analysis, g page.GroupID, twin i
 			}
 			if dMeta.Txn == hdr.Txn && !hasLoggedImage(a, hdr.Txn, p) {
 				// The steal's data write landed, its committed twin died
-				// with the disk, and no demotion logged D_old: the
-				// before-image is gone.  loseGroup also heals the tear
-				// (it rewrites every readable twin).
-				lost, err := loseGroup(s, g, []page.PageID{p})
-				if err != nil {
-					return err
+				// with the disk, and no demotion logged D_old.  The dead
+				// index's Q partner, if it survives, still describes the
+				// pre-steal group: restore D_old from it and recompute
+				// the torn twin over the restored data below.  Otherwise
+				// the before-image is gone; loseGroup also heals the
+				// tear (it rewrites every readable twin).
+				undone := false
+				if s.Arr.HasQ() && s.QTwinReadable(g, dead) {
+					if dOld, rerr := s.ReconstructDataAny(g, p, dead); rerr == nil {
+						if werr := s.Arr.WriteData(p, dOld, disk.Meta{}); werr != nil {
+							return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, werr)
+						}
+						undone = true
+					}
 				}
-				rep.LostPages = append(rep.LostPages, lost...)
-				return nil
+				if !undone {
+					lost, err := loseGroup(s, g, []page.PageID{p})
+					if err != nil {
+						return err
+					}
+					rep.LostPages = append(rep.LostPages, lost...)
+					return nil
+				}
 			}
 			// Untagged (the data write never landed) or rewound later
 			// from the log: the on-disk data is (or will be made)
 			// consistent, so recompute over it below.
 		}
 		meta := disk.Meta{State: disk.StateCommitted, Timestamp: s.TM.NextTimestamp()}
-		if err := s.Arr.RecomputeParity(g, twin, meta); err != nil {
+		if err := recomputeIndex(s, g, twin, meta); err != nil {
 			return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
 		}
 		s.Twins.Promote(g, twin)
@@ -1046,8 +1473,39 @@ func repairTornParityDegraded(s *core.Store, a *Analysis, g page.GroupID, twin i
 		if err := s.Arr.WriteParity(g, twin, zero, disk.Meta{State: disk.StateInvalid}); err != nil {
 			return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
 		}
+		if err := s.InvalidateIndexAlive(g, twin); err != nil {
+			return err
+		}
 		s.Twins.Promote(g, other)
 		return nil
+	}
+	if s.Arr.HasQ() && s.QTwinReadable(g, twin) {
+		// The torn twin describes the group and its Q partner survives:
+		// the dead data page solves from the Q equation, and the torn P
+		// payload recomputes from the solved values.  The header comes
+		// from the torn block itself when it survived the fault, else
+		// from the Q mirror; anything but a committed one (an in-flight
+		// steal caught by the tear) is left to explicit loss.
+		meta := hdr
+		if !headerOK {
+			if qm, qerr := s.Arr.ReadQMeta(g, twin); qerr == nil {
+				meta = qm
+			}
+		}
+		if meta.State == disk.StateCommitted {
+			if vals, serr := s.SolveGroup(g, twin); serr == nil {
+				raw := make([][]byte, len(vals))
+				for i, v := range vals {
+					raw[i] = v
+				}
+				pBuf := xorparity.Compute(s.Arr.PageSize(), raw...)
+				if err := s.Arr.WriteParity(g, twin, pBuf, meta); err != nil {
+					return fmt.Errorf("recovery: repair torn twin of group %d: %w", g, err)
+				}
+				s.Twins.Promote(g, twin)
+				return nil
+			}
+		}
 	}
 	lost, err := loseGroup(s, g, nil)
 	if err != nil {
@@ -1156,7 +1614,13 @@ func RecoverMediaMulti(s *core.Store, ds []int, before BeforeImageFunc) ([]page.
 				lostTwins = append(lostTwins, twin)
 			}
 		}
-		ok, err := rebuildGroup(s, gid, lostData, lostTwins, before)
+		var lostQ []int
+		for twin := 0; twin < s.Arr.QParityPages(); twin++ {
+			if failed[s.Arr.QLoc(gid, twin).Disk] {
+				lostQ = append(lostQ, twin)
+			}
+		}
+		ok, err := rebuildGroup(s, gid, lostData, lostTwins, lostQ, before)
 		if err != nil {
 			return lost, err
 		}
@@ -1179,6 +1643,13 @@ func resetLostGroupParity(s *core.Store, g page.GroupID) error {
 		if twin != 0 {
 			meta = disk.Meta{State: disk.StateObsolete}
 		}
+		// Unconditional writes: media recovery has already swapped the
+		// dead drives in, even though the store may still flag them down.
+		if s.Arr.HasQ() && twin < s.Arr.QParityPages() {
+			if err := s.Arr.RecomputeQ(g, twin, meta); err != nil {
+				return fmt.Errorf("recovery: reset lost group %d: %w", g, err)
+			}
+		}
 		if err := s.Arr.RecomputeParity(g, twin, meta); err != nil {
 			return fmt.Errorf("recovery: reset lost group %d: %w", g, err)
 		}
@@ -1194,40 +1665,59 @@ func resetLostGroupParity(s *core.Store, g page.GroupID) error {
 
 // rebuildGroup reconstructs one group's lost blocks.  It returns false
 // when the loss exceeds the group's redundancy.
-func rebuildGroup(s *core.Store, g page.GroupID, lostData []page.PageID, lostTwins []int, before BeforeImageFunc) (bool, error) {
-	if len(lostData) == 0 && len(lostTwins) == 0 {
+func rebuildGroup(s *core.Store, g page.GroupID, lostData []page.PageID, lostTwins, lostQ []int, before BeforeImageFunc) (bool, error) {
+	if len(lostData) == 0 && len(lostTwins) == 0 && len(lostQ) == 0 {
 		return true, nil
-	}
-	if len(lostData) > 1 {
-		return false, nil
 	}
 	var e dirtyset.Entry
 	dirty := false
 	if s.Dirty != nil {
 		e, dirty = s.Dirty.Lookup(g)
 	}
+	// The index that tracks the *on-disk* data is the working twin of a
+	// dirty group, the current twin otherwise.
+	onDiskTwin := 0
+	if s.Twins != nil {
+		if dirty {
+			onDiskTwin = e.WorkingTwin
+		} else {
+			onDiskTwin = s.Twins.Current(g)
+		}
+	}
+	contains := func(set []int, t int) bool {
+		for _, x := range set {
+			if x == t {
+				return true
+			}
+		}
+		return false
+	}
+	lostOnDisk := contains(lostTwins, onDiskTwin)
+	lostOnDiskQ := contains(lostQ, onDiskTwin)
 
-	if len(lostData) == 1 {
+	switch {
+	case len(lostData) > 2:
+		return false, nil
+	case len(lostData) == 2:
+		// Two data pages are two erasures: only the on-disk index's P
+		// and Q equations together determine them.
+		if !s.Arr.HasQ() || lostOnDisk || lostOnDiskQ {
+			return false, nil
+		}
+		if err := rebuildTwoDataFromPQ(s, g, lostData[0], lostData[1], onDiskTwin, dirty, e); err != nil {
+			return false, err
+		}
+	case len(lostData) == 1:
 		p := lostData[0]
-		// The twin that tracks the *on-disk* data is the working twin of
-		// a dirty group, the current twin otherwise.
-		onDiskTwin := 0
-		if s.Twins != nil {
-			if dirty {
-				onDiskTwin = e.WorkingTwin
-			} else {
-				onDiskTwin = s.Twins.Current(g)
-			}
-		}
-		lostOnDisk := false
-		for _, t := range lostTwins {
-			if t == onDiskTwin {
-				lostOnDisk = true
-			}
-		}
 		switch {
 		case !lostOnDisk:
 			if err := rebuildDataFromTwin(s, g, p, onDiskTwin, dirty, e); err != nil {
+				return false, err
+			}
+		case s.Arr.HasQ() && !lostOnDiskQ:
+			// The on-disk P twin died with the page, but its Q partner
+			// describes the same state (lockstep) and solves p alone.
+			if err := rebuildDataFromQTwin(s, g, p, onDiskTwin, dirty, e); err != nil {
 				return false, err
 			}
 		case dirty && p != e.Page && before != nil && before(g, e) != nil:
@@ -1238,7 +1728,7 @@ func rebuildGroup(s *core.Store, g page.GroupID, lostData []page.PageID, lostTwi
 				return false, err
 			}
 		default:
-			// The lost page's covering parity is gone too.
+			// The lost page's covering redundancy is gone too.
 			return false, nil
 		}
 	}
@@ -1254,7 +1744,133 @@ func rebuildGroup(s *core.Store, g page.GroupID, lostData []page.PageID, lostTwi
 			return false, err
 		}
 	}
+	// Lost Q pages rebuild last, mirroring their (now whole) P partners.
+	for _, twin := range lostQ {
+		if err := rebuildQTwin(s, g, twin, dirty, e, before); err != nil {
+			return false, err
+		}
+	}
 	return true, nil
+}
+
+// rebuildTwoDataFromPQ reconstructs two lost data pages of one group
+// from the given index's P and Q equations plus the surviving members.
+func rebuildTwoDataFromPQ(s *core.Store, g page.GroupID, pa, pb page.PageID, twin int, dirty bool, e dirtyset.Entry) error {
+	pBuf, _, err := s.Arr.ReadParity(g, twin)
+	if err != nil {
+		return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+	}
+	qBuf, _, err := s.Arr.ReadQ(g, twin)
+	if err != nil {
+		return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+	}
+	pages := s.Arr.GroupPages(g)
+	raw := make([][]byte, len(pages))
+	i, j := -1, -1
+	for k, pg := range pages {
+		switch pg {
+		case pa:
+			i = k
+		case pb:
+			j = k
+		default:
+			b, _, err := s.Arr.ReadData(pg)
+			if err != nil {
+				return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+			}
+			raw[k] = b
+		}
+	}
+	if i > j {
+		i, j = j, i
+		pa, pb = pb, pa
+	}
+	di, dj := erasure.ReconstructTwo(pBuf, qBuf, raw, i, j)
+	for _, rec := range []struct {
+		p page.PageID
+		b []byte
+	}{{pa, di}, {pb, dj}} {
+		meta := disk.Meta{}
+		if dirty && rec.p == e.Page {
+			meta.Txn = e.Txn
+		}
+		if err := s.Arr.WriteData(rec.p, rec.b, meta); err != nil {
+			return fmt.Errorf("recovery: media rebuild page %d: %w", rec.p, err)
+		}
+	}
+	return nil
+}
+
+// rebuildDataFromQTwin reconstructs data page p from the given index's Q
+// page (its P partner is lost) and the surviving members.
+func rebuildDataFromQTwin(s *core.Store, g page.GroupID, p page.PageID, twin int, dirty bool, e dirtyset.Entry) error {
+	q, _, err := s.Arr.ReadQ(g, twin)
+	if err != nil {
+		return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+	}
+	pages := s.Arr.GroupPages(g)
+	raw := make([][]byte, len(pages))
+	idx := -1
+	for i, pg := range pages {
+		if pg == p {
+			idx = i
+			continue
+		}
+		b, _, err := s.Arr.ReadData(pg)
+		if err != nil {
+			return fmt.Errorf("recovery: media rebuild group %d: %w", g, err)
+		}
+		raw[i] = b
+	}
+	rebuilt := erasure.ReconstructOneQ(q, raw, idx)
+	meta := disk.Meta{}
+	if dirty && p == e.Page {
+		meta.Txn = e.Txn
+	}
+	if err := s.Arr.WriteData(p, rebuilt, meta); err != nil {
+		return fmt.Errorf("recovery: media rebuild page %d: %w", p, err)
+	}
+	return nil
+}
+
+// rebuildQTwin recomputes one lost Q page after the group's data and P
+// twins are whole again, under the P partner's header — the lockstep
+// invariant.  The committed partner of a dirty group describes the
+// before-image state, so its Q needs the same retained image the P
+// rebuild does.
+func rebuildQTwin(s *core.Store, g page.GroupID, twin int, dirty bool, e dirtyset.Entry, before BeforeImageFunc) error {
+	pm, err := s.Arr.ReadParityMeta(g, twin)
+	if err != nil {
+		return fmt.Errorf("recovery: media rebuild Q of group %d: %w", g, err)
+	}
+	pages := s.Arr.GroupPages(g)
+	raw := make([][]byte, len(pages))
+	for i, pg := range pages {
+		b, _, err := s.Arr.ReadData(pg)
+		if err != nil {
+			return fmt.Errorf("recovery: media rebuild Q of group %d: %w", g, err)
+		}
+		raw[i] = b
+	}
+	if dirty && s.Twins != nil && twin != e.WorkingTwin {
+		var img page.Buf
+		if before != nil {
+			img = before(g, e)
+		}
+		if img == nil {
+			return fmt.Errorf("recovery: group %d: committed Q twin lost while dirty and no before-image available", g)
+		}
+		for i, pg := range pages {
+			if pg == e.Page {
+				raw[i] = img
+			}
+		}
+	}
+	q := erasure.ComputeQ(s.Arr.PageSize(), raw...)
+	if err := s.Arr.WriteQ(g, twin, q, pm); err != nil {
+		return fmt.Errorf("recovery: media rebuild Q of group %d: %w", g, err)
+	}
+	return nil
 }
 
 // rebuildDataFromTwin reconstructs data page p from the given twin (which

@@ -90,9 +90,17 @@ func (m *Manager) RewriteWorking(g page.GroupID, twin int, parity page.Buf, tx p
 }
 
 // Invalidate resets the given twin's timestamp and marks it invalid (the
-// abort transition of Figure 8).  The other twin remains current.
+// abort transition of Figure 8).  The other twin remains current.  On a
+// QParity array the index's Q partner is invalidated too — Q headers
+// mirror their P twin (the lockstep invariant) even though arbitration
+// only ever reads P headers.
 func (m *Manager) Invalidate(g page.GroupID, twin int) error {
 	meta := disk.Meta{State: disk.StateInvalid, Timestamp: 0}
+	if m.arr.HasQ() {
+		if err := m.arr.WriteQMeta(g, twin, meta); err != nil {
+			return fmt.Errorf("twinpage: invalidate Q twin %d of group %d: %w", g, twin, err)
+		}
+	}
 	if err := m.arr.WriteParityMeta(g, twin, meta); err != nil {
 		return fmt.Errorf("twinpage: invalidate twin %d of group %d: %w", g, twin, err)
 	}

@@ -12,44 +12,37 @@
 //  3. Media reconstruction: a lost block equals the XOR of all surviving
 //     blocks of its group (data blocks and the valid parity block).
 //
+// XOR parity is the m = 1 special case of the erasure code in
+// internal/erasure: addition in GF(2^8) is XOR, so this package is a thin
+// facade over erasure's P equation and its behavior is bit-identical to
+// the pre-erasure implementation.  The second (Q) equation lives entirely
+// in internal/erasure and only arrays configured with QParity use it.
+//
 // All functions operate on equal-length byte slices and either mutate a
 // destination in place or allocate a fresh result, as documented.
 package xorparity
 
-import "fmt"
+import "repro/internal/erasure"
 
 // XorInto computes dst ^= src in place.  It panics if the lengths differ,
 // because mismatched block sizes indicate a programming error in the
 // storage layer rather than a recoverable runtime condition.
 func XorInto(dst, src []byte) {
-	if len(dst) != len(src) {
-		panic(fmt.Sprintf("xorparity: length mismatch %d != %d", len(dst), len(src)))
-	}
-	for i := range dst {
-		dst[i] ^= src[i]
-	}
+	erasure.AddInto(dst, src)
 }
 
 // Xor returns a ^ b as a freshly allocated slice.
 func Xor(a, b []byte) []byte {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("xorparity: length mismatch %d != %d", len(a), len(b)))
-	}
 	out := make([]byte, len(a))
-	for i := range a {
-		out[i] = a[i] ^ b[i]
-	}
+	copy(out, a)
+	erasure.AddInto(out, b)
 	return out
 }
 
 // Compute returns the parity of an arbitrary set of equal-length blocks.
 // With no blocks it returns a zeroed slice of length size.
 func Compute(size int, blocks ...[]byte) []byte {
-	out := make([]byte, size)
-	for _, b := range blocks {
-		XorInto(out, b)
-	}
-	return out
+	return erasure.ComputeP(size, blocks...)
 }
 
 // SmallWrite returns the updated parity for a small (single page) write:
@@ -85,10 +78,7 @@ func Reconstruct(size int, survivors ...[]byte) []byte {
 
 // Verify reports whether parity equals the XOR of the given data blocks.
 func Verify(parity []byte, blocks ...[]byte) bool {
-	acc := make([]byte, len(parity))
-	for _, b := range blocks {
-		XorInto(acc, b)
-	}
+	acc := erasure.ComputeP(len(parity), blocks...)
 	for i := range acc {
 		if acc[i] != parity[i] {
 			return false

@@ -113,6 +113,14 @@ type Config struct {
 	// Dirty_Set, no-UNDO-logging steals).  When false the engine is the
 	// traditional log-only baseline on a single-parity array.
 	RDA bool
+	// QParity adds a second redundancy page (Q, a Reed-Solomon code over
+	// GF(2^8)) beside each parity twin, RAID-6 style: the array then
+	// survives two simultaneous disk deaths, and the scrubber can repair
+	// a corrupt block even while a disk is down.  Every Q page twins in
+	// lockstep with its P partner — same header, written just before it —
+	// so the twin-parity recovery protocol is unchanged; small writes
+	// cost two extra transfers (the Q read-modify-write).  Requires RDA.
+	QParity bool
 	// RecordSize is r, the record length for RecordLogging (paper: 100).
 	RecordSize int
 	// LogPageSize is the physical log page size (paper: 2020).
@@ -305,6 +313,9 @@ func (c Config) validate() (Config, error) {
 	}
 	if c.Logging == RecordLogging && c.RecordSize >= c.PageSize {
 		return c, fmt.Errorf("%w: RecordSize must be smaller than PageSize", ErrBadConfig)
+	}
+	if c.QParity && !c.RDA {
+		return c, fmt.Errorf("%w: QParity requires RDA (Q pages twin in lockstep with the parity twins)", ErrBadConfig)
 	}
 	return c, nil
 }

@@ -81,6 +81,12 @@ type Options struct {
 	// repair writes they trigger) mix with live commits and schedule
 	// rules can land inside scrub I/O.  Used by the corruption soak.
 	Scrub bool
+	// QParity runs the sweep on a P+Q (RAID-6 style) array: two
+	// redundancy equations per group, so two overlapping disk deaths
+	// stay within budget.  ExploreDouble forces it on; the other modes
+	// accept it to re-run their single-fault sweeps over the richer
+	// geometry.
+	QParity bool
 	// QueueDepth sets the engine's per-drive request queue depth
 	// (rda.Config.QueueDepth).  With a depth > 1 the async pipeline is
 	// on: fault injectors observe transfers at queue-DEQUEUE time, so a
@@ -117,6 +123,7 @@ func dbConfig(opts Options) rda.Config {
 		Logging:      rda.PageLogging,
 		EOT:          rda.Force,
 		RDA:          true,
+		QParity:      opts.QParity,
 		LogPageSize:  256,
 		LogWriteCost: 4,
 		Workers:      opts.Workers,
@@ -611,6 +618,103 @@ func ExploreDegraded(opts Options, progress func(done, total int64)) (*Result, e
 	}
 	for k := int64(0); k < wHealthy; k++ {
 		run(fault.Schedule{fault.FailDisk(int(k)%numDisks, k), fault.CrashAfterNWrites(k)})
+	}
+	return res, nil
+}
+
+// countDouble measures the write clock of a double-degraded run: the
+// seeded workload with two disks dead from the start (QParity budget),
+// then the two-drive online rebuild pumped to completion.  It returns
+// the write count at workload end and at rebuild end, the bounds the
+// double-fault sweep needs.
+func countDouble(opts Options, dA, dB int) (workload, full int64, err error) {
+	opts.fill()
+	db, err := rda.Open(dbConfig(opts))
+	if err != nil {
+		return 0, 0, err
+	}
+	plane := fault.NewPlane(fault.Schedule{fault.FailDisk(dA, 0), fault.FailDisk(dB, 0)})
+	db.SetInjector(plane)
+	drv := newDriver(db, opts)
+	crash, err := drv.run()
+	if err != nil {
+		return 0, 0, fmt.Errorf("double-degraded counting run: %w", err)
+	}
+	if crash != nil {
+		return 0, 0, fmt.Errorf("double-degraded counting run crashed: %v", crash)
+	}
+	workload = plane.Writes()
+	crash, err = pumpRebuild(db)
+	if err != nil {
+		return 0, 0, fmt.Errorf("double-degraded counting rebuild: %w", err)
+	}
+	if crash != nil {
+		return 0, 0, fmt.Errorf("double-degraded counting rebuild crashed: %v", crash)
+	}
+	full = plane.Writes()
+	if err := drv.verify(); err != nil {
+		return 0, 0, fmt.Errorf("double-degraded counting final state: %w", err)
+	}
+	return workload, full, nil
+}
+
+// ExploreDouble is the double-fault sweep — the machine check that the
+// P+Q array's two redundancy equations really fund transaction recovery
+// with TWO members gone.  It forces QParity on and runs two schedule
+// families, every run a RunDegradedSchedule cycle (double-degraded
+// crash recovery, restarted two-drive rebuild, oracle + probe):
+//
+//   - both disks down from the start: FailDisk(0,0) + FailDisk(1,0)
+//     plus a crash at every write index of the double-degraded workload
+//     AND of the two-drive rebuild that follows it — restart with two
+//     members long dead, and crashes landing inside the rebuild;
+//   - second death coinciding with the crash: FailDisk(0,0) plus a
+//     second death at write k on a rotating other disk, plus a crash at
+//     the same k, for every k of the single-degraded workload — the
+//     second loss is unobserved before the crash, so recovery discovers
+//     the double-degraded array at restart (the only family where
+//     explicit data loss is legal).
+func ExploreDouble(opts Options, progress func(done, total int64)) (*Result, error) {
+	opts.fill()
+	opts.QParity = true
+	wDouble, wFull, err := countDouble(opts, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	wDeg, _, err := countDegraded(opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	geom, err := rda.Open(dbConfig(opts))
+	if err != nil {
+		return nil, err
+	}
+	numDisks := geom.NumDisks()
+	res := &Result{TotalWrites: wDouble}
+	total := wFull + wDeg
+	var done int64
+	run := func(sched fault.Schedule) {
+		res.Runs++
+		rep, err := RunDegradedSchedule(opts, sched)
+		res.absorb(rep)
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{Seed: opts.Seed, Schedule: sched, Err: err})
+		}
+		done++
+		if progress != nil {
+			progress(done, total)
+		}
+	}
+	// Both-down and crash-mid-two-drive-rebuild share one schedule shape;
+	// the crash index decides which regime it lands in.
+	for k := int64(0); k < wFull; k++ {
+		run(fault.Schedule{fault.FailDisk(0, 0), fault.FailDisk(1, 0), fault.CrashAfterNWrites(k)})
+	}
+	// Second death coinciding with the crash, rotating over every disk
+	// other than the one already down.
+	for k := int64(0); k < wDeg; k++ {
+		d2 := 1 + int(k)%(numDisks-1)
+		run(fault.Schedule{fault.FailDisk(0, 0), fault.FailDisk(d2, k), fault.CrashAfterNWrites(k)})
 	}
 	return res, nil
 }

@@ -230,6 +230,32 @@ func TestExploreDegraded(t *testing.T) {
 	}
 }
 
+// TestExploreDouble is the in-tree version of `rdacrash -double`: the
+// exhaustive double-fault sweep on a P+Q array.  Both families — two
+// disks dead from the start with crashes spanning the workload and the
+// two-drive rebuild, and a second death coinciding with the crash — must
+// recover, serve the committed state, and rebuild full redundancy with
+// zero violations.
+func TestExploreDouble(t *testing.T) {
+	opts := small(rda.DataStriping)
+	if testing.Short() {
+		opts.Txns = 2
+	}
+	res, err := ExploreDouble(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs == 0 {
+		t.Fatal("no double-fault crash points explored")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+	if res.DeferredParityGroups == 0 {
+		t.Error("sweep never deferred a parity group — dead-slot recovery untested")
+	}
+}
+
 // TestMixFailDiskEveryIndex kills each disk at every write index of a
 // small workload — an exhaustive sweep of the degraded-serving and
 // online-rebuild interlock.  The workload must complete with no surfaced

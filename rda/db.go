@@ -192,6 +192,7 @@ func Open(cfg Config) (*DB, error) {
 	arr, err := diskarray.New(diskarray.Config{
 		Kind: kind, DataDisks: cfg.DataDisks, NumPages: cfg.NumPages, PageSize: cfg.PageSize,
 		RetryAttempts: cfg.RetryAttempts, FailStopAfter: cfg.FailStopAfter,
+		QParity: cfg.QParity,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rda: %w", err)
@@ -255,6 +256,11 @@ func (db *DB) formatRecordPages() error {
 			meta, err := db.arr.PeekParityMeta(page.GroupID(g), twin)
 			if err != nil {
 				return err
+			}
+			if twin < db.arr.QParityPages() {
+				if err := db.arr.RecomputeQ(page.GroupID(g), twin, meta); err != nil {
+					return err
+				}
 			}
 			if err := db.arr.RecomputeParity(page.GroupID(g), twin, meta); err != nil {
 				return err
@@ -385,22 +391,36 @@ func (db *DB) storeRead(p page.PageID) (page.Buf, error) {
 // again and the next rebuild reconstructs the drive from scratch.
 func (db *DB) syncHealth() bool {
 	h := db.arr.Health()
-	if h != diskarray.Degraded && h != diskarray.Rebuilding {
+	if h != diskarray.Degraded && h != diskarray.Rebuilding && h != diskarray.DoubleDegraded {
 		return false
 	}
+	downs := db.arr.DownDisks()
 	if db.store.Degraded() {
-		// Restored flags only accumulate while Rebuilding; seeing them
-		// with the array back in Degraded means the replacement died.
-		if h != diskarray.Degraded || db.store.DegradedCounters().RebuiltGroups == 0 {
+		if len(downs) > len(db.store.DownDisks()) {
+			// A further disk died while the array was already degraded
+			// (Q-parity arrays survive two): fall through and re-enter
+			// degraded serving with the grown down set.
+		} else if h != diskarray.Degraded || db.store.DegradedCounters().RebuiltGroups == 0 {
+			// Restored flags only accumulate while Rebuilding; seeing
+			// them with the array back in Degraded means the replacement
+			// died.
 			return false
 		}
 	}
-	down := db.arr.DownDisk()
 	if db.store.Dirty != nil {
 		for g := 0; g < db.arr.NumGroups(); g++ {
 			gid := page.GroupID(g)
 			e, dirty := db.store.Dirty.Lookup(gid)
-			if !dirty || !db.store.GroupOnDisk(gid, down) {
+			if !dirty {
+				continue
+			}
+			onDown := false
+			for _, d := range downs {
+				if db.store.GroupOnDisk(gid, d) {
+					onDown = true
+				}
+			}
+			if !onDown {
 				continue
 			}
 			if err := db.demoteNoLogSteal(gid, e); err != nil {
@@ -415,7 +435,7 @@ func (db *DB) syncHealth() bool {
 			}
 		}
 	}
-	db.store.EnterDegraded(down)
+	db.store.EnterDegraded(downs...)
 	return true
 }
 
@@ -617,21 +637,59 @@ func (db *DB) demoteNoLogSteal(g page.GroupID, e dirtyset.Entry) error {
 	owner.stolenLogged[e.Page] = true
 	owner.mu.Unlock()
 	meta := disk.Meta{State: disk.StateCommitted, Timestamp: db.tm.NextTimestamp()}
-	if down := db.arr.DownDisk(); down >= 0 && db.arr.ParityLoc(g, e.WorkingTwin).Disk == down {
+	downSet := make(map[int]bool)
+	for _, d := range db.arr.DownDisks() {
+		downSet[d] = true
+	}
+	pAlive := func(t int) bool { return !downSet[db.arr.ParityLoc(g, t).Disk] }
+	qAlive := func(t int) bool {
+		return t < db.arr.QParityPages() && !downSet[db.arr.QLoc(g, t).Disk]
+	}
+	working := e.WorkingTwin
+	switch other := 1 - working; {
+	case pAlive(working):
+		// The working index already describes the on-disk data: launder
+		// it to committed in place, Q mirror first (lockstep).
+		if qAlive(working) {
+			if err := db.arr.WriteQMeta(g, working, meta); err != nil {
+				return fmt.Errorf("rda: demote group %d: %w", g, err)
+			}
+		}
+		if err := db.arr.WriteParityMeta(g, working, meta); err != nil {
+			return fmt.Errorf("rda: demote group %d: %w", g, err)
+		}
+		db.store.Twins.Promote(g, working)
+	case pAlive(other):
 		// The working twin is the group's lost block.  Its data page is
 		// reachable and already holds the stolen value, so the surviving
-		// twin is recomputed wholesale to describe the on-disk group and
+		// index is recomputed wholesale to describe the on-disk group and
 		// committed in its place.
-		alive := 1 - e.WorkingTwin
-		if err := db.arr.RecomputeParity(g, alive, meta); err != nil {
+		if qAlive(other) {
+			if err := db.arr.RecomputeQ(g, other, meta); err != nil {
+				return fmt.Errorf("rda: demote group %d: %w", g, err)
+			}
+		}
+		if err := db.arr.RecomputeParity(g, other, meta); err != nil {
 			return fmt.Errorf("rda: demote group %d: %w", g, err)
 		}
-		db.store.Twins.Promote(g, alive)
-	} else {
-		if err := db.arr.WriteParityMeta(g, e.WorkingTwin, meta); err != nil {
+		db.store.Twins.Promote(g, other)
+	case qAlive(working):
+		// Both P slots are dead (double-degraded) but the working Q —
+		// written in lockstep just before its P partner — survives and
+		// describes the on-disk data: launder the Q header alone.
+		if err := db.arr.WriteQMeta(g, working, meta); err != nil {
 			return fmt.Errorf("rda: demote group %d: %w", g, err)
 		}
-		db.store.Twins.Promote(g, e.WorkingTwin)
+		db.store.Twins.Promote(g, working)
+	case qAlive(other):
+		if err := db.arr.RecomputeQ(g, other, meta); err != nil {
+			return fmt.Errorf("rda: demote group %d: %w", g, err)
+		}
+		db.store.Twins.Promote(g, other)
+	default:
+		// Unreachable within the loss budget: two down disks cannot take
+		// all four redundancy blocks of one group.
+		return fmt.Errorf("rda: demote group %d: no surviving redundancy index", g)
 	}
 	db.store.Dirty.Clean(g)
 	// The page leaves the owner's no-logging chain.
@@ -851,13 +909,13 @@ func (db *DB) Recover() (*RecoveryReport, error) {
 	for attempt := 0; ; attempt++ {
 		switch h := db.arr.Health(); h {
 		case diskarray.Failed:
-			return nil, fmt.Errorf("%w: crash recovery with two members down exceeds parity redundancy; run RepairDisks first", ErrArrayFailed)
-		case diskarray.Degraded, diskarray.Rebuilding:
+			return nil, fmt.Errorf("%w: crash recovery with the down members exceeding the array's redundancy; run RepairDisks first", ErrArrayFailed)
+		case diskarray.Degraded, diskarray.Rebuilding, diskarray.DoubleDegraded:
 			// Re-derive degraded serving from scratch: restored-group flags
 			// are wiped even when the crash hit mid-rebuild, so the restarted
-			// rebuild reconstructs every group on the lost member and can
+			// rebuild reconstructs every group on the lost members and can
 			// never certify a deferred-parity group without recomputing it.
-			db.store.EnterDegraded(db.arr.DownDisk())
+			db.store.EnterDegraded(db.arr.DownDisks()...)
 			db.store.SetReplacementPresent(h == diskarray.Rebuilding)
 		default:
 			if db.store.Degraded() {

@@ -42,9 +42,11 @@ func (db *DB) Scrub() (*ScrubReport, error) {
 	if db.crashed {
 		return nil, ErrCrashed
 	}
-	if db.store.Degraded() {
+	if db.store.Degraded() && !db.arr.HasQ() {
 		// Scrubbing compares parity against data it cannot fully read;
-		// finish the rebuild first.
+		// finish the rebuild first.  A Q-parity array has an equation to
+		// spare, so its degraded groups still scrub (and repair) — see
+		// core.Store.Scrub.
 		return nil, fmt.Errorf("%w: scrub needs full redundancy", ErrDegraded)
 	}
 	// Flush so the scan verifies current contents, then require

@@ -91,12 +91,12 @@ func (db *DB) rebuildStepLocked(maxGroups int) (bool, error) {
 	if !db.store.Degraded() {
 		return true, nil
 	}
-	down := db.store.DownDisk()
+	downs := db.store.DownDisks()
 	switch db.arr.Health() {
 	case diskarray.Failed:
 		return false, fmt.Errorf("%w: online rebuild impossible, run RepairDisks", ErrArrayFailed)
-	case diskarray.Degraded:
-		if err := db.arr.BeginRebuild(down); err != nil {
+	case diskarray.Degraded, diskarray.DoubleDegraded:
+		if err := db.arr.BeginRebuild(downs...); err != nil {
 			return false, err
 		}
 	case diskarray.Rebuilding:
@@ -128,7 +128,7 @@ func (db *DB) rebuildStepLocked(maxGroups int) (bool, error) {
 	// crash-point schedules replay.
 	if err := workpool.Run(db.cfg.Workers, len(batch), func(i int) error {
 		gid := batch[i]
-		if err := db.restoreGroup(gid, down); err != nil {
+		if err := db.restoreGroup(gid, downs); err != nil {
 			return err
 		}
 		db.store.MarkRestored(gid)
@@ -144,48 +144,76 @@ func (db *DB) rebuildStepLocked(maxGroups int) (bool, error) {
 	return true, nil
 }
 
-// restoreGroup reconstructs group g's block on the replacement drive for
-// disk `down`: a parity twin is recomputed from the group's data pages,
-// a data page is reconstructed from the current parity and the other
-// members.  Degraded groups are always clean (their steals were demoted
-// when the disk went down), so the current twin describes the on-disk
-// data.
-func (db *DB) restoreGroup(g page.GroupID, down int) error {
-	for twin := 0; twin < db.arr.ParityPages(); twin++ {
-		if db.arr.ParityLoc(g, twin).Disk != down {
-			continue
+// restoreGroup reconstructs group g's blocks on the replacement
+// drive(s): lost data pages are solved from the surviving redundancy
+// first (one page from the current P or Q, two pages — possible only on
+// a Q-parity array — from both equations together), then each lost
+// parity twin and Q page is recomputed over the whole data.  Degraded
+// groups are always clean (their steals were demoted when the disk went
+// down), so the current index describes the on-disk data.
+func (db *DB) restoreGroup(g page.GroupID, downs []int) error {
+	downSet := make(map[int]bool, len(downs))
+	for _, d := range downs {
+		downSet[d] = true
+	}
+	cur := 0
+	if db.store.Twins != nil {
+		cur = db.store.Twins.Current(g)
+	}
+	pages := db.arr.GroupPages(g)
+	lostData := 0
+	for _, p := range pages {
+		if downSet[db.arr.DataLoc(p).Disk] {
+			lostData++
 		}
-		meta := disk.Meta{State: disk.StateCommitted, Timestamp: 0}
-		if db.store.Twins != nil {
-			if db.store.Twins.Current(g) == twin {
-				meta = disk.Meta{State: disk.StateCommitted, Timestamp: db.tm.NextTimestamp()}
-			} else {
-				// The lost twin held history; its replacement starts
-				// over as an obsolete copy of the current parity.
-				meta = disk.Meta{State: disk.StateObsolete, Timestamp: 0}
+	}
+	if lostData > 0 {
+		vals, err := db.store.SolveGroup(g, cur)
+		if err != nil {
+			return fmt.Errorf("rda: rebuild group %d: %w", g, err)
+		}
+		for i, p := range pages {
+			if !downSet[db.arr.DataLoc(p).Disk] {
+				continue
+			}
+			if err := db.arr.WriteData(p, vals[i], disk.Meta{}); err != nil {
+				return fmt.Errorf("rda: rebuild page %d: %w", p, err)
 			}
 		}
-		if err := db.arr.RecomputeParity(g, twin, meta); err != nil {
-			return fmt.Errorf("rda: rebuild parity of group %d: %w", g, err)
-		}
-		return nil
 	}
-	twin := 0
-	if db.store.Twins != nil {
-		twin = db.store.Twins.Current(g)
-	}
-	for _, p := range db.arr.GroupPages(g) {
-		if db.arr.DataLoc(p).Disk != down {
+	for twin := 0; twin < db.arr.ParityPages(); twin++ {
+		pLost := downSet[db.arr.ParityLoc(g, twin).Disk]
+		qLost := twin < db.arr.QParityPages() && downSet[db.arr.QLoc(g, twin).Disk]
+		if !pLost && !qLost {
 			continue
 		}
-		b, err := db.store.ReconstructData(g, p, twin)
-		if err != nil {
-			return fmt.Errorf("rda: rebuild page %d: %w", p, err)
+		var meta disk.Meta
+		switch {
+		case !pLost:
+			// Only the Q page is lost: mirror the surviving P partner's
+			// header (the lockstep invariant).
+			m, err := db.arr.ReadParityMeta(g, twin)
+			if err != nil {
+				return fmt.Errorf("rda: rebuild Q of group %d: %w", g, err)
+			}
+			meta = m
+		case db.store.Twins != nil && cur != twin:
+			// The lost twin held history; its replacement starts over as
+			// an obsolete copy of the current parity.
+			meta = disk.Meta{State: disk.StateObsolete, Timestamp: 0}
+		default:
+			meta = disk.Meta{State: disk.StateCommitted, Timestamp: db.tm.NextTimestamp()}
 		}
-		if err := db.arr.WriteData(p, b, disk.Meta{}); err != nil {
-			return fmt.Errorf("rda: rebuild page %d: %w", p, err)
+		if qLost {
+			if err := db.arr.RecomputeQ(g, twin, meta); err != nil {
+				return fmt.Errorf("rda: rebuild Q of group %d: %w", g, err)
+			}
 		}
-		return nil
+		if pLost {
+			if err := db.arr.RecomputeParity(g, twin, meta); err != nil {
+				return fmt.Errorf("rda: rebuild parity of group %d: %w", g, err)
+			}
+		}
 	}
 	return nil
 }

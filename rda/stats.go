@@ -197,6 +197,12 @@ type GroupInfo struct {
 	TwinStates []string
 	// TwinTimestamps are the Figure 7 timestamps of the parity page(s).
 	TwinTimestamps []uint64
+	// QStates and QTimestamps mirror TwinStates/TwinTimestamps for the
+	// second redundancy page of each index on a P+Q array; empty
+	// otherwise.  Q headers track their P partner in lockstep, so a
+	// mismatch here is the fingerprint of a write cut in half.
+	QStates     []string
+	QTimestamps []uint64
 }
 
 // InspectGroup reports the recovery state of the parity group holding
@@ -235,6 +241,16 @@ func (db *DB) InspectGroup(p PageID) (GroupInfo, error) {
 		}
 		info.TwinStates = append(info.TwinStates, meta.State.String())
 		info.TwinTimestamps = append(info.TwinTimestamps, uint64(meta.Timestamp))
+	}
+	if db.arr.HasQ() {
+		for twin := 0; twin < db.arr.QParityPages(); twin++ {
+			meta, err := db.arr.PeekQMeta(g, twin)
+			if err != nil {
+				return info, err
+			}
+			info.QStates = append(info.QStates, meta.State.String())
+			info.QTimestamps = append(info.QTimestamps, uint64(meta.Timestamp))
+		}
 	}
 	return info, nil
 }

@@ -104,11 +104,14 @@ func (tx *Tx) pageResource(p PageID) lock.Resource {
 
 // opLatched runs one page operation under the shared gate and the page's
 // group latch, with the engine's self-healing retry: an I/O error that
-// trips degraded-mode entry (healWorld) is retried exactly once, now
-// served from redundancy.
+// trips degraded-mode entry (healWorld) is retried, now served from
+// redundancy.  One retry per health transition — a Q-parity array can
+// lose a second disk during the first retry — and healWorld reports
+// true only on a genuine transition, so the loop is bounded by the loss
+// budget.
 func (tx *Tx) opLatched(p page.PageID, fn func(h *latch.Held) error) error {
 	err := tx.db.underGroup(p, fn)
-	if err != nil && !errors.Is(err, ErrCrashed) && tx.db.healWorld() {
+	for err != nil && !errors.Is(err, ErrCrashed) && tx.db.healWorld() {
 		err = tx.db.underGroup(p, fn)
 	}
 	if errors.Is(err, ErrCrashed) {
@@ -411,11 +414,13 @@ func (tx *Tx) Commit() error {
 	}
 	db := tx.db
 	err := db.commitAttempt(tx)
-	if err != nil && !errors.Is(err, ErrCrashed) && db.healWorld() {
+	for err != nil && !errors.Is(err, ErrCrashed) && db.healWorld() {
 		// A disk loss mid-commit trips degraded mode; the retry re-runs
 		// EOT through the degraded protocol.  The lazy log appends are
 		// idempotent and a duplicated after-image is harmless (REDO
-		// replays images in order, so the last one wins).
+		// replays images in order, so the last one wins).  One retry per
+		// health transition: a second disk can die during the first
+		// retry on a Q-parity array.
 		err = db.commitAttempt(tx)
 	}
 	if errors.Is(err, ErrCrashed) {
@@ -609,12 +614,13 @@ func (tx *Tx) Abort() error {
 	}
 	db := tx.db
 	err := db.abortAttempt(tx)
-	if err != nil && !errors.Is(err, ErrCrashed) && db.healWorld() {
+	for err != nil && !errors.Is(err, ErrCrashed) && db.healWorld() {
 		// A disk loss mid-rollback trips degraded mode; the retry runs
 		// the remaining undo through the degraded protocol (groups the
 		// first pass finished are already clean, and the health sync
 		// demoted any dirty group on the lost disk to the idempotent
-		// logged-restore path).
+		// logged-restore path).  One retry per health transition, as in
+		// Commit.
 		err = db.abortAttempt(tx)
 	}
 	if errors.Is(err, ErrCrashed) {

@@ -48,44 +48,48 @@ func (db *DB) VerifyRecovered() error {
 	}
 	for g := 0; g < db.arr.NumGroups(); g++ {
 		gid := page.GroupID(g)
-		if dead := db.store.DeadTwin(gid); dead >= 0 {
-			// Degraded group that lost a parity twin: only the surviving
-			// slot holds meaning, and it must be the current, committed
-			// one.  The dead slot is the restarted rebuild's job.
-			alive := 1 - dead
-			if cur := db.store.Twins.Current(gid); cur != alive {
-				return fmt.Errorf("rda: degraded group %d bitmap points at dead twin %d", g, cur)
-			}
-			m, err := db.arr.PeekParityMeta(gid, alive)
-			if err != nil {
-				return err
-			}
-			if m.State != disk.StateCommitted {
-				return fmt.Errorf("rda: degraded group %d surviving twin %d in state %s, want committed",
-					g, alive, m.State)
-			}
-			continue
-		}
+		// Per-twin header, read through the best surviving slot: the P
+		// header when its disk is up, else the Q partner's header — a
+		// faithful proxy, since every Q page is written in lockstep with
+		// its P partner under the same meta.  A twin whose slots are all
+		// dead has no header; its reconstruction is the rebuild's job.
 		var metas [2]disk.Meta
+		var have [2]bool
 		for twin := 0; twin < 2; twin++ {
-			m, err := db.arr.PeekParityMeta(gid, twin)
-			if err != nil {
-				return err
+			switch {
+			case db.store.ParitySlotAlive(gid, twin):
+				m, err := db.arr.PeekParityMeta(gid, twin)
+				if err != nil {
+					return err
+				}
+				metas[twin], have[twin] = m, true
+			case db.arr.HasQ() && db.store.QSlotAlive(gid, twin):
+				m, err := db.arr.PeekQMeta(gid, twin)
+				if err != nil {
+					return err
+				}
+				metas[twin], have[twin] = m, true
 			}
-			if m.State == disk.StateWorking {
-				return fmt.Errorf("rda: group %d twin %d still in working state after restart", g, twin)
-			}
-			metas[twin] = m
 		}
 		cur := db.store.Twins.Current(gid)
+		if !have[cur] {
+			return fmt.Errorf("rda: degraded group %d bitmap points at dead twin %d", g, cur)
+		}
 		if metas[cur].State != disk.StateCommitted {
 			return fmt.Errorf("rda: group %d current twin %d in state %s, want committed",
 				g, cur, metas[cur].State)
+		}
+		if !have[1-cur] {
+			// Degraded group whose other twin lost every slot: the
+			// surviving current twin carried the whole check.
+			continue
 		}
 		other := metas[1-cur]
 		switch other.State {
 		case disk.StateObsolete, disk.StateInvalid:
 			// Legal Figure 8 leftovers.
+		case disk.StateWorking:
+			return fmt.Errorf("rda: group %d twin %d still in working state after restart", g, 1-cur)
 		case disk.StateCommitted:
 			// Both committed: the bitmap must have picked the Figure 7
 			// winner — the larger timestamp, ties favouring twin 0.
